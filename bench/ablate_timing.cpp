@@ -1,0 +1,113 @@
+// Ablation bench for the point-process timing model's design choices
+// (the knobs DESIGN.md calls out):
+//
+//   1. decay ω:      learned per-pair g_Θ(x)  vs  constant scalar
+//                    (the paper found a constant best on Stack Overflow but
+//                    proposes the learned variant as the general model);
+//   2. estimator:    the paper's unnormalized E[t] formula  vs  the
+//                    normalized conditional-first-event expectation;
+//   3. calibration:  affine output calibration on/off.
+//
+// All variants share splits and features (common random numbers), so the
+// RMSE differences are attributable to the design choice.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "exp/experiment.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forumcast;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto dataset = bench::make_forum(options).dataset.preprocessed();
+  const auto omega = bench::all_questions(dataset);
+
+  features::ExtractorConfig extractor_config;
+  extractor_config.lda.iterations = options.full ? 100 : 40;
+  exp::ExperimentContext context(dataset, omega, omega, extractor_config);
+
+  exp::TaskSetup base = exp::fast_task_setup();
+  base.run_answer = false;
+  base.run_votes = false;
+  base.run_baselines = false;
+  base.repeats = options.full ? 3 : 1;
+  if (options.full) {
+    base.timing = core::TimingPredictorConfig{};
+    base.survival_samples_per_thread = 20;
+  }
+
+  struct Variant {
+    std::string name;
+    core::TimingPredictorConfig config;
+  };
+  using Expectation = core::TimingPredictorConfig::Expectation;
+  std::vector<Variant> variants;
+  {
+    Variant v{"learned ω + conditional E + calib (default)", base.timing};
+    variants.push_back(v);
+
+    v = {"constant ω + conditional E + calib", base.timing};
+    v.config.learn_omega = false;
+    variants.push_back(v);
+
+    v = {"learned ω + paper E[t] formula + calib", base.timing};
+    v.config.expectation = Expectation::PaperUnnormalized;
+    variants.push_back(v);
+
+    v = {"constant ω + paper E[t] formula + calib (paper setup)", base.timing};
+    v.config.learn_omega = false;
+    v.config.expectation = Expectation::PaperUnnormalized;
+    variants.push_back(v);
+
+    v = {"learned ω + conditional E, no calibration", base.timing};
+    v.config.calibrate = false;
+    variants.push_back(v);
+  }
+
+  // Fixed train/test thread split for the held-out log-likelihood column
+  // (a calibration-free fit measure shared by every variant).
+  const auto positives = context.positives();
+  std::vector<forum::AnsweredPair> ll_train, ll_test;
+  for (std::size_t i = 0; i < positives.size(); ++i) {
+    (i % 5 == 4 ? ll_test : ll_train).push_back(positives[i]);
+  }
+  const auto feature_fn = core::FeatureFn(
+      [&context](forum::UserId u, forum::QuestionId q) {
+        return context.features(u, q);
+      });
+  const auto train_threads = core::build_timing_threads(
+      dataset, feature_fn, ll_train, context.last_post_time(),
+      base.survival_samples_per_thread, 881);
+  const auto test_threads = core::build_timing_threads(
+      dataset, feature_fn, ll_test, context.last_post_time(),
+      base.survival_samples_per_thread, 883);
+
+  util::Table table("Timing-model ablations (RMSE of r_uq, hours)",
+                    {"Variant", "RMSE", "±", "vs default %", "held-out LL"});
+  double reference = 0.0;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    util::Timer timer;
+    exp::TaskSetup setup = base;
+    setup.timing = variants[i].config;
+    const auto result = exp::run_tasks(context, setup);
+    const double rmse = result.timing_rmse.mean();
+    if (i == 0) reference = rmse;
+
+    core::TimingPredictor model(variants[i].config);
+    model.fit(train_threads);
+    const double held_out_ll = model.mean_log_likelihood(test_threads);
+
+    table.add_row({variants[i].name, util::Table::num(rmse),
+                   util::Table::num(result.timing_rmse.stddev()),
+                   util::Table::num(100.0 * (rmse - reference) / reference, 1),
+                   util::Table::num(held_out_ll, 2)});
+    std::cout << variants[i].name << " done ("
+              << util::Table::num(timer.seconds(), 1) << "s)\n";
+  }
+  bench::emit(table, options, "ablate_timing.csv");
+  std::cout << "\nNote: the estimator/calibration variants share a likelihood "
+               "with their ω-mode counterpart (LL depends only on μ, ω).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation bench for the vote network's architecture (paper Sec. IV-A fixes
+// L = 4 with 20 ReLU units per hidden layer; here we justify that choice):
+// depth × width sweep plus a linear model and a tanh variant, all under
+// common random numbers.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/experiment.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forumcast;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto dataset = bench::make_forum(options).dataset.preprocessed();
+  const auto omega = bench::all_questions(dataset);
+
+  features::ExtractorConfig extractor_config;
+  extractor_config.lda.iterations = options.full ? 100 : 40;
+  exp::ExperimentContext context(dataset, omega, omega, extractor_config);
+
+  exp::TaskSetup base = exp::fast_task_setup();
+  base.run_answer = false;
+  base.run_timing = false;
+  base.run_baselines = false;
+  base.repeats = options.full ? 3 : 1;
+  base.vote.epochs = options.full ? 150 : 80;
+
+  struct Variant {
+    std::string name;
+    std::vector<std::size_t> hidden;
+    ml::Activation activation = ml::Activation::ReLU;
+  };
+  const std::vector<Variant> variants = {
+      {"linear (no hidden layer)", {}},  // handled below
+      {"1 x 20 relu", {20}},
+      {"2 x 20 relu", {20, 20}},
+      {"3 x 20 relu (paper: L=4)", {20, 20, 20}},
+      {"3 x 50 relu", {50, 50, 50}},
+      {"5 x 20 relu", {20, 20, 20, 20, 20}},
+      {"3 x 20 tanh", {20, 20, 20}, ml::Activation::Tanh},
+  };
+
+  util::Table table("Vote-network architecture ablation (RMSE of v_uq)",
+                    {"Variant", "RMSE", "±", "vs paper-config %"});
+  double reference = 0.0;
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& variant : variants) {
+    util::Timer timer;
+    exp::TaskSetup setup = base;
+    if (variant.hidden.empty()) {
+      // "Linear" = a single hidden unit with identity activation collapses
+      // to an affine map after the output layer.
+      setup.vote.hidden_units = {1};
+      setup.vote.hidden_activation = ml::Activation::Identity;
+    } else {
+      setup.vote.hidden_units = variant.hidden;
+      setup.vote.hidden_activation = variant.activation;
+    }
+    const auto result = exp::run_tasks(context, setup);
+    const double rmse = result.vote_rmse.mean();
+    if (variant.name.find("paper") != std::string::npos) reference = rmse;
+    rows.push_back({variant.name, util::Table::num(rmse),
+                    util::Table::num(result.vote_rmse.stddev()), ""});
+    std::cout << variant.name << " done ("
+              << util::Table::num(timer.seconds(), 1) << "s)\n";
+  }
+  for (auto& row : rows) {
+    const double rmse = std::stod(row[1]);
+    row[3] = util::Table::num(100.0 * (rmse - reference) / reference, 1) + "%";
+    table.add_row(row);
+  }
+  bench::emit(table, options, "ablate_vote.csv");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared scaffolding for the experiment benches.
+//
+// Every bench regenerates one table or figure of the paper on the synthetic
+// Stack Overflow workload (see DESIGN.md for the substitution rationale).
+// Command-line knobs:
+//   --users N --questions N --seed S   workload scale (default 2000/2000)
+//   --full                             paper-fidelity iteration counts
+//   --csv DIR                          also dump the table as CSV into DIR
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "forum/dataset.hpp"
+#include "forum/generator.hpp"
+#include "util/table.hpp"
+
+namespace forumcast::bench {
+
+struct BenchOptions {
+  std::size_t users = 2000;
+  std::size_t questions = 2000;
+  std::uint64_t seed = 2026;
+  bool full = false;
+  std::optional<std::string> csv_dir;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << flag << " requires a value\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--users") {
+        options.users = std::stoul(next("--users"));
+      } else if (arg == "--questions") {
+        options.questions = std::stoul(next("--questions"));
+      } else if (arg == "--seed") {
+        options.seed = std::stoull(next("--seed"));
+      } else if (arg == "--full") {
+        options.full = true;
+      } else if (arg == "--csv") {
+        options.csv_dir = next("--csv");
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "options: --users N --questions N --seed S --full --csv DIR\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
+        std::exit(2);
+      }
+    }
+    return options;
+  }
+};
+
+inline forum::SynthForum make_forum(const BenchOptions& options) {
+  forum::GeneratorConfig config;
+  config.num_users = options.users;
+  config.num_questions = options.questions;
+  config.seed = options.seed;
+  return forum::generate_forum(config);
+}
+
+inline std::vector<forum::QuestionId> all_questions(const forum::Dataset& dataset) {
+  std::vector<forum::QuestionId> ids(dataset.num_questions());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<forum::QuestionId>(i);
+  }
+  return ids;
+}
+
+inline void emit(const util::Table& table, const BenchOptions& options,
+                 const std::string& csv_name) {
+  table.print(std::cout);
+  if (options.csv_dir) {
+    std::filesystem::create_directories(*options.csv_dir);
+    table.save_csv(*options.csv_dir + "/" + csv_name);
+    std::cout << "(csv written to " << *options.csv_dir << "/" << csv_name
+              << ")\n";
+  }
+}
+
+}  // namespace forumcast::bench

@@ -1,0 +1,150 @@
+// Reproduces paper Fig. 4: CDFs of selected feature quantities.
+//   (a) answers provided per user a_u
+//   (b) median response time r_u, split by activity level a_u
+//   (c) average answer votes v̄_u, split by activity level
+//   (d) user-question s_uq and user-user s_uv topic similarities
+//   (e) question word text x_q and code c_q lengths
+//   (f) betweenness and closeness centralities on both graphs (max-normalized)
+//
+// Each panel is printed as a quantile series (the CDF curve) plus the shape
+// observations the paper draws from it.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "features/extractor.hpp"
+#include "graph/centrality.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using forumcast::util::Table;
+
+// Prints one CDF as a row of values at fixed cumulative probabilities.
+void cdf_row(Table& table, const std::string& label, std::vector<double> values) {
+  if (values.empty()) return;
+  std::vector<std::string> cells = {label, std::to_string(values.size())};
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    cells.push_back(Table::num(forumcast::util::percentile(values, p), 3));
+  }
+  table.add_row(std::move(cells));
+}
+
+Table make_panel(const std::string& title) {
+  return Table(title, {"Series", "N", "p10", "p25", "p50", "p75", "p90", "p99"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace forumcast;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto dataset = bench::make_forum(options).dataset.preprocessed();
+  const auto omega = bench::all_questions(dataset);
+
+  features::ExtractorConfig config;
+  config.lda.iterations = options.full ? 100 : 40;
+  const features::FeatureExtractor extractor(dataset, omega, config);
+
+  // ---- (a) answers provided ----
+  std::vector<double> answers_per_user;
+  for (forum::UserId u = 0; u < dataset.num_users(); ++u) {
+    const auto& stats = extractor.user_stats(u);
+    if (stats.answers_provided > 0) {
+      answers_per_user.push_back(static_cast<double>(stats.answers_provided));
+    }
+  }
+  auto panel_a = make_panel("Fig. 4a — answers provided a_u (answerers only)");
+  cdf_row(panel_a, "a_u", answers_per_user);
+  bench::emit(panel_a, options, "fig4a.csv");
+  std::cout << "share of answerers with a_u >= 2: "
+            << Table::num(1.0 - util::fraction_at_most(answers_per_user, 1.0), 3)
+            << "  (paper: ~0.4)\n";
+
+  // ---- (b) median response time by activity, (c) mean votes by activity ----
+  auto panel_b = make_panel("Fig. 4b — median response time r_u (h) by activity");
+  auto panel_c = make_panel("Fig. 4c — average answer votes by activity");
+  for (std::size_t threshold : {1, 2, 3, 5}) {
+    std::vector<double> medians, mean_votes;
+    for (forum::UserId u = 0; u < dataset.num_users(); ++u) {
+      const auto& stats = extractor.user_stats(u);
+      if (stats.answers_provided >= threshold) {
+        medians.push_back(util::median(stats.response_times));
+        mean_votes.push_back(util::mean(stats.answer_votes));
+      }
+    }
+    cdf_row(panel_b, "a_u >= " + std::to_string(threshold), medians);
+    cdf_row(panel_c, "a_u >= " + std::to_string(threshold), mean_votes);
+  }
+  bench::emit(panel_b, options, "fig4b.csv");
+  {
+    // Paper: 80 % of users with a_u ≥ 5 respond within 1 h vs 60 % for ≥ 1.
+    std::vector<double> m1, m5;
+    for (forum::UserId u = 0; u < dataset.num_users(); ++u) {
+      const auto& stats = extractor.user_stats(u);
+      if (stats.answers_provided >= 1) m1.push_back(util::median(stats.response_times));
+      if (stats.answers_provided >= 5) m5.push_back(util::median(stats.response_times));
+    }
+    if (!m5.empty()) {
+      std::cout << "P(r_u <= 1h | a_u>=1) = "
+                << Table::num(util::fraction_at_most(m1, 1.0), 3)
+                << ",  P(r_u <= 1h | a_u>=5) = "
+                << Table::num(util::fraction_at_most(m5, 1.0), 3)
+                << "  (paper shape: active users faster)\n";
+    }
+  }
+  bench::emit(panel_c, options, "fig4c.csv");
+
+  // ---- (d) topic similarities ----
+  auto panel_d = make_panel("Fig. 4d — topic similarities over answered pairs");
+  std::vector<double> s_uq, s_uv;
+  const auto& layout = extractor.layout();
+  for (const auto& pair : dataset.answered_pairs()) {
+    const auto x = extractor.features(pair.user, pair.question);
+    s_uq.push_back(x[layout.offset(features::FeatureId::UserQuestionTopicSimilarity)]);
+    s_uv.push_back(x[layout.offset(features::FeatureId::UserUserTopicSimilarity)]);
+  }
+  cdf_row(panel_d, "s_uq (user-question)", s_uq);
+  cdf_row(panel_d, "s_uv (user-asker)", s_uv);
+  bench::emit(panel_d, options, "fig4d.csv");
+  std::cout << "median s_uq = " << Table::num(util::median(s_uq), 3)
+            << ", median s_uv = " << Table::num(util::median(s_uv), 3)
+            << "  (paper shape: answerers more similar to askers than to questions)\n";
+
+  // ---- (e) question lengths ----
+  auto panel_e = make_panel("Fig. 4e — question word/code lengths (chars)");
+  std::vector<double> word_lengths, code_lengths;
+  for (forum::QuestionId q = 0; q < dataset.num_questions(); ++q) {
+    word_lengths.push_back(extractor.question_word_length(q));
+    code_lengths.push_back(extractor.question_code_length(q));
+  }
+  cdf_row(panel_e, "x_q (words)", word_lengths);
+  cdf_row(panel_e, "c_q (code)", code_lengths);
+  bench::emit(panel_e, options, "fig4e.csv");
+  std::cout << "stddev words = " << Table::num(util::stddev(word_lengths), 1)
+            << ", stddev code = " << Table::num(util::stddev(code_lengths), 1)
+            << "  (paper shape: code length varies much more)\n";
+
+  // ---- (f) centralities, max-normalized ----
+  auto panel_f = make_panel("Fig. 4f — centralities (normalized to max 1)");
+  auto to_vector = [](std::span<const double> s) {
+    return std::vector<double>(s.begin(), s.end());
+  };
+  cdf_row(panel_f, "closeness l^QA",
+          graph::normalized_to_max(to_vector(extractor.qa_closeness())));
+  cdf_row(panel_f, "closeness l^D",
+          graph::normalized_to_max(to_vector(extractor.dense_closeness())));
+  cdf_row(panel_f, "betweenness b^QA",
+          graph::normalized_to_max(to_vector(extractor.qa_betweenness())));
+  cdf_row(panel_f, "betweenness b^D",
+          graph::normalized_to_max(to_vector(extractor.dense_betweenness())));
+  bench::emit(panel_f, options, "fig4f.csv");
+  {
+    const auto b = graph::normalized_to_max(to_vector(extractor.qa_betweenness()));
+    std::cout << "share of users with zero betweenness = "
+              << Table::num(util::fraction_at_most(b, 0.0), 3)
+              << "  (paper: ~0.6)\n";
+  }
+  return 0;
+}

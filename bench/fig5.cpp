@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 5: sensitivity of the three prediction tasks to the
+// LDA topic count K. The paper varies K around the default 8 and reports the
+// percent change of each metric: virtually none for r_{u,q}, small for
+// a_{u,q}, and a more noticeable effect (up to ~5 %) for v_{u,q}.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/experiment.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forumcast;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto dataset = bench::make_forum(options).dataset.preprocessed();
+  const auto omega = bench::all_questions(dataset);
+
+  const std::vector<std::size_t> topic_counts = {5, 8, 10, 15, 20};
+  exp::TaskSetup setup = exp::fast_task_setup();
+  setup.repeats = options.full ? 3 : 1;
+  setup.run_baselines = false;
+
+  struct Row {
+    std::size_t k;
+    double auc, vote_rmse, timing_rmse;
+  };
+  std::vector<Row> rows;
+  for (std::size_t k : topic_counts) {
+    util::Timer timer;
+    features::ExtractorConfig config;
+    config.num_topics = k;
+    config.lda.iterations = options.full ? 100 : 40;
+    exp::ExperimentContext context(dataset, omega, omega, config);
+    const auto result = exp::run_tasks(context, setup);
+    rows.push_back({k, result.answer_auc.mean(), result.vote_rmse.mean(),
+                    result.timing_rmse.mean()});
+    std::cout << "K=" << k << " done in " << util::Table::num(timer.seconds(), 1)
+              << "s\n";
+  }
+
+  // Percent change from the K = 8 default, matching the paper's y-axis.
+  const Row* reference = nullptr;
+  for (const auto& row : rows) {
+    if (row.k == 8) reference = &row;
+  }
+  util::Table table("Fig. 5 — % metric change vs K (reference K = 8)",
+                    {"K", "AUC(a)", "dAUC%", "RMSE(v)", "dRMSE(v)%",
+                     "RMSE(r)", "dRMSE(r)%"});
+  for (const auto& row : rows) {
+    auto delta = [&](double value, double ref) {
+      return util::Table::num(100.0 * (value - ref) / ref, 2) + "%";
+    };
+    table.add_row({std::to_string(row.k), util::Table::num(row.auc),
+                   delta(row.auc, reference->auc),
+                   util::Table::num(row.vote_rmse),
+                   delta(row.vote_rmse, reference->vote_rmse),
+                   util::Table::num(row.timing_rmse),
+                   delta(row.timing_rmse, reference->timing_rmse)});
+  }
+  bench::emit(table, options, "fig5.csv");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces paper Fig. 7: how the importance of each feature *group* varies
+// with the amount of historical data. Evaluation pairs are fixed to the last
+// five days of threads (Ω = D25…D30) while the inference window F grows:
+// i ∈ {5, 10, 15, 20, 25} days of history ending at day 25. For each window,
+// the vote and timing models are trained with one feature group removed at a
+// time and the absolute RMSE is reported (taller = more important).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/experiment.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forumcast;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto dataset = bench::make_forum(options).dataset.preprocessed();
+
+  // Ω: questions posted in days 25–30 (evaluated); F: history windows.
+  const auto omega = dataset.questions_in_days(25, 30);
+  if (omega.empty()) {
+    std::cerr << "no evaluation questions in days 25-30; increase --questions\n";
+    return 1;
+  }
+
+  const std::vector<int> history_days = {5, 10, 15, 20, 25};
+  const std::vector<std::optional<features::FeatureGroup>> exclusions = {
+      std::nullopt,  // full feature set reference
+      features::FeatureGroup::User, features::FeatureGroup::Question,
+      features::FeatureGroup::UserQuestion, features::FeatureGroup::Social};
+
+  exp::TaskSetup base_setup = exp::fast_task_setup();
+  base_setup.run_answer = false;
+  base_setup.run_baselines = false;
+  base_setup.folds = options.full ? 5 : 3;
+  base_setup.repeats = options.full ? 3 : 1;
+
+  util::Table vote_table("Fig. 7a — net votes task: RMSE by excluded group and history window",
+                         {"History (days)", "full set", "-user", "-question",
+                          "-user-question", "-social"});
+  util::Table timing_table("Fig. 7b — response timing task: RMSE (h) by excluded group and history window",
+                           {"History (days)", "full set", "-user", "-question",
+                            "-user-question", "-social"});
+
+  for (int days : history_days) {
+    util::Timer timer;
+    // F = D_{25-i} … D_{25}.
+    const int first_day = 25 - days;
+    const auto inference =
+        dataset.questions_in_days(std::max(1, first_day), 25);
+    if (inference.empty()) continue;
+
+    features::ExtractorConfig config;
+    config.lda.iterations = options.full ? 80 : 30;
+    exp::ExperimentContext context(dataset, omega, inference, config);
+    const auto& layout = context.extractor().layout();
+
+    std::vector<std::string> vote_row = {std::to_string(days)};
+    std::vector<std::string> timing_row = {std::to_string(days)};
+    for (const auto& exclusion : exclusions) {
+      exp::TaskSetup setup = base_setup;
+      if (exclusion) {
+        setup.feature_columns = layout.columns_excluding(
+            features::FeatureLayout::features_in_group(*exclusion));
+      }
+      const auto result = exp::run_tasks(context, setup);
+      vote_row.push_back(util::Table::num(result.vote_rmse.mean()));
+      timing_row.push_back(util::Table::num(result.timing_rmse.mean()));
+    }
+    vote_table.add_row(std::move(vote_row));
+    timing_table.add_row(std::move(timing_row));
+    std::cout << "history window " << days << "d done in "
+              << util::Table::num(timer.seconds(), 1) << "s\n";
+  }
+
+  bench::emit(vote_table, options, "fig7a.csv");
+  bench::emit(timing_table, options, "fig7b.csv");
+  return 0;
+}

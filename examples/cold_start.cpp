@@ -1,0 +1,94 @@
+// Cold start: how prediction quality grows with forum history.
+//
+// A new deployment of the pipeline starts with days of data, not weeks. This
+// example trains the pipeline on growing history windows (5 → 25 days),
+// always evaluating on the final five days, and reports:
+//   * will-answer AUC,
+//   * P(answered within 24 h) calibration — the point-process extension
+//     cumulative_intensity/probability_answer_within in action,
+//   * vote and delay RMSE.
+// It is the operational counterpart of paper Fig. 7 ("how much history do the
+// features need?").
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "eval/metrics.hpp"
+#include "eval/sampling.hpp"
+#include "forum/generator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace forumcast;
+
+  forum::GeneratorConfig generator_config;
+  generator_config.num_users = 800;
+  generator_config.num_questions = 800;
+  generator_config.seed = 1701;
+  const auto dataset =
+      forum::generate_forum(generator_config).dataset.preprocessed();
+  const auto holdout = dataset.questions_in_days(26, 30);
+  const auto positives = dataset.answered_pairs(holdout);
+  const auto negatives =
+      eval::sample_negative_pairs(dataset, holdout, positives.size(), 4);
+  std::cout << "evaluating on days 26-30: " << positives.size()
+            << " answered pairs\n";
+
+  util::Table table("prediction quality vs training history",
+                    {"history (days)", "AUC(a)", "RMSE(v)", "RMSE(r) h",
+                     "P(<=24h) answered", "P(<=24h) negatives"});
+
+  for (int history_days : {5, 10, 15, 20, 25}) {
+    const auto history = dataset.questions_in_days(1, history_days);
+    if (history.empty()) continue;
+
+    core::PipelineConfig config;
+    config.extractor.lda.iterations = 30;
+    config.answer.logistic.epochs = 60;
+    config.vote.epochs = 40;
+    config.timing.epochs = 12;
+    config.survival_samples_per_thread = 8;
+    core::ForecastPipeline pipeline(config);
+    pipeline.fit(dataset, history);
+
+    std::vector<double> scores, vote_predictions, vote_targets;
+    std::vector<double> delay_predictions, delay_targets;
+    std::vector<int> labels;
+    double p24_positive = 0.0;
+    for (const auto& pair : positives) {
+      const auto prediction = pipeline.predict(pair.user, pair.question);
+      scores.push_back(prediction.answer_probability);
+      labels.push_back(1);
+      vote_predictions.push_back(prediction.votes);
+      vote_targets.push_back(static_cast<double>(pair.votes));
+      delay_predictions.push_back(prediction.delay_hours);
+      delay_targets.push_back(pair.delay_hours);
+      p24_positive += pipeline.timing_predictor().probability_answer_within(
+          pipeline.extractor().features(pair.user, pair.question), 24.0);
+    }
+    double p24_negative = 0.0;
+    for (const auto& pair : negatives) {
+      scores.push_back(
+          pipeline.predict(pair.user, pair.question).answer_probability);
+      labels.push_back(0);
+      p24_negative += pipeline.timing_predictor().probability_answer_within(
+          pipeline.extractor().features(pair.user, pair.question), 24.0);
+    }
+
+    table.add_row(
+        {std::to_string(history_days),
+         util::Table::num(eval::auc(scores, labels)),
+         util::Table::num(eval::rmse(vote_predictions, vote_targets)),
+         util::Table::num(eval::rmse(delay_predictions, delay_targets)),
+         util::Table::num(p24_positive / static_cast<double>(positives.size())),
+         util::Table::num(p24_negative / static_cast<double>(negatives.size()))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shapes: AUC grows with history; the point-process "
+               "P(answer within 24h) separates true answerers from sampled "
+               "negatives.\n";
+  return 0;
+}

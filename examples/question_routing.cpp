@@ -1,0 +1,86 @@
+// Question routing (paper Sec. V): recommend newly posted questions to the
+// answerers predicted to give high-quality, fast answers — subject to
+// per-user load caps — by solving the LP of eq. (2) per question.
+//
+// The example walks one simulated "day" of new questions through the
+// recommender, maintaining the sliding load window, and prints who each
+// question was routed to and why (the predictions behind the weights).
+#include <iostream>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/recommender.hpp"
+#include "forum/generator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace forumcast;
+
+  forum::GeneratorConfig generator_config;
+  generator_config.num_users = 600;
+  generator_config.num_questions = 500;
+  generator_config.seed = 11;
+  const auto dataset =
+      forum::generate_forum(generator_config).dataset.preprocessed();
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.extractor.lda.iterations = 40;
+  core::ForecastPipeline pipeline(pipeline_config);
+  pipeline.fit(dataset, dataset.questions_in_days(1, 28));
+  std::cout << "pipeline trained on days 1-28\n";
+
+  // Candidates: users who answered at least once during training.
+  std::vector<forum::UserId> candidates;
+  {
+    std::vector<bool> seen(dataset.num_users(), false);
+    for (const auto& pair :
+         dataset.answered_pairs(dataset.questions_in_days(1, 28))) {
+      if (!seen[pair.user]) {
+        seen[pair.user] = true;
+        candidates.push_back(pair.user);
+      }
+    }
+  }
+
+  core::RecommenderConfig recommender_config;
+  recommender_config.epsilon = 0.3;  // eligibility threshold on P(answer)
+  recommender_config.quality_time_tradeoff = 0.2;  // 1 vote ≈ 5 h of waiting
+  recommender_config.default_capacity = 2.0;       // ≤ 2 routed answers per day
+  recommender_config.load_window_hours = 24.0;
+  const core::Recommender recommender(pipeline, recommender_config);
+
+  // Route the day-29 arrivals, updating each user's load as we go.
+  std::vector<double> load(candidates.size(), 0.0);
+  util::Table table("day-29 routing decisions",
+                    {"question", "routed to", "p", "P(answer)", "votes",
+                     "delay (h)", "alternatives"});
+  for (forum::QuestionId question : dataset.questions_in_days(29, 29)) {
+    const auto result = recommender.recommend(question, candidates, load);
+    if (!result.feasible) {
+      table.add_row({std::to_string(question), "(no eligible answerer)", "-",
+                     "-", "-", "-", "-"});
+      continue;
+    }
+    const auto& top = result.ranking.front();
+    table.add_row({std::to_string(question), std::to_string(top.user),
+                   util::Table::num(top.probability, 2),
+                   util::Table::num(top.prediction.answer_probability, 2),
+                   util::Table::num(top.prediction.votes, 2),
+                   util::Table::num(top.prediction.delay_hours, 2),
+                   std::to_string(result.ranking.size() - 1)});
+    // The platform draws from the distribution until someone answers; charge
+    // the first draw against the load window.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i] == top.user) {
+        load[i] += 1.0;
+        break;
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote how repeated routing to the same strong answerer stops "
+               "once their daily capacity (2) is consumed — the load "
+               "constraint of eq. (2) at work.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "core/answer_predictor.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "ml/serialize.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::core {
+
+AnswerPredictor::AnswerPredictor(AnswerPredictorConfig config)
+    : config_(config), model_(config.logistic) {}
+
+void AnswerPredictor::fit(std::span<const std::vector<double>> rows,
+                          std::span<const int> labels) {
+  FORUMCAST_CHECK(!rows.empty());
+  scaler_.fit(rows);
+  std::vector<std::vector<double>> scaled(rows.begin(), rows.end());
+  scaler_.transform_in_place(scaled);
+  model_ = ml::LogisticRegression(config_.logistic);
+  model_.fit(scaled, labels);
+}
+
+double AnswerPredictor::predict_probability(std::span<const double> features) const {
+  FORUMCAST_CHECK(fitted());
+  return model_.predict_probability(scaler_.transform(features));
+}
+
+void AnswerPredictor::save(std::ostream& out) const {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot save an unfitted AnswerPredictor");
+  out << "forumcast-answer 1\n";
+  ml::save_scaler(scaler_, out);
+  ml::save_logistic(model_, out);
+}
+
+AnswerPredictor AnswerPredictor::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  FORUMCAST_CHECK_MSG(in.good() && magic == "forumcast-answer" && version == 1,
+                      "bad AnswerPredictor header");
+  AnswerPredictor predictor;
+  predictor.scaler_ = ml::load_scaler(in);
+  predictor.model_ = ml::load_logistic(in);
+  return predictor;
+}
+
+}  // namespace forumcast::core

@@ -1,0 +1,43 @@
+// Predictor for a_{u,q} — will user u answer question q? (Sec. II-A.1)
+//
+// A logistic regression over standardized features: the paper keeps this
+// model deliberately linear because the answering matrix is ~0.03 % dense and
+// nonlinear models overfit the negatives.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/logistic_regression.hpp"
+#include "ml/scaler.hpp"
+
+namespace forumcast::core {
+
+struct AnswerPredictorConfig {
+  ml::LogisticRegressionConfig logistic = {};
+};
+
+class AnswerPredictor {
+ public:
+  explicit AnswerPredictor(AnswerPredictorConfig config = {});
+
+  /// Trains on feature rows with binary labels (1 = answered).
+  void fit(std::span<const std::vector<double>> rows, std::span<const int> labels);
+
+  /// P(a_{u,q} = 1 | x). Requires fit().
+  double predict_probability(std::span<const double> features) const;
+
+  bool fitted() const { return model_.fitted(); }
+
+  /// Persistence: scaler + logistic parameters (not the training config).
+  void save(std::ostream& out) const;
+  static AnswerPredictor load(std::istream& in);
+
+ private:
+  AnswerPredictorConfig config_;
+  ml::StandardScaler scaler_;
+  ml::LogisticRegression model_;
+};
+
+}  // namespace forumcast::core

@@ -1,0 +1,151 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::core {
+
+std::vector<TimingThread> build_timing_threads(
+    const forum::Dataset& dataset, const features::FeatureExtractor& extractor,
+    std::span<const forum::AnsweredPair> pairs, double last_post_time,
+    std::size_t survival_samples_per_thread, std::uint64_t seed) {
+  return build_timing_threads(
+      dataset,
+      FeatureFn([&extractor](forum::UserId u, forum::QuestionId q) {
+        return extractor.features(u, q);
+      }),
+      pairs, last_post_time, survival_samples_per_thread, seed);
+}
+
+std::vector<TimingThread> build_timing_threads(
+    const forum::Dataset& dataset, const FeatureFn& features,
+    std::span<const forum::AnsweredPair> pairs, double last_post_time,
+    std::size_t survival_samples_per_thread, std::uint64_t seed) {
+  FORUMCAST_CHECK(!pairs.empty());
+
+  // Group pairs by question.
+  std::unordered_map<forum::QuestionId, std::vector<const forum::AnsweredPair*>>
+      by_question;
+  for (const auto& pair : pairs) by_question[pair.question].push_back(&pair);
+
+  util::Rng rng(seed);
+  std::vector<TimingThread> threads;
+  threads.reserve(by_question.size());
+
+  // Deterministic question order.
+  std::vector<forum::QuestionId> questions;
+  questions.reserve(by_question.size());
+  for (const auto& [q, _] : by_question) questions.push_back(q);
+  std::sort(questions.begin(), questions.end());
+
+  const std::size_t num_users = dataset.num_users();
+  for (forum::QuestionId q : questions) {
+    const forum::Thread& thread_data = dataset.thread(q);
+    TimingThread thread;
+    thread.open_duration =
+        std::max(1e-3, last_post_time - thread_data.question.timestamp_hours);
+
+    std::unordered_set<forum::UserId> answering;
+    for (const auto* pair : by_question[q]) {
+      thread.answers.push_back(
+          {features(pair->user, q), pair->delay_hours});
+      // Answerers appear in the survival term exactly (weight 1).
+      thread.survival.push_back({features(pair->user, q), 1.0});
+      answering.insert(pair->user);
+    }
+    answering.insert(thread_data.question.creator);
+
+    const std::size_t non_answerers = num_users - answering.size();
+    const std::size_t samples =
+        std::min(survival_samples_per_thread, non_answerers);
+    if (samples > 0) {
+      const double weight = static_cast<double>(non_answerers) /
+                            static_cast<double>(samples);
+      std::unordered_set<forum::UserId> drawn;
+      while (drawn.size() < samples) {
+        const auto u = static_cast<forum::UserId>(rng.uniform_index(num_users));
+        if (answering.contains(u) || drawn.contains(u)) continue;
+        drawn.insert(u);
+        thread.survival.push_back({features(u, q), weight});
+      }
+    }
+    threads.push_back(std::move(thread));
+  }
+  return threads;
+}
+
+ForecastPipeline::ForecastPipeline(PipelineConfig config)
+    : config_(std::move(config)),
+      answer_(config_.answer),
+      vote_(config_.vote),
+      timing_(config_.timing) {}
+
+void ForecastPipeline::fit(const forum::Dataset& dataset,
+                           std::span<const forum::QuestionId> history_questions) {
+  FORUMCAST_CHECK(!history_questions.empty());
+  dataset_ = &dataset;
+  extractor_ = std::make_unique<features::FeatureExtractor>(
+      dataset, history_questions, config_.extractor);
+  last_post_time_ = dataset.last_post_time();
+
+  const auto positives = dataset.answered_pairs(history_questions);
+  FORUMCAST_CHECK_MSG(!positives.empty(), "history window has no answers");
+
+  // --- Answer classifier: positives + sampled negatives. ---
+  const auto negative_count = static_cast<std::size_t>(
+      static_cast<double>(positives.size()) * config_.negatives_per_positive);
+  const auto negatives = eval::sample_negative_pairs(
+      dataset, history_questions, negative_count, config_.seed ^ 0x9999ULL);
+  std::vector<std::vector<double>> answer_rows;
+  std::vector<int> answer_labels;
+  for (const auto& pair : positives) {
+    answer_rows.push_back(extractor_->features(pair.user, pair.question));
+    answer_labels.push_back(1);
+  }
+  for (const auto& pair : negatives) {
+    answer_rows.push_back(extractor_->features(pair.user, pair.question));
+    answer_labels.push_back(0);
+  }
+  answer_ = AnswerPredictor(config_.answer);
+  answer_.fit(answer_rows, answer_labels);
+
+  // --- Vote regressor. ---
+  std::vector<std::vector<double>> vote_rows;
+  std::vector<double> vote_targets;
+  for (const auto& pair : positives) {
+    vote_rows.push_back(extractor_->features(pair.user, pair.question));
+    vote_targets.push_back(static_cast<double>(pair.votes));
+  }
+  vote_ = VotePredictor(config_.vote);
+  vote_.fit(vote_rows, vote_targets);
+
+  // --- Point-process timing model. ---
+  const auto threads = build_timing_threads(
+      dataset, *extractor_, positives, last_post_time_,
+      config_.survival_samples_per_thread, config_.seed ^ 0x7117ULL);
+  timing_ = TimingPredictor(config_.timing);
+  timing_.fit(threads);
+}
+
+Prediction ForecastPipeline::predict(forum::UserId u, forum::QuestionId q) const {
+  FORUMCAST_CHECK(fitted());
+  const auto x = extractor_->features(u, q);
+  Prediction prediction;
+  prediction.answer_probability = answer_.predict_probability(x);
+  prediction.votes = vote_.predict(x);
+  const double open_duration =
+      std::max(1e-3, last_post_time_ - dataset_->thread(q).question.timestamp_hours);
+  prediction.delay_hours = timing_.predict_delay(x, open_duration);
+  return prediction;
+}
+
+const features::FeatureExtractor& ForecastPipeline::extractor() const {
+  FORUMCAST_CHECK(fitted());
+  return *extractor_;
+}
+
+}  // namespace forumcast::core

@@ -1,0 +1,91 @@
+// End-to-end forecasting pipeline: features + the three predictors.
+//
+// Mirrors the block diagram of paper Fig. 1: forum data → feature
+// construction → (a, v, r) predictors. The pipeline trains on a history
+// window of questions (the F(q) inference set) and can then score any
+// user-question pair. The free functions below assemble predictor training
+// sets from answered pairs and are shared with the evaluation benches, which
+// need finer-grained control (pair-level cross validation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/answer_predictor.hpp"
+#include "core/timing_predictor.hpp"
+#include "core/vote_predictor.hpp"
+#include "eval/sampling.hpp"
+#include "features/extractor.hpp"
+#include "forum/dataset.hpp"
+
+namespace forumcast::core {
+
+struct PipelineConfig {
+  features::ExtractorConfig extractor = {};
+  AnswerPredictorConfig answer = {};
+  VotePredictorConfig vote = {};
+  TimingPredictorConfig timing = {};
+  /// Sampled non-answerers per thread for the point-process survival term.
+  std::size_t survival_samples_per_thread = 20;
+  /// Negatives sampled per positive for the answer classifier.
+  double negatives_per_positive = 1.0;
+  std::uint64_t seed = 99;
+};
+
+struct Prediction {
+  double answer_probability = 0.0;  ///< â_{u,q}
+  double votes = 0.0;               ///< v̂_{u,q}
+  double delay_hours = 0.0;         ///< r̂_{u,q}
+};
+
+/// Callable producing x_{u,q}; lets callers swap in per-window extractors.
+using FeatureFn =
+    std::function<std::vector<double>(forum::UserId, forum::QuestionId)>;
+
+/// Builds the point-process training threads for `pairs`, sampling
+/// non-answering users into each thread's survival term with importance
+/// weights that extrapolate to the full user population.
+std::vector<TimingThread> build_timing_threads(
+    const forum::Dataset& dataset, const FeatureFn& features,
+    std::span<const forum::AnsweredPair> pairs, double last_post_time,
+    std::size_t survival_samples_per_thread, std::uint64_t seed);
+
+/// Convenience overload over a single FeatureExtractor.
+std::vector<TimingThread> build_timing_threads(
+    const forum::Dataset& dataset, const features::FeatureExtractor& extractor,
+    std::span<const forum::AnsweredPair> pairs, double last_post_time,
+    std::size_t survival_samples_per_thread, std::uint64_t seed);
+
+class ForecastPipeline {
+ public:
+  explicit ForecastPipeline(PipelineConfig config = {});
+
+  /// Trains everything on the given history window (feature caches, topic
+  /// model, SLN graphs, and all three predictors use only these questions).
+  void fit(const forum::Dataset& dataset,
+           std::span<const forum::QuestionId> history_questions);
+
+  /// Scores any (u, q) of the fitted dataset. Requires fit().
+  Prediction predict(forum::UserId u, forum::QuestionId q) const;
+
+  bool fitted() const { return extractor_ != nullptr; }
+  const features::FeatureExtractor& extractor() const;
+  const AnswerPredictor& answer_predictor() const { return answer_; }
+  const VotePredictor& vote_predictor() const { return vote_; }
+  const TimingPredictor& timing_predictor() const { return timing_; }
+
+ private:
+  PipelineConfig config_;
+  const forum::Dataset* dataset_ = nullptr;
+  std::unique_ptr<features::FeatureExtractor> extractor_;
+  AnswerPredictor answer_;
+  VotePredictor vote_;
+  TimingPredictor timing_;
+  double last_post_time_ = 0.0;
+};
+
+}  // namespace forumcast::core

@@ -1,0 +1,70 @@
+#include "core/recommender.hpp"
+
+#include <algorithm>
+
+#include "opt/routing_lp.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::core {
+
+Recommender::Recommender(const ForecastPipeline& pipeline, RecommenderConfig config)
+    : pipeline_(pipeline), config_(config) {
+  FORUMCAST_CHECK(config_.epsilon > 0.0 && config_.epsilon < 1.0);
+  FORUMCAST_CHECK(config_.default_capacity > 0.0);
+}
+
+RecommendationResult Recommender::recommend(
+    forum::QuestionId question, std::span<const forum::UserId> candidates,
+    std::span<const double> recent_answer_counts,
+    std::span<const double> capacities,
+    std::optional<double> tradeoff_override) const {
+  FORUMCAST_CHECK(!candidates.empty());
+  if (!recent_answer_counts.empty()) {
+    FORUMCAST_CHECK(recent_answer_counts.size() == candidates.size());
+  }
+  if (!capacities.empty()) {
+    FORUMCAST_CHECK(capacities.size() == candidates.size());
+  }
+  const double lambda = tradeoff_override.value_or(config_.quality_time_tradeoff);
+
+  RecommendationResult result;
+
+  // Predict for every candidate and keep the eligible ones.
+  std::vector<forum::UserId> eligible;
+  std::vector<Prediction> predictions;
+  std::vector<double> weights, caps;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Prediction prediction = pipeline_.predict(candidates[i], question);
+    if (prediction.answer_probability < config_.epsilon) continue;
+    const double base_capacity =
+        capacities.empty() ? config_.default_capacity : capacities[i];
+    const double load =
+        recent_answer_counts.empty() ? 0.0 : recent_answer_counts[i];
+    const double remaining = std::max(0.0, base_capacity - load);
+    if (remaining <= 0.0) continue;
+    eligible.push_back(candidates[i]);
+    predictions.push_back(prediction);
+    weights.push_back(prediction.votes - lambda * prediction.delay_hours);
+    caps.push_back(remaining);
+  }
+  if (eligible.empty()) return result;
+
+  const opt::RoutingSolution lp =
+      opt::solve_routing({std::move(weights), std::move(caps)});
+  if (!lp.feasible) return result;
+
+  result.feasible = true;
+  result.objective_value = lp.objective_value;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (lp.probabilities[i] > 1e-12) {
+      result.ranking.push_back({eligible[i], lp.probabilities[i], predictions[i]});
+    }
+  }
+  std::sort(result.ranking.begin(), result.ranking.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              return a.probability > b.probability;
+            });
+  return result;
+}
+
+}  // namespace forumcast::core

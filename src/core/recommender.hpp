@@ -1,0 +1,65 @@
+// Question recommendation system (paper Sec. V, eq. (2)).
+//
+// For a newly posted question q′, predicts (â, v̂, r̂) for every candidate
+// user, forms the eligible set U_{q′} = {u : â ≥ ε}, and solves
+//
+//   maximize Σ_u (v̂_u − λ_{q′}·r̂_u) p_u   s.t.  0 ≤ p_u ≤ cap_u, Σ p_u = 1
+//
+// where cap_u = c_u − (answers by u in the recent window of length I).
+// The result is a probability distribution over recommended answerers; the
+// paper argues for a distribution (rather than an argmax) so the platform can
+// redraw until an answer is recorded.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "forum/dataset.hpp"
+
+namespace forumcast::core {
+
+struct RecommenderConfig {
+  double epsilon = 0.5;           ///< eligibility threshold on â_{u,q}
+  double quality_time_tradeoff = 0.1;  ///< λ_{q′}: hours of delay worth one vote
+  double default_capacity = 1.0;  ///< c_u when the user specified none
+  double load_window_hours = 24.0;  ///< I: lookback for recent answering load
+};
+
+struct Recommendation {
+  forum::UserId user = 0;
+  double probability = 0.0;  ///< p_u from the LP
+  Prediction prediction;     ///< the (â, v̂, r̂) that drove the weight
+};
+
+struct RecommendationResult {
+  bool feasible = false;
+  std::vector<Recommendation> ranking;  ///< p_u > 0, sorted descending
+  double objective_value = 0.0;
+};
+
+class Recommender {
+ public:
+  /// The pipeline must stay alive (and fitted) while the recommender is used.
+  Recommender(const ForecastPipeline& pipeline, RecommenderConfig config = {});
+
+  /// Recommends answerers for question q among `candidates`.
+  /// `now_hours` is the decision time n (used for the load window);
+  /// `recent_answer_counts` maps user → answers recorded inside the window
+  /// (pass empty to assume an unloaded population). Per-user capacities
+  /// default to `default_capacity` unless provided.
+  RecommendationResult recommend(
+      forum::QuestionId question, std::span<const forum::UserId> candidates,
+      std::span<const double> recent_answer_counts = {},
+      std::span<const double> capacities = {},
+      std::optional<double> tradeoff_override = std::nullopt) const;
+
+  const RecommenderConfig& config() const { return config_; }
+
+ private:
+  const ForecastPipeline& pipeline_;
+  RecommenderConfig config_;
+};
+
+}  // namespace forumcast::core

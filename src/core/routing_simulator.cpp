@@ -1,0 +1,88 @@
+#include "core/routing_simulator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace forumcast::core {
+
+RoutingSimulator::RoutingSimulator(const ForecastPipeline& pipeline,
+                                   OutcomeFn outcome, SimulatorConfig config)
+    : pipeline_(pipeline), outcome_(std::move(outcome)), config_(config) {
+  FORUMCAST_CHECK(outcome_ != nullptr);
+  FORUMCAST_CHECK(config_.max_draws >= 1);
+  FORUMCAST_CHECK(config_.acceptance_scale > 0.0);
+}
+
+AbTestResult RoutingSimulator::run(const forum::Dataset& dataset,
+                                   std::span<const forum::QuestionId> arrivals,
+                                   std::span<const forum::UserId> candidates) {
+  FORUMCAST_CHECK(!arrivals.empty());
+  FORUMCAST_CHECK(!candidates.empty());
+
+  const Recommender recommender(pipeline_, config_.recommender);
+  util::Rng rng(config_.seed);
+
+  util::RunningStats organic_votes, organic_delay, routed_votes, routed_delay;
+  GroupOutcome organic, routed;
+  std::vector<double> load(candidates.size(), 0.0);
+
+  std::size_t toggle = 0;
+  for (forum::QuestionId question : arrivals) {
+    if (toggle++ % 2 == 0) {
+      // ----- group A: organic -----
+      ++organic.questions;
+      const auto& answers = dataset.thread(question).answers;
+      if (!answers.empty()) ++organic.answered;
+      for (const auto& answer : answers) {
+        const SimulatedOutcome result = outcome_(answer.creator, question);
+        organic_votes.add(result.votes);
+        organic_delay.add(result.delay_hours);
+        ++organic.answers;
+      }
+      continue;
+    }
+
+    // ----- group B: routed -----
+    ++routed.questions;
+    const auto recommendation =
+        recommender.recommend(question, candidates, load);
+    if (!recommendation.feasible) continue;
+
+    std::vector<double> probabilities;
+    probabilities.reserve(recommendation.ranking.size());
+    for (const auto& rec : recommendation.ranking) {
+      probabilities.push_back(rec.probability);
+    }
+    for (std::size_t draw = 0; draw < config_.max_draws; ++draw) {
+      const auto& chosen =
+          recommendation.ranking[rng.categorical(probabilities)];
+      const double accept = std::min(
+          1.0, config_.acceptance_scale * chosen.prediction.answer_probability);
+      if (!rng.bernoulli(accept)) continue;
+
+      const SimulatedOutcome result = outcome_(chosen.user, question);
+      routed_votes.add(result.votes);
+      routed_delay.add(result.delay_hours);
+      ++routed.answered;
+      ++routed.answers;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i] == chosen.user) {
+          load[i] += 1.0;
+          break;
+        }
+      }
+      break;
+    }
+  }
+
+  organic.mean_votes = organic_votes.mean();
+  organic.mean_delay_hours = organic_delay.mean();
+  routed.mean_votes = routed_votes.mean();
+  routed.mean_delay_hours = routed_delay.mean();
+  return {organic, routed};
+}
+
+}  // namespace forumcast::core

@@ -1,0 +1,72 @@
+// Simulated A/B test of the question recommender (paper Sec. VI future work).
+//
+// Arrivals are processed chronologically and alternately assigned to
+//   group A (control):   the organic answerers recorded in the dataset, or
+//   group B (treatment): an answerer drawn from the routing LP's
+//                        distribution, redrawn until one accepts (acceptance
+//                        probability = predicted â, the quantity the platform
+//                        would estimate), with per-user load bookkeeping.
+// Realized outcomes for both groups come from a caller-supplied outcome
+// model — the synthetic generator's ground-truth oracle in our benches, or
+// logged counterfactual estimates on a real platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/recommender.hpp"
+#include "forum/dataset.hpp"
+
+namespace forumcast::core {
+
+struct SimulatedOutcome {
+  double votes = 0.0;
+  double delay_hours = 0.0;
+};
+
+/// Realized outcome if `user` answered `question` (of the working dataset).
+using OutcomeFn =
+    std::function<SimulatedOutcome(forum::UserId, forum::QuestionId)>;
+
+struct SimulatorConfig {
+  RecommenderConfig recommender = {};
+  std::uint64_t seed = 5150;
+  std::size_t max_draws = 5;       ///< redraws before giving up on a question
+  double acceptance_scale = 1.0;   ///< accept prob = min(1, scale · â)
+};
+
+struct GroupOutcome {
+  std::size_t questions = 0;   ///< questions assigned to the group
+  std::size_t answered = 0;    ///< questions that got an answer
+  std::size_t answers = 0;     ///< total answer events
+  double mean_votes = 0.0;
+  double mean_delay_hours = 0.0;
+};
+
+struct AbTestResult {
+  GroupOutcome organic;  ///< group A
+  GroupOutcome routed;   ///< group B
+};
+
+class RoutingSimulator {
+ public:
+  /// `pipeline` must be fitted; both references must outlive the simulator.
+  RoutingSimulator(const ForecastPipeline& pipeline, OutcomeFn outcome,
+                   SimulatorConfig config = {});
+
+  /// Runs the A/B protocol over `arrivals` (processed in the given order)
+  /// with `candidates` as the routing universe.
+  AbTestResult run(const forum::Dataset& dataset,
+                   std::span<const forum::QuestionId> arrivals,
+                   std::span<const forum::UserId> candidates);
+
+ private:
+  const ForecastPipeline& pipeline_;
+  OutcomeFn outcome_;
+  SimulatorConfig config_;
+};
+
+}  // namespace forumcast::core

@@ -1,0 +1,361 @@
+#include "core/timing_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "ml/adam.hpp"
+#include "ml/activations.hpp"
+#include "ml/serialize.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::core {
+
+namespace {
+constexpr double kMuFloor = 1e-6;
+constexpr double kOmegaFloor = 1e-4;
+
+// (1 − e^{−ωΔ}) / ω, stable for small ωΔ.
+double survival_integral(double omega, double delta) {
+  const double x = omega * delta;
+  if (x < 1e-8) return delta * (1.0 - 0.5 * x);
+  return (1.0 - std::exp(-x)) / omega;
+}
+
+// d/dω of survival_integral.
+double survival_integral_domega(double omega, double delta) {
+  const double x = omega * delta;
+  if (x < 1e-6) return -0.5 * delta * delta;
+  const double e = std::exp(-x);
+  return (delta * e) / omega - (1.0 - e) / (omega * omega);
+}
+}  // namespace
+
+TimingPredictor::TimingPredictor(TimingPredictorConfig config)
+    : config_(std::move(config)) {
+  FORUMCAST_CHECK(config_.constant_omega > 0.0);
+}
+
+void TimingPredictor::fit(std::span<const TimingThread> threads) {
+  FORUMCAST_CHECK(!threads.empty());
+
+  // Collect all feature rows to fit the scaler and determine the dimension.
+  std::vector<std::vector<double>> all_rows;
+  std::size_t total_answers = 0;
+  for (const auto& thread : threads) {
+    FORUMCAST_CHECK(thread.open_duration > 0.0);
+    for (const auto& answer : thread.answers) {
+      all_rows.push_back(answer.features);
+      ++total_answers;
+    }
+    for (const auto& sample : thread.survival) {
+      all_rows.push_back(sample.features);
+    }
+  }
+  FORUMCAST_CHECK_MSG(total_answers > 0, "no answer events to fit on");
+  scaler_.fit(all_rows);
+  const std::size_t dim = all_rows.front().size();
+
+  auto make_net = [&](const std::vector<std::size_t>& hidden,
+                      std::uint64_t seed) {
+    std::vector<ml::LayerSpec> specs;
+    for (std::size_t units : hidden) specs.push_back({units, ml::Activation::Tanh});
+    specs.push_back({1, ml::Activation::Softplus});
+    return std::make_unique<ml::Mlp>(dim, std::move(specs), seed);
+  };
+  f_net_ = make_net(config_.f_hidden, config_.seed);
+  if (config_.learn_omega) {
+    g_net_ = make_net(config_.g_hidden, config_.seed ^ 0x777ULL);
+  } else {
+    g_net_.reset();
+    // Invert ω = softplus(ρ) + floor for the requested initial value.
+    const double target = std::max(config_.constant_omega - kOmegaFloor, 1e-6);
+    omega_rho_ = std::log(std::expm1(target));
+  }
+
+  ml::Adam f_adam(f_net_->param_count(), {.learning_rate = config_.learning_rate});
+  std::unique_ptr<ml::Adam> g_adam;
+  if (g_net_) {
+    g_adam = std::make_unique<ml::Adam>(
+        g_net_->param_count(),
+        ml::AdamConfig{.learning_rate = config_.learning_rate});
+  }
+  ml::Adam rho_adam(1, {.learning_rate = config_.learning_rate});
+
+  // Pre-scale features once.
+  struct ScaledThread {
+    double delta;
+    std::vector<std::pair<std::vector<double>, double>> answers;  // (x, delay)
+    std::vector<std::pair<std::vector<double>, double>> survival; // (x, weight)
+  };
+  std::vector<ScaledThread> scaled;
+  scaled.reserve(threads.size());
+  double total_open = 0.0;
+  for (const auto& thread : threads) {
+    ScaledThread st;
+    st.delta = thread.open_duration;
+    total_open += thread.open_duration;
+    for (const auto& answer : thread.answers) {
+      st.answers.emplace_back(scaler_.transform(answer.features), answer.delay);
+    }
+    for (const auto& sample : thread.survival) {
+      st.survival.emplace_back(scaler_.transform(sample.features), sample.weight);
+    }
+    scaled.push_back(std::move(st));
+  }
+  mean_open_duration_ = total_open / static_cast<double>(threads.size());
+
+  std::vector<std::size_t> order(scaled.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  util::Rng rng(config_.seed ^ 0x51adULL);
+
+  ml::Mlp::Tape f_tape, g_tape;
+  const std::size_t batch = std::max<std::size_t>(1, config_.batch_threads);
+
+  // Evaluates μ, ω for a scaled row and accumulates gradients given
+  // dLoss/dμ and dLoss/dω (loss = negative log-likelihood).
+  double rho_grad = 0.0;
+  auto accumulate = [&](const std::vector<double>& x, double dloss_dmu,
+                        double dloss_domega) {
+    // μ = f(x) + floor ⇒ dμ/df_out = 1.
+    f_net_->forward(x, f_tape);
+    f_net_->backward(f_tape, std::vector<double>{dloss_dmu});
+    if (g_net_) {
+      g_net_->forward(x, g_tape);
+      g_net_->backward(g_tape, std::vector<double>{dloss_domega});
+    } else if (config_.train_constant_omega) {
+      rho_grad += dloss_domega * ml::sigmoid(omega_rho_);
+    }
+  };
+  auto mu_of = [&](const std::vector<double>& x) {
+    return f_net_->forward(x)[0] + kMuFloor;
+  };
+  auto omega_of = [&](const std::vector<double>& x) {
+    if (g_net_) return g_net_->forward(x)[0] + kOmegaFloor;
+    return ml::softplus(omega_rho_) + kOmegaFloor;
+  };
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t end = std::min(order.size(), start + batch);
+      f_net_->zero_grad();
+      if (g_net_) g_net_->zero_grad();
+      rho_grad = 0.0;
+      const double inv = 1.0 / static_cast<double>(end - start);
+
+      for (std::size_t k = start; k < end; ++k) {
+        const ScaledThread& thread = scaled[order[k]];
+        // Answer events: loss −= log μ − ω·delay.
+        for (const auto& [x, delay] : thread.answers) {
+          const double mu = mu_of(x);
+          accumulate(x, -inv / mu, inv * delay);
+        }
+        // Survival terms: loss += w · μ · A(ω), A = (1 − e^{−ωΔ})/ω.
+        for (const auto& [x, weight] : thread.survival) {
+          const double mu = mu_of(x);
+          const double omega = omega_of(x);
+          const double a = survival_integral(omega, thread.delta);
+          const double da = survival_integral_domega(omega, thread.delta);
+          accumulate(x, inv * weight * a, inv * weight * mu * da);
+        }
+      }
+      f_adam.step(f_net_->params(), f_net_->grads());
+      if (g_net_) {
+        g_adam->step(g_net_->params(), g_net_->grads());
+      } else if (config_.train_constant_omega) {
+        double rho = omega_rho_;
+        std::span<double> rho_span(&rho, 1);
+        rho_adam.step(rho_span, std::span<const double>(&rho_grad, 1));
+        omega_rho_ = rho;
+      }
+    }
+  }
+
+  // Affine calibration of the raw estimator against observed delays.
+  calibration_offset_ = 0.0;
+  calibration_slope_ = 1.0;
+  if (config_.calibrate) {
+    std::vector<double> raw, observed;
+    for (const auto& thread : scaled) {
+      for (const auto& [x, delay] : thread.answers) {
+        raw.push_back(raw_estimate(mu_of(x), omega_of(x), thread.delta));
+        observed.push_back(delay);
+      }
+    }
+    const double n = static_cast<double>(raw.size());
+    const double mx = std::accumulate(raw.begin(), raw.end(), 0.0) / n;
+    const double my = std::accumulate(observed.begin(), observed.end(), 0.0) / n;
+    double sxy = 0.0, sxx = 0.0;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      sxy += (raw[i] - mx) * (observed[i] - my);
+      sxx += (raw[i] - mx) * (raw[i] - mx);
+    }
+    if (sxx > 1e-12) {
+      calibration_slope_ = sxy / sxx;
+      calibration_offset_ = my - calibration_slope_ * mx;
+      // A negative slope would invert the ordering the likelihood learned;
+      // fall back to pure offset correction in that degenerate case.
+      if (calibration_slope_ <= 0.0) {
+        calibration_slope_ = 1.0;
+        calibration_offset_ = my - mx;
+      }
+    } else {
+      calibration_offset_ = my - mx;
+    }
+  }
+  fitted_ = true;
+}
+
+double TimingPredictor::mean_log_likelihood(
+    std::span<const TimingThread> threads) const {
+  FORUMCAST_CHECK(fitted());
+  FORUMCAST_CHECK(!threads.empty());
+  auto rate_params = [&](const std::vector<double>& features) {
+    const auto x = scaler_.transform(features);
+    const double mu = f_net_->forward(x)[0] + kMuFloor;
+    const double omega = g_net_ ? g_net_->forward(x)[0] + kOmegaFloor
+                                : ml::softplus(omega_rho_) + kOmegaFloor;
+    return std::pair<double, double>{mu, omega};
+  };
+  double total = 0.0;
+  for (const auto& thread : threads) {
+    double ll = 0.0;
+    for (const auto& answer : thread.answers) {
+      const auto [mu, omega] = rate_params(answer.features);
+      ll += std::log(mu) - omega * answer.delay;
+    }
+    for (const auto& sample : thread.survival) {
+      const auto [mu, omega] = rate_params(sample.features);
+      ll -= sample.weight * mu * survival_integral(omega, thread.open_duration);
+    }
+    total += ll;
+  }
+  return total / static_cast<double>(threads.size());
+}
+
+double TimingPredictor::raw_estimate(double mu, double omega,
+                                     double open_duration) const {
+  const double delta = open_duration;
+  if (config_.expectation == TimingPredictorConfig::Expectation::PaperUnnormalized) {
+    // r̂ = μ/ω² (1 − e^{−ωΔ}(1 + ωΔ)), the paper's E[t] − t(p_{q,0}).
+    const double x = omega * delta;
+    const double tail = x > 500.0 ? 0.0 : std::exp(-x) * (1.0 + x);
+    return mu / (omega * omega) * (1.0 - tail);
+  }
+  // E[τ | first answer in [0, Δ]] with f(τ) = λ(τ) e^{−Λ(τ)} by Simpson.
+  const int segments = 200;  // even
+  const double h = delta / segments;
+  double numerator = 0.0, denominator = 0.0;
+  for (int i = 0; i <= segments; ++i) {
+    const double tau = h * i;
+    const double lambda = mu * std::exp(-omega * tau);
+    const double big_lambda = mu * survival_integral(omega, tau);
+    const double density = lambda * std::exp(-big_lambda);
+    const double w = (i == 0 || i == segments) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    numerator += w * tau * density;
+    denominator += w * density;
+  }
+  if (denominator <= 1e-300) return delta;  // no mass: predict the horizon
+  return numerator / denominator;
+}
+
+double TimingPredictor::predict_delay(std::span<const double> features,
+                                      double open_duration) const {
+  FORUMCAST_CHECK(fitted());
+  if (open_duration <= 0.0) open_duration = mean_open_duration_;
+  const auto x = scaler_.transform(features);
+  const double mu = f_net_->forward(x)[0] + kMuFloor;
+  const double omega =
+      g_net_ ? g_net_->forward(x)[0] + kOmegaFloor
+             : ml::softplus(omega_rho_) + kOmegaFloor;
+  const double raw = raw_estimate(mu, omega, open_duration);
+  return std::max(0.0, calibration_offset_ + calibration_slope_ * raw);
+}
+
+void TimingPredictor::save(std::ostream& out) const {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot save an unfitted TimingPredictor");
+  out.precision(17);
+  out << "forumcast-timing 1\n";
+  out << "expectation "
+      << (config_.expectation ==
+                  TimingPredictorConfig::Expectation::PaperUnnormalized
+              ? "paper"
+              : "conditional")
+      << "\n";
+  out << "calibration " << calibration_offset_ << ' ' << calibration_slope_
+      << "\n";
+  out << "mean_open " << mean_open_duration_ << "\n";
+  out << "omega " << (g_net_ ? "learned" : "constant") << ' ' << omega_rho_
+      << "\n";
+  ml::save_scaler(scaler_, out);
+  ml::save_mlp(*f_net_, out);
+  if (g_net_) ml::save_mlp(*g_net_, out);
+}
+
+TimingPredictor TimingPredictor::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  FORUMCAST_CHECK_MSG(in.good() && magic == "forumcast-timing" && version == 1,
+                      "bad TimingPredictor header");
+  TimingPredictor predictor;
+  std::string token, value;
+  in >> token >> value;
+  FORUMCAST_CHECK(token == "expectation");
+  FORUMCAST_CHECK_MSG(value == "paper" || value == "conditional",
+                      "unknown expectation '" << value << "'");
+  predictor.config_.expectation =
+      value == "paper" ? TimingPredictorConfig::Expectation::PaperUnnormalized
+                       : TimingPredictorConfig::Expectation::ConditionalFirstEvent;
+  in >> token >> predictor.calibration_offset_ >> predictor.calibration_slope_;
+  FORUMCAST_CHECK(token == "calibration" && !in.fail());
+  in >> token >> predictor.mean_open_duration_;
+  FORUMCAST_CHECK(token == "mean_open" && !in.fail());
+  std::string omega_kind;
+  in >> token >> omega_kind >> predictor.omega_rho_;
+  FORUMCAST_CHECK(token == "omega" && !in.fail());
+  FORUMCAST_CHECK_MSG(omega_kind == "learned" || omega_kind == "constant",
+                      "unknown omega kind '" << omega_kind << "'");
+  predictor.config_.learn_omega = (omega_kind == "learned");
+  predictor.scaler_ = ml::load_scaler(in);
+  predictor.f_net_ = std::make_unique<ml::Mlp>(ml::load_mlp(in));
+  if (predictor.config_.learn_omega) {
+    predictor.g_net_ = std::make_unique<ml::Mlp>(ml::load_mlp(in));
+  }
+  predictor.fitted_ = true;
+  return predictor;
+}
+
+double TimingPredictor::cumulative_intensity(std::span<const double> features,
+                                             double horizon_hours) const {
+  FORUMCAST_CHECK(fitted());
+  FORUMCAST_CHECK(horizon_hours >= 0.0);
+  const auto x = scaler_.transform(features);
+  const double mu = f_net_->forward(x)[0] + kMuFloor;
+  const double omega =
+      g_net_ ? g_net_->forward(x)[0] + kOmegaFloor
+             : ml::softplus(omega_rho_) + kOmegaFloor;
+  return mu * survival_integral(omega, horizon_hours);
+}
+
+double TimingPredictor::probability_answer_within(
+    std::span<const double> features, double horizon_hours) const {
+  return 1.0 - std::exp(-cumulative_intensity(features, horizon_hours));
+}
+
+double TimingPredictor::excitation(std::span<const double> features) const {
+  FORUMCAST_CHECK(fitted());
+  return f_net_->forward(scaler_.transform(features))[0] + kMuFloor;
+}
+
+double TimingPredictor::decay(std::span<const double> features) const {
+  FORUMCAST_CHECK(fitted());
+  if (!g_net_) return ml::softplus(omega_rho_) + kOmegaFloor;
+  return g_net_->forward(scaler_.transform(features))[0] + kOmegaFloor;
+}
+
+}  // namespace forumcast::core

@@ -1,0 +1,115 @@
+#include "core/vote_predictor.hpp"
+
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "ml/adam.hpp"
+#include "ml/serialize.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace forumcast::core {
+
+VotePredictor::VotePredictor(VotePredictorConfig config)
+    : config_(std::move(config)) {
+  FORUMCAST_CHECK(!config_.hidden_units.empty());
+}
+
+std::vector<ml::LayerSpec> VotePredictor::layer_specs(std::size_t) const {
+  std::vector<ml::LayerSpec> specs;
+  for (std::size_t units : config_.hidden_units) {
+    specs.push_back({units, config_.hidden_activation});
+  }
+  specs.push_back({1, ml::Activation::Identity});
+  return specs;
+}
+
+void VotePredictor::fit(std::span<const std::vector<double>> rows,
+                        std::span<const double> targets) {
+  FORUMCAST_CHECK(!rows.empty());
+  FORUMCAST_CHECK(rows.size() == targets.size());
+
+  scaler_.fit(rows);
+  std::vector<std::vector<double>> scaled(rows.begin(), rows.end());
+  scaler_.transform_in_place(scaled);
+
+  if (config_.standardize_targets) {
+    target_mean_ = util::mean(targets);
+    target_scale_ = util::stddev(targets);
+    if (target_scale_ < 1e-9) target_scale_ = 1.0;
+  } else {
+    target_mean_ = 0.0;
+    target_scale_ = 1.0;
+  }
+
+  const std::size_t dim = rows.front().size();
+  network_ = std::make_unique<ml::Mlp>(dim, layer_specs(dim), config_.seed);
+  ml::Adam adam(network_->param_count(),
+                {.learning_rate = config_.learning_rate,
+                 .weight_decay = config_.weight_decay});
+
+  std::vector<std::size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  util::Rng rng(config_.seed ^ 0xabcdefULL);
+
+  ml::Mlp::Tape tape;
+  const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t end = std::min(order.size(), start + batch);
+      network_->zero_grad();
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t idx = order[k];
+        const auto output = network_->forward(scaled[idx], tape);
+        const double standardized_target =
+            (targets[idx] - target_mean_) / target_scale_;
+        // d/dŷ of ½(ŷ − y)², averaged over the batch.
+        const double grad =
+            (output[0] - standardized_target) / static_cast<double>(end - start);
+        network_->backward(tape, std::vector<double>{grad});
+      }
+      adam.step(network_->params(), network_->grads());
+    }
+  }
+  fitted_ = true;
+}
+
+double VotePredictor::predict(std::span<const double> features) const {
+  FORUMCAST_CHECK(fitted());
+  const auto output = network_->forward(scaler_.transform(features));
+  return output[0] * target_scale_ + target_mean_;
+}
+
+void VotePredictor::save(std::ostream& out) const {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot save an unfitted VotePredictor");
+  out.precision(17);
+  out << "forumcast-vote 1\n";
+  out << "target " << target_mean_ << ' ' << target_scale_ << "\n";
+  ml::save_scaler(scaler_, out);
+  ml::save_mlp(*network_, out);
+}
+
+VotePredictor VotePredictor::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  FORUMCAST_CHECK_MSG(in.good() && magic == "forumcast-vote" && version == 1,
+                      "bad VotePredictor header");
+  std::string token;
+  in >> token;
+  FORUMCAST_CHECK(token == "target");
+  VotePredictor predictor;
+  in >> predictor.target_mean_ >> predictor.target_scale_;
+  FORUMCAST_CHECK_MSG(!in.fail(), "bad VotePredictor target transform");
+  FORUMCAST_CHECK(predictor.target_scale_ > 0.0);
+  predictor.scaler_ = ml::load_scaler(in);
+  predictor.network_ = std::make_unique<ml::Mlp>(ml::load_mlp(in));
+  predictor.fitted_ = true;
+  return predictor;
+}
+
+}  // namespace forumcast::core

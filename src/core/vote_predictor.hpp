@@ -1,0 +1,58 @@
+// Predictor for v_{u,q} — net votes on u's answer to q (Sec. II-A.2).
+//
+// Fully-connected network per paper eq. (1): default L = 4 with 20 ReLU
+// units per hidden layer. One deviation, documented in DESIGN.md: the output
+// layer is linear rather than σ, because net votes are signed integers and a
+// ReLU/tanh output could not represent the data's negative votes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/mlp.hpp"
+#include "ml/scaler.hpp"
+
+namespace forumcast::core {
+
+struct VotePredictorConfig {
+  std::vector<std::size_t> hidden_units = {20, 20, 20};  ///< L = 4 total layers
+  ml::Activation hidden_activation = ml::Activation::ReLU;
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-4;
+  std::size_t epochs = 150;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 17;
+  /// Targets are standardized internally; predictions are de-standardized.
+  bool standardize_targets = true;
+};
+
+class VotePredictor {
+ public:
+  explicit VotePredictor(VotePredictorConfig config = {});
+
+  /// Trains with minibatch Adam on mean squared error.
+  void fit(std::span<const std::vector<double>> rows,
+           std::span<const double> targets);
+
+  double predict(std::span<const double> features) const;
+
+  bool fitted() const { return fitted_; }
+
+  /// Persistence: scaler, network, and the target de-standardization.
+  void save(std::ostream& out) const;
+  static VotePredictor load(std::istream& in);
+
+ private:
+  VotePredictorConfig config_;
+  ml::StandardScaler scaler_;
+  std::vector<ml::LayerSpec> layer_specs(std::size_t) const;
+  std::unique_ptr<ml::Mlp> network_;
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace forumcast::core

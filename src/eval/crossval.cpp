@@ -1,0 +1,61 @@
+#include "eval/crossval.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::eval {
+
+std::vector<Split> stratified_kfold(std::span<const forum::AnsweredPair> pairs,
+                                    std::size_t folds, std::size_t repeats,
+                                    std::uint64_t seed) {
+  FORUMCAST_CHECK(folds >= 2);
+  FORUMCAST_CHECK(repeats >= 1);
+  FORUMCAST_CHECK_MSG(pairs.size() >= folds, "need at least one pair per fold");
+
+  // Group pair indices by user once.
+  std::unordered_map<forum::UserId, std::vector<std::size_t>> by_user;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    by_user[pairs[i].user].push_back(i);
+  }
+  // Deterministic iteration order for reproducibility.
+  std::vector<forum::UserId> users;
+  users.reserve(by_user.size());
+  for (const auto& [user, indices] : by_user) users.push_back(user);
+  std::sort(users.begin(), users.end());
+
+  util::Rng rng(seed);
+  std::vector<Split> splits;
+  splits.reserve(folds * repeats);
+
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    std::vector<std::vector<std::size_t>> fold_members(folds);
+    // Rotate each user's shuffled pairs across folds starting at a random
+    // offset, so every fold gets ⌊n/k⌋ or ⌈n/k⌉ of that user's pairs.
+    for (forum::UserId user : users) {
+      std::vector<std::size_t> indices = by_user[user];
+      rng.shuffle(indices);
+      const std::size_t start = rng.uniform_index(folds);
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        fold_members[(start + i) % folds].push_back(indices[i]);
+      }
+    }
+    for (std::size_t fold = 0; fold < folds; ++fold) {
+      Split split;
+      split.test_indices = fold_members[fold];
+      for (std::size_t other = 0; other < folds; ++other) {
+        if (other == fold) continue;
+        split.train_indices.insert(split.train_indices.end(),
+                                   fold_members[other].begin(),
+                                   fold_members[other].end());
+      }
+      FORUMCAST_CHECK(!split.train_indices.empty());
+      splits.push_back(std::move(split));
+    }
+  }
+  return splits;
+}
+
+}  // namespace forumcast::eval

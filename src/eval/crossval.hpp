@@ -1,0 +1,27 @@
+// Stratified k-fold cross validation over answered (u, q) pairs (Sec. IV-A).
+//
+// Pairs are stratified by user: each user's positives are spread as evenly as
+// possible across folds, so heavy answerers cannot dominate a single fold.
+// The whole procedure is repeated `repeats` times with fresh shuffles for the
+// paper's 5 × 5-fold = 25 iterations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "forum/dataset.hpp"
+
+namespace forumcast::eval {
+
+struct Split {
+  std::vector<std::size_t> train_indices;  ///< indices into the pair array
+  std::vector<std::size_t> test_indices;
+};
+
+/// All (repeat, fold) splits: repeats × k entries, in repeat-major order.
+std::vector<Split> stratified_kfold(std::span<const forum::AnsweredPair> pairs,
+                                    std::size_t folds, std::size_t repeats,
+                                    std::uint64_t seed);
+
+}  // namespace forumcast::eval

@@ -1,0 +1,42 @@
+#include "eval/sampling.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::eval {
+
+std::vector<NegativePair> sample_negative_pairs(
+    const forum::Dataset& dataset, std::span<const forum::QuestionId> questions,
+    std::size_t count, std::uint64_t seed) {
+  FORUMCAST_CHECK(!questions.empty());
+  FORUMCAST_CHECK(dataset.num_users() > 2);
+
+  util::Rng rng(seed);
+  std::vector<NegativePair> negatives;
+  negatives.reserve(count);
+  std::unordered_set<forum::UserId> excluded;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    // Spread equally across questions: round-robin with a shuffled phase.
+    const forum::QuestionId q =
+        questions[(i + rng.uniform_index(questions.size())) % questions.size()];
+    const forum::Thread& thread = dataset.thread(q);
+    excluded.clear();
+    excluded.insert(thread.question.creator);
+    for (const auto& answer : thread.answers) excluded.insert(answer.creator);
+    if (excluded.size() >= dataset.num_users()) continue;  // no negative user exists
+    for (;;) {
+      const auto u = static_cast<forum::UserId>(
+          rng.uniform_index(dataset.num_users()));
+      if (!excluded.contains(u)) {
+        negatives.push_back({u, q});
+        break;
+      }
+    }
+  }
+  return negatives;
+}
+
+}  // namespace forumcast::eval

@@ -1,0 +1,26 @@
+// Negative sampling for the binary answering task (Sec. IV-A).
+//
+// The answering matrix is ~0.03 % dense, so negatives (a_{u,q} = 0) are
+// sampled: `count` pairs spread equally across the questions of Ω, with the
+// user drawn uniformly among users who did not answer (and did not ask) that
+// question.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "forum/dataset.hpp"
+
+namespace forumcast::eval {
+
+struct NegativePair {
+  forum::UserId user = 0;
+  forum::QuestionId question = 0;
+};
+
+std::vector<NegativePair> sample_negative_pairs(
+    const forum::Dataset& dataset, std::span<const forum::QuestionId> questions,
+    std::size_t count, std::uint64_t seed);
+
+}  // namespace forumcast::eval

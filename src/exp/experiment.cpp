@@ -1,0 +1,341 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/pipeline.hpp"
+#include "eval/crossval.hpp"
+#include "eval/metrics.hpp"
+#include "eval/sampling.hpp"
+#include "ml/scaler.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace forumcast::exp {
+
+double TaskMetrics::mean() const { return util::mean(per_iteration); }
+double TaskMetrics::stddev() const { return util::stddev(per_iteration); }
+
+// ---------------- ExperimentContext ----------------
+
+ExperimentContext::ExperimentContext(const forum::Dataset& dataset,
+                                     std::vector<forum::QuestionId> omega,
+                                     std::vector<forum::QuestionId> inference,
+                                     features::ExtractorConfig config)
+    : dataset_(&dataset), omega_(std::move(omega)) {
+  FORUMCAST_CHECK(!omega_.empty());
+  FORUMCAST_CHECK(!inference.empty());
+  extractor_ = std::make_unique<features::FeatureExtractor>(dataset, inference,
+                                                            config);
+  positives_ = dataset.answered_pairs(omega_);
+  FORUMCAST_CHECK_MSG(!positives_.empty(), "Ω contains no answered pairs");
+  positive_features_.reserve(positives_.size());
+  for (const auto& pair : positives_) {
+    positive_features_.push_back(extractor_->features(pair.user, pair.question));
+  }
+  last_post_time_ = dataset.last_post_time();
+}
+
+std::vector<double> ExperimentContext::features(forum::UserId u,
+                                                forum::QuestionId q) const {
+  return extractor_->features(u, q);
+}
+
+// ---------------- BlockedExperimentContext ----------------
+
+BlockedExperimentContext::BlockedExperimentContext(
+    const forum::Dataset& dataset, std::vector<forum::QuestionId> omega,
+    int block_days, features::ExtractorConfig config)
+    : dataset_(&dataset), omega_(std::move(omega)) {
+  FORUMCAST_CHECK(!omega_.empty());
+  FORUMCAST_CHECK(block_days >= 1);
+
+  // Partition the timeline into blocks.
+  const double horizon = dataset.last_post_time();
+  const double block_hours = static_cast<double>(block_days) * 24.0;
+  const auto num_blocks =
+      static_cast<std::size_t>(std::floor(horizon / block_hours)) + 1;
+
+  block_of_question_.assign(dataset.num_questions(), 0);
+  for (forum::QuestionId q = 0; q < dataset.num_questions(); ++q) {
+    const double t = dataset.thread(q).question.timestamp_hours;
+    block_of_question_[q] = std::min(
+        num_blocks - 1, static_cast<std::size_t>(std::floor(t / block_hours)));
+  }
+
+  // One extractor per block over all strictly earlier questions.
+  extractors_.resize(num_blocks);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    std::vector<forum::QuestionId> window;
+    for (forum::QuestionId q = 0; q < dataset.num_questions(); ++q) {
+      if (block_of_question_[q] < b) window.push_back(q);
+    }
+    if (window.empty()) {
+      // Cold start: the first block sees only itself.
+      for (forum::QuestionId q = 0; q < dataset.num_questions(); ++q) {
+        if (block_of_question_[q] == b) window.push_back(q);
+      }
+    }
+    if (window.empty()) continue;  // no questions at all in this time range
+    extractors_[b] = std::make_unique<features::FeatureExtractor>(
+        dataset, window, config);
+  }
+
+  positives_ = dataset.answered_pairs(omega_);
+  FORUMCAST_CHECK_MSG(!positives_.empty(), "Ω contains no answered pairs");
+  positive_features_.reserve(positives_.size());
+  for (const auto& pair : positives_) {
+    positive_features_.push_back(features(pair.user, pair.question));
+  }
+  last_post_time_ = horizon;
+}
+
+std::vector<double> BlockedExperimentContext::features(
+    forum::UserId u, forum::QuestionId q) const {
+  FORUMCAST_CHECK(q < block_of_question_.size());
+  const std::size_t block = block_of_question_[q];
+  FORUMCAST_CHECK_MSG(extractors_[block] != nullptr,
+                      "no extractor for block " << block);
+  return extractors_[block]->features(u, q);
+}
+
+// ---------------- run_tasks ----------------
+
+TaskSetup fast_task_setup() {
+  TaskSetup setup;
+  setup.answer.logistic.epochs = 80;
+  setup.vote.epochs = 60;
+  setup.timing.epochs = 15;
+  setup.timing.f_hidden = {32, 16};
+  setup.timing.g_hidden = {32, 16};
+  setup.survival_samples_per_thread = 8;
+  setup.sparfa.epochs = 40;
+  setup.mf.epochs = 40;
+  setup.poisson.epochs = 80;
+  return setup;
+}
+
+namespace {
+
+std::vector<double> project(const std::vector<double>& full,
+                            const std::vector<std::size_t>& columns) {
+  if (columns.empty()) return full;
+  return features::FeatureLayout::project(full, columns);
+}
+
+// Dense question-id remapping for the matrix baselines (SPARFA / MF index
+// questions over Ω only).
+std::unordered_map<forum::QuestionId, std::size_t> question_index(
+    std::span<const forum::QuestionId> omega) {
+  std::unordered_map<forum::QuestionId, std::size_t> index;
+  for (std::size_t i = 0; i < omega.size(); ++i) index.emplace(omega[i], i);
+  return index;
+}
+
+}  // namespace
+
+ExperimentResult run_tasks(const PairFeatureSource& source,
+                           const TaskSetup& setup) {
+  ExperimentResult result;
+  const auto positives = source.positives();
+  const auto cached = source.positive_features();
+  const auto& dataset = source.dataset();
+  const auto q_index = question_index(source.omega());
+
+  const auto splits =
+      eval::stratified_kfold(positives, setup.folds, setup.repeats, setup.seed);
+
+  for (std::size_t iteration = 0; iteration < splits.size(); ++iteration) {
+    const eval::Split& split = splits[iteration];
+    const std::uint64_t iter_seed = setup.seed * 6364136223846793005ULL +
+                                    iteration * 1442695040888963407ULL + 1;
+
+    // ----- Task a_{u,q}: logistic regression vs SPARFA -----
+    if (setup.run_answer) {
+      // One pool of negatives, split train/test with the same proportions.
+      const std::size_t pool_size = positives.size();
+      const auto pool = eval::sample_negative_pairs(dataset, source.omega(),
+                                                    pool_size, iter_seed);
+      const std::size_t train_negatives =
+          pool.size() * split.train_indices.size() / positives.size();
+
+      std::vector<std::vector<double>> train_rows;
+      std::vector<int> train_labels;
+      for (std::size_t idx : split.train_indices) {
+        train_rows.push_back(project(cached[idx], setup.feature_columns));
+        train_labels.push_back(1);
+      }
+      for (std::size_t i = 0; i < train_negatives && i < pool.size(); ++i) {
+        train_rows.push_back(project(
+            source.features(pool[i].user, pool[i].question),
+            setup.feature_columns));
+        train_labels.push_back(0);
+      }
+
+      core::AnswerPredictor model(setup.answer);
+      model.fit(train_rows, train_labels);
+
+      std::vector<double> scores;
+      std::vector<int> labels;
+      for (std::size_t idx : split.test_indices) {
+        scores.push_back(model.predict_probability(
+            project(cached[idx], setup.feature_columns)));
+        labels.push_back(1);
+      }
+      for (std::size_t i = train_negatives; i < pool.size(); ++i) {
+        scores.push_back(model.predict_probability(project(
+            source.features(pool[i].user, pool[i].question),
+            setup.feature_columns)));
+        labels.push_back(0);
+      }
+      result.answer_auc.per_iteration.push_back(eval::auc(scores, labels));
+
+      if (setup.run_baselines) {
+        std::vector<ml::BinaryObservation> observations;
+        for (std::size_t idx : split.train_indices) {
+          observations.push_back({positives[idx].user,
+                                  q_index.at(positives[idx].question), 1});
+        }
+        for (std::size_t i = 0; i < train_negatives && i < pool.size(); ++i) {
+          observations.push_back(
+              {pool[i].user, q_index.at(pool[i].question), 0});
+        }
+        ml::SparfaConfig sparfa_config = setup.sparfa;
+        sparfa_config.seed = iter_seed ^ 0xa5a5ULL;
+        ml::Sparfa sparfa(sparfa_config);
+        sparfa.fit(observations, dataset.num_users(), source.omega().size());
+
+        std::vector<double> base_scores;
+        std::vector<int> base_labels;
+        for (std::size_t idx : split.test_indices) {
+          base_scores.push_back(sparfa.predict_probability(
+              positives[idx].user, q_index.at(positives[idx].question)));
+          base_labels.push_back(1);
+        }
+        for (std::size_t i = train_negatives; i < pool.size(); ++i) {
+          base_scores.push_back(sparfa.predict_probability(
+              pool[i].user, q_index.at(pool[i].question)));
+          base_labels.push_back(0);
+        }
+        result.answer_auc_baseline.per_iteration.push_back(
+            eval::auc(base_scores, base_labels));
+      }
+    }
+
+    // ----- Task v_{u,q}: neural network vs MF -----
+    if (setup.run_votes) {
+      std::vector<std::vector<double>> train_rows;
+      std::vector<double> train_targets;
+      for (std::size_t idx : split.train_indices) {
+        train_rows.push_back(project(cached[idx], setup.feature_columns));
+        train_targets.push_back(static_cast<double>(positives[idx].votes));
+      }
+      core::VotePredictorConfig vote_config = setup.vote;
+      vote_config.seed = iter_seed ^ 0x17ULL;
+      core::VotePredictor model(vote_config);
+      model.fit(train_rows, train_targets);
+
+      std::vector<double> predictions, targets;
+      for (std::size_t idx : split.test_indices) {
+        predictions.push_back(
+            model.predict(project(cached[idx], setup.feature_columns)));
+        targets.push_back(static_cast<double>(positives[idx].votes));
+      }
+      result.vote_rmse.per_iteration.push_back(eval::rmse(predictions, targets));
+
+      if (setup.run_baselines) {
+        std::vector<ml::Rating> ratings;
+        for (std::size_t idx : split.train_indices) {
+          ratings.push_back({positives[idx].user,
+                             q_index.at(positives[idx].question),
+                             static_cast<double>(positives[idx].votes)});
+        }
+        ml::MatrixFactorizationConfig mf_config = setup.mf;
+        mf_config.seed = iter_seed ^ 0x2bULL;
+        ml::MatrixFactorization mf(mf_config);
+        mf.fit(ratings, dataset.num_users(), source.omega().size());
+        std::vector<double> base_predictions;
+        for (std::size_t idx : split.test_indices) {
+          base_predictions.push_back(mf.predict(
+              positives[idx].user, q_index.at(positives[idx].question)));
+        }
+        result.vote_rmse_baseline.per_iteration.push_back(
+            eval::rmse(base_predictions, targets));
+      }
+    }
+
+    // ----- Task r_{u,q}: point process vs Poisson regression -----
+    if (setup.run_timing) {
+      std::vector<forum::AnsweredPair> train_pairs;
+      for (std::size_t idx : split.train_indices) {
+        train_pairs.push_back(positives[idx]);
+      }
+      auto threads = core::build_timing_threads(
+          dataset,
+          core::FeatureFn([&source](forum::UserId u, forum::QuestionId q) {
+            return source.features(u, q);
+          }),
+          train_pairs, source.last_post_time(),
+          setup.survival_samples_per_thread, iter_seed ^ 0x99ULL);
+      if (!setup.feature_columns.empty()) {
+        for (auto& thread : threads) {
+          for (auto& answer : thread.answers) {
+            answer.features = project(answer.features, setup.feature_columns);
+          }
+          for (auto& sample : thread.survival) {
+            sample.features = project(sample.features, setup.feature_columns);
+          }
+        }
+      }
+      core::TimingPredictorConfig timing_config = setup.timing;
+      timing_config.seed = iter_seed ^ 0x31ULL;
+      core::TimingPredictor model(timing_config);
+      model.fit(threads);
+
+      std::vector<double> predictions, targets;
+      for (std::size_t idx : split.test_indices) {
+        const double open_duration =
+            std::max(1e-3, source.last_post_time() -
+                               dataset.thread(positives[idx].question)
+                                   .question.timestamp_hours);
+        predictions.push_back(model.predict_delay(
+            project(cached[idx], setup.feature_columns), open_duration));
+        targets.push_back(positives[idx].delay_hours);
+      }
+      result.timing_rmse.per_iteration.push_back(
+          eval::rmse(predictions, targets));
+
+      if (setup.run_baselines) {
+        // Poisson regression on ⌈r⌉ with standardized features (Sec. IV-A).
+        std::vector<std::vector<double>> train_rows;
+        std::vector<double> train_targets;
+        for (std::size_t idx : split.train_indices) {
+          train_rows.push_back(project(cached[idx], setup.feature_columns));
+          train_targets.push_back(std::ceil(positives[idx].delay_hours));
+        }
+        ml::StandardScaler scaler;
+        scaler.fit(train_rows);
+        scaler.transform_in_place(train_rows);
+        ml::PoissonRegressionConfig pr_config = setup.poisson;
+        pr_config.seed = iter_seed ^ 0x47ULL;
+        ml::PoissonRegression baseline(pr_config);
+        baseline.fit(train_rows, train_targets);
+        std::vector<double> base_predictions;
+        for (std::size_t idx : split.test_indices) {
+          base_predictions.push_back(baseline.predict_mean(scaler.transform(
+              project(cached[idx], setup.feature_columns))));
+        }
+        result.timing_rmse_baseline.per_iteration.push_back(
+            eval::rmse(base_predictions, targets));
+      }
+    }
+
+    FORUMCAST_LOG_DEBUG << "iteration " << (iteration + 1) << "/"
+                        << splits.size() << " complete";
+  }
+  return result;
+}
+
+}  // namespace forumcast::exp

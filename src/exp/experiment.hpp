@@ -1,0 +1,164 @@
+// The evaluation protocol of Sec. IV, reusable across every table/figure.
+//
+// A PairFeatureSource supplies the answered pairs of the evaluation partition
+// Ω with their feature vectors, plus on-demand features for arbitrary pairs
+// (negative samples, survival samples). Two implementations:
+//
+//  * ExperimentContext — one extractor over a fixed window F (the fast path;
+//    used by the figure benches).
+//  * BlockedExperimentContext — the paper's F(q) = {q′ ≤ q} semantics,
+//    approximated at day-block granularity: pairs of block b get features
+//    computed only from strictly earlier blocks.
+//
+// run_tasks() then executes the paper's repeated stratified cross validation
+// for any subset of the three prediction tasks, any feature-column subset
+// (for the Fig. 6/7 ablations), with or without the SPARFA / MF / Poisson
+// regression baselines of Sec. IV-A.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/answer_predictor.hpp"
+#include "core/timing_predictor.hpp"
+#include "core/vote_predictor.hpp"
+#include "features/extractor.hpp"
+#include "forum/dataset.hpp"
+#include "ml/matrix_factorization.hpp"
+#include "ml/poisson_regression.hpp"
+#include "ml/sparfa.hpp"
+
+namespace forumcast::exp {
+
+/// Values of one metric across cross-validation iterations.
+struct TaskMetrics {
+  std::vector<double> per_iteration;
+  double mean() const;
+  double stddev() const;
+  bool empty() const { return per_iteration.empty(); }
+};
+
+/// Supplies Ω's answered pairs and features for arbitrary (u, q) queries.
+class PairFeatureSource {
+ public:
+  virtual ~PairFeatureSource() = default;
+  virtual const forum::Dataset& dataset() const = 0;
+  virtual std::span<const forum::QuestionId> omega() const = 0;
+  virtual std::span<const forum::AnsweredPair> positives() const = 0;
+  virtual std::span<const std::vector<double>> positive_features() const = 0;
+  /// Feature vector for any (u, q) with q ∈ Ω (used for negative samples and
+  /// point-process survival samples).
+  virtual std::vector<double> features(forum::UserId u,
+                                       forum::QuestionId q) const = 0;
+  virtual double last_post_time() const = 0;
+};
+
+class ExperimentContext : public PairFeatureSource {
+ public:
+  /// Builds the extractor over `inference` (the F window) and caches the
+  /// feature vectors of every answered pair among `omega` (the Ω partition).
+  ExperimentContext(const forum::Dataset& dataset,
+                    std::vector<forum::QuestionId> omega,
+                    std::vector<forum::QuestionId> inference,
+                    features::ExtractorConfig config = {});
+
+  const forum::Dataset& dataset() const override { return *dataset_; }
+  std::span<const forum::QuestionId> omega() const override { return omega_; }
+  std::span<const forum::AnsweredPair> positives() const override {
+    return positives_;
+  }
+  std::span<const std::vector<double>> positive_features() const override {
+    return positive_features_;
+  }
+  std::vector<double> features(forum::UserId u,
+                               forum::QuestionId q) const override;
+  double last_post_time() const override { return last_post_time_; }
+
+  const features::FeatureExtractor& extractor() const { return *extractor_; }
+
+ private:
+  const forum::Dataset* dataset_;
+  std::vector<forum::QuestionId> omega_;
+  std::unique_ptr<features::FeatureExtractor> extractor_;
+  std::vector<forum::AnsweredPair> positives_;
+  std::vector<std::vector<double>> positive_features_;
+  double last_post_time_ = 0.0;
+};
+
+class BlockedExperimentContext : public PairFeatureSource {
+ public:
+  /// Splits Ω into `block_days`-day blocks by question timestamp; block b's
+  /// features come from an extractor over all dataset questions strictly
+  /// before the block (the first block, having no history, uses its own
+  /// questions — the cold-start the paper's earliest F(q) windows also have).
+  BlockedExperimentContext(const forum::Dataset& dataset,
+                           std::vector<forum::QuestionId> omega,
+                           int block_days = 5,
+                           features::ExtractorConfig config = {});
+
+  const forum::Dataset& dataset() const override { return *dataset_; }
+  std::span<const forum::QuestionId> omega() const override { return omega_; }
+  std::span<const forum::AnsweredPair> positives() const override {
+    return positives_;
+  }
+  std::span<const std::vector<double>> positive_features() const override {
+    return positive_features_;
+  }
+  std::vector<double> features(forum::UserId u,
+                               forum::QuestionId q) const override;
+  double last_post_time() const override { return last_post_time_; }
+
+  std::size_t block_count() const { return extractors_.size(); }
+
+ private:
+  const forum::Dataset* dataset_;
+  std::vector<forum::QuestionId> omega_;
+  std::vector<std::unique_ptr<features::FeatureExtractor>> extractors_;
+  std::vector<std::size_t> block_of_question_;  // per dataset question
+  std::vector<forum::AnsweredPair> positives_;
+  std::vector<std::vector<double>> positive_features_;
+  double last_post_time_ = 0.0;
+};
+
+struct TaskSetup {
+  std::size_t folds = 5;
+  std::size_t repeats = 2;  ///< paper uses 5 (25 iterations); 2 is the fast default
+  std::uint64_t seed = 1234;
+
+  /// Columns of the full feature vector to use; empty = all.
+  std::vector<std::size_t> feature_columns;
+
+  bool run_answer = true;
+  bool run_votes = true;
+  bool run_timing = true;
+  bool run_baselines = true;
+
+  core::AnswerPredictorConfig answer = {};
+  core::VotePredictorConfig vote = {};
+  core::TimingPredictorConfig timing = {};
+  std::size_t survival_samples_per_thread = 10;
+
+  ml::SparfaConfig sparfa = {};
+  ml::MatrixFactorizationConfig mf = {};
+  ml::PoissonRegressionConfig poisson = {};
+};
+
+/// Shrinks the training epochs of every model for quick bench runs.
+TaskSetup fast_task_setup();
+
+struct ExperimentResult {
+  TaskMetrics answer_auc;
+  TaskMetrics answer_auc_baseline;   ///< SPARFA
+  TaskMetrics vote_rmse;
+  TaskMetrics vote_rmse_baseline;    ///< MF
+  TaskMetrics timing_rmse;
+  TaskMetrics timing_rmse_baseline;  ///< Poisson regression
+};
+
+ExperimentResult run_tasks(const PairFeatureSource& source,
+                           const TaskSetup& setup);
+
+}  // namespace forumcast::exp

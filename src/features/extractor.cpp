@@ -1,0 +1,295 @@
+#include "features/extractor.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "forum/sln.hpp"
+#include "graph/centrality.hpp"
+#include "graph/link_features.hpp"
+#include "text/post_text.hpp"
+#include "text/tokenizer.hpp"
+#include "text/vocabulary.hpp"
+#include "topics/topic_math.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace forumcast::features {
+
+namespace {
+std::vector<forum::QuestionId> intersect_sorted(
+    const std::vector<forum::QuestionId>& a,
+    const std::vector<forum::QuestionId>& b, std::size_t& count) {
+  count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return {};
+}
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
+                                   std::span<const forum::QuestionId> inference_set,
+                                   ExtractorConfig config)
+    : dataset_(dataset),
+      config_(config),
+      layout_(config.num_topics),
+      lda_([&config] {
+        topics::LdaConfig lda_config = config.lda;
+        lda_config.num_topics = config.num_topics;
+        return lda_config;
+      }()),
+      qa_graph_(0),
+      dense_graph_(0) {
+  FORUMCAST_CHECK(config_.num_topics > 0);
+
+  const text::Tokenizer tokenizer;
+  text::Vocabulary vocabulary;
+
+  // --- Topic model over the window's posts (questions and answers). ---
+  // Document ids: for each window question, its question post then answers.
+  struct DocRef {
+    forum::QuestionId question;
+    int answer_index;  // -1 = the question post
+  };
+  std::vector<DocRef> doc_refs;
+  std::vector<std::vector<text::TokenId>> documents;
+  std::unordered_set<forum::QuestionId> window(inference_set.begin(),
+                                               inference_set.end());
+  for (forum::QuestionId q : inference_set) {
+    const forum::Thread& thread = dataset_.thread(q);
+    const auto q_split = text::split_post_body(thread.question.body_html);
+    documents.push_back(vocabulary.encode(tokenizer.tokenize(q_split.words)));
+    doc_refs.push_back({q, -1});
+    for (std::size_t a = 0; a < thread.answers.size(); ++a) {
+      const auto a_split = text::split_post_body(thread.answers[a].body_html);
+      documents.push_back(vocabulary.encode(tokenizer.tokenize(a_split.words)));
+      doc_refs.push_back({q, static_cast<int>(a)});
+    }
+  }
+
+  // Degenerate window (no documents / empty vocabulary): uniform topics.
+  const bool has_corpus = !documents.empty() && vocabulary.size() > 0;
+  if (has_corpus) {
+    lda_.fit(documents, vocabulary.size());
+  }
+  auto uniform = topics::uniform_distribution(config_.num_topics);
+
+  // --- Topic distribution + lengths for every dataset question. ---
+  const std::size_t num_questions = dataset_.num_questions();
+  question_topics_.assign(num_questions, uniform);
+  question_word_length_.assign(num_questions, 0.0);
+  question_code_length_.assign(num_questions, 0.0);
+  if (has_corpus) {
+    for (std::size_t doc = 0; doc < doc_refs.size(); ++doc) {
+      if (doc_refs[doc].answer_index == -1) {
+        question_topics_[doc_refs[doc].question] = lda_.document_topics(doc);
+      }
+    }
+  }
+  // Lengths are cheap; fold-in inference for out-of-window questions is not,
+  // and each question is independent (own seed), so it runs in parallel.
+  std::vector<forum::QuestionId> to_infer;
+  for (forum::QuestionId q = 0; q < num_questions; ++q) {
+    const forum::Thread& thread = dataset_.thread(q);
+    const auto split = text::split_post_body(thread.question.body_html);
+    question_word_length_[q] = static_cast<double>(split.words.size());
+    question_code_length_[q] = static_cast<double>(split.code.size());
+    if (has_corpus && !window.contains(q)) to_infer.push_back(q);
+  }
+  util::parallel_for(to_infer.size(), [&](std::size_t i) {
+    const forum::QuestionId q = to_infer[i];
+    const auto split =
+        text::split_post_body(dataset_.thread(q).question.body_html);
+    const auto tokens =
+        vocabulary.encode_existing(tokenizer.tokenize(split.words));
+    question_topics_[q] = lda_.infer(tokens, /*iterations=*/30,
+                                     /*seed=*/0x5eedULL + q);
+  });
+
+  // --- Per-user aggregates over the window. ---
+  user_stats_.assign(dataset_.num_users(), UserStats{});
+  for (auto& stats : user_stats_) stats.topic_distribution = uniform;
+
+  std::vector<std::vector<double>> user_answer_topics(dataset_.num_users());
+  std::vector<std::size_t> user_answer_doc_count(dataset_.num_users(), 0);
+  for (auto& topics_accum : user_answer_topics) {
+    topics_accum.assign(config_.num_topics, 0.0);
+  }
+
+  std::vector<double> all_delays;
+  for (std::size_t doc = 0; has_corpus && doc < doc_refs.size(); ++doc) {
+    const DocRef& ref = doc_refs[doc];
+    if (ref.answer_index < 0) continue;
+    const forum::Thread& thread = dataset_.thread(ref.question);
+    const forum::Post& answer =
+        thread.answers[static_cast<std::size_t>(ref.answer_index)];
+    const auto theta = lda_.document_topics(doc);
+    auto& accum = user_answer_topics[answer.creator];
+    for (std::size_t k = 0; k < config_.num_topics; ++k) accum[k] += theta[k];
+    ++user_answer_doc_count[answer.creator];
+  }
+
+  for (forum::QuestionId q : inference_set) {
+    const forum::Thread& thread = dataset_.thread(q);
+    auto& asker_stats = user_stats_[thread.question.creator];
+    ++asker_stats.questions_asked;
+    asker_stats.participated.push_back(q);
+    for (const auto& answer : thread.answers) {
+      auto& stats = user_stats_[answer.creator];
+      ++stats.answers_provided;
+      stats.net_answer_votes += answer.net_votes;
+      stats.answer_votes.push_back(static_cast<double>(answer.net_votes));
+      const double delay =
+          answer.timestamp_hours - thread.question.timestamp_hours;
+      stats.response_times.push_back(delay);
+      all_delays.push_back(delay);
+      stats.answered.push_back(q);
+      stats.answered_votes.push_back(static_cast<double>(answer.net_votes));
+      stats.participated.push_back(q);
+    }
+  }
+  for (std::size_t u = 0; u < user_stats_.size(); ++u) {
+    auto& stats = user_stats_[u];
+    std::sort(stats.participated.begin(), stats.participated.end());
+    stats.participated.erase(
+        std::unique(stats.participated.begin(), stats.participated.end()),
+        stats.participated.end());
+    if (user_answer_doc_count[u] > 0) {
+      auto& dist = user_answer_topics[u];
+      const double inv = 1.0 / static_cast<double>(user_answer_doc_count[u]);
+      for (double& d : dist) d *= inv;
+      stats.topic_distribution = dist;
+    }
+  }
+  global_median_response_ =
+      all_delays.empty() ? 0.0 : util::median(all_delays);
+
+  // --- SLN graphs and centralities over the window. ---
+  qa_graph_ = forum::build_qa_graph(dataset_, inference_set);
+  dense_graph_ = forum::build_dense_graph(dataset_, inference_set);
+  const std::size_t threads = util::default_thread_count();
+  qa_closeness_ = graph::closeness_centrality(qa_graph_, threads);
+  qa_betweenness_ = graph::betweenness_centrality(qa_graph_, threads);
+  dense_closeness_ = graph::closeness_centrality(dense_graph_, threads);
+  dense_betweenness_ = graph::betweenness_centrality(dense_graph_, threads);
+}
+
+const FeatureExtractor::UserStats& FeatureExtractor::user_stats(
+    forum::UserId u) const {
+  FORUMCAST_CHECK(u < user_stats_.size());
+  return user_stats_[u];
+}
+
+std::span<const double> FeatureExtractor::question_topics(
+    forum::QuestionId q) const {
+  FORUMCAST_CHECK(q < question_topics_.size());
+  return question_topics_[q];
+}
+
+double FeatureExtractor::question_word_length(forum::QuestionId q) const {
+  FORUMCAST_CHECK(q < question_word_length_.size());
+  return question_word_length_[q];
+}
+
+double FeatureExtractor::question_code_length(forum::QuestionId q) const {
+  FORUMCAST_CHECK(q < question_code_length_.size());
+  return question_code_length_[q];
+}
+
+double FeatureExtractor::median_response_time(forum::UserId u) const {
+  const UserStats& stats = user_stats(u);
+  if (stats.response_times.empty()) return global_median_response_;
+  return util::median(stats.response_times);
+}
+
+double FeatureExtractor::thread_cooccurrence(forum::UserId u,
+                                             forum::UserId v) const {
+  std::size_t count = 0;
+  intersect_sorted(user_stats(u).participated, user_stats(v).participated, count);
+  return static_cast<double>(count);
+}
+
+std::vector<double> FeatureExtractor::features(forum::UserId u,
+                                               forum::QuestionId q) const {
+  FORUMCAST_CHECK(u < dataset_.num_users());
+  FORUMCAST_CHECK(q < dataset_.num_questions());
+  const UserStats& stats = user_stats_[u];
+  const forum::Thread& thread = dataset_.thread(q);
+  const forum::UserId asker = thread.question.creator;
+  const auto& d_u = stats.topic_distribution;
+  const auto& d_q = question_topics_[q];
+  const auto& d_v = user_stats_[asker].topic_distribution;
+
+  std::vector<double> x(layout_.dimension(), 0.0);
+  auto put = [&](FeatureId id, double value) { x[layout_.offset(id)] = value; };
+  auto put_dist = [&](FeatureId id, std::span<const double> dist) {
+    const std::size_t start = layout_.offset(id);
+    for (std::size_t k = 0; k < config_.num_topics; ++k) x[start + k] = dist[k];
+  };
+
+  // User features (i)-(v).
+  put(FeatureId::AnswersProvided, static_cast<double>(stats.answers_provided));
+  put(FeatureId::AnswerRatio,
+      static_cast<double>(stats.answers_provided) /
+          (1.0 + static_cast<double>(stats.questions_asked)));
+  put(FeatureId::NetAnswerVotes, stats.net_answer_votes);
+  put(FeatureId::MedianResponseTime, median_response_time(u));
+  put_dist(FeatureId::TopicsAnswered, d_u);
+
+  // Question features (vi)-(ix).
+  put(FeatureId::NetQuestionVotes, static_cast<double>(thread.question.net_votes));
+  put(FeatureId::QuestionWordLength, question_word_length_[q]);
+  put(FeatureId::QuestionCodeLength, question_code_length_[q]);
+  put_dist(FeatureId::TopicsAsked, d_q);
+
+  // User-question features (x)-(xii).
+  put(FeatureId::UserQuestionTopicSimilarity,
+      topics::total_variation_similarity(d_u, d_q));
+  double topic_weighted_answers = 0.0;
+  double topic_weighted_votes = 0.0;
+  for (std::size_t i = 0; i < stats.answered.size(); ++i) {
+    const forum::QuestionId r = stats.answered[i];
+    if (r == q) continue;
+    const double sim =
+        topics::total_variation_similarity(question_topics_[r], d_q);
+    topic_weighted_answers += sim;
+    topic_weighted_votes += stats.answered_votes[i] * sim;
+  }
+  put(FeatureId::TopicWeightedQuestionsAnswered, topic_weighted_answers);
+  put(FeatureId::TopicWeightedAnswerVotes, topic_weighted_votes);
+
+  // Social features (xiii)-(xx).
+  put(FeatureId::UserUserTopicSimilarity,
+      topics::total_variation_similarity(d_u, d_v));
+  // Exclude the target thread itself from co-occurrence: counting it would
+  // label every observed answerer with h ≥ 1 and make training trivially
+  // separable (a leak the paper's 0.86 AUC clearly does not have).
+  double cooccurrence = thread_cooccurrence(u, asker);
+  if (std::binary_search(stats.participated.begin(), stats.participated.end(), q) &&
+      std::binary_search(user_stats_[asker].participated.begin(),
+                         user_stats_[asker].participated.end(), q)) {
+    cooccurrence -= 1.0;
+  }
+  put(FeatureId::ThreadCooccurrence, cooccurrence);
+  put(FeatureId::QaCloseness, qa_closeness_[u]);
+  put(FeatureId::QaBetweenness, qa_betweenness_[u]);
+  put(FeatureId::QaResourceAllocation,
+      graph::resource_allocation_index(qa_graph_, u, asker));
+  put(FeatureId::DenseCloseness, dense_closeness_[u]);
+  put(FeatureId::DenseBetweenness, dense_betweenness_[u]);
+  put(FeatureId::DenseResourceAllocation,
+      graph::resource_allocation_index(dense_graph_, u, asker));
+  return x;
+}
+
+}  // namespace forumcast::features

@@ -1,0 +1,100 @@
+// FeatureExtractor: computes x_{u,q} (Sec. II-B) over an inference window.
+//
+// Construction does all the heavy lifting once per window F(q): tokenizes the
+// posts, trains LDA over the window's documents, folds in topic distributions
+// for questions outside the window, aggregates per-user answering statistics,
+// and builds both SLN graphs with their closeness/betweenness centralities.
+// After that, features(u, q) is a cheap assembly per pair.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "forum/dataset.hpp"
+#include "features/feature_layout.hpp"
+#include "graph/graph.hpp"
+#include "topics/lda.hpp"
+
+namespace forumcast::features {
+
+struct ExtractorConfig {
+  std::size_t num_topics = 8;  ///< K (paper default 8)
+  topics::LdaConfig lda = {};  ///< .num_topics is overridden by `num_topics`
+};
+
+class FeatureExtractor {
+ public:
+  /// Builds caches over the window `inference_set` ⊆ dataset questions.
+  /// Pairs may later be queried for *any* question in the dataset (questions
+  /// outside the window get folded-in topic distributions), but only window
+  /// activity contributes to user history and graphs — this is exactly the
+  /// F(q) semantics of Sec. IV.
+  FeatureExtractor(const forum::Dataset& dataset,
+                   std::span<const forum::QuestionId> inference_set,
+                   ExtractorConfig config = {});
+
+  /// Full feature vector x_{u,q}, dimension 18 + 2K, paper ordering.
+  std::vector<double> features(forum::UserId u, forum::QuestionId q) const;
+
+  const FeatureLayout& layout() const { return layout_; }
+  std::size_t dimension() const { return layout_.dimension(); }
+  std::size_t num_topics() const { return config_.num_topics; }
+
+  const graph::Graph& qa_graph() const { return qa_graph_; }
+  const graph::Graph& dense_graph() const { return dense_graph_; }
+  const topics::Lda& lda() const { return lda_; }
+
+  /// Per-user aggregates over the window, exposed for the descriptive
+  /// analytics of paper Figs. 3–4.
+  struct UserStats {
+    std::size_t answers_provided = 0;                ///< a_u
+    std::size_t questions_asked = 0;
+    double net_answer_votes = 0.0;                   ///< v_u
+    std::vector<double> answer_votes;                ///< each v(p) by u
+    std::vector<double> response_times;              ///< each delay by u
+    std::vector<double> topic_distribution;          ///< d_u
+    std::vector<forum::QuestionId> answered;         ///< window questions answered
+    std::vector<double> answered_votes;              ///< votes aligned with `answered`
+    std::vector<forum::QuestionId> participated;     ///< sorted thread ids (ask or answer)
+  };
+
+  const UserStats& user_stats(forum::UserId u) const;
+  std::span<const double> question_topics(forum::QuestionId q) const;
+  double question_word_length(forum::QuestionId q) const;
+  double question_code_length(forum::QuestionId q) const;
+  std::span<const double> qa_closeness() const { return qa_closeness_; }
+  std::span<const double> qa_betweenness() const { return qa_betweenness_; }
+  std::span<const double> dense_closeness() const { return dense_closeness_; }
+  std::span<const double> dense_betweenness() const { return dense_betweenness_; }
+
+  /// Median response time r_u, falling back to the window-global median for
+  /// users without window answers (and 0 when the window has none at all).
+  double median_response_time(forum::UserId u) const;
+
+  /// Thread co-occurrence count h_{u,v} over the window.
+  double thread_cooccurrence(forum::UserId u, forum::UserId v) const;
+
+ private:
+  const forum::Dataset& dataset_;
+  ExtractorConfig config_;
+  FeatureLayout layout_;
+
+  topics::Lda lda_;
+  std::vector<std::vector<double>> question_topics_;  // per dataset question
+  std::vector<double> question_word_length_;
+  std::vector<double> question_code_length_;
+
+  std::vector<UserStats> user_stats_;
+  double global_median_response_ = 0.0;
+
+  graph::Graph qa_graph_;
+  graph::Graph dense_graph_;
+  std::vector<double> qa_closeness_;
+  std::vector<double> qa_betweenness_;
+  std::vector<double> dense_closeness_;
+  std::vector<double> dense_betweenness_;
+};
+
+}  // namespace forumcast::features

@@ -1,0 +1,160 @@
+#include "features/feature_layout.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace forumcast::features {
+
+const std::array<FeatureId, kFeatureCount>& all_features() {
+  static const std::array<FeatureId, kFeatureCount> kAll = {
+      FeatureId::AnswersProvided,
+      FeatureId::AnswerRatio,
+      FeatureId::NetAnswerVotes,
+      FeatureId::MedianResponseTime,
+      FeatureId::TopicsAnswered,
+      FeatureId::NetQuestionVotes,
+      FeatureId::QuestionWordLength,
+      FeatureId::QuestionCodeLength,
+      FeatureId::TopicsAsked,
+      FeatureId::UserQuestionTopicSimilarity,
+      FeatureId::TopicWeightedQuestionsAnswered,
+      FeatureId::TopicWeightedAnswerVotes,
+      FeatureId::UserUserTopicSimilarity,
+      FeatureId::ThreadCooccurrence,
+      FeatureId::QaCloseness,
+      FeatureId::QaBetweenness,
+      FeatureId::QaResourceAllocation,
+      FeatureId::DenseCloseness,
+      FeatureId::DenseBetweenness,
+      FeatureId::DenseResourceAllocation,
+  };
+  return kAll;
+}
+
+FeatureGroup feature_group(FeatureId id) {
+  switch (id) {
+    case FeatureId::AnswersProvided:
+    case FeatureId::AnswerRatio:
+    case FeatureId::NetAnswerVotes:
+    case FeatureId::MedianResponseTime:
+    case FeatureId::TopicsAnswered:
+      return FeatureGroup::User;
+    case FeatureId::NetQuestionVotes:
+    case FeatureId::QuestionWordLength:
+    case FeatureId::QuestionCodeLength:
+    case FeatureId::TopicsAsked:
+      return FeatureGroup::Question;
+    case FeatureId::UserQuestionTopicSimilarity:
+    case FeatureId::TopicWeightedQuestionsAnswered:
+    case FeatureId::TopicWeightedAnswerVotes:
+      return FeatureGroup::UserQuestion;
+    case FeatureId::UserUserTopicSimilarity:
+    case FeatureId::ThreadCooccurrence:
+    case FeatureId::QaCloseness:
+    case FeatureId::QaBetweenness:
+    case FeatureId::QaResourceAllocation:
+    case FeatureId::DenseCloseness:
+    case FeatureId::DenseBetweenness:
+    case FeatureId::DenseResourceAllocation:
+      return FeatureGroup::Social;
+  }
+  return FeatureGroup::Social;
+}
+
+std::string feature_name(FeatureId id) {
+  switch (id) {
+    case FeatureId::AnswersProvided: return "a_u";
+    case FeatureId::AnswerRatio: return "o_u";
+    case FeatureId::NetAnswerVotes: return "v_u";
+    case FeatureId::MedianResponseTime: return "r_u";
+    case FeatureId::TopicsAnswered: return "d_u";
+    case FeatureId::NetQuestionVotes: return "v_q";
+    case FeatureId::QuestionWordLength: return "x_q";
+    case FeatureId::QuestionCodeLength: return "c_q";
+    case FeatureId::TopicsAsked: return "d_q";
+    case FeatureId::UserQuestionTopicSimilarity: return "s_uq";
+    case FeatureId::TopicWeightedQuestionsAnswered: return "g_uq";
+    case FeatureId::TopicWeightedAnswerVotes: return "e_uq";
+    case FeatureId::UserUserTopicSimilarity: return "s_uv";
+    case FeatureId::ThreadCooccurrence: return "h_uv";
+    case FeatureId::QaCloseness: return "l^QA_u";
+    case FeatureId::QaBetweenness: return "b^QA_u";
+    case FeatureId::QaResourceAllocation: return "Re^QA_uv";
+    case FeatureId::DenseCloseness: return "l^D_u";
+    case FeatureId::DenseBetweenness: return "b^D_u";
+    case FeatureId::DenseResourceAllocation: return "Re^D_uv";
+  }
+  return "?";
+}
+
+std::string group_name(FeatureGroup group) {
+  switch (group) {
+    case FeatureGroup::User: return "user";
+    case FeatureGroup::Question: return "question";
+    case FeatureGroup::UserQuestion: return "user-question";
+    case FeatureGroup::Social: return "social";
+  }
+  return "?";
+}
+
+FeatureLayout::FeatureLayout(std::size_t num_topics) : num_topics_(num_topics) {
+  FORUMCAST_CHECK(num_topics_ > 0);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    const FeatureId id = all_features()[i];
+    offsets_[i] = offset;
+    offset += width(id);
+  }
+  dimension_ = offset;
+}
+
+std::size_t FeatureLayout::offset(FeatureId id) const {
+  const auto& all = all_features();
+  const auto it = std::find(all.begin(), all.end(), id);
+  FORUMCAST_CHECK(it != all.end());
+  return offsets_[static_cast<std::size_t>(it - all.begin())];
+}
+
+std::size_t FeatureLayout::width(FeatureId id) const {
+  return (id == FeatureId::TopicsAnswered || id == FeatureId::TopicsAsked)
+             ? num_topics_
+             : 1;
+}
+
+std::vector<std::size_t> FeatureLayout::columns_excluding(
+    const std::vector<FeatureId>& excluded) const {
+  std::vector<bool> drop(dimension_, false);
+  for (FeatureId id : excluded) {
+    const std::size_t start = offset(id);
+    for (std::size_t c = 0; c < width(id); ++c) drop[start + c] = true;
+  }
+  std::vector<std::size_t> kept;
+  kept.reserve(dimension_);
+  for (std::size_t c = 0; c < dimension_; ++c) {
+    if (!drop[c]) kept.push_back(c);
+  }
+  FORUMCAST_CHECK_MSG(!kept.empty(), "cannot exclude every feature");
+  return kept;
+}
+
+std::vector<FeatureId> FeatureLayout::features_in_group(FeatureGroup group) {
+  std::vector<FeatureId> ids;
+  for (FeatureId id : all_features()) {
+    if (feature_group(id) == group) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<double> FeatureLayout::project(
+    const std::vector<double>& full, const std::vector<std::size_t>& columns) {
+  std::vector<double> reduced;
+  reduced.reserve(columns.size());
+  for (std::size_t c : columns) {
+    FORUMCAST_CHECK(c < full.size());
+    reduced.push_back(full[c]);
+  }
+  return reduced;
+}
+
+}  // namespace forumcast::features

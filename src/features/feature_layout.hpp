@@ -1,0 +1,86 @@
+// The 20 features of Sec. II-B: identifiers, groups, and vector layout.
+//
+// The feature vector x_{u,q} has dimension 18 + 2K: eighteen scalars plus two
+// K-dimensional topic distributions (topics answered d_u and topics asked
+// d_q). FeatureLayout maps each feature to its column range so the ablation
+// experiments (paper Figs. 6 and 7) can drop features or whole groups.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace forumcast::features {
+
+enum class FeatureId {
+  // User features (i)–(v)
+  AnswersProvided = 0,      ///< a_u
+  AnswerRatio,              ///< o_u
+  NetAnswerVotes,           ///< v_u
+  MedianResponseTime,       ///< r_u
+  TopicsAnswered,           ///< d_u (K columns)
+  // Question features (vi)–(ix)
+  NetQuestionVotes,         ///< v_q
+  QuestionWordLength,       ///< x_q
+  QuestionCodeLength,       ///< c_q
+  TopicsAsked,              ///< d_q (K columns)
+  // User-question features (x)–(xii)
+  UserQuestionTopicSimilarity,     ///< s_{u,q}
+  TopicWeightedQuestionsAnswered,  ///< g_{u,q}
+  TopicWeightedAnswerVotes,        ///< e_{u,q}
+  // Social features (xiii)–(xx)
+  UserUserTopicSimilarity,  ///< s_{u,v}, v = asker
+  ThreadCooccurrence,       ///< h_{u,v}
+  QaCloseness,              ///< l^QA_u
+  QaBetweenness,            ///< b^QA_u
+  QaResourceAllocation,     ///< Re^QA_{u,v}
+  DenseCloseness,           ///< l^D_u
+  DenseBetweenness,         ///< b^D_u
+  DenseResourceAllocation,  ///< Re^D_{u,v}
+};
+
+inline constexpr std::size_t kFeatureCount = 20;
+
+enum class FeatureGroup { User, Question, UserQuestion, Social };
+
+/// All 20 feature ids in paper order.
+const std::array<FeatureId, kFeatureCount>& all_features();
+
+FeatureGroup feature_group(FeatureId id);
+
+/// Paper symbol, e.g. "a_u", "Re^QA_{u,v}".
+std::string feature_name(FeatureId id);
+
+std::string group_name(FeatureGroup group);
+
+/// Column layout of x_{u,q} for a given topic count K.
+class FeatureLayout {
+ public:
+  explicit FeatureLayout(std::size_t num_topics);
+
+  std::size_t num_topics() const { return num_topics_; }
+  std::size_t dimension() const { return dimension_; }
+
+  std::size_t offset(FeatureId id) const;
+  /// 1 for scalars, K for the two topic-distribution features.
+  std::size_t width(FeatureId id) const;
+
+  /// Columns kept when `excluded` features are removed, in original order.
+  std::vector<std::size_t> columns_excluding(
+      const std::vector<FeatureId>& excluded) const;
+
+  /// Convenience: every feature belonging to `group`.
+  static std::vector<FeatureId> features_in_group(FeatureGroup group);
+
+  /// Projects a full vector onto the given columns.
+  static std::vector<double> project(const std::vector<double>& full,
+                                     const std::vector<std::size_t>& columns);
+
+ private:
+  std::size_t num_topics_;
+  std::size_t dimension_;
+  std::array<std::size_t, kFeatureCount> offsets_{};
+};
+
+}  // namespace forumcast::features

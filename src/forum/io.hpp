@@ -1,0 +1,31 @@
+// Dataset import/export.
+//
+// The interchange format is one CSV of posts, matching what a thin script
+// over the Stack Exchange API (the paper's data source) produces:
+//
+//   question_id,is_question,user_id,timestamp_hours,net_votes,body_html
+//
+// is_question ∈ {0,1}; every thread needs exactly one question row; answers
+// reference their thread by question_id. Question ids in the file may be
+// arbitrary (they are re-indexed densely on load); user ids must be dense
+// [0, num_users) — real crawls should remap account ids first.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "forum/dataset.hpp"
+
+namespace forumcast::forum {
+
+/// Writes the dataset as posts CSV (with header).
+void save_posts_csv(const Dataset& dataset, std::ostream& out);
+void save_posts_csv(const Dataset& dataset, const std::string& path);
+
+/// Loads a posts CSV. `num_users` of the result is max(user_id)+1.
+/// Throws util::CheckError on malformed rows, duplicate question rows, or
+/// answers whose thread has no question row.
+Dataset load_posts_csv(std::istream& in);
+Dataset load_posts_csv(const std::string& path);
+
+}  // namespace forumcast::forum

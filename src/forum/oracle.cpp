@@ -1,0 +1,63 @@
+#include "forum/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace forumcast::forum {
+
+OutcomeOracle::OutcomeOracle(const Dataset& raw_dataset, const GroundTruth& truth,
+                             const GeneratorConfig& config)
+    : truth_(&truth), config_(&config) {
+  FORUMCAST_CHECK(truth.question_popularity.size() == raw_dataset.num_questions());
+  raw_times_.reserve(raw_dataset.num_questions());
+  for (const auto& thread : raw_dataset.threads()) {
+    raw_times_.push_back(thread.question.timestamp_hours);
+  }
+  raw_order_.resize(raw_times_.size());
+  std::iota(raw_order_.begin(), raw_order_.end(), std::size_t{0});
+  std::sort(raw_order_.begin(), raw_order_.end(), [&](std::size_t a, std::size_t b) {
+    return raw_times_[a] < raw_times_[b];
+  });
+}
+
+std::size_t OutcomeOracle::raw_question_index(double question_timestamp_hours) const {
+  // Binary search over timestamps (generator arrival times are continuous,
+  // so collisions have probability zero).
+  const auto it = std::lower_bound(
+      raw_order_.begin(), raw_order_.end(), question_timestamp_hours,
+      [&](std::size_t idx, double t) { return raw_times_[idx] < t; });
+  FORUMCAST_CHECK_MSG(it != raw_order_.end() &&
+                          raw_times_[*it] == question_timestamp_hours,
+                      "no raw question at timestamp " << question_timestamp_hours);
+  return *it;
+}
+
+double OutcomeOracle::expected_votes(UserId u, std::size_t raw_q) const {
+  FORUMCAST_CHECK(u < truth_->user_expertise.size());
+  FORUMCAST_CHECK(raw_q < truth_->question_popularity.size());
+  return 0.9 * truth_->user_expertise[u] +
+         0.6 * truth_->question_popularity[raw_q];
+}
+
+double OutcomeOracle::expected_delay(UserId u) const {
+  FORUMCAST_CHECK(u < truth_->user_speed_scale.size());
+  const double sigma = config_->delay_sigma;
+  return config_->median_delay_hours * truth_->user_speed_scale[u] *
+         std::exp(0.5 * sigma * sigma);
+}
+
+int OutcomeOracle::sample_votes(UserId u, std::size_t raw_q, util::Rng& rng) const {
+  const double quality = expected_votes(u, raw_q) + rng.normal(0.0, 1.0);
+  return std::max(-6, static_cast<int>(std::lround(quality)));
+}
+
+double OutcomeOracle::sample_delay(UserId u, util::Rng& rng) const {
+  FORUMCAST_CHECK(u < truth_->user_speed_scale.size());
+  return config_->median_delay_hours * truth_->user_speed_scale[u] *
+         std::exp(config_->delay_sigma * rng.normal());
+}
+
+}  // namespace forumcast::forum

@@ -1,0 +1,48 @@
+// Counterfactual outcome oracle over a synthetic forum.
+//
+// The generator's latent variables determine the distribution of votes and
+// delay for *any* (user, question) pair — including pairs never observed in
+// the dataset. That is exactly what a simulated A/B test of the paper's
+// recommender (Sec. VI future work) needs: group B routes questions to users
+// who did not organically answer them, and the oracle supplies the outcome
+// they would have produced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "forum/generator.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::forum {
+
+class OutcomeOracle {
+ public:
+  /// `truth`/`config` must outlive the oracle. `raw_dataset` is the
+  /// *pre-preprocessing* dataset the generator returned (its question indices
+  /// align with the ground-truth arrays).
+  OutcomeOracle(const Dataset& raw_dataset, const GroundTruth& truth,
+                const GeneratorConfig& config);
+
+  /// Maps a question of any derived (e.g. preprocessed) dataset back to the
+  /// generator's raw index via its unique timestamp.
+  std::size_t raw_question_index(double question_timestamp_hours) const;
+
+  /// E[votes] if `u` answered raw question `raw_q`.
+  double expected_votes(UserId u, std::size_t raw_q) const;
+
+  /// E[delay] in hours if `u` answered (lognormal mean).
+  double expected_delay(UserId u) const;
+
+  /// Stochastic outcome draws matching the generator's noise model.
+  int sample_votes(UserId u, std::size_t raw_q, util::Rng& rng) const;
+  double sample_delay(UserId u, util::Rng& rng) const;
+
+ private:
+  const GroundTruth* truth_;
+  const GeneratorConfig* config_;
+  std::vector<double> raw_times_;  // sorted (timestamp, raw index) pairs
+  std::vector<std::size_t> raw_order_;
+};
+
+}  // namespace forumcast::forum

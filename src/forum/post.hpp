@@ -1,0 +1,31 @@
+// Core forum entities (Sec. II-A notation).
+//
+// A thread q is one question post p_{q,0} plus its answers p_{q,1}, …; every
+// post carries a creator u(p), a timestamp t(p) (hours since dataset start)
+// and net votes v(p). Bodies are HTML with <code> blocks, mirroring Stack
+// Overflow's storage format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace forumcast::forum {
+
+using UserId = std::uint32_t;
+using QuestionId = std::uint32_t;
+
+struct Post {
+  UserId creator = 0;
+  double timestamp_hours = 0.0;  ///< t(p), hours since dataset start
+  int net_votes = 0;             ///< v(p) = up-votes − down-votes
+  std::string body_html;         ///< word text + <code> blocks
+};
+
+struct Thread {
+  QuestionId id = 0;
+  Post question;               ///< p_{q,0}
+  std::vector<Post> answers;   ///< p_{q,1}, … sorted by timestamp
+};
+
+}  // namespace forumcast::forum

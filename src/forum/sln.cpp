@@ -1,0 +1,44 @@
+#include "forum/sln.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace forumcast::forum {
+
+graph::Graph build_qa_graph(const Dataset& dataset,
+                            std::span<const QuestionId> questions) {
+  graph::Graph graph(dataset.num_users());
+  for (QuestionId q : questions) {
+    const Thread& thread = dataset.thread(q);
+    const UserId asker = thread.question.creator;
+    for (const auto& answer : thread.answers) {
+      graph.add_edge(asker, answer.creator);
+    }
+  }
+  return graph;
+}
+
+graph::Graph build_dense_graph(const Dataset& dataset,
+                               std::span<const QuestionId> questions) {
+  graph::Graph graph(dataset.num_users());
+  std::vector<UserId> participants;
+  for (QuestionId q : questions) {
+    const Thread& thread = dataset.thread(q);
+    participants.clear();
+    participants.push_back(thread.question.creator);
+    for (const auto& answer : thread.answers) {
+      participants.push_back(answer.creator);
+    }
+    std::sort(participants.begin(), participants.end());
+    participants.erase(std::unique(participants.begin(), participants.end()),
+                       participants.end());
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      for (std::size_t j = i + 1; j < participants.size(); ++j) {
+        graph.add_edge(participants[i], participants[j]);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace forumcast::forum

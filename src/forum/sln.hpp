@@ -1,0 +1,25 @@
+// Social Learning Network graph construction (Sec. II-B "Graph models").
+//
+// G_QA links asker ↔ answerer for every answer; G_D additionally links all
+// participants of the same thread to each other. Both are built over a chosen
+// question partition Ω so features can be recomputed per history window.
+#pragma once
+
+#include <span>
+
+#include "forum/dataset.hpp"
+#include "graph/graph.hpp"
+
+namespace forumcast::forum {
+
+/// Question-answer graph G_QA over the given questions. Node space is all
+/// dataset users so ids are stable across windows.
+graph::Graph build_qa_graph(const Dataset& dataset,
+                            std::span<const QuestionId> questions);
+
+/// Denser graph G_D: every pair of users posting in the same thread is linked
+/// (asker and all answerers form a clique per thread).
+graph::Graph build_dense_graph(const Dataset& dataset,
+                               std::span<const QuestionId> questions);
+
+}  // namespace forumcast::forum

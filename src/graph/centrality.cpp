@@ -1,0 +1,141 @@
+#include "graph/centrality.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stack>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace forumcast::graph {
+
+namespace {
+
+// One Brandes source sweep: accumulates dependencies into `betweenness`.
+// Scratch buffers are supplied by the caller so sweeps can be reused
+// per-thread without reallocation.
+struct BrandesScratch {
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  std::vector<long long> dist;
+  std::vector<std::vector<NodeId>> predecessors;
+
+  explicit BrandesScratch(std::size_t n)
+      : sigma(n), delta(n), dist(n), predecessors(n) {}
+};
+
+void brandes_source_sweep(const Graph& graph, NodeId source,
+                          BrandesScratch& scratch,
+                          std::vector<double>& betweenness) {
+  const std::size_t n = graph.node_count();
+  std::fill(scratch.sigma.begin(), scratch.sigma.end(), 0.0);
+  std::fill(scratch.delta.begin(), scratch.delta.end(), 0.0);
+  std::fill(scratch.dist.begin(), scratch.dist.end(), -1LL);
+  for (auto& preds : scratch.predecessors) preds.clear();
+
+  scratch.sigma[source] = 1.0;
+  scratch.dist[source] = 0;
+  std::stack<NodeId> order;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    order.push(u);
+    for (NodeId v : graph.neighbors(u)) {
+      if (scratch.dist[v] < 0) {
+        scratch.dist[v] = scratch.dist[u] + 1;
+        frontier.push(v);
+      }
+      if (scratch.dist[v] == scratch.dist[u] + 1) {
+        scratch.sigma[v] += scratch.sigma[u];
+        scratch.predecessors[v].push_back(u);
+      }
+    }
+  }
+  while (!order.empty()) {
+    const NodeId w = order.top();
+    order.pop();
+    for (NodeId u : scratch.predecessors[w]) {
+      scratch.delta[u] +=
+          scratch.sigma[u] / scratch.sigma[w] * (1.0 + scratch.delta[w]);
+    }
+    if (w != source) betweenness[w] += scratch.delta[w];
+  }
+  (void)n;
+}
+
+}  // namespace
+
+std::vector<double> closeness_centrality(const Graph& graph,
+                                         std::size_t threads) {
+  const std::size_t n = graph.node_count();
+  std::vector<double> closeness(n, 0.0);
+  if (n < 2) return closeness;
+  util::parallel_for(
+      n,
+      [&](std::size_t u) {
+        const auto dist = graph.bfs_distances(u);
+        double total = 0.0;
+        for (NodeId v = 0; v < n; ++v) {
+          if (v == u || dist[v] == Graph::kUnreachable) continue;
+          total += static_cast<double>(dist[v]);
+        }
+        if (total > 0.0) {
+          closeness[u] = static_cast<double>(n - 1) / total;
+        }
+      },
+      threads);
+  return closeness;
+}
+
+std::vector<double> betweenness_centrality(const Graph& graph,
+                                           std::size_t threads) {
+  const std::size_t n = graph.node_count();
+  std::vector<double> betweenness(n, 0.0);
+  if (n < 3) return betweenness;
+  if (threads == 0) threads = util::default_thread_count();
+  threads = std::min(threads, n);
+
+  if (threads <= 1) {
+    BrandesScratch scratch(n);
+    for (NodeId source = 0; source < n; ++source) {
+      brandes_source_sweep(graph, source, scratch, betweenness);
+    }
+  } else {
+    // Static partition: thread t owns sources ≡ t (mod threads), with its own
+    // accumulator; reduction in fixed thread order keeps results
+    // deterministic for a given thread count.
+    std::vector<std::vector<double>> partials(threads,
+                                              std::vector<double>(n, 0.0));
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        BrandesScratch scratch(n);
+        for (NodeId source = static_cast<NodeId>(t); source < n;
+             source += threads) {
+          brandes_source_sweep(graph, source, scratch, partials[t]);
+        }
+      });
+    }
+    for (auto& thread : pool) thread.join();
+    for (std::size_t t = 0; t < threads; ++t) {
+      for (std::size_t v = 0; v < n; ++v) betweenness[v] += partials[t][v];
+    }
+  }
+  // Each unordered pair is counted from both endpoints in an undirected graph.
+  for (double& b : betweenness) b /= 2.0;
+  return betweenness;
+}
+
+std::vector<double> normalized_to_max(std::vector<double> values) {
+  const auto it = std::max_element(values.begin(), values.end());
+  if (it == values.end() || *it <= 0.0) return values;
+  const double max_value = *it;
+  for (double& v : values) v /= max_value;
+  return values;
+}
+
+}  // namespace forumcast::graph

@@ -1,0 +1,31 @@
+// Centrality measures for the SLN social features (Sec. II-B xv–xix).
+//
+// Closeness follows the paper's convention for disconnected graphs:
+// l_u = (|U| − 1) / Σ_{v reachable} z_{u,v}, with unreachable pairs removed
+// from the sum; isolated nodes get 0. Betweenness is Brandes' exact
+// algorithm on the unweighted graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace forumcast::graph {
+
+/// Closeness centrality for every node. With threads > 1 the per-source BFS
+/// sweeps run in parallel; results are identical to the serial computation.
+std::vector<double> closeness_centrality(const Graph& graph,
+                                         std::size_t threads = 1);
+
+/// Betweenness centrality for every node (undirected; each pair counted
+/// once). With threads > 1, sources are statically partitioned across
+/// threads with per-thread accumulators reduced in fixed order, so the
+/// result is deterministic for a given thread count (floating-point sums
+/// may differ from the serial order below 1e-12 relative).
+std::vector<double> betweenness_centrality(const Graph& graph,
+                                           std::size_t threads = 1);
+
+/// Scales values so the maximum is 1 (no-op on all-zero input).
+std::vector<double> normalized_to_max(std::vector<double> values);
+
+}  // namespace forumcast::graph

@@ -1,0 +1,97 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace forumcast::graph {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  FORUMCAST_CHECK(u < node_count() && v < node_count());
+  if (u == v) return false;
+  auto& adj_u = adjacency_[u];
+  const auto it = std::lower_bound(adj_u.begin(), adj_u.end(), v);
+  if (it != adj_u.end() && *it == v) return false;
+  adj_u.insert(it, v);
+  auto& adj_v = adjacency_[v];
+  adj_v.insert(std::lower_bound(adj_v.begin(), adj_v.end(), u), u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  FORUMCAST_CHECK(u < node_count() && v < node_count());
+  const auto& adj = adjacency_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  FORUMCAST_CHECK(u < node_count());
+  return adjacency_[u];
+}
+
+std::size_t Graph::degree(NodeId u) const {
+  FORUMCAST_CHECK(u < node_count());
+  return adjacency_[u].size();
+}
+
+double Graph::average_degree() const {
+  if (node_count() == 0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count_) / static_cast<double>(node_count());
+}
+
+std::vector<std::size_t> Graph::bfs_distances(NodeId source) const {
+  FORUMCAST_CHECK(source < node_count());
+  std::vector<std::size_t> dist(node_count(), kUnreachable);
+  dist[source] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adjacency_[u]) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::size_t> Graph::connected_components(std::size_t& component_count) const {
+  std::vector<std::size_t> component(node_count(), kUnreachable);
+  component_count = 0;
+  for (NodeId start = 0; start < node_count(); ++start) {
+    if (component[start] != kUnreachable) continue;
+    const std::size_t id = component_count++;
+    std::queue<NodeId> frontier;
+    component[start] = id;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : adjacency_[u]) {
+        if (component[v] == kUnreachable) {
+          component[v] = id;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+std::size_t Graph::largest_component_size() const {
+  std::size_t count = 0;
+  const auto component = connected_components(count);
+  if (count == 0) return 0;
+  std::vector<std::size_t> sizes(count, 0);
+  for (std::size_t id : component) ++sizes[id];
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+}  // namespace forumcast::graph

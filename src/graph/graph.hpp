@@ -1,0 +1,53 @@
+// Undirected simple graph over dense node ids [0, node_count).
+//
+// Backs the two Social Learning Network topologies of Sec. II-B: the
+// question-answer graph G_QA and the denser graph G_D. Both are symmetric and
+// unweighted, so we store sorted adjacency lists and deduplicate edges.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace forumcast::graph {
+
+using NodeId = std::size_t;
+
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count = 0);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds the undirected edge {u, v}; self-loops and duplicates are ignored.
+  /// Returns true if a new edge was inserted.
+  bool add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Sorted neighbor list of u.
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  std::size_t degree(NodeId u) const;
+
+  double average_degree() const;
+
+  /// BFS hop distances from `source`; unreachable nodes get SIZE_MAX.
+  std::vector<std::size_t> bfs_distances(NodeId source) const;
+
+  /// Connected components: returns component id per node (0-based, by
+  /// discovery order) and the number of components.
+  std::vector<std::size_t> connected_components(std::size_t& component_count) const;
+
+  /// Size of the largest connected component.
+  std::size_t largest_component_size() const;
+
+  static constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace forumcast::graph

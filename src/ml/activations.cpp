@@ -1,0 +1,62 @@
+#include "ml/activations.hpp"
+
+#include <cmath>
+
+namespace forumcast::ml {
+
+double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double softplus(double x) {
+  // log(1 + e^x) computed without overflow for large |x|.
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double activate(Activation act, double pre) {
+  switch (act) {
+    case Activation::Identity: return pre;
+    case Activation::ReLU: return pre > 0.0 ? pre : 0.0;
+    case Activation::Tanh: return std::tanh(pre);
+    case Activation::Sigmoid: return sigmoid(pre);
+    case Activation::Softplus: return softplus(pre);
+  }
+  return pre;
+}
+
+double activate_derivative(Activation act, double pre) {
+  switch (act) {
+    case Activation::Identity: return 1.0;
+    case Activation::ReLU: return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::Tanh: {
+      const double t = std::tanh(pre);
+      return 1.0 - t * t;
+    }
+    case Activation::Sigmoid: {
+      const double s = sigmoid(pre);
+      return s * (1.0 - s);
+    }
+    case Activation::Softplus: return sigmoid(pre);
+  }
+  return 1.0;
+}
+
+std::string activation_name(Activation act) {
+  switch (act) {
+    case Activation::Identity: return "identity";
+    case Activation::ReLU: return "relu";
+    case Activation::Tanh: return "tanh";
+    case Activation::Sigmoid: return "sigmoid";
+    case Activation::Softplus: return "softplus";
+  }
+  return "?";
+}
+
+}  // namespace forumcast::ml

@@ -1,0 +1,25 @@
+// Nonlinearities for the fully-connected networks of Sec. II-A.
+#pragma once
+
+#include <string>
+
+namespace forumcast::ml {
+
+enum class Activation { Identity, ReLU, Tanh, Sigmoid, Softplus };
+
+/// Applies the activation to a pre-activation value.
+double activate(Activation act, double pre);
+
+/// Derivative d(activate)/d(pre) evaluated at pre-activation `pre`.
+double activate_derivative(Activation act, double pre);
+
+/// Human-readable name ("relu", "tanh", ...).
+std::string activation_name(Activation act);
+
+/// Numerically safe sigmoid.
+double sigmoid(double x);
+
+/// Numerically safe softplus log(1+e^x).
+double softplus(double x);
+
+}  // namespace forumcast::ml

@@ -1,0 +1,108 @@
+#include "ml/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace forumcast::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), storage_(rows * cols, fill) {}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  FORUMCAST_CHECK(r < rows_ && c < cols_);
+  return storage_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  FORUMCAST_CHECK(r < rows_ && c < cols_);
+  return storage_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  FORUMCAST_CHECK(r < rows_);
+  return std::span<double>(storage_).subspan(r * cols_, cols_);
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  FORUMCAST_CHECK(r < rows_);
+  return std::span<const double>(storage_).subspan(r * cols_, cols_);
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  FORUMCAST_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = storage_.data() + r * cols_;
+    double accum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) accum += row_ptr[c] * x[c];
+    y[r] = accum;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::multiply_transposed(std::span<const double> x) const {
+  FORUMCAST_CHECK(x.size() == rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = storage_.data() + r * cols_;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row_ptr[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  FORUMCAST_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      const double* b_row = other.storage_.data() + k * other.cols_;
+      double* out_row = out.storage_.data() + r * other.cols_;
+      for (std::size_t c = 0; c < other.cols_; ++c) out_row[c] += a * b_row[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+void Matrix::fill(double value) { std::fill(storage_.begin(), storage_.end(), value); }
+
+void Matrix::add_scaled(const Matrix& other, double scale) {
+  FORUMCAST_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < storage_.size(); ++i) {
+    storage_[i] += scale * other.storage_[i];
+  }
+}
+
+double Matrix::frobenius_norm() const {
+  double accum = 0.0;
+  for (double v : storage_) accum += v * v;
+  return std::sqrt(accum);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  FORUMCAST_CHECK(a.size() == b.size());
+  double accum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) accum += a[i] * b[i];
+  return accum;
+}
+
+void axpy(std::span<double> a, std::span<const double> b, double scale) {
+  FORUMCAST_CHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += scale * b[i];
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace forumcast::ml

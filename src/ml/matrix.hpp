@@ -1,0 +1,65 @@
+// Dense row-major matrix of doubles.
+//
+// Deliberately small: the models in this library are feature-vector scale
+// (tens of dimensions), so we need clarity and correctness, not BLAS.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace forumcast::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Mutable view of row r.
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  std::span<double> data() { return storage_; }
+  std::span<const double> data() const { return storage_; }
+
+  /// y = A x. Requires x.size() == cols(); returns vector of size rows().
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  /// y = A^T x. Requires x.size() == rows(); returns vector of size cols().
+  std::vector<double> multiply_transposed(std::span<const double> x) const;
+
+  /// C = A * B. Requires cols() == other.rows().
+  Matrix matmul(const Matrix& other) const;
+
+  Matrix transposed() const;
+
+  void fill(double value);
+
+  /// this += scale * other (same shape required).
+  void add_scaled(const Matrix& other, double scale);
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> storage_;
+};
+
+/// Dot product; sizes must match.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// a += scale * b (in place); sizes must match.
+void axpy(std::span<double> a, std::span<const double> b, double scale);
+
+/// Euclidean norm.
+double norm2(std::span<const double> a);
+
+}  // namespace forumcast::ml

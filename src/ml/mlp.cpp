@@ -1,0 +1,119 @@
+#include "ml/mlp.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::ml {
+
+Mlp::Mlp(std::size_t input_dim, std::vector<LayerSpec> layers, std::uint64_t seed)
+    : input_dim_(input_dim), layers_(std::move(layers)) {
+  FORUMCAST_CHECK(input_dim_ > 0);
+  FORUMCAST_CHECK(!layers_.empty());
+  for (const auto& layer : layers_) FORUMCAST_CHECK(layer.units > 0);
+
+  std::size_t offset = 0;
+  weight_offset_.resize(layers_.size());
+  bias_offset_.resize(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    weight_offset_[l] = offset;
+    offset += layers_[l].units * fan_in(l);
+    bias_offset_[l] = offset;
+    offset += layers_[l].units;
+  }
+  params_.assign(offset, 0.0);
+  grads_.assign(offset, 0.0);
+
+  util::Rng rng(seed);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const double limit = std::sqrt(6.0 / static_cast<double>(fan_in(l) + layers_[l].units));
+    for (std::size_t i = 0; i < layers_[l].units * fan_in(l); ++i) {
+      params_[weight_offset_[l] + i] = rng.uniform(-limit, limit);
+    }
+    // Biases start at zero.
+  }
+}
+
+std::size_t Mlp::fan_in(std::size_t layer) const {
+  return layer == 0 ? input_dim_ : layers_[layer - 1].units;
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x) const {
+  Tape tape;
+  return forward(x, tape);
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x, Tape& tape) const {
+  FORUMCAST_CHECK_MSG(x.size() == input_dim_,
+                      "input dim " << x.size() << " != " << input_dim_);
+  tape.input.assign(x.begin(), x.end());
+  tape.pre.assign(layers_.size(), {});
+  tape.post.assign(layers_.size(), {});
+
+  std::vector<double> current(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::size_t units = layers_[l].units;
+    const std::size_t in_dim = fan_in(l);
+    std::vector<double> pre(units, 0.0);
+    const double* weights = params_.data() + weight_offset_[l];
+    const double* bias = params_.data() + bias_offset_[l];
+    for (std::size_t u = 0; u < units; ++u) {
+      const double* w_row = weights + u * in_dim;
+      double accum = bias[u];
+      for (std::size_t i = 0; i < in_dim; ++i) accum += w_row[i] * current[i];
+      pre[u] = accum;
+    }
+    std::vector<double> post(units);
+    for (std::size_t u = 0; u < units; ++u) {
+      post[u] = activate(layers_[l].activation, pre[u]);
+    }
+    tape.pre[l] = std::move(pre);
+    current = post;
+    tape.post[l] = current;
+  }
+  return current;
+}
+
+std::vector<double> Mlp::backward(const Tape& tape, std::span<const double> grad_output) {
+  FORUMCAST_CHECK(tape.pre.size() == layers_.size());
+  FORUMCAST_CHECK(grad_output.size() == output_dim());
+
+  std::vector<double> grad_post(grad_output.begin(), grad_output.end());
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const std::size_t units = layers_[l].units;
+    const std::size_t in_dim = fan_in(l);
+    const std::vector<double>& pre = tape.pre[l];
+    const std::vector<double>& below =
+        l == 0 ? tape.input : tape.post[l - 1];
+
+    // dL/dpre = dL/dpost ⊙ σ'(pre)
+    std::vector<double> grad_pre(units);
+    for (std::size_t u = 0; u < units; ++u) {
+      grad_pre[u] = grad_post[u] * activate_derivative(layers_[l].activation, pre[u]);
+    }
+
+    double* weight_grad = grads_.data() + weight_offset_[l];
+    double* bias_grad = grads_.data() + bias_offset_[l];
+    const double* weights = params_.data() + weight_offset_[l];
+
+    std::vector<double> grad_below(in_dim, 0.0);
+    for (std::size_t u = 0; u < units; ++u) {
+      const double g = grad_pre[u];
+      if (g == 0.0) continue;
+      double* wg_row = weight_grad + u * in_dim;
+      const double* w_row = weights + u * in_dim;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        wg_row[i] += g * below[i];
+        grad_below[i] += g * w_row[i];
+      }
+      bias_grad[u] += g;
+    }
+    grad_post = std::move(grad_below);
+  }
+  return grad_post;  // = dL/dinput
+}
+
+void Mlp::zero_grad() { std::fill(grads_.begin(), grads_.end(), 0.0); }
+
+}  // namespace forumcast::ml

@@ -1,0 +1,75 @@
+// Fully-connected feed-forward network with manual backpropagation.
+//
+// This implements the networks of paper eq. (1): the vote predictor
+// (L=4, 20 ReLU units per hidden layer), the point-process excitation
+// network f_Θ (tanh hidden layers, non-negative output), and optionally the
+// decay network g_Θ. All parameters live in one contiguous buffer so a single
+// Adam instance can optimize any composition of networks, and so the
+// point-process likelihood (a custom loss over *two* networks) can inject
+// dL/dy gradients directly via `backward`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/activations.hpp"
+
+namespace forumcast::ml {
+
+struct LayerSpec {
+  std::size_t units = 0;
+  Activation activation = Activation::ReLU;
+};
+
+class Mlp {
+ public:
+  /// Builds a network input_dim -> layers[0].units -> ... -> layers.back().units.
+  /// Weights use Xavier/He-style scaled uniform init, seeded deterministically.
+  Mlp(std::size_t input_dim, std::vector<LayerSpec> layers, std::uint64_t seed);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return layers_.back().units; }
+  std::size_t layer_count() const { return layers_.size(); }
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+
+  /// Records the intermediate values of one forward pass for backprop.
+  struct Tape {
+    std::vector<double> input;
+    std::vector<std::vector<double>> pre;   ///< pre-activations per layer
+    std::vector<std::vector<double>> post;  ///< post-activations per layer
+  };
+
+  /// Inference-only forward pass.
+  std::vector<double> forward(std::span<const double> x) const;
+
+  /// Forward pass that fills `tape` for a subsequent backward().
+  std::vector<double> forward(std::span<const double> x, Tape& tape) const;
+
+  /// Accumulates dL/dparams into grads() given dL/doutput for the sample
+  /// recorded in `tape`. Returns dL/dinput (useful for stacked models).
+  std::vector<double> backward(const Tape& tape, std::span<const double> grad_output);
+
+  /// Zeroes the gradient accumulator (call per minibatch).
+  void zero_grad();
+
+  std::span<double> params() { return params_; }
+  std::span<const double> params() const { return params_; }
+  std::span<double> grads() { return grads_; }
+  std::span<const double> grads() const { return grads_; }
+  std::size_t param_count() const { return params_.size(); }
+
+ private:
+  // Weight matrix of layer l is rows=units(l), cols=fan_in(l), stored row-major
+  // at weight_offset_[l]; bias vector follows at bias_offset_[l].
+  std::size_t fan_in(std::size_t layer) const;
+
+  std::size_t input_dim_;
+  std::vector<LayerSpec> layers_;
+  std::vector<std::size_t> weight_offset_;
+  std::vector<std::size_t> bias_offset_;
+  std::vector<double> params_;
+  std::vector<double> grads_;
+};
+
+}  // namespace forumcast::ml

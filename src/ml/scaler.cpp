@@ -1,0 +1,58 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace forumcast::ml {
+
+StandardScaler StandardScaler::from_moments(std::vector<double> mean,
+                                            std::vector<double> scale) {
+  FORUMCAST_CHECK(!mean.empty());
+  FORUMCAST_CHECK(mean.size() == scale.size());
+  for (double s : scale) FORUMCAST_CHECK(s > 0.0);
+  StandardScaler scaler;
+  scaler.mean_ = std::move(mean);
+  scaler.scale_ = std::move(scale);
+  return scaler;
+}
+
+void StandardScaler::fit(std::span<const std::vector<double>> rows) {
+  FORUMCAST_CHECK(!rows.empty());
+  const std::size_t dim = rows.front().size();
+  FORUMCAST_CHECK(dim > 0);
+  mean_.assign(dim, 0.0);
+  scale_.assign(dim, 0.0);
+  for (const auto& row : rows) {
+    FORUMCAST_CHECK(row.size() == dim);
+    for (std::size_t c = 0; c < dim; ++c) mean_[c] += row[c];
+  }
+  const double n = static_cast<double>(rows.size());
+  for (double& m : mean_) m /= n;
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double d = row[c] - mean_[c];
+      scale_[c] += d * d;
+    }
+  }
+  for (double& s : scale_) {
+    s = std::sqrt(s / n);
+    if (s < 1e-12) s = 1.0;  // constant column: center only
+  }
+}
+
+std::vector<double> StandardScaler::transform(std::span<const double> row) const {
+  FORUMCAST_CHECK(fitted());
+  FORUMCAST_CHECK(row.size() == mean_.size());
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - mean_[c]) / scale_[c];
+  }
+  return out;
+}
+
+void StandardScaler::transform_in_place(std::vector<std::vector<double>>& rows) const {
+  for (auto& row : rows) row = transform(row);
+}
+
+}  // namespace forumcast::ml

@@ -1,0 +1,38 @@
+// Feature standardization (zero mean, unit variance per column).
+//
+// Fit on the training fold only, then applied to both folds — leaking test
+// statistics into scaling would invalidate the cross-validation of Sec. IV.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace forumcast::ml {
+
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation from row-major samples.
+  /// Columns with zero variance get scale 1 (they pass through centered).
+  void fit(std::span<const std::vector<double>> rows);
+
+  /// Scales one sample; requires fit() was called with matching width.
+  std::vector<double> transform(std::span<const double> row) const;
+
+  /// Scales rows in place.
+  void transform_in_place(std::vector<std::vector<double>>& rows) const;
+
+  /// Reconstructs a fitted scaler from stored moments (deserialization).
+  static StandardScaler from_moments(std::vector<double> mean,
+                                     std::vector<double> scale);
+
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t dimension() const { return mean_.size(); }
+  std::span<const double> mean() const { return mean_; }
+  std::span<const double> scale() const { return scale_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace forumcast::ml

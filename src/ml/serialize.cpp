@@ -1,0 +1,138 @@
+#include "ml/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace forumcast::ml {
+
+namespace {
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string token;
+  in >> token;
+  FORUMCAST_CHECK_MSG(in.good() && token == expected,
+                      "expected '" << expected << "', got '" << token << "'");
+}
+
+template <typename T>
+T read_value(std::istream& in, const char* what) {
+  T value{};
+  in >> value;
+  FORUMCAST_CHECK_MSG(!in.fail(), "failed to read " << what);
+  return value;
+}
+
+void write_doubles(std::ostream& out, std::span<const double> values) {
+  out.precision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out << values[i] << (i + 1 == values.size() ? '\n' : ' ');
+  }
+}
+
+std::vector<double> read_doubles(std::istream& in, std::size_t count) {
+  std::vector<double> values(count);
+  for (auto& v : values) v = read_value<double>(in, "double");
+  return values;
+}
+
+}  // namespace
+
+Activation activation_from_name(const std::string& name) {
+  for (Activation act : {Activation::Identity, Activation::ReLU,
+                         Activation::Tanh, Activation::Sigmoid,
+                         Activation::Softplus}) {
+    if (activation_name(act) == name) return act;
+  }
+  FORUMCAST_CHECK_MSG(false, "unknown activation '" << name << "'");
+  return Activation::Identity;
+}
+
+void save_mlp(const Mlp& model, std::ostream& out) {
+  out << "forumcast-mlp 1\n";
+  out << "input " << model.input_dim() << "\n";
+  out << "layers " << model.layer_count() << "\n";
+  for (const auto& layer : model.layers()) {
+    out << layer.units << ' ' << activation_name(layer.activation) << "\n";
+  }
+  out << "params " << model.param_count() << "\n";
+  write_doubles(out, model.params());
+  FORUMCAST_CHECK_MSG(out.good(), "MLP write failed");
+}
+
+Mlp load_mlp(std::istream& in) {
+  expect_token(in, "forumcast-mlp");
+  FORUMCAST_CHECK_MSG(read_value<int>(in, "version") == 1,
+                      "unsupported mlp version");
+  expect_token(in, "input");
+  const auto input_dim = read_value<std::size_t>(in, "input dim");
+  expect_token(in, "layers");
+  const auto layer_count = read_value<std::size_t>(in, "layer count");
+  FORUMCAST_CHECK(layer_count >= 1);
+  std::vector<LayerSpec> layers;
+  layers.reserve(layer_count);
+  for (std::size_t l = 0; l < layer_count; ++l) {
+    const auto units = read_value<std::size_t>(in, "layer units");
+    std::string act;
+    in >> act;
+    FORUMCAST_CHECK_MSG(!in.fail(), "missing activation name");
+    layers.push_back({units, activation_from_name(act)});
+  }
+  expect_token(in, "params");
+  const auto param_count = read_value<std::size_t>(in, "param count");
+
+  Mlp model(input_dim, std::move(layers), /*seed=*/0);
+  FORUMCAST_CHECK_MSG(model.param_count() == param_count,
+                      "param count mismatch: " << param_count << " vs "
+                                               << model.param_count());
+  const auto values = read_doubles(in, param_count);
+  std::copy(values.begin(), values.end(), model.params().begin());
+  return model;
+}
+
+void save_scaler(const StandardScaler& scaler, std::ostream& out) {
+  FORUMCAST_CHECK_MSG(scaler.fitted(), "cannot save an unfitted scaler");
+  out << "forumcast-scaler 1\n";
+  out << "dim " << scaler.dimension() << "\n";
+  write_doubles(out, scaler.mean());
+  write_doubles(out, scaler.scale());
+  FORUMCAST_CHECK_MSG(out.good(), "scaler write failed");
+}
+
+StandardScaler load_scaler(std::istream& in) {
+  expect_token(in, "forumcast-scaler");
+  FORUMCAST_CHECK_MSG(read_value<int>(in, "version") == 1,
+                      "unsupported scaler version");
+  expect_token(in, "dim");
+  const auto dim = read_value<std::size_t>(in, "dimension");
+  FORUMCAST_CHECK(dim >= 1);
+  auto mean = read_doubles(in, dim);
+  auto scale = read_doubles(in, dim);
+  return StandardScaler::from_moments(std::move(mean), std::move(scale));
+}
+
+void save_logistic(const LogisticRegression& model, std::ostream& out) {
+  FORUMCAST_CHECK_MSG(model.fitted(), "cannot save an unfitted model");
+  out << "forumcast-logistic 1\n";
+  out << "dim " << model.weights().size() << "\n";
+  out.precision(17);
+  out << "bias " << model.bias() << "\n";
+  write_doubles(out, model.weights());
+  FORUMCAST_CHECK_MSG(out.good(), "logistic write failed");
+}
+
+LogisticRegression load_logistic(std::istream& in) {
+  expect_token(in, "forumcast-logistic");
+  FORUMCAST_CHECK_MSG(read_value<int>(in, "version") == 1,
+                      "unsupported logistic version");
+  expect_token(in, "dim");
+  const auto dim = read_value<std::size_t>(in, "dimension");
+  FORUMCAST_CHECK(dim >= 1);
+  expect_token(in, "bias");
+  const auto bias = read_value<double>(in, "bias");
+  auto weights = read_doubles(in, dim);
+  return LogisticRegression::from_parameters(std::move(weights), bias);
+}
+
+}  // namespace forumcast::ml

@@ -1,0 +1,31 @@
+// Model persistence: a small line-oriented text format.
+//
+// Each artifact starts with a magic line "forumcast-<kind> 1" followed by
+// kind-specific fields; doubles are written with round-trip precision.
+// Covers the trainable pieces a deployment wants to ship without retraining:
+// MLPs, scalers, and logistic regressions. Loaders validate the magic and
+// all dimensions and throw util::CheckError on any mismatch.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/logistic_regression.hpp"
+#include "ml/mlp.hpp"
+#include "ml/scaler.hpp"
+
+namespace forumcast::ml {
+
+void save_mlp(const Mlp& model, std::ostream& out);
+Mlp load_mlp(std::istream& in);
+
+void save_scaler(const StandardScaler& scaler, std::ostream& out);
+StandardScaler load_scaler(std::istream& in);
+
+void save_logistic(const LogisticRegression& model, std::ostream& out);
+LogisticRegression load_logistic(std::istream& in);
+
+/// Parses an activation name written by activation_name(); throws on unknown.
+Activation activation_from_name(const std::string& name);
+
+}  // namespace forumcast::ml

@@ -1,0 +1,80 @@
+#include "opt/routing_lp.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "opt/lp.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::opt {
+
+namespace {
+void validate(const RoutingProblem& problem) {
+  FORUMCAST_CHECK(!problem.weights.empty());
+  FORUMCAST_CHECK(problem.weights.size() == problem.capacities.size());
+  for (double cap : problem.capacities) FORUMCAST_CHECK(cap >= 0.0);
+}
+}  // namespace
+
+RoutingSolution solve_routing(const RoutingProblem& problem) {
+  validate(problem);
+  RoutingSolution solution;
+  solution.probabilities.assign(problem.weights.size(), 0.0);
+
+  const double total_capacity = std::accumulate(
+      problem.capacities.begin(), problem.capacities.end(), 0.0);
+  if (total_capacity < 1.0 - 1e-12) return solution;  // infeasible
+
+  // Fill users in decreasing weight order until one unit of mass is placed.
+  std::vector<std::size_t> order(problem.weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (problem.weights[a] != problem.weights[b]) {
+      return problem.weights[a] > problem.weights[b];
+    }
+    return a < b;
+  });
+  double remaining = 1.0;
+  for (std::size_t u : order) {
+    const double take = std::min(remaining, problem.capacities[u]);
+    solution.probabilities[u] = take;
+    solution.objective_value += problem.weights[u] * take;
+    remaining -= take;
+    if (remaining <= 1e-15) break;
+  }
+  solution.feasible = true;
+  return solution;
+}
+
+RoutingSolution solve_routing_simplex(const RoutingProblem& problem) {
+  validate(problem);
+  const std::size_t n = problem.weights.size();
+
+  LpProblem lp;
+  lp.num_variables = n;
+  lp.objective = problem.weights;
+  for (std::size_t u = 0; u < n; ++u) {
+    Constraint upper;
+    upper.coefficients.assign(n, 0.0);
+    upper.coefficients[u] = 1.0;
+    upper.type = ConstraintType::LessEqual;
+    upper.rhs = problem.capacities[u];
+    lp.constraints.push_back(std::move(upper));
+  }
+  Constraint mass;
+  mass.coefficients.assign(n, 1.0);
+  mass.type = ConstraintType::Equal;
+  mass.rhs = 1.0;
+  lp.constraints.push_back(std::move(mass));
+
+  const LpSolution lp_solution = solve(lp);
+  RoutingSolution solution;
+  solution.probabilities.assign(n, 0.0);
+  if (lp_solution.status != LpStatus::Optimal) return solution;
+  solution.feasible = true;
+  solution.probabilities = lp_solution.x;
+  solution.objective_value = lp_solution.objective_value;
+  return solution;
+}
+
+}  // namespace forumcast::opt

@@ -1,0 +1,34 @@
+// The question-routing optimization of paper eq. (2):
+//
+//   maximize_p  Σ_u (v̂_u − λ r̂_u) · p_u
+//   subject to  0 ≤ p_u ≤ cap_u  for all eligible u,   Σ_u p_u = 1.
+//
+// `cap_u` is the user's remaining answering budget c_u minus answers given in
+// the recent window. The box-plus-simplex structure has a closed-form greedy
+// optimum (fill the highest-weight users first); `solve_routing` uses it and
+// the general simplex solver is kept as an independent cross-check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace forumcast::opt {
+
+struct RoutingProblem {
+  std::vector<double> weights;     ///< v̂_u − λ·r̂_u per eligible user
+  std::vector<double> capacities;  ///< remaining budget per user, ≥ 0
+};
+
+struct RoutingSolution {
+  bool feasible = false;
+  std::vector<double> probabilities;  ///< p_u, sums to 1 when feasible
+  double objective_value = 0.0;
+};
+
+/// Closed-form greedy optimum (O(n log n)). Infeasible iff Σ cap < 1.
+RoutingSolution solve_routing(const RoutingProblem& problem);
+
+/// The same problem through the general simplex solver (for verification).
+RoutingSolution solve_routing_simplex(const RoutingProblem& problem);
+
+}  // namespace forumcast::opt

@@ -1,0 +1,58 @@
+#include "text/tokenizer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace forumcast::text {
+
+namespace {
+// Compact stopword list tuned for technical forum prose.
+constexpr std::array<std::string_view, 64> kStopwords = {
+    "a",    "an",   "and",  "are",  "as",    "at",    "be",    "but",
+    "by",   "can",  "do",   "does", "for",   "from",  "get",   "has",
+    "have", "how",  "i",    "if",   "in",    "is",    "it",    "its",
+    "just", "like", "me",   "my",   "no",    "not",   "of",    "on",
+    "or",   "so",   "that", "the",  "then",  "there", "this",  "to",
+    "try",  "use",  "using", "want", "was",  "we",    "what",  "when",
+    "where", "which", "while", "who", "why", "will",  "with",  "would",
+    "you",  "your", "am",   "any",  "been",  "did",   "dont",  "im",
+};
+
+bool is_number(std::string_view token) {
+  return std::all_of(token.begin(), token.end(), [](char ch) {
+    return std::isdigit(static_cast<unsigned char>(ch));
+  });
+}
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::is_stopword(std::string_view token) {
+  return std::find(kStopwords.begin(), kStopwords.end(), token) != kStopwords.end();
+}
+
+std::vector<std::string> Tokenizer::tokenize(std::string_view prose) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.empty()) return;
+    const bool too_short = current.size() < options_.min_token_length;
+    const bool numeric = options_.drop_numbers && is_number(current);
+    const bool stop = options_.drop_stopwords && is_stopword(current);
+    if (!too_short && !numeric && !stop) tokens.push_back(current);
+    current.clear();
+  };
+  for (char ch : prose) {
+    const auto uch = static_cast<unsigned char>(ch);
+    if (std::isalnum(uch)) {
+      current += static_cast<char>(std::tolower(uch));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace forumcast::text

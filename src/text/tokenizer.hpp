@@ -1,0 +1,34 @@
+// Word tokenization for topic modelling.
+//
+// Lowercases, splits on non-alphanumeric boundaries, drops pure numbers and
+// very short tokens, and filters a small built-in English stopword list —
+// the same preprocessing a Gensim LDA pipeline would apply.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace forumcast::text {
+
+struct TokenizerOptions {
+  std::size_t min_token_length = 2;
+  bool drop_numbers = true;
+  bool drop_stopwords = true;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes prose into lowercase word tokens.
+  std::vector<std::string> tokenize(std::string_view prose) const;
+
+  /// True if the lowercase token is in the stopword list.
+  static bool is_stopword(std::string_view token);
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace forumcast::text

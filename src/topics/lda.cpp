@@ -1,0 +1,191 @@
+#include "topics/lda.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::topics {
+
+Lda::Lda(LdaConfig config) : config_(config) {
+  FORUMCAST_CHECK(config_.num_topics > 0);
+  FORUMCAST_CHECK(config_.alpha > 0.0);
+  FORUMCAST_CHECK(config_.beta > 0.0);
+  FORUMCAST_CHECK(config_.iterations > 0);
+}
+
+void Lda::fit(std::span<const std::vector<text::TokenId>> documents,
+              std::size_t vocab_size) {
+  FORUMCAST_CHECK(vocab_size > 0);
+  const std::size_t K = config_.num_topics;
+  vocab_size_ = vocab_size;
+
+  doc_topic_counts_.assign(documents.size(), std::vector<std::size_t>(K, 0));
+  topic_word_counts_.assign(K * vocab_size, 0);
+  topic_totals_.assign(K, 0);
+  total_tokens_ = 0;
+
+  // Flattened token stream with per-token topic assignments.
+  struct Token {
+    std::uint32_t doc;
+    text::TokenId word;
+    std::uint32_t topic;
+  };
+  std::vector<Token> tokens;
+  for (std::size_t d = 0; d < documents.size(); ++d) {
+    for (text::TokenId w : documents[d]) {
+      FORUMCAST_CHECK_MSG(w < vocab_size, "token id " << w << " out of range");
+      tokens.push_back({static_cast<std::uint32_t>(d), w, 0});
+    }
+  }
+  total_tokens_ = tokens.size();
+
+  util::Rng rng(config_.seed);
+  for (auto& token : tokens) {
+    token.topic = static_cast<std::uint32_t>(rng.uniform_index(K));
+    ++doc_topic_counts_[token.doc][token.topic];
+    ++topic_word_counts_[token.topic * vocab_size + token.word];
+    ++topic_totals_[token.topic];
+  }
+
+  const double alpha = config_.alpha;
+  const double beta = config_.beta;
+  const double beta_sum = beta * static_cast<double>(vocab_size);
+  std::vector<double> weights(K);
+
+  for (std::size_t sweep = 0; sweep < config_.iterations; ++sweep) {
+    for (auto& token : tokens) {
+      auto& doc_counts = doc_topic_counts_[token.doc];
+      // Remove the token from the counts.
+      --doc_counts[token.topic];
+      --topic_word_counts_[token.topic * vocab_size + token.word];
+      --topic_totals_[token.topic];
+
+      // Collapsed conditional p(z = k | rest).
+      for (std::size_t k = 0; k < K; ++k) {
+        const double word_term =
+            (static_cast<double>(topic_word_counts_[k * vocab_size + token.word]) + beta) /
+            (static_cast<double>(topic_totals_[k]) + beta_sum);
+        weights[k] = (static_cast<double>(doc_counts[k]) + alpha) * word_term;
+      }
+      token.topic = static_cast<std::uint32_t>(rng.categorical(weights));
+
+      ++doc_counts[token.topic];
+      ++topic_word_counts_[token.topic * vocab_size + token.word];
+      ++topic_totals_[token.topic];
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<double> Lda::document_topics(std::size_t doc) const {
+  FORUMCAST_CHECK(fitted());
+  FORUMCAST_CHECK(doc < doc_topic_counts_.size());
+  const std::size_t K = config_.num_topics;
+  const auto& counts = doc_topic_counts_[doc];
+  std::size_t doc_total = 0;
+  for (std::size_t c : counts) doc_total += c;
+  std::vector<double> theta(K);
+  const double denom =
+      static_cast<double>(doc_total) + config_.alpha * static_cast<double>(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    theta[k] = (static_cast<double>(counts[k]) + config_.alpha) / denom;
+  }
+  return theta;
+}
+
+std::vector<double> Lda::topic_words(std::size_t topic) const {
+  FORUMCAST_CHECK(fitted());
+  FORUMCAST_CHECK(topic < config_.num_topics);
+  std::vector<double> phi(vocab_size_);
+  const double denom = static_cast<double>(topic_totals_[topic]) +
+                       config_.beta * static_cast<double>(vocab_size_);
+  for (std::size_t w = 0; w < vocab_size_; ++w) {
+    phi[w] = (static_cast<double>(topic_word_counts_[topic * vocab_size_ + w]) +
+              config_.beta) /
+             denom;
+  }
+  return phi;
+}
+
+std::vector<text::TokenId> Lda::top_words(std::size_t topic,
+                                          std::size_t count) const {
+  const auto phi = topic_words(topic);
+  std::vector<text::TokenId> order(phi.size());
+  for (std::size_t w = 0; w < order.size(); ++w) {
+    order[w] = static_cast<text::TokenId>(w);
+  }
+  const std::size_t depth = std::min(count, order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(depth),
+                    order.end(), [&](text::TokenId a, text::TokenId b) {
+                      return phi[a] > phi[b];
+                    });
+  order.resize(depth);
+  return order;
+}
+
+std::vector<double> Lda::infer(std::span<const text::TokenId> document,
+                               std::size_t iterations, std::uint64_t seed) const {
+  FORUMCAST_CHECK(fitted());
+  const std::size_t K = config_.num_topics;
+  const double alpha = config_.alpha;
+  std::vector<std::size_t> doc_counts(K, 0);
+  if (document.empty()) {
+    return std::vector<double>(K, 1.0 / static_cast<double>(K));
+  }
+
+  util::Rng rng(seed);
+  const double beta = config_.beta;
+  const double beta_sum = beta * static_cast<double>(vocab_size_);
+  std::vector<std::uint32_t> assignment(document.size());
+  for (std::size_t i = 0; i < document.size(); ++i) {
+    FORUMCAST_CHECK(document[i] < vocab_size_);
+    assignment[i] = static_cast<std::uint32_t>(rng.uniform_index(K));
+    ++doc_counts[assignment[i]];
+  }
+  std::vector<double> weights(K);
+  for (std::size_t sweep = 0; sweep < iterations; ++sweep) {
+    for (std::size_t i = 0; i < document.size(); ++i) {
+      --doc_counts[assignment[i]];
+      const text::TokenId w = document[i];
+      for (std::size_t k = 0; k < K; ++k) {
+        const double word_term =
+            (static_cast<double>(topic_word_counts_[k * vocab_size_ + w]) + beta) /
+            (static_cast<double>(topic_totals_[k]) + beta_sum);
+        weights[k] = (static_cast<double>(doc_counts[k]) + alpha) * word_term;
+      }
+      assignment[i] = static_cast<std::uint32_t>(rng.categorical(weights));
+      ++doc_counts[assignment[i]];
+    }
+  }
+  std::vector<double> theta(K);
+  const double denom = static_cast<double>(document.size()) +
+                       alpha * static_cast<double>(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    theta[k] = (static_cast<double>(doc_counts[k]) + alpha) / denom;
+  }
+  return theta;
+}
+
+double Lda::corpus_log_likelihood() const {
+  FORUMCAST_CHECK(fitted());
+  // Σ_k [ Σ_w lgamma(n_kw + β) − lgamma(n_k + Vβ) ] plus constants dropped.
+  double ll = 0.0;
+  const double beta = config_.beta;
+  const double beta_sum = beta * static_cast<double>(vocab_size_);
+  for (std::size_t k = 0; k < config_.num_topics; ++k) {
+    for (std::size_t w = 0; w < vocab_size_; ++w) {
+      const auto count = topic_word_counts_[k * vocab_size_ + w];
+      if (count > 0) {
+        ll += std::lgamma(static_cast<double>(count) + beta) - std::lgamma(beta);
+      }
+    }
+    ll -= std::lgamma(static_cast<double>(topic_totals_[k]) + beta_sum) -
+          std::lgamma(beta_sum);
+  }
+  return ll;
+}
+
+}  // namespace forumcast::topics

@@ -1,0 +1,71 @@
+// Latent Dirichlet Allocation via collapsed Gibbs sampling.
+//
+// Replaces the paper's Gensim LDA: each forum post is one document, and the
+// model yields the post-topic distributions d(p) that feed features (v), (ix),
+// (x)–(xiii). Symmetric Dirichlet priors; point estimates are posterior means
+// taken at the final sweep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/vocabulary.hpp"
+
+namespace forumcast::topics {
+
+struct LdaConfig {
+  std::size_t num_topics = 8;      ///< K = 8 per Sec. IV-A
+  double alpha = 0.5;              ///< document-topic prior
+  double beta = 0.01;              ///< topic-word prior
+  std::size_t iterations = 100;    ///< Gibbs sweeps over the corpus
+  std::uint64_t seed = 42;
+};
+
+class Lda {
+ public:
+  explicit Lda(LdaConfig config = {});
+
+  /// Trains on encoded documents. Empty documents are allowed (their topic
+  /// distribution is the uniform prior). `vocab_size` bounds token ids.
+  void fit(std::span<const std::vector<text::TokenId>> documents,
+           std::size_t vocab_size);
+
+  std::size_t num_topics() const { return config_.num_topics; }
+  std::size_t num_documents() const { return doc_topic_counts_.size(); }
+  std::size_t vocab_size() const { return vocab_size_; }
+  bool fitted() const { return fitted_; }
+
+  /// Smoothed topic distribution θ_d of training document `doc`; sums to 1.
+  std::vector<double> document_topics(std::size_t doc) const;
+
+  /// Smoothed word distribution φ_k of topic `topic`; sums to 1.
+  std::vector<double> topic_words(std::size_t topic) const;
+
+  /// The `count` most probable token ids of a topic, most probable first
+  /// (for labeling topics in analytics dashboards).
+  std::vector<text::TokenId> top_words(std::size_t topic,
+                                       std::size_t count = 10) const;
+
+  /// Fold-in inference for an unseen document using the trained topic-word
+  /// counts (held fixed). Deterministic given `seed`.
+  std::vector<double> infer(std::span<const text::TokenId> document,
+                            std::size_t iterations = 30,
+                            std::uint64_t seed = 99) const;
+
+  /// In-sample log p(w | z) (up to constants); increases as sampling mixes.
+  double corpus_log_likelihood() const;
+
+ private:
+  LdaConfig config_;
+  bool fitted_ = false;
+  std::size_t vocab_size_ = 0;
+  std::size_t total_tokens_ = 0;
+
+  // Final-state Gibbs counts.
+  std::vector<std::vector<std::size_t>> doc_topic_counts_;  // per doc: K
+  std::vector<std::size_t> topic_word_counts_;              // K x V row-major
+  std::vector<std::size_t> topic_totals_;                   // K
+};
+
+}  // namespace forumcast::topics

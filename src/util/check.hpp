@@ -1,0 +1,50 @@
+// Precondition / invariant checking.
+//
+// FORUMCAST_CHECK throws util::CheckError (derived from std::logic_error) so
+// that violated contracts surface as catchable, testable errors rather than
+// aborting the process. Guideline: use these for caller-visible contract
+// violations; use assert() only for internal sanity checks in hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace forumcast::util {
+
+/// Error thrown when a FORUMCAST_CHECK contract is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace forumcast::util
+
+/// Throws util::CheckError when `expr` is false.
+#define FORUMCAST_CHECK(expr)                                                    \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::forumcast::util::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                            \
+  } while (false)
+
+/// Like FORUMCAST_CHECK but with a context message (streamed into a string).
+#define FORUMCAST_CHECK_MSG(expr, msg)                                           \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      std::ostringstream forumcast_check_os_;                                    \
+      forumcast_check_os_ << msg;                                                \
+      ::forumcast::util::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                              forumcast_check_os_.str());        \
+    }                                                                            \
+  } while (false)

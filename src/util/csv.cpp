@@ -1,0 +1,81 @@
+#include "util/csv.hpp"
+
+#include <istream>
+
+#include "util/check.hpp"
+
+namespace forumcast::util {
+
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields) {
+  fields.clear();
+  int ch = in.get();
+  if (ch == EOF) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  for (;;) {
+    if (ch == EOF) {
+      FORUMCAST_CHECK_MSG(!in_quotes, "unterminated quoted CSV field");
+      break;
+    }
+    saw_any = true;
+    const char c = static_cast<char>(ch);
+    if (in_quotes) {
+      if (c == '"') {
+        const int next = in.peek();
+        if (next == '"') {
+          in.get();
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      FORUMCAST_CHECK_MSG(field.empty(), "quote inside unquoted CSV field");
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      break;
+    } else if (c == '\r') {
+      // Swallow \r\n; a lone \r also terminates the record.
+      if (in.peek() == '\n') in.get();
+      break;
+    } else {
+      field += c;
+    }
+    ch = in.get();
+  }
+  fields.push_back(std::move(field));
+  return saw_any || !fields.empty();
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> fields;
+  while (read_csv_record(in, fields)) {
+    // Skip completely empty trailing lines.
+    if (fields.size() == 1 && fields[0].empty()) continue;
+    rows.push_back(fields);
+  }
+  return rows;
+}
+
+std::string csv_escape_field(std::string_view field) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace forumcast::util

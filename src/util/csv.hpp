@@ -1,0 +1,27 @@
+// Minimal RFC-4180-style CSV reading (the writer lives in util/table.hpp).
+//
+// Supports quoted fields with embedded commas, escaped quotes ("") and
+// embedded newlines. Used by forum::load/save to exchange datasets with real
+// Stack Exchange exports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace forumcast::util {
+
+/// Parses one CSV record starting at the stream position; returns false at
+/// EOF. Handles quoted fields spanning lines. Throws CheckError on a
+/// malformed quote sequence.
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields);
+
+/// Parses an entire document; rows of a well-formed document all have the
+/// same arity but this is NOT enforced here (callers validate).
+std::vector<std::vector<std::string>> parse_csv(std::istream& in);
+
+/// Escapes a single field for CSV output.
+std::string csv_escape_field(std::string_view field);
+
+}  // namespace forumcast::util

@@ -1,0 +1,47 @@
+// Minimal leveled logger for library diagnostics.
+//
+// Experiments are long-running; INFO progress lines go to stderr so bench
+// stdout stays a clean table stream. Level is process-global and defaults to
+// Info; tests drop it to Warn to keep output quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace forumcast::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the process-global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `message` to stderr if `level` passes the global threshold.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace forumcast::util
+
+#define FORUMCAST_LOG_DEBUG ::forumcast::util::detail::LogLine(::forumcast::util::LogLevel::Debug)
+#define FORUMCAST_LOG_INFO ::forumcast::util::detail::LogLine(::forumcast::util::LogLevel::Info)
+#define FORUMCAST_LOG_WARN ::forumcast::util::detail::LogLine(::forumcast::util::LogLevel::Warn)
+#define FORUMCAST_LOG_ERROR ::forumcast::util::detail::LogLine(::forumcast::util::LogLevel::Error)

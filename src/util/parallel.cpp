@@ -1,0 +1,62 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace forumcast::util {
+
+std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  FORUMCAST_CHECK(body != nullptr);
+  if (count == 0) return;
+  if (threads == 0) threads = default_thread_count();
+  threads = std::min(threads, count);
+
+  if (threads <= 1 || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Dynamic chunking via an atomic cursor: balances uneven per-index work
+  // (BFS cost varies a lot by component size) without a scheduler.
+  std::atomic<std::size_t> cursor{0};
+  const std::size_t chunk = std::max<std::size_t>(1, count / (threads * 8));
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(chunk);
+      if (begin >= count) return;
+      const std::size_t end = std::min(count, begin + chunk);
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace forumcast::util

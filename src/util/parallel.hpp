@@ -1,0 +1,25 @@
+// Fork-join parallelism helper.
+//
+// parallel_for splits [0, count) into contiguous chunks across hardware
+// threads and blocks until every chunk completes. Results are deterministic
+// as long as the body writes only to per-index (disjoint) outputs — which is
+// how all call sites in this library use it (per-source centrality rows,
+// per-question topic fold-in). Exceptions thrown by the body are captured
+// and rethrown on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace forumcast::util {
+
+/// Number of worker threads to use by default (hardware concurrency, ≥ 1).
+std::size_t default_thread_count();
+
+/// Runs body(i) for every i in [0, count). `threads` = 0 means default.
+/// Falls back to a plain loop when count is small or one thread is requested.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace forumcast::util

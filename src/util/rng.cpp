@@ -1,0 +1,181 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace forumcast::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  FORUMCAST_CHECK(n > 0);
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    std::uint64_t draw = (*this)();
+    if (draw >= threshold) return draw % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FORUMCAST_CHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  FORUMCAST_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+  // Box–Muller; discard the second variate to keep replay order simple.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double sd) {
+  FORUMCAST_CHECK(sd >= 0.0);
+  return mean + sd * normal();
+}
+
+double Rng::exponential(double rate) {
+  FORUMCAST_CHECK(rate > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+double Rng::gamma(double shape, double scale) {
+  FORUMCAST_CHECK(shape > 0.0);
+  FORUMCAST_CHECK(scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 then apply the standard power correction.
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+int Rng::poisson(double mean) {
+  FORUMCAST_CHECK(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<int>(std::lround(draw));
+  }
+  const double limit = std::exp(-mean);
+  int k = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++k;
+    product *= uniform();
+  }
+  return k;
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  FORUMCAST_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FORUMCAST_CHECK(w >= 0.0);
+    total += w;
+  }
+  FORUMCAST_CHECK_MSG(total > 0.0, "categorical needs a positive weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (target < weights[i]) return i;
+    target -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+std::vector<double> Rng::dirichlet_symmetric(std::size_t dim, double alpha) {
+  FORUMCAST_CHECK(dim > 0);
+  FORUMCAST_CHECK(alpha > 0.0);
+  std::vector<double> alphas(dim, alpha);
+  return dirichlet(alphas);
+}
+
+std::vector<double> Rng::dirichlet(std::span<const double> alpha) {
+  FORUMCAST_CHECK(!alpha.empty());
+  std::vector<double> draws(alpha.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    FORUMCAST_CHECK(alpha[i] > 0.0);
+    draws[i] = gamma(alpha[i], 1.0);
+    total += draws[i];
+  }
+  if (total <= 0.0) {
+    // Numerically possible for tiny alphas: fall back to uniform.
+    const double uniform_mass = 1.0 / static_cast<double>(draws.size());
+    for (double& d : draws) d = uniform_mass;
+    return draws;
+  }
+  for (double& d : draws) d /= total;
+  return draws;
+}
+
+Rng Rng::fork() {
+  std::uint64_t s = (*this)();
+  return Rng(splitmix64(s));
+}
+
+}  // namespace forumcast::util

@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace forumcast::util {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  FORUMCAST_CHECK(!columns_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FORUMCAST_CHECK_MSG(cells.size() == columns_.size(),
+                      "row has " << cells.size() << " cells, expected " << columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  os << "\n== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c])) << cells[c] << ' ';
+    }
+    os << "|\n";
+  };
+  emit_row(columns_);
+  os << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  os.flush();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  FORUMCAST_CHECK_MSG(out.good(), "cannot open " << path);
+  write_csv(out);
+  FORUMCAST_CHECK_MSG(out.good(), "write failed for " << path);
+}
+
+}  // namespace forumcast::util

@@ -1,0 +1,44 @@
+// Console table / CSV emission for the experiment benches.
+//
+// Every bench binary regenerates a paper table or figure series; Table gives
+// them one consistent way to print aligned rows to stdout and optionally dump
+// the same data as CSV for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace forumcast::util {
+
+class Table {
+ public:
+  /// `title` is printed as a header banner; `columns` are the column names.
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; must have exactly one cell per column.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders the aligned table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes CSV to the given path; throws on I/O failure.
+  void save_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace forumcast::util

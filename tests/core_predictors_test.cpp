@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/answer_predictor.hpp"
+#include "core/vote_predictor.hpp"
+#include "eval/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::core {
+namespace {
+
+// ---------- AnswerPredictor ----------
+
+TEST(AnswerPredictor, SeparatesClassesOnSyntheticFeatures) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  // Positives cluster at (2, 100), negatives at (0, 50) — the second column
+  // has a very different scale, exercising the internal standardization.
+  for (int i = 0; i < 500; ++i) {
+    const bool positive = rng.bernoulli(0.5);
+    rows.push_back({rng.normal(positive ? 2.0 : 0.0, 1.0),
+                    rng.normal(positive ? 100.0 : 50.0, 20.0)});
+    labels.push_back(positive ? 1 : 0);
+  }
+  AnswerPredictor predictor;
+  predictor.fit(rows, labels);
+
+  std::vector<double> scores;
+  for (const auto& row : rows) {
+    scores.push_back(predictor.predict_probability(row));
+  }
+  EXPECT_GT(eval::auc(scores, labels), 0.85);
+}
+
+TEST(AnswerPredictor, ProbabilitiesWithinUnitInterval) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.normal()});
+    labels.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  }
+  AnswerPredictor predictor;
+  predictor.fit(rows, labels);
+  for (double x : {-100.0, 0.0, 100.0}) {
+    const double p = predictor.predict_probability(std::vector<double>{x});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(AnswerPredictor, PredictBeforeFitThrows) {
+  AnswerPredictor predictor;
+  EXPECT_THROW(predictor.predict_probability(std::vector<double>{1.0}),
+               util::CheckError);
+}
+
+// ---------- VotePredictor ----------
+
+TEST(VotePredictor, LearnsNonlinearTarget) {
+  util::Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  // v = x² − y + noise: a logistic/linear model cannot fit x².
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.uniform(-2.0, 2.0);
+    const double y = rng.uniform(-2.0, 2.0);
+    rows.push_back({x, y});
+    targets.push_back(x * x - y + rng.normal(0.0, 0.05));
+  }
+  VotePredictor predictor({.epochs = 250, .seed = 1});
+  predictor.fit(rows, targets);
+
+  std::vector<double> predictions;
+  for (const auto& row : rows) predictions.push_back(predictor.predict(row));
+  const double model_rmse = eval::rmse(predictions, targets);
+
+  // Baseline: predicting the mean.
+  std::vector<double> mean_predictions(targets.size());
+  double mean = 0.0;
+  for (double t : targets) mean += t;
+  mean /= static_cast<double>(targets.size());
+  std::fill(mean_predictions.begin(), mean_predictions.end(), mean);
+  const double baseline_rmse = eval::rmse(mean_predictions, targets);
+
+  EXPECT_LT(model_rmse, 0.4 * baseline_rmse);
+}
+
+TEST(VotePredictor, PredictsNegativeValues) {
+  // Output layer is linear, so negative vote targets must be reachable.
+  util::Rng rng(9);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    rows.push_back({x});
+    targets.push_back(-4.0 + x);  // strictly negative
+  }
+  VotePredictor predictor({.epochs = 150, .seed = 2});
+  predictor.fit(rows, targets);
+  EXPECT_LT(predictor.predict(std::vector<double>{0.0}), -2.0);
+}
+
+TEST(VotePredictor, DeterministicForSeed) {
+  util::Rng rng(11);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.normal()});
+    targets.push_back(rows.back()[0] * 2.0);
+  }
+  VotePredictor a({.epochs = 30, .seed = 5});
+  VotePredictor b({.epochs = 30, .seed = 5});
+  a.fit(rows, targets);
+  b.fit(rows, targets);
+  EXPECT_DOUBLE_EQ(a.predict(rows[0]), b.predict(rows[0]));
+}
+
+TEST(VotePredictor, ConstantTargetsHandled) {
+  std::vector<std::vector<double>> rows = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> targets = {5.0, 5.0, 5.0};
+  VotePredictor predictor({.epochs = 50, .seed = 3});
+  predictor.fit(rows, targets);
+  EXPECT_NEAR(predictor.predict(std::vector<double>{2.0}), 5.0, 0.5);
+}
+
+TEST(VotePredictor, ValidationErrors) {
+  VotePredictor predictor;
+  EXPECT_THROW(predictor.predict(std::vector<double>{1.0}), util::CheckError);
+  std::vector<std::vector<double>> rows = {{1.0}};
+  std::vector<double> short_targets = {};
+  EXPECT_THROW(predictor.fit(rows, short_targets), util::CheckError);
+  EXPECT_THROW(VotePredictor({.hidden_units = {}}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace forumcast::core

@@ -1,0 +1,130 @@
+// Persistence round trips for the three predictors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/answer_predictor.hpp"
+#include "core/timing_predictor.hpp"
+#include "core/vote_predictor.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::core {
+namespace {
+
+TEST(CoreSerialize, AnswerPredictorRoundTrip) {
+  util::Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.normal();
+    rows.push_back({x, rng.normal(0.0, 10.0)});
+    labels.push_back(x > 0.0 ? 1 : 0);
+  }
+  AnswerPredictor original;
+  original.fit(rows, labels);
+  std::stringstream buffer;
+  original.save(buffer);
+  const AnswerPredictor loaded = AnswerPredictor::load(buffer);
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(original.predict_probability(row),
+                     loaded.predict_probability(row));
+  }
+}
+
+TEST(CoreSerialize, VotePredictorRoundTrip) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-2.0, 2.0);
+    rows.push_back({x});
+    targets.push_back(3.0 * x - 1.0 + rng.normal(0.0, 0.1));
+  }
+  VotePredictor original({.epochs = 40, .seed = 5});
+  original.fit(rows, targets);
+  std::stringstream buffer;
+  original.save(buffer);
+  const VotePredictor loaded = VotePredictor::load(buffer);
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(original.predict(row), loaded.predict(row));
+  }
+}
+
+std::vector<TimingThread> tiny_timing_threads() {
+  util::Rng rng(7);
+  std::vector<TimingThread> threads;
+  for (int i = 0; i < 60; ++i) {
+    TimingThread thread;
+    thread.open_duration = 100.0;
+    const bool fast = (i % 2 == 0);
+    thread.answers.push_back(
+        {{fast ? 1.0 : 0.0, 0.5}, rng.exponential(fast ? 1.0 : 0.05)});
+    thread.survival.push_back({{fast ? 1.0 : 0.0, 0.5}, 1.0});
+    thread.survival.push_back({{fast ? 0.0 : 1.0, 0.1}, 4.0});
+    threads.push_back(std::move(thread));
+  }
+  return threads;
+}
+
+TEST(CoreSerialize, TimingPredictorRoundTripLearnedOmega) {
+  TimingPredictorConfig config;
+  config.epochs = 10;
+  config.f_hidden = {8, 4};
+  config.g_hidden = {8, 4};
+  TimingPredictor original(config);
+  original.fit(tiny_timing_threads());
+  std::stringstream buffer;
+  original.save(buffer);
+  const TimingPredictor loaded = TimingPredictor::load(buffer);
+  for (double x : {0.0, 0.3, 1.0}) {
+    const std::vector<double> features = {x, 0.5};
+    EXPECT_DOUBLE_EQ(original.predict_delay(features, 100.0),
+                     loaded.predict_delay(features, 100.0));
+    EXPECT_DOUBLE_EQ(original.excitation(features), loaded.excitation(features));
+    EXPECT_DOUBLE_EQ(original.decay(features), loaded.decay(features));
+  }
+}
+
+TEST(CoreSerialize, TimingPredictorRoundTripConstantOmega) {
+  TimingPredictorConfig config;
+  config.epochs = 8;
+  config.f_hidden = {6};
+  config.learn_omega = false;
+  config.expectation = TimingPredictorConfig::Expectation::PaperUnnormalized;
+  TimingPredictor original(config);
+  original.fit(tiny_timing_threads());
+  std::stringstream buffer;
+  original.save(buffer);
+  const TimingPredictor loaded = TimingPredictor::load(buffer);
+  const std::vector<double> features = {1.0, 0.5};
+  EXPECT_DOUBLE_EQ(original.predict_delay(features, 50.0),
+                   loaded.predict_delay(features, 50.0));
+  EXPECT_DOUBLE_EQ(original.decay(features), loaded.decay(features));
+}
+
+TEST(CoreSerialize, UnfittedSaveRejected) {
+  std::stringstream buffer;
+  EXPECT_THROW(AnswerPredictor().save(buffer), util::CheckError);
+  EXPECT_THROW(VotePredictor().save(buffer), util::CheckError);
+  EXPECT_THROW(TimingPredictor().save(buffer), util::CheckError);
+}
+
+TEST(CoreSerialize, CrossKindLoadRejected) {
+  util::Rng rng(9);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({rng.normal()});
+    labels.push_back(i % 2);
+  }
+  AnswerPredictor answer;
+  answer.fit(rows, labels);
+  std::stringstream buffer;
+  answer.save(buffer);
+  EXPECT_THROW(VotePredictor::load(buffer), util::CheckError);
+}
+
+}  // namespace
+}  // namespace forumcast::core

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/timing_predictor.hpp"
+#include "eval/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::core {
+namespace {
+
+// Builds synthetic point-process training threads where the true delay is
+// exponential with a rate determined by the (single) feature: fast pairs
+// (x = 1) answer with mean `fast_mean`, slow pairs (x = 0) with `slow_mean`.
+std::vector<TimingThread> synthetic_threads(std::size_t count, double fast_mean,
+                                            double slow_mean,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<TimingThread> threads;
+  const double horizon = 200.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    TimingThread thread;
+    thread.open_duration = horizon;
+    const bool fast = (i % 2 == 0);
+    const double mean = fast ? fast_mean : slow_mean;
+    double delay = rng.exponential(1.0 / mean);
+    delay = std::min(delay, horizon * 0.9);
+    thread.answers.push_back({{fast ? 1.0 : 0.0, 1.0}, delay});
+    thread.survival.push_back({{fast ? 1.0 : 0.0, 1.0}, 1.0});
+    // A couple of non-answering users with the opposite feature.
+    thread.survival.push_back({{fast ? 0.0 : 1.0, 0.0}, 5.0});
+    threads.push_back(std::move(thread));
+  }
+  return threads;
+}
+
+TEST(TimingPredictor, LearnedOmegaSeparatesFastAndSlowPairs) {
+  const auto threads = synthetic_threads(300, 1.0, 40.0, 3);
+  TimingPredictorConfig config;
+  config.epochs = 40;
+  config.seed = 1;
+  TimingPredictor predictor(config);
+  predictor.fit(threads);
+
+  const double fast = predictor.predict_delay(std::vector<double>{1.0, 1.0}, 200.0);
+  const double slow = predictor.predict_delay(std::vector<double>{0.0, 1.0}, 200.0);
+  EXPECT_LT(fast, slow);
+  EXPECT_GE(fast, 0.0);
+}
+
+TEST(TimingPredictor, ConstantOmegaVariantTrains) {
+  const auto threads = synthetic_threads(200, 2.0, 20.0, 5);
+  TimingPredictorConfig config;
+  config.learn_omega = false;
+  config.constant_omega = 0.5;
+  config.epochs = 30;
+  TimingPredictor predictor(config);
+  predictor.fit(threads);
+  // ω is global; predictions still vary through μ.
+  const double omega_fast = predictor.decay(std::vector<double>{1.0, 1.0});
+  const double omega_slow = predictor.decay(std::vector<double>{0.0, 1.0});
+  EXPECT_DOUBLE_EQ(omega_fast, omega_slow);
+  EXPECT_GT(omega_fast, 0.0);
+  const double delay = predictor.predict_delay(std::vector<double>{1.0, 1.0}, 200.0);
+  EXPECT_GE(delay, 0.0);
+  EXPECT_TRUE(std::isfinite(delay));
+}
+
+TEST(TimingPredictor, ExcitationHigherForAnsweringPairs) {
+  // Pairs with feature x=1 answer constantly; pairs with x=0 never do.
+  util::Rng rng(9);
+  std::vector<TimingThread> threads;
+  for (int i = 0; i < 200; ++i) {
+    TimingThread thread;
+    thread.open_duration = 100.0;
+    thread.answers.push_back({{1.0}, rng.exponential(0.5)});
+    thread.survival.push_back({{1.0}, 1.0});
+    thread.survival.push_back({{0.0}, 10.0});
+    threads.push_back(std::move(thread));
+  }
+  TimingPredictorConfig config;
+  config.epochs = 40;
+  TimingPredictor predictor(config);
+  predictor.fit(threads);
+  EXPECT_GT(predictor.excitation(std::vector<double>{1.0}),
+            predictor.excitation(std::vector<double>{0.0}));
+}
+
+TEST(TimingPredictor, PaperExpectationFormulaIsFiniteAndNonNegative) {
+  const auto threads = synthetic_threads(150, 1.0, 30.0, 11);
+  TimingPredictorConfig config;
+  config.expectation = TimingPredictorConfig::Expectation::PaperUnnormalized;
+  config.epochs = 25;
+  TimingPredictor predictor(config);
+  predictor.fit(threads);
+  for (double x : {0.0, 1.0}) {
+    const double delay =
+        predictor.predict_delay(std::vector<double>{x, 1.0}, 200.0);
+    EXPECT_TRUE(std::isfinite(delay));
+    EXPECT_GE(delay, 0.0);
+  }
+}
+
+TEST(TimingPredictor, CalibrationImprovesScale) {
+  // With calibration the average prediction should be close to the average
+  // observed delay.
+  const auto threads = synthetic_threads(300, 3.0, 30.0, 13);
+  TimingPredictorConfig config;
+  config.epochs = 40;
+  config.calibrate = true;
+  TimingPredictor predictor(config);
+  predictor.fit(threads);
+  double observed = 0.0, predicted = 0.0;
+  std::size_t n = 0;
+  for (const auto& thread : threads) {
+    for (const auto& answer : thread.answers) {
+      observed += answer.delay;
+      predicted += predictor.predict_delay(answer.features, thread.open_duration);
+      ++n;
+    }
+  }
+  observed /= static_cast<double>(n);
+  predicted /= static_cast<double>(n);
+  EXPECT_NEAR(predicted, observed, 0.5 * observed);
+}
+
+TEST(TimingPredictor, ZeroOpenDurationFallsBackToTrainingMean) {
+  const auto threads = synthetic_threads(100, 2.0, 10.0, 17);
+  TimingPredictorConfig config;
+  config.epochs = 15;
+  TimingPredictor predictor(config);
+  predictor.fit(threads);
+  const double delay = predictor.predict_delay(std::vector<double>{1.0, 1.0}, 0.0);
+  EXPECT_TRUE(std::isfinite(delay));
+  EXPECT_GE(delay, 0.0);
+}
+
+TEST(TimingPredictor, DeterministicForSeed) {
+  const auto threads = synthetic_threads(80, 2.0, 15.0, 19);
+  TimingPredictorConfig config;
+  config.epochs = 10;
+  config.seed = 42;
+  TimingPredictor a(config), b(config);
+  a.fit(threads);
+  b.fit(threads);
+  const std::vector<double> x = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.predict_delay(x, 100.0), b.predict_delay(x, 100.0));
+}
+
+TEST(TimingPredictor, ValidatesInput) {
+  TimingPredictor predictor;
+  EXPECT_THROW(predictor.fit(std::vector<TimingThread>{}), util::CheckError);
+  EXPECT_THROW(predictor.predict_delay(std::vector<double>{1.0}, 10.0),
+               util::CheckError);
+  // Threads with no answers anywhere are rejected.
+  std::vector<TimingThread> empty_threads(3);
+  for (auto& thread : empty_threads) {
+    thread.open_duration = 10.0;
+    thread.survival.push_back({{1.0}, 1.0});
+  }
+  EXPECT_THROW(predictor.fit(empty_threads), util::CheckError);
+  EXPECT_THROW(TimingPredictor({.constant_omega = 0.0}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace forumcast::core
+
+namespace forumcast::core {
+namespace {
+
+TEST(TimingPredictor, CumulativeIntensityProperties) {
+  const auto threads = synthetic_threads(200, 1.0, 30.0, 23);
+  TimingPredictorConfig config;
+  config.epochs = 25;
+  TimingPredictor predictor(config);
+  predictor.fit(threads);
+
+  const std::vector<double> fast = {1.0, 1.0};
+  const std::vector<double> slow = {0.0, 1.0};
+  // Λ(0) = 0; Λ is nondecreasing in the horizon; Λ = μ·A(ω) ≤ μ/ω.
+  EXPECT_NEAR(predictor.cumulative_intensity(fast, 0.0), 0.0, 1e-12);
+  double previous = 0.0;
+  for (double h : {1.0, 5.0, 25.0, 100.0, 1000.0}) {
+    const double lambda = predictor.cumulative_intensity(fast, h);
+    EXPECT_GE(lambda, previous);
+    previous = lambda;
+  }
+  const double bound = predictor.excitation(fast) / predictor.decay(fast);
+  EXPECT_LE(previous, bound + 1e-9);
+  (void)slow;
+}
+
+TEST(TimingPredictor, AnswerProbabilityIsCalibratedMonotone) {
+  const auto threads = synthetic_threads(200, 1.0, 30.0, 29);
+  TimingPredictorConfig config;
+  config.epochs = 25;
+  TimingPredictor predictor(config);
+  predictor.fit(threads);
+  const std::vector<double> x = {1.0, 1.0};
+  double previous = 0.0;
+  for (double h : {0.0, 1.0, 10.0, 100.0}) {
+    const double p = predictor.probability_answer_within(x, h);
+    EXPECT_GE(p, previous - 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+}
+
+// Configuration grid: every (ω mode × estimator × calibration) combination
+// must train and produce finite, non-negative predictions.
+class TimingConfigGridTest
+    : public ::testing::TestWithParam<std::tuple<bool, int, bool>> {};
+
+TEST_P(TimingConfigGridTest, TrainsAndPredictsFinite) {
+  const auto [learn_omega, expectation_index, calibrate] = GetParam();
+  TimingPredictorConfig config;
+  config.learn_omega = learn_omega;
+  config.expectation =
+      expectation_index == 0
+          ? TimingPredictorConfig::Expectation::PaperUnnormalized
+          : TimingPredictorConfig::Expectation::ConditionalFirstEvent;
+  config.calibrate = calibrate;
+  config.epochs = 8;
+  config.f_hidden = {8};
+  config.g_hidden = {8};
+  TimingPredictor predictor(config);
+  predictor.fit(synthetic_threads(80, 2.0, 20.0, 31));
+  for (double x : {0.0, 0.5, 1.0}) {
+    const double delay =
+        predictor.predict_delay(std::vector<double>{x, 1.0}, 150.0);
+    EXPECT_TRUE(std::isfinite(delay));
+    EXPECT_GE(delay, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimingConfigGridTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(0, 1),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace forumcast::core
+
+namespace forumcast::core {
+namespace {
+
+TEST(TimingPredictor, HeldOutLogLikelihoodIsFiniteAndComparable) {
+  const auto train = synthetic_threads(200, 1.0, 30.0, 41);
+  const auto test = synthetic_threads(100, 1.0, 30.0, 43);
+  TimingPredictorConfig config;
+  config.epochs = 25;
+  TimingPredictor predictor(config);
+  predictor.fit(train);
+  const double train_ll = predictor.mean_log_likelihood(train);
+  const double test_ll = predictor.mean_log_likelihood(test);
+  EXPECT_TRUE(std::isfinite(train_ll));
+  EXPECT_TRUE(std::isfinite(test_ll));
+  // Same-distribution held-out likelihood should be in the same ballpark.
+  EXPECT_NEAR(test_ll, train_ll, std::abs(train_ll) * 0.5 + 1.0);
+}
+
+TEST(TimingPredictor, TrainingImprovesLikelihoodOverUndertrainedModel) {
+  const auto train = synthetic_threads(200, 1.0, 40.0, 47);
+  const auto test = synthetic_threads(100, 1.0, 40.0, 49);
+  TimingPredictorConfig brief_config;
+  brief_config.epochs = 1;
+  TimingPredictor brief(brief_config);
+  brief.fit(train);
+  TimingPredictorConfig long_config;
+  long_config.epochs = 40;
+  TimingPredictor trained(long_config);
+  trained.fit(train);
+  EXPECT_GT(trained.mean_log_likelihood(test), brief.mean_log_likelihood(test));
+}
+
+TEST(TimingPredictor, LikelihoodRequiresFit) {
+  TimingPredictor predictor;
+  EXPECT_THROW(predictor.mean_log_likelihood(synthetic_threads(5, 1.0, 2.0, 1)),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace forumcast::core

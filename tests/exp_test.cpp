@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "forum/generator.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::exp {
+namespace {
+
+struct ExpFixture {
+  forum::Dataset dataset;
+  std::unique_ptr<ExperimentContext> context;
+
+  static ExpFixture& instance() {
+    static ExpFixture fixture;
+    return fixture;
+  }
+
+ private:
+  ExpFixture() {
+    forum::GeneratorConfig config;
+    config.num_users = 300;
+    config.num_questions = 250;
+    config.seed = 888;
+    dataset = forum::generate_forum(config).dataset.preprocessed();
+    std::vector<forum::QuestionId> omega(dataset.num_questions());
+    for (std::size_t i = 0; i < omega.size(); ++i) {
+      omega[i] = static_cast<forum::QuestionId>(i);
+    }
+    features::ExtractorConfig extractor_config;
+    extractor_config.lda.iterations = 15;
+    context = std::make_unique<ExperimentContext>(dataset, omega, omega,
+                                                  extractor_config);
+  }
+};
+
+TaskSetup tiny_setup() {
+  TaskSetup setup = fast_task_setup();
+  setup.folds = 3;
+  setup.repeats = 1;
+  setup.answer.logistic.epochs = 25;
+  setup.vote.epochs = 15;
+  setup.timing.epochs = 5;
+  setup.survival_samples_per_thread = 4;
+  setup.sparfa.epochs = 10;
+  setup.mf.epochs = 10;
+  setup.poisson.epochs = 20;
+  return setup;
+}
+
+TEST(TaskMetrics, MeanAndStddev) {
+  TaskMetrics metrics;
+  metrics.per_iteration = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(metrics.mean(), 2.0);
+  EXPECT_GT(metrics.stddev(), 0.0);
+  EXPECT_TRUE(TaskMetrics{}.empty());
+}
+
+TEST(ExperimentContext, CachesAllPositivePairFeatures) {
+  auto& fixture = ExpFixture::instance();
+  const auto& context = *fixture.context;
+  EXPECT_EQ(context.positives().size(), context.positive_features().size());
+  EXPECT_GT(context.positives().size(), 0u);
+  for (const auto& row : context.positive_features()) {
+    EXPECT_EQ(row.size(), context.extractor().dimension());
+  }
+}
+
+TEST(ExperimentContext, RejectsEmptyInputs) {
+  auto& fixture = ExpFixture::instance();
+  std::vector<forum::QuestionId> omega = {0};
+  EXPECT_THROW(ExperimentContext(fixture.dataset, {}, omega), util::CheckError);
+  EXPECT_THROW(ExperimentContext(fixture.dataset, omega, {}), util::CheckError);
+}
+
+TEST(RunTasks, ProducesOneMetricPerIteration) {
+  auto& fixture = ExpFixture::instance();
+  const TaskSetup setup = tiny_setup();
+  const auto result = run_tasks(*fixture.context, setup);
+  const std::size_t iterations = setup.folds * setup.repeats;
+  EXPECT_EQ(result.answer_auc.per_iteration.size(), iterations);
+  EXPECT_EQ(result.answer_auc_baseline.per_iteration.size(), iterations);
+  EXPECT_EQ(result.vote_rmse.per_iteration.size(), iterations);
+  EXPECT_EQ(result.vote_rmse_baseline.per_iteration.size(), iterations);
+  EXPECT_EQ(result.timing_rmse.per_iteration.size(), iterations);
+  EXPECT_EQ(result.timing_rmse_baseline.per_iteration.size(), iterations);
+  // Sanity on ranges.
+  for (double auc : result.answer_auc.per_iteration) {
+    EXPECT_GE(auc, 0.0);
+    EXPECT_LE(auc, 1.0);
+  }
+  for (double rmse : result.timing_rmse.per_iteration) EXPECT_GE(rmse, 0.0);
+}
+
+TEST(RunTasks, TaskTogglesAreRespected) {
+  auto& fixture = ExpFixture::instance();
+  TaskSetup setup = tiny_setup();
+  setup.run_answer = false;
+  setup.run_timing = false;
+  setup.run_baselines = false;
+  const auto result = run_tasks(*fixture.context, setup);
+  EXPECT_TRUE(result.answer_auc.empty());
+  EXPECT_TRUE(result.answer_auc_baseline.empty());
+  EXPECT_FALSE(result.vote_rmse.empty());
+  EXPECT_TRUE(result.vote_rmse_baseline.empty());
+  EXPECT_TRUE(result.timing_rmse.empty());
+}
+
+TEST(RunTasks, DeterministicForSeed) {
+  auto& fixture = ExpFixture::instance();
+  TaskSetup setup = tiny_setup();
+  setup.run_timing = false;  // keep it quick
+  const auto a = run_tasks(*fixture.context, setup);
+  const auto b = run_tasks(*fixture.context, setup);
+  EXPECT_EQ(a.answer_auc.per_iteration, b.answer_auc.per_iteration);
+  EXPECT_EQ(a.vote_rmse.per_iteration, b.vote_rmse.per_iteration);
+}
+
+TEST(RunTasks, FeatureSubsetChangesResults) {
+  auto& fixture = ExpFixture::instance();
+  TaskSetup setup = tiny_setup();
+  setup.run_answer = false;
+  setup.run_timing = false;
+  setup.run_baselines = false;
+  const auto full = run_tasks(*fixture.context, setup);
+
+  const auto& layout = fixture.context->extractor().layout();
+  setup.feature_columns = layout.columns_excluding(
+      features::FeatureLayout::features_in_group(features::FeatureGroup::User));
+  const auto ablated = run_tasks(*fixture.context, setup);
+  EXPECT_NE(full.vote_rmse.per_iteration, ablated.vote_rmse.per_iteration);
+}
+
+TEST(RunTasks, ModelBeatsBaselineOnAnswerTask) {
+  auto& fixture = ExpFixture::instance();
+  TaskSetup setup = tiny_setup();
+  setup.run_votes = false;
+  setup.run_timing = false;
+  setup.answer.logistic.epochs = 60;
+  const auto result = run_tasks(*fixture.context, setup);
+  // The headline Table I shape at miniature scale: features beat SPARFA.
+  EXPECT_GT(result.answer_auc.mean(), result.answer_auc_baseline.mean());
+}
+
+}  // namespace
+}  // namespace forumcast::exp
+
+namespace forumcast::exp {
+namespace {
+
+TEST(BlockedContext, AssignsBlocksAndProducesFeatures) {
+  forum::GeneratorConfig config;
+  config.num_users = 200;
+  config.num_questions = 150;
+  config.seed = 555;
+  const auto dataset = forum::generate_forum(config).dataset.preprocessed();
+  std::vector<forum::QuestionId> omega(dataset.num_questions());
+  for (std::size_t i = 0; i < omega.size(); ++i) {
+    omega[i] = static_cast<forum::QuestionId>(i);
+  }
+  features::ExtractorConfig extractor_config;
+  extractor_config.lda.iterations = 10;
+  BlockedExperimentContext context(dataset, omega, /*block_days=*/10,
+                                   extractor_config);
+  EXPECT_GE(context.block_count(), 3u);  // 30 days / 10
+  EXPECT_EQ(context.positives().size(), context.positive_features().size());
+  const auto x = context.features(0, 0);
+  EXPECT_EQ(x.size(), features::FeatureLayout(8).dimension());
+}
+
+TEST(BlockedContext, LaterBlocksSeeOnlyEarlierHistory) {
+  forum::GeneratorConfig config;
+  config.num_users = 200;
+  config.num_questions = 150;
+  config.seed = 556;
+  const auto dataset = forum::generate_forum(config).dataset.preprocessed();
+  std::vector<forum::QuestionId> omega(dataset.num_questions());
+  for (std::size_t i = 0; i < omega.size(); ++i) {
+    omega[i] = static_cast<forum::QuestionId>(i);
+  }
+  features::ExtractorConfig extractor_config;
+  extractor_config.lda.iterations = 10;
+  BlockedExperimentContext blocked(dataset, omega, 10, extractor_config);
+  ExperimentContext full(dataset, omega, omega, extractor_config);
+
+  // For a late question, the blocked a_u (answers provided) can only count a
+  // strict subset of the window the full context counts.
+  const features::FeatureLayout layout(8);
+  const auto& pair = blocked.positives().back();  // latest thread
+  const double a_blocked =
+      blocked.features(pair.user, pair.question)[layout.offset(
+          features::FeatureId::AnswersProvided)];
+  const double a_full = full.features(pair.user, pair.question)[layout.offset(
+      features::FeatureId::AnswersProvided)];
+  EXPECT_LE(a_blocked, a_full);
+}
+
+TEST(BlockedContext, RunTasksWorksEndToEnd) {
+  forum::GeneratorConfig config;
+  config.num_users = 200;
+  config.num_questions = 150;
+  config.seed = 557;
+  const auto dataset = forum::generate_forum(config).dataset.preprocessed();
+  std::vector<forum::QuestionId> omega(dataset.num_questions());
+  for (std::size_t i = 0; i < omega.size(); ++i) {
+    omega[i] = static_cast<forum::QuestionId>(i);
+  }
+  features::ExtractorConfig extractor_config;
+  extractor_config.lda.iterations = 8;
+  BlockedExperimentContext context(dataset, omega, 10, extractor_config);
+
+  TaskSetup setup = fast_task_setup();
+  setup.folds = 3;
+  setup.repeats = 1;
+  setup.run_timing = false;
+  setup.run_baselines = false;
+  setup.answer.logistic.epochs = 20;
+  setup.vote.epochs = 10;
+  const auto result = run_tasks(context, setup);
+  EXPECT_EQ(result.answer_auc.per_iteration.size(), 3u);
+  EXPECT_EQ(result.vote_rmse.per_iteration.size(), 3u);
+}
+
+}  // namespace
+}  // namespace forumcast::exp

@@ -1,0 +1,147 @@
+// Edge cases for the feature extractor: windows with no answers, askers-only
+// users, and degenerate text — the cold-start conditions a deployment hits on
+// day one.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "features/extractor.hpp"
+#include "forum/dataset.hpp"
+#include "topics/topic_math.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::features {
+namespace {
+
+using forum::Post;
+using forum::QuestionId;
+using forum::Thread;
+using forum::UserId;
+
+Post make_post(UserId user, double t, int votes, std::string body) {
+  Post post;
+  post.creator = user;
+  post.timestamp_hours = t;
+  post.net_votes = votes;
+  post.body_html = std::move(body);
+  return post;
+}
+
+// q0 (answered, day 1), q1 (answered, day 20), q2 (unanswered, day 20).
+forum::Dataset tiny_dataset() {
+  std::vector<Thread> threads;
+  {
+    Thread thread;
+    thread.question = make_post(0, 1.0, 2, "<p>alpha beta gamma delta</p>");
+    thread.answers.push_back(
+        make_post(1, 2.0, 4, "<p>gamma delta epsilon</p><code>x=1</code>"));
+    threads.push_back(std::move(thread));
+  }
+  {
+    Thread thread;
+    thread.question = make_post(2, 480.0, 0, "<p>zeta eta theta iota</p>");
+    thread.answers.push_back(make_post(1, 485.0, -2, "<p>iota kappa</p>"));
+    threads.push_back(std::move(thread));
+  }
+  {
+    Thread thread;
+    thread.question = make_post(3, 481.0, 1, "<p></p>");  // empty words
+    threads.push_back(std::move(thread));
+  }
+  return forum::Dataset(std::move(threads), 4);
+}
+
+ExtractorConfig tiny_config() {
+  ExtractorConfig config;
+  config.lda.iterations = 10;
+  return config;
+}
+
+TEST(FeatureExtractorEdge, WindowWithoutAnswersGivesDefaults) {
+  const auto dataset = tiny_dataset();
+  // Window = only the unanswered question q2.
+  const std::vector<QuestionId> window = {2};
+  const FeatureExtractor extractor(dataset, window, tiny_config());
+  const auto& layout = extractor.layout();
+
+  const auto x = extractor.features(1, 0);
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::AnswersProvided)], 0.0);
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::NetAnswerVotes)], 0.0);
+  // No answers anywhere in the window: the global-median fallback is 0.
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::MedianResponseTime)], 0.0);
+  // d_u defaults to uniform.
+  std::vector<double> d_u(x.begin() + static_cast<std::ptrdiff_t>(
+                                          layout.offset(FeatureId::TopicsAnswered)),
+                          x.begin() + static_cast<std::ptrdiff_t>(
+                                          layout.offset(FeatureId::TopicsAnswered) +
+                                          layout.width(FeatureId::TopicsAnswered)));
+  EXPECT_TRUE(topics::is_distribution(d_u, 1e-9));
+  for (double v : d_u) EXPECT_NEAR(v, 1.0 / 8.0, 1e-9);
+}
+
+TEST(FeatureExtractorEdge, AskerOnlyUserHasZeroRatio) {
+  const auto dataset = tiny_dataset();
+  const std::vector<QuestionId> window = {0, 1, 2};
+  const FeatureExtractor extractor(dataset, window, tiny_config());
+  const auto& layout = extractor.layout();
+  // User 3 asked q2, never answered: ratio = 0 / (1 + 1) = 0.
+  const auto x = extractor.features(3, 0);
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::AnswerRatio)], 0.0);
+  EXPECT_EQ(extractor.user_stats(3).questions_asked, 1u);
+}
+
+TEST(FeatureExtractorEdge, EmptyQuestionBodyHandled) {
+  const auto dataset = tiny_dataset();
+  const std::vector<QuestionId> window = {0, 1, 2};
+  const FeatureExtractor extractor(dataset, window, tiny_config());
+  const auto& layout = extractor.layout();
+  const auto x = extractor.features(1, 2);  // q2 has an empty body
+  // Tags become separators, so "<p></p>" leaves at most whitespace.
+  EXPECT_LE(x[layout.offset(FeatureId::QuestionWordLength)], 2.0);
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::QuestionCodeLength)], 0.0);
+  // Its topic distribution is still a valid distribution (the prior).
+  const auto d_q = extractor.question_topics(2);
+  EXPECT_TRUE(topics::is_distribution(
+      std::vector<double>(d_q.begin(), d_q.end()), 1e-9));
+}
+
+TEST(FeatureExtractorEdge, TargetThreadExcludedFromCooccurrenceFeature) {
+  const auto dataset = tiny_dataset();
+  const std::vector<QuestionId> window = {0, 1, 2};
+  const FeatureExtractor extractor(dataset, window, tiny_config());
+  const auto& layout = extractor.layout();
+  // User 1 answered q0 (asker 0) and q1 (asker 2). Raw co-occurrence(1, 0)
+  // counts thread 0; the feature for the pair (1, q0) must exclude it.
+  EXPECT_DOUBLE_EQ(extractor.thread_cooccurrence(1, 0), 1.0);
+  const auto x = extractor.features(1, 0);
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::ThreadCooccurrence)], 0.0);
+  // For an unrelated question the raw count stands.
+  const auto x2 = extractor.features(1, 2);
+  EXPECT_DOUBLE_EQ(x2[layout.offset(FeatureId::ThreadCooccurrence)], 0.0);
+}
+
+TEST(FeatureExtractorEdge, OutOfWindowQuestionGetsFoldedInTopics) {
+  const auto dataset = tiny_dataset();
+  const std::vector<QuestionId> window = {0};  // q1, q2 outside
+  const FeatureExtractor extractor(dataset, window, tiny_config());
+  for (QuestionId q : {QuestionId{1}, QuestionId{2}}) {
+    const auto d_q = extractor.question_topics(q);
+    EXPECT_TRUE(topics::is_distribution(
+        std::vector<double>(d_q.begin(), d_q.end()), 1e-9))
+        << "question " << q;
+  }
+}
+
+TEST(FeatureExtractorEdge, SingleThreadWindowWorks) {
+  const auto dataset = tiny_dataset();
+  const std::vector<QuestionId> window = {0};
+  const FeatureExtractor extractor(dataset, window, tiny_config());
+  // The QA graph has exactly the one asker-answerer edge.
+  EXPECT_EQ(extractor.qa_graph().edge_count(), 1u);
+  EXPECT_TRUE(extractor.qa_graph().has_edge(0, 1));
+  const auto x = extractor.features(1, 0);
+  EXPECT_EQ(x.size(), extractor.dimension());
+}
+
+}  // namespace
+}  // namespace forumcast::features

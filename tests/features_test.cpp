@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "features/extractor.hpp"
+#include "features/feature_layout.hpp"
+#include "forum/generator.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::features {
+namespace {
+
+using forum::QuestionId;
+using forum::UserId;
+
+// ---------- FeatureLayout ----------
+
+TEST(FeatureLayout, DimensionIs18Plus2K) {
+  EXPECT_EQ(FeatureLayout(8).dimension(), 18u + 16u);
+  EXPECT_EQ(FeatureLayout(5).dimension(), 18u + 10u);
+  EXPECT_EQ(FeatureLayout(1).dimension(), 20u);
+  EXPECT_THROW(FeatureLayout(0), util::CheckError);
+}
+
+TEST(FeatureLayout, WidthsOfTopicFeatures) {
+  const FeatureLayout layout(8);
+  EXPECT_EQ(layout.width(FeatureId::TopicsAnswered), 8u);
+  EXPECT_EQ(layout.width(FeatureId::TopicsAsked), 8u);
+  EXPECT_EQ(layout.width(FeatureId::AnswersProvided), 1u);
+}
+
+TEST(FeatureLayout, OffsetsAreContiguousAndOrdered) {
+  const FeatureLayout layout(4);
+  std::size_t expected = 0;
+  for (FeatureId id : all_features()) {
+    EXPECT_EQ(layout.offset(id), expected) << feature_name(id);
+    expected += layout.width(id);
+  }
+  EXPECT_EQ(expected, layout.dimension());
+}
+
+TEST(FeatureLayout, GroupAssignmentsMatchPaper) {
+  EXPECT_EQ(feature_group(FeatureId::AnswersProvided), FeatureGroup::User);
+  EXPECT_EQ(feature_group(FeatureId::TopicsAsked), FeatureGroup::Question);
+  EXPECT_EQ(feature_group(FeatureId::TopicWeightedAnswerVotes),
+            FeatureGroup::UserQuestion);
+  EXPECT_EQ(feature_group(FeatureId::DenseResourceAllocation),
+            FeatureGroup::Social);
+  EXPECT_EQ(FeatureLayout::features_in_group(FeatureGroup::User).size(), 5u);
+  EXPECT_EQ(FeatureLayout::features_in_group(FeatureGroup::Question).size(), 4u);
+  EXPECT_EQ(FeatureLayout::features_in_group(FeatureGroup::UserQuestion).size(), 3u);
+  EXPECT_EQ(FeatureLayout::features_in_group(FeatureGroup::Social).size(), 8u);
+}
+
+TEST(FeatureLayout, ExclusionRemovesCorrectColumnCount) {
+  const FeatureLayout layout(8);
+  const auto cols = layout.columns_excluding({FeatureId::TopicsAnswered});
+  EXPECT_EQ(cols.size(), layout.dimension() - 8);
+  const auto cols2 =
+      layout.columns_excluding({FeatureId::AnswersProvided, FeatureId::AnswerRatio});
+  EXPECT_EQ(cols2.size(), layout.dimension() - 2);
+}
+
+TEST(FeatureLayout, CannotExcludeEverything) {
+  const FeatureLayout layout(2);
+  std::vector<FeatureId> everything(all_features().begin(), all_features().end());
+  EXPECT_THROW(layout.columns_excluding(everything), util::CheckError);
+}
+
+TEST(FeatureLayout, ProjectSelectsColumns) {
+  const std::vector<double> full = {10.0, 11.0, 12.0, 13.0};
+  const auto reduced = FeatureLayout::project(full, {0, 2});
+  EXPECT_EQ(reduced, (std::vector<double>{10.0, 12.0}));
+  EXPECT_THROW(FeatureLayout::project(full, {9}), util::CheckError);
+}
+
+TEST(FeatureLayout, NamesAreUnique) {
+  std::vector<std::string> names;
+  for (FeatureId id : all_features()) names.push_back(feature_name(id));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+// ---------- FeatureExtractor on a synthetic forum ----------
+
+struct ExtractorFixture {
+  forum::Dataset dataset;
+  FeatureExtractor extractor;
+
+  static ExtractorFixture make() {
+    forum::GeneratorConfig config;
+    config.num_users = 250;
+    config.num_questions = 220;
+    config.seed = 99;
+    auto clean = forum::generate_forum(config).dataset.preprocessed();
+    std::vector<QuestionId> all(clean.num_questions());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<QuestionId>(i);
+    ExtractorConfig extractor_config;
+    extractor_config.lda.iterations = 30;
+    return ExtractorFixture{std::move(clean), all, extractor_config};
+  }
+
+ private:
+  ExtractorFixture(forum::Dataset data, const std::vector<QuestionId>& window,
+                   const ExtractorConfig& config)
+      : dataset(std::move(data)), extractor(dataset, window, config) {}
+};
+
+ExtractorFixture& fixture() {
+  static ExtractorFixture instance = ExtractorFixture::make();
+  return instance;
+}
+
+TEST(FeatureExtractor, VectorHasExpectedDimension) {
+  auto& f = fixture();
+  const auto x = f.extractor.features(0, 0);
+  EXPECT_EQ(x.size(), 18u + 2 * 8u);
+  EXPECT_EQ(f.extractor.dimension(), x.size());
+}
+
+TEST(FeatureExtractor, TopicBlocksAreDistributions) {
+  auto& f = fixture();
+  const auto& layout = f.extractor.layout();
+  const auto x = f.extractor.features(3, 5);
+  double du_sum = 0.0, dq_sum = 0.0;
+  for (std::size_t k = 0; k < 8; ++k) {
+    du_sum += x[layout.offset(FeatureId::TopicsAnswered) + k];
+    dq_sum += x[layout.offset(FeatureId::TopicsAsked) + k];
+  }
+  EXPECT_NEAR(du_sum, 1.0, 1e-6);
+  EXPECT_NEAR(dq_sum, 1.0, 1e-6);
+}
+
+TEST(FeatureExtractor, UserFeaturesMatchDatasetCounts) {
+  auto& f = fixture();
+  const auto pairs = f.dataset.answered_pairs();
+  // Pick a user with at least one answer.
+  const UserId user = pairs.front().user;
+  std::size_t answer_count = 0;
+  double vote_total = 0.0;
+  for (const auto& pair : pairs) {
+    if (pair.user == user) {
+      ++answer_count;
+      vote_total += pair.votes;
+    }
+  }
+  const auto& layout = f.extractor.layout();
+  const auto x = f.extractor.features(user, 0);
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::AnswersProvided)],
+                   static_cast<double>(answer_count));
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::NetAnswerVotes)], vote_total);
+}
+
+TEST(FeatureExtractor, AnswerRatioUsesSmoothedDenominator) {
+  auto& f = fixture();
+  const auto& layout = f.extractor.layout();
+  // A user who never asked: ratio = answers / 1.
+  for (UserId u = 0; u < f.dataset.num_users(); ++u) {
+    const auto& stats = f.extractor.user_stats(u);
+    if (stats.questions_asked == 0 && stats.answers_provided > 0) {
+      const auto x = f.extractor.features(u, 0);
+      EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::AnswerRatio)],
+                       static_cast<double>(stats.answers_provided));
+      return;
+    }
+  }
+  GTEST_SKIP() << "no pure answerer in fixture";
+}
+
+TEST(FeatureExtractor, QuestionFeaturesAreConsistentAcrossUsers) {
+  auto& f = fixture();
+  const auto& layout = f.extractor.layout();
+  const auto xa = f.extractor.features(1, 7);
+  const auto xb = f.extractor.features(2, 7);
+  for (FeatureId id : {FeatureId::NetQuestionVotes, FeatureId::QuestionWordLength,
+                       FeatureId::QuestionCodeLength}) {
+    EXPECT_DOUBLE_EQ(xa[layout.offset(id)], xb[layout.offset(id)])
+        << feature_name(id);
+  }
+}
+
+TEST(FeatureExtractor, SimilarityFeaturesWithinUnitInterval) {
+  auto& f = fixture();
+  const auto& layout = f.extractor.layout();
+  for (UserId u = 0; u < 40; ++u) {
+    const auto x = f.extractor.features(u, u % f.dataset.num_questions());
+    for (FeatureId id :
+         {FeatureId::UserQuestionTopicSimilarity, FeatureId::UserUserTopicSimilarity}) {
+      const double s = x[layout.offset(id)];
+      EXPECT_GE(s, 0.0) << feature_name(id);
+      EXPECT_LE(s, 1.0 + 1e-9) << feature_name(id);
+    }
+  }
+}
+
+TEST(FeatureExtractor, CooccurrenceCountsSharedThreads) {
+  auto& f = fixture();
+  // The asker and the first answerer of thread 0 co-occur at least once.
+  const auto& thread = f.dataset.thread(0);
+  ASSERT_FALSE(thread.answers.empty());
+  const UserId asker = thread.question.creator;
+  const UserId answerer = thread.answers.front().creator;
+  EXPECT_GE(f.extractor.thread_cooccurrence(asker, answerer), 1.0);
+  EXPECT_DOUBLE_EQ(f.extractor.thread_cooccurrence(asker, answerer),
+                   f.extractor.thread_cooccurrence(answerer, asker));
+}
+
+TEST(FeatureExtractor, CentralityColumnsMatchGraphCentralities) {
+  auto& f = fixture();
+  const auto& layout = f.extractor.layout();
+  const UserId u = f.dataset.thread(0).answers.front().creator;
+  const auto x = f.extractor.features(u, 0);
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::QaCloseness)],
+                   f.extractor.qa_closeness()[u]);
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::QaBetweenness)],
+                   f.extractor.qa_betweenness()[u]);
+  EXPECT_DOUBLE_EQ(x[layout.offset(FeatureId::DenseCloseness)],
+                   f.extractor.dense_closeness()[u]);
+}
+
+TEST(FeatureExtractor, WindowRestrictsUserHistory) {
+  // Build an extractor over a half window; users active only in the other
+  // half must show zero answers.
+  forum::GeneratorConfig config;
+  config.num_users = 150;
+  config.num_questions = 120;
+  config.seed = 123;
+  const auto clean = forum::generate_forum(config).dataset.preprocessed();
+  const auto first_half = clean.questions_in_days(1, 15);
+  ASSERT_FALSE(first_half.empty());
+  ExtractorConfig extractor_config;
+  extractor_config.lda.iterations = 15;
+  const FeatureExtractor extractor(clean, first_half, extractor_config);
+
+  const auto all_pairs = clean.answered_pairs();
+  const auto window_pairs = clean.answered_pairs(first_half);
+  std::size_t window_total = 0;
+  for (forum::UserId u = 0; u < clean.num_users(); ++u) {
+    window_total += extractor.user_stats(u).answers_provided;
+  }
+  EXPECT_EQ(window_total, window_pairs.size());
+  EXPECT_LT(window_pairs.size(), all_pairs.size());
+}
+
+TEST(FeatureExtractor, MedianResponseFallsBackToGlobalMedian) {
+  auto& f = fixture();
+  // Find a user with no answers.
+  for (UserId u = 0; u < f.dataset.num_users(); ++u) {
+    if (f.extractor.user_stats(u).answers_provided == 0) {
+      const double fallback = f.extractor.median_response_time(u);
+      EXPECT_GT(fallback, 0.0);
+      return;
+    }
+  }
+  GTEST_SKIP() << "all users answered";
+}
+
+TEST(FeatureExtractor, OutOfRangeInputsThrow) {
+  auto& f = fixture();
+  EXPECT_THROW(f.extractor.features(f.dataset.num_users(), 0), util::CheckError);
+  EXPECT_THROW(f.extractor.features(0, f.dataset.num_questions()),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace forumcast::features

@@ -1,0 +1,103 @@
+// Cross-seed property sweep: the generator's calibration invariants (the
+// descriptive statistics of paper Sec. III that the substitution depends on)
+// must hold for every seed, not just the one the calibration tests use.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "forum/generator.hpp"
+#include "forum/sln.hpp"
+#include "util/stats.hpp"
+
+namespace forumcast::forum {
+namespace {
+
+class GeneratorSeedTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static SynthForum make(std::uint64_t seed) {
+    GeneratorConfig config;
+    config.num_users = 700;
+    config.num_questions = 700;
+    config.seed = seed;
+    return generate_forum(config);
+  }
+};
+
+TEST_P(GeneratorSeedTest, CoreInvariantsHold) {
+  const auto forum = make(GetParam());
+  const auto clean = forum.dataset.preprocessed();
+  const auto stats = clean.stats();
+
+  // Sizeable after preprocessing and sparse.
+  EXPECT_GT(stats.questions, 300u);
+  EXPECT_LT(stats.answer_matrix_density, 0.03);
+
+  // Mean answers per answered question near the paper's 1.47.
+  const double mean_answers =
+      static_cast<double>(stats.answers) / static_cast<double>(stats.questions);
+  EXPECT_GT(mean_answers, 1.2);
+  EXPECT_LT(mean_answers, 1.9);
+
+  // Votes and delays uncorrelated (paper Fig. 3).
+  std::vector<double> votes, delays;
+  for (const auto& pair : clean.answered_pairs()) {
+    votes.push_back(static_cast<double>(pair.votes));
+    delays.push_back(pair.delay_hours);
+  }
+  EXPECT_LT(std::abs(util::pearson(votes, delays)), 0.12) << GetParam();
+
+  // Chronology and vote floor.
+  for (const auto& thread : clean.threads()) {
+    EXPECT_GE(thread.question.net_votes, -6);
+    for (const auto& answer : thread.answers) {
+      EXPECT_GT(answer.timestamp_hours, thread.question.timestamp_hours);
+      EXPECT_GE(answer.net_votes, -6);
+    }
+  }
+}
+
+TEST_P(GeneratorSeedTest, SlnShapesHold) {
+  const auto forum = make(GetParam() ^ 0x5555ULL);
+  const auto clean = forum.dataset.preprocessed();
+  std::vector<QuestionId> all(clean.num_questions());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<QuestionId>(i);
+  const auto qa = build_qa_graph(clean, all);
+  const auto dense = build_dense_graph(clean, all);
+  EXPECT_GE(dense.edge_count(), qa.edge_count());
+  std::size_t components = 0;
+  qa.connected_components(components);
+  EXPECT_GT(components, 1u);
+}
+
+TEST_P(GeneratorSeedTest, ActivityCorrelatesWithSpeed) {
+  const auto forum = make(GetParam() ^ 0x9999ULL);
+
+  // Generative invariant: the latent speed scale falls with activity.
+  EXPECT_LT(util::spearman(forum.truth.user_activity,
+                           forum.truth.user_speed_scale),
+            -0.3)
+      << GetParam();
+
+  // Observed data: directional (most users have a single lognormal draw as
+  // their median, so the realized correlation is weak but never positive by
+  // a margin).
+  const auto clean = forum.dataset.preprocessed();
+  std::unordered_map<UserId, std::vector<double>> delays;
+  for (const auto& pair : clean.answered_pairs()) {
+    delays[pair.user].push_back(pair.delay_hours);
+  }
+  std::vector<double> activity, median_delay;
+  for (auto& [user, ds] : delays) {
+    activity.push_back(static_cast<double>(ds.size()));
+    median_delay.push_back(util::median(ds));
+  }
+  EXPECT_LT(util::spearman(activity, median_delay), 0.05) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Values(11u, 222u, 3333u, 44444u));
+
+}  // namespace
+}  // namespace forumcast::forum

@@ -1,0 +1,147 @@
+// Property tests cross-checking the graph algorithms against brute force on
+// random graphs small enough to enumerate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "graph/centrality.hpp"
+#include "graph/graph.hpp"
+#include "graph/link_features.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::graph {
+namespace {
+
+Graph random_graph(std::size_t nodes, double edge_probability,
+                   std::uint64_t seed) {
+  Graph g(nodes);
+  util::Rng rng(seed);
+  for (std::size_t u = 0; u < nodes; ++u) {
+    for (std::size_t v = u + 1; v < nodes; ++v) {
+      if (rng.bernoulli(edge_probability)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+// Brute-force betweenness: BFS from every source, explicit enumeration of
+// shortest-path DAG counts (same math as Brandes but written independently,
+// via forward counting instead of dependency accumulation).
+std::vector<double> brute_force_betweenness(const Graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<double> betweenness(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = s + 1; t < n; ++t) {
+      // Count shortest s-t paths through each vertex.
+      const auto dist_s = g.bfs_distances(s);
+      const auto dist_t = g.bfs_distances(t);
+      if (dist_s[t] == Graph::kUnreachable) continue;
+      const std::size_t d = dist_s[t];
+      // paths_s[v]: number of shortest paths s→v.
+      std::vector<double> paths_s(n, 0.0), paths_t(n, 0.0);
+      paths_s[s] = 1.0;
+      paths_t[t] = 1.0;
+      // Process nodes in BFS-distance order.
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return dist_s[a] < dist_s[b];
+      });
+      for (std::size_t v : order) {
+        if (dist_s[v] == Graph::kUnreachable || v == s) continue;
+        for (std::size_t u : g.neighbors(v)) {
+          if (dist_s[u] != Graph::kUnreachable && dist_s[u] + 1 == dist_s[v]) {
+            paths_s[v] += paths_s[u];
+          }
+        }
+      }
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return dist_t[a] < dist_t[b];
+      });
+      for (std::size_t v : order) {
+        if (dist_t[v] == Graph::kUnreachable || v == t) continue;
+        for (std::size_t u : g.neighbors(v)) {
+          if (dist_t[u] != Graph::kUnreachable && dist_t[u] + 1 == dist_t[v]) {
+            paths_t[v] += paths_t[u];
+          }
+        }
+      }
+      const double total = paths_s[t];
+      if (total == 0.0) continue;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        if (dist_s[v] != Graph::kUnreachable &&
+            dist_t[v] != Graph::kUnreachable && dist_s[v] + dist_t[v] == d) {
+          betweenness[v] += paths_s[v] * paths_t[v] / total;
+        }
+      }
+    }
+  }
+  return betweenness;
+}
+
+class RandomGraphTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphTest, BrandesMatchesBruteForce) {
+  const Graph g = random_graph(22, 0.15, GetParam());
+  const auto fast = betweenness_centrality(g);
+  const auto slow = brute_force_betweenness(g);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t v = 0; v < fast.size(); ++v) {
+    EXPECT_NEAR(fast[v], slow[v], 1e-9) << "node " << v << " seed " << GetParam();
+  }
+}
+
+TEST_P(RandomGraphTest, ClosenessMatchesDefinition) {
+  const Graph g = random_graph(18, 0.2, GetParam() ^ 0xabcULL);
+  const auto closeness = closeness_centrality(g);
+  const std::size_t n = g.node_count();
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto dist = g.bfs_distances(u);
+    double total = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v != u && dist[v] != Graph::kUnreachable) {
+        total += static_cast<double>(dist[v]);
+      }
+    }
+    const double expected = total > 0.0 ? static_cast<double>(n - 1) / total : 0.0;
+    EXPECT_NEAR(closeness[u], expected, 1e-12);
+  }
+}
+
+TEST_P(RandomGraphTest, ResourceAllocationMatchesDefinition) {
+  const Graph g = random_graph(20, 0.25, GetParam() ^ 0x123ULL);
+  for (std::size_t u = 0; u < g.node_count(); ++u) {
+    for (std::size_t v = u + 1; v < g.node_count(); ++v) {
+      double expected = 0.0;
+      for (std::size_t w = 0; w < g.node_count(); ++w) {
+        if (g.has_edge(u, w) && g.has_edge(v, w) && g.degree(w) > 0) {
+          expected += 1.0 / static_cast<double>(g.degree(w));
+        }
+      }
+      EXPECT_NEAR(resource_allocation_index(g, u, v), expected, 1e-12);
+    }
+  }
+}
+
+TEST_P(RandomGraphTest, ComponentsPartitionNodes) {
+  const Graph g = random_graph(40, 0.05, GetParam() ^ 0x77ULL);
+  std::size_t count = 0;
+  const auto component = g.connected_components(count);
+  // Every node labeled; labels < count; edges stay within components.
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    EXPECT_LT(component[v], count);
+    for (std::size_t u : g.neighbors(v)) {
+      EXPECT_EQ(component[u], component[v]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace forumcast::graph

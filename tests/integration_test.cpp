@@ -1,0 +1,177 @@
+// End-to-end pipeline tests on a small synthetic forum: generation →
+// preprocessing → features → all three predictors → predictions that beat
+// naive baselines. These are the "does the whole paper pipeline hold
+// together" checks; the full-scale comparisons live in the benches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "eval/metrics.hpp"
+#include "eval/sampling.hpp"
+#include "forum/generator.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace forumcast::core {
+namespace {
+
+struct IntegrationFixture {
+  forum::Dataset dataset;
+  std::vector<forum::QuestionId> history;   // days 1–25
+  std::vector<forum::QuestionId> holdout;   // days 26–30
+  ForecastPipeline pipeline;
+
+  static IntegrationFixture& instance() {
+    static IntegrationFixture fixture;
+    return fixture;
+  }
+
+ private:
+  IntegrationFixture()
+      : dataset(make_dataset()),
+        history(dataset.questions_in_days(1, 25)),
+        holdout(dataset.questions_in_days(26, 30)),
+        pipeline(make_config()) {
+    pipeline.fit(dataset, history);
+  }
+
+  static forum::Dataset make_dataset() {
+    forum::GeneratorConfig config;
+    config.num_users = 400;
+    config.num_questions = 400;
+    config.seed = 31337;
+    return forum::generate_forum(config).dataset.preprocessed();
+  }
+
+  static PipelineConfig make_config() {
+    PipelineConfig config;
+    config.extractor.lda.iterations = 25;
+    config.answer.logistic.epochs = 80;
+    config.vote.epochs = 60;
+    config.timing.epochs = 20;
+    config.survival_samples_per_thread = 12;
+    return config;
+  }
+};
+
+TEST(Integration, PipelineFitsAndPredictsFiniteValues) {
+  auto& fixture = IntegrationFixture::instance();
+  ASSERT_TRUE(fixture.pipeline.fitted());
+  ASSERT_FALSE(fixture.holdout.empty());
+  const auto pairs = fixture.dataset.answered_pairs(fixture.holdout);
+  ASSERT_FALSE(pairs.empty());
+  for (std::size_t i = 0; i < std::min<std::size_t>(pairs.size(), 25); ++i) {
+    const auto prediction =
+        fixture.pipeline.predict(pairs[i].user, pairs[i].question);
+    EXPECT_GE(prediction.answer_probability, 0.0);
+    EXPECT_LE(prediction.answer_probability, 1.0);
+    EXPECT_TRUE(std::isfinite(prediction.votes));
+    EXPECT_TRUE(std::isfinite(prediction.delay_hours));
+    EXPECT_GE(prediction.delay_hours, 0.0);
+  }
+}
+
+TEST(Integration, AnswerPredictorRanksRealAnswerersAboveRandomUsers) {
+  auto& fixture = IntegrationFixture::instance();
+  const auto positives = fixture.dataset.answered_pairs(fixture.holdout);
+  const auto negatives = eval::sample_negative_pairs(
+      fixture.dataset, fixture.holdout, positives.size(), 404);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (const auto& pair : positives) {
+    scores.push_back(
+        fixture.pipeline.predict(pair.user, pair.question).answer_probability);
+    labels.push_back(1);
+  }
+  for (const auto& pair : negatives) {
+    scores.push_back(
+        fixture.pipeline.predict(pair.user, pair.question).answer_probability);
+    labels.push_back(0);
+  }
+  // Out-of-window generalization: well above chance. (This is a *time-split*
+  // transfer test, strictly harder than the paper's pair-level CV protocol
+  // reproduced in bench/table1, which scores far higher.)
+  EXPECT_GT(eval::auc(scores, labels), 0.65);
+}
+
+TEST(Integration, VotePredictorBeatsGlobalMeanOnHoldout) {
+  auto& fixture = IntegrationFixture::instance();
+  const auto train_pairs = fixture.dataset.answered_pairs(fixture.history);
+  const auto test_pairs = fixture.dataset.answered_pairs(fixture.holdout);
+  double train_mean = 0.0;
+  for (const auto& pair : train_pairs) train_mean += pair.votes;
+  train_mean /= static_cast<double>(train_pairs.size());
+
+  std::vector<double> predictions, targets, mean_baseline;
+  for (const auto& pair : test_pairs) {
+    predictions.push_back(fixture.pipeline.predict(pair.user, pair.question).votes);
+    targets.push_back(static_cast<double>(pair.votes));
+    mean_baseline.push_back(train_mean);
+  }
+  EXPECT_LT(eval::rmse(predictions, targets),
+            1.05 * eval::rmse(mean_baseline, targets));
+}
+
+TEST(Integration, TimingPredictorOrdersFastVsSlowUsers) {
+  auto& fixture = IntegrationFixture::instance();
+  const auto test_pairs = fixture.dataset.answered_pairs(fixture.holdout);
+  std::vector<double> predictions, observed;
+  for (const auto& pair : test_pairs) {
+    predictions.push_back(
+        fixture.pipeline.predict(pair.user, pair.question).delay_hours);
+    observed.push_back(pair.delay_hours);
+  }
+  // Predicted delays must carry real ordering signal on held-out data.
+  EXPECT_GT(util::spearman(predictions, observed), 0.15);
+}
+
+TEST(Integration, PredictionsVaryAcrossUsers) {
+  auto& fixture = IntegrationFixture::instance();
+  const forum::QuestionId q = fixture.holdout.front();
+  util::RunningStats prob_stats, delay_stats;
+  for (forum::UserId u = 0; u < 60; ++u) {
+    const auto prediction = fixture.pipeline.predict(u, q);
+    prob_stats.add(prediction.answer_probability);
+    delay_stats.add(prediction.delay_hours);
+  }
+  EXPECT_GT(prob_stats.stddev(), 1e-4);
+  EXPECT_GT(delay_stats.stddev(), 1e-4);
+}
+
+TEST(Integration, FitValidatesInput) {
+  ForecastPipeline pipeline;
+  forum::GeneratorConfig config;
+  config.num_users = 50;
+  config.num_questions = 30;
+  const auto clean = forum::generate_forum(config).dataset.preprocessed();
+  EXPECT_THROW(pipeline.fit(clean, std::vector<forum::QuestionId>{}),
+               util::CheckError);
+  EXPECT_THROW(pipeline.predict(0, 0), util::CheckError);  // unfitted
+}
+
+TEST(Integration, BuildTimingThreadsGroupsByQuestionWithWeights) {
+  auto& fixture = IntegrationFixture::instance();
+  const auto pairs = fixture.dataset.answered_pairs(fixture.history);
+  const auto threads = build_timing_threads(
+      fixture.dataset, fixture.pipeline.extractor(), pairs,
+      fixture.dataset.last_post_time(), 5, 777);
+  std::unordered_set<forum::QuestionId> distinct;
+  for (const auto& pair : pairs) distinct.insert(pair.question);
+  EXPECT_EQ(threads.size(), distinct.size());
+  std::size_t total_answers = 0;
+  for (const auto& thread : threads) {
+    EXPECT_GT(thread.open_duration, 0.0);
+    total_answers += thread.answers.size();
+    EXPECT_GE(thread.survival.size(), thread.answers.size());
+    for (const auto& sample : thread.survival) {
+      EXPECT_GE(sample.weight, 1.0);
+    }
+  }
+  EXPECT_EQ(total_answers, pairs.size());
+}
+
+}  // namespace
+}  // namespace forumcast::core

@@ -1,0 +1,181 @@
+#include "ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/activations.hpp"
+#include "ml/adam.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::ml {
+namespace {
+
+// ---------- activations ----------
+
+TEST(Activations, Values) {
+  EXPECT_DOUBLE_EQ(activate(Activation::Identity, -2.0), -2.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::ReLU, -2.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::ReLU, 2.0), 2.0);
+  EXPECT_NEAR(activate(Activation::Tanh, 1.0), std::tanh(1.0), 1e-12);
+  EXPECT_NEAR(activate(Activation::Sigmoid, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(activate(Activation::Softplus, 0.0), std::log(2.0), 1e-12);
+}
+
+TEST(Activations, SigmoidExtremesAreStable) {
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(Activations, SoftplusExtremesAreStable) {
+  EXPECT_NEAR(softplus(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(softplus(-100.0), 0.0, 1e-12);
+  EXPECT_GT(softplus(-100.0), 0.0);
+}
+
+// Finite-difference check of every activation derivative.
+class ActivationDerivativeTest
+    : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationDerivativeTest, MatchesFiniteDifference) {
+  const Activation act = GetParam();
+  const double eps = 1e-6;
+  for (double pre : {-1.7, -0.3, 0.2, 0.9, 2.5}) {
+    const double numeric =
+        (activate(act, pre + eps) - activate(act, pre - eps)) / (2.0 * eps);
+    EXPECT_NEAR(activate_derivative(act, pre), numeric, 1e-5)
+        << activation_name(act) << " at " << pre;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationDerivativeTest,
+                         ::testing::Values(Activation::Identity,
+                                           Activation::ReLU, Activation::Tanh,
+                                           Activation::Sigmoid,
+                                           Activation::Softplus));
+
+// ---------- MLP structure ----------
+
+TEST(Mlp, ShapesAndParamCount) {
+  Mlp net(3, {{4, Activation::Tanh}, {2, Activation::Identity}}, 1);
+  EXPECT_EQ(net.input_dim(), 3u);
+  EXPECT_EQ(net.output_dim(), 2u);
+  EXPECT_EQ(net.layer_count(), 2u);
+  // (3*4 + 4) + (4*2 + 2) = 26
+  EXPECT_EQ(net.param_count(), 26u);
+  const auto y = net.forward(std::vector<double>{0.1, 0.2, 0.3});
+  EXPECT_EQ(y.size(), 2u);
+}
+
+TEST(Mlp, RejectsWrongInputDim) {
+  Mlp net(3, {{2, Activation::ReLU}}, 1);
+  EXPECT_THROW(net.forward(std::vector<double>{1.0}), util::CheckError);
+}
+
+TEST(Mlp, DeterministicInitialization) {
+  Mlp a(4, {{5, Activation::ReLU}, {1, Activation::Identity}}, 42);
+  Mlp b(4, {{5, Activation::ReLU}, {1, Activation::Identity}}, 42);
+  const std::vector<double> x = {0.5, -0.5, 1.0, 2.0};
+  EXPECT_EQ(a.forward(x), b.forward(x));
+}
+
+// ---------- gradient check ----------
+
+// Full finite-difference gradient check through a deep mixed-activation net.
+TEST(Mlp, BackwardMatchesFiniteDifferenceGradients) {
+  Mlp net(3,
+          {{5, Activation::Tanh},
+           {4, Activation::Softplus},
+           {1, Activation::Identity}},
+          7);
+  const std::vector<double> x = {0.3, -0.7, 1.2};
+  const double target = 0.9;
+
+  // Analytic gradient of L = ½(y − t)².
+  Mlp::Tape tape;
+  const auto y = net.forward(x, tape);
+  net.zero_grad();
+  net.backward(tape, std::vector<double>{y[0] - target});
+  std::vector<double> analytic(net.grads().begin(), net.grads().end());
+
+  const double eps = 1e-6;
+  auto loss = [&](Mlp& m) {
+    const auto out = m.forward(x);
+    return 0.5 * (out[0] - target) * (out[0] - target);
+  };
+  for (std::size_t i = 0; i < net.param_count(); ++i) {
+    const double original = net.params()[i];
+    net.params()[i] = original + eps;
+    const double up = loss(net);
+    net.params()[i] = original - eps;
+    const double down = loss(net);
+    net.params()[i] = original;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 1e-5) << "param " << i;
+  }
+}
+
+TEST(Mlp, BackwardReturnsInputGradient) {
+  Mlp net(2, {{3, Activation::Tanh}, {1, Activation::Identity}}, 3);
+  const std::vector<double> x = {0.4, -0.2};
+  Mlp::Tape tape;
+  const auto y = net.forward(x, tape);
+  net.zero_grad();
+  const auto dx = net.backward(tape, std::vector<double>{1.0});
+  ASSERT_EQ(dx.size(), 2u);
+
+  // Check dL/dx numerically with L = y.
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto xp = x;
+    xp[i] += eps;
+    auto xm = x;
+    xm[i] -= eps;
+    const double numeric =
+        (net.forward(xp)[0] - net.forward(xm)[0]) / (2.0 * eps);
+    EXPECT_NEAR(dx[i], numeric, 1e-5);
+  }
+  (void)y;
+}
+
+TEST(Mlp, GradsAccumulateAcrossSamples) {
+  Mlp net(1, {{1, Activation::Identity}}, 5);
+  Mlp::Tape tape;
+  net.zero_grad();
+  net.forward(std::vector<double>{1.0}, tape);
+  net.backward(tape, std::vector<double>{1.0});
+  const double after_one = net.grads()[0];
+  net.forward(std::vector<double>{1.0}, tape);
+  net.backward(tape, std::vector<double>{1.0});
+  EXPECT_NEAR(net.grads()[0], 2.0 * after_one, 1e-12);
+  net.zero_grad();
+  EXPECT_DOUBLE_EQ(net.grads()[0], 0.0);
+}
+
+// ---------- end-to-end training sanity ----------
+
+TEST(Mlp, LearnsXorWithAdam) {
+  Mlp net(2, {{8, Activation::Tanh}, {1, Activation::Identity}}, 11);
+  Adam adam(net.param_count(), {.learning_rate = 0.05});
+  const std::vector<std::vector<double>> inputs = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<double> targets = {0, 1, 1, 0};
+
+  Mlp::Tape tape;
+  for (int epoch = 0; epoch < 2000; ++epoch) {
+    net.zero_grad();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const auto y = net.forward(inputs[i], tape);
+      net.backward(tape, std::vector<double>{(y[0] - targets[i]) / 4.0});
+    }
+    adam.step(net.params(), net.grads());
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_NEAR(net.forward(inputs[i])[0], targets[i], 0.1) << "sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace forumcast::ml

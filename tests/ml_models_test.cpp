@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/logistic_regression.hpp"
+#include "ml/matrix_factorization.hpp"
+#include "ml/poisson_regression.hpp"
+#include "ml/sparfa.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::ml {
+namespace {
+
+// ---------- Logistic regression ----------
+
+TEST(LogisticRegression, RecoversLinearlySeparableBoundary) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.normal(), y = rng.normal();
+    rows.push_back({x, y});
+    labels.push_back(x + y > 0.0 ? 1 : 0);
+  }
+  LogisticRegression model({.epochs = 150, .seed = 1});
+  model.fit(rows, labels);
+  int correct = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double p = model.predict_probability(rows[i]);
+    correct += (p > 0.5) == (labels[i] == 1);
+  }
+  EXPECT_GT(correct, 570);  // > 95 % accuracy
+  // Weights should be roughly equal and positive.
+  EXPECT_GT(model.weights()[0], 0.0);
+  EXPECT_GT(model.weights()[1], 0.0);
+}
+
+TEST(LogisticRegression, CalibratedProbabilitiesOnNoisyData) {
+  util::Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  // True model: P(y=1) = sigmoid(2x − 1).
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.normal();
+    rows.push_back({x});
+    const double p = 1.0 / (1.0 + std::exp(-(2.0 * x - 1.0)));
+    labels.push_back(rng.bernoulli(p) ? 1 : 0);
+  }
+  LogisticRegression model({.l2 = 1e-5, .epochs = 120, .seed = 2});
+  model.fit(rows, labels);
+  EXPECT_NEAR(model.weights()[0], 2.0, 0.4);
+  EXPECT_NEAR(model.bias(), -1.0, 0.3);
+}
+
+TEST(LogisticRegression, LogLossDecreasesVsUntrainedBaseline) {
+  util::Rng rng(9);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.normal();
+    rows.push_back({x});
+    labels.push_back(x > 0.3 ? 1 : 0);
+  }
+  LogisticRegression model({.epochs = 100});
+  model.fit(rows, labels);
+  EXPECT_LT(model.log_loss(rows, labels), std::log(2.0));  // better than chance
+}
+
+TEST(LogisticRegression, InputValidation) {
+  LogisticRegression model;
+  EXPECT_THROW(model.predict_probability(std::vector<double>{1.0}),
+               util::CheckError);
+  std::vector<std::vector<double>> rows = {{1.0}};
+  std::vector<int> bad_labels = {2};
+  EXPECT_THROW(model.fit(rows, bad_labels), util::CheckError);
+  std::vector<int> short_labels = {};
+  EXPECT_THROW(model.fit(rows, short_labels), util::CheckError);
+}
+
+// ---------- Poisson regression ----------
+
+TEST(PoissonRegression, RecoversRateCoefficients) {
+  util::Rng rng(11);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  // y ~ Poisson(exp(0.8 x + 0.5)).
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.normal();
+    rows.push_back({x});
+    targets.push_back(rng.poisson(std::exp(0.8 * x + 0.5)));
+  }
+  PoissonRegression model({.l2 = 1e-6, .epochs = 120, .seed = 3});
+  model.fit(rows, targets);
+  EXPECT_NEAR(model.weights()[0], 0.8, 0.15);
+  EXPECT_NEAR(model.bias(), 0.5, 0.15);
+}
+
+TEST(PoissonRegression, PredictionsAreNonNegative) {
+  util::Rng rng(13);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({rng.normal()});
+    targets.push_back(rng.poisson(2.0));
+  }
+  PoissonRegression model({.epochs = 50});
+  model.fit(rows, targets);
+  for (double x : {-10.0, -1.0, 0.0, 1.0, 10.0}) {
+    EXPECT_GE(model.predict_mean(std::vector<double>{x}), 0.0);
+  }
+}
+
+TEST(PoissonRegression, RejectsNegativeTargets) {
+  PoissonRegression model;
+  std::vector<std::vector<double>> rows = {{1.0}};
+  std::vector<double> targets = {-1.0};
+  EXPECT_THROW(model.fit(rows, targets), util::CheckError);
+}
+
+// ---------- Matrix factorization ----------
+
+TEST(MatrixFactorization, ReconstructsLowRankStructure) {
+  util::Rng rng(17);
+  const std::size_t users = 40, items = 30, d = 3;
+  // Ground truth low-rank matrix.
+  std::vector<std::vector<double>> p(users), q(items);
+  for (auto& row : p) {
+    for (std::size_t k = 0; k < d; ++k) row.push_back(rng.normal(0.0, 1.0));
+  }
+  for (auto& row : q) {
+    for (std::size_t k = 0; k < d; ++k) row.push_back(rng.normal(0.0, 1.0));
+  }
+  std::vector<Rating> train, test;
+  for (std::size_t u = 0; u < users; ++u) {
+    for (std::size_t i = 0; i < items; ++i) {
+      double value = 0.0;
+      for (std::size_t k = 0; k < d; ++k) value += p[u][k] * q[i][k];
+      Rating rating{u, i, value + rng.normal(0.0, 0.05)};
+      (rng.bernoulli(0.8) ? train : test).push_back(rating);
+    }
+  }
+  MatrixFactorization mf({.latent_dim = 5, .epochs = 120, .seed = 4});
+  mf.fit(train, users, items);
+  double se = 0.0, baseline_se = 0.0;
+  for (const auto& r : test) {
+    const double err = mf.predict(r.user, r.item) - r.value;
+    se += err * err;
+    const double base_err = mf.global_mean() - r.value;
+    baseline_se += base_err * base_err;
+  }
+  EXPECT_LT(se, 0.35 * baseline_se);  // much better than the global mean
+}
+
+TEST(MatrixFactorization, UnseenIdsFallBackToBiases) {
+  std::vector<Rating> ratings = {{0, 0, 4.0}, {1, 1, 2.0}};
+  MatrixFactorization mf({.epochs = 10});
+  mf.fit(ratings, 2, 2);
+  const double fallback = mf.predict(100, 100);
+  EXPECT_NEAR(fallback, mf.global_mean(), 1e-9);
+}
+
+TEST(MatrixFactorization, ValidatesIdsAgainstBounds) {
+  std::vector<Rating> ratings = {{5, 0, 1.0}};
+  MatrixFactorization mf;
+  EXPECT_THROW(mf.fit(ratings, 2, 2), util::CheckError);
+  EXPECT_THROW(mf.predict(0, 0), util::CheckError);  // not fitted
+}
+
+// ---------- SPARFA ----------
+
+TEST(Sparfa, SeparatesActiveFromInactiveUsers) {
+  util::Rng rng(19);
+  const std::size_t users = 60, items = 50;
+  // Half the users answer frequently, half rarely.
+  std::vector<BinaryObservation> observations;
+  for (std::size_t u = 0; u < users; ++u) {
+    const double rate = u < users / 2 ? 0.7 : 0.1;
+    for (std::size_t i = 0; i < items; ++i) {
+      observations.push_back({u, i, rng.bernoulli(rate) ? 1 : 0});
+    }
+  }
+  Sparfa model({.epochs = 60, .seed = 5});
+  model.fit(observations, users, items);
+  double active_mean = 0.0, inactive_mean = 0.0;
+  for (std::size_t u = 0; u < users / 2; ++u) {
+    active_mean += model.predict_probability(u, 0);
+    inactive_mean += model.predict_probability(u + users / 2, 0);
+  }
+  active_mean /= users / 2;
+  inactive_mean /= users / 2;
+  EXPECT_GT(active_mean, inactive_mean + 0.3);
+}
+
+TEST(Sparfa, ProbabilitiesWithinUnitInterval) {
+  util::Rng rng(21);
+  std::vector<BinaryObservation> observations;
+  for (std::size_t i = 0; i < 200; ++i) {
+    observations.push_back({i % 10, i % 20, rng.bernoulli(0.3) ? 1 : 0});
+  }
+  Sparfa model({.epochs = 30});
+  model.fit(observations, 10, 20);
+  for (std::size_t u = 0; u < 10; ++u) {
+    for (std::size_t q = 0; q < 20; ++q) {
+      const double p = model.predict_probability(u, q);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LT(p, 1.0);
+    }
+  }
+}
+
+TEST(Sparfa, RejectsBadLabels) {
+  Sparfa model;
+  std::vector<BinaryObservation> observations = {{0, 0, 3}};
+  EXPECT_THROW(model.fit(observations, 1, 1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace forumcast::ml

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/adam.hpp"
+#include "ml/scaler.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::ml {
+namespace {
+
+// ---------- Adam ----------
+
+TEST(Adam, MinimizesConvexQuadratic) {
+  // f(x) = Σ (x_i − c_i)².
+  const std::vector<double> target = {3.0, -2.0, 0.5};
+  std::vector<double> params = {0.0, 0.0, 0.0};
+  Adam adam(3, {.learning_rate = 0.05});
+  std::vector<double> grads(3);
+  for (int step = 0; step < 2000; ++step) {
+    for (std::size_t i = 0; i < 3; ++i) grads[i] = 2.0 * (params[i] - target[i]);
+    adam.step(params, grads);
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(params[i], target[i], 1e-3);
+}
+
+TEST(Adam, FirstStepHasLearningRateMagnitude) {
+  // With bias correction, the very first Adam step ≈ lr · sign(grad).
+  std::vector<double> params = {0.0};
+  Adam adam(1, {.learning_rate = 0.1});
+  const std::vector<double> grads = {42.0};
+  adam.step(params, grads);
+  EXPECT_NEAR(params[0], -0.1, 1e-6);
+}
+
+TEST(Adam, WeightDecayShrinksParams) {
+  std::vector<double> params = {10.0};
+  Adam adam(1, {.learning_rate = 0.1, .weight_decay = 0.5});
+  const std::vector<double> zero_grad = {0.0};
+  for (int i = 0; i < 100; ++i) adam.step(params, zero_grad);
+  EXPECT_LT(std::abs(params[0]), 10.0);
+}
+
+TEST(Adam, ResetClearsState) {
+  std::vector<double> params = {0.0};
+  Adam adam(1, {.learning_rate = 0.1});
+  adam.step(params, std::vector<double>{1.0});
+  adam.reset();
+  EXPECT_EQ(adam.steps_taken(), 0u);
+  std::vector<double> params2 = {0.0};
+  adam.step(params2, std::vector<double>{42.0});
+  EXPECT_NEAR(params2[0], -0.1, 1e-6);  // behaves like a fresh optimizer
+}
+
+TEST(Adam, DimensionMismatchThrows) {
+  Adam adam(2);
+  std::vector<double> params = {0.0};
+  EXPECT_THROW(adam.step(params, std::vector<double>{1.0, 2.0}),
+               util::CheckError);
+}
+
+TEST(Adam, RejectsBadConfig) {
+  EXPECT_THROW(Adam(0), util::CheckError);
+  EXPECT_THROW(Adam(1, {.learning_rate = 0.0}), util::CheckError);
+  EXPECT_THROW(Adam(1, {.beta1 = 1.0}), util::CheckError);
+}
+
+// ---------- StandardScaler ----------
+
+TEST(Scaler, StandardizesColumns) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back({rng.normal(5.0, 2.0), rng.normal(-1.0, 0.5)});
+  }
+  StandardScaler scaler;
+  scaler.fit(rows);
+  EXPECT_NEAR(scaler.mean()[0], 5.0, 0.2);
+  EXPECT_NEAR(scaler.scale()[0], 2.0, 0.2);
+
+  double sum0 = 0.0, sum_sq0 = 0.0;
+  for (const auto& row : rows) {
+    const auto scaled = scaler.transform(row);
+    sum0 += scaled[0];
+    sum_sq0 += scaled[0] * scaled[0];
+  }
+  const double n = static_cast<double>(rows.size());
+  EXPECT_NEAR(sum0 / n, 0.0, 1e-9);
+  EXPECT_NEAR(sum_sq0 / n, 1.0, 1e-9);
+}
+
+TEST(Scaler, ConstantColumnPassesThroughCentered) {
+  std::vector<std::vector<double>> rows = {{7.0, 1.0}, {7.0, 2.0}, {7.0, 3.0}};
+  StandardScaler scaler;
+  scaler.fit(rows);
+  const auto scaled = scaler.transform(std::vector<double>{7.0, 2.0});
+  EXPECT_DOUBLE_EQ(scaled[0], 0.0);  // centered, scale 1
+}
+
+TEST(Scaler, TransformBeforeFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}), util::CheckError);
+}
+
+TEST(Scaler, DimensionMismatchThrows) {
+  StandardScaler scaler;
+  scaler.fit(std::vector<std::vector<double>>{{1.0, 2.0}});
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}), util::CheckError);
+}
+
+TEST(Scaler, TransformInPlace) {
+  StandardScaler scaler;
+  std::vector<std::vector<double>> rows = {{0.0}, {10.0}};
+  scaler.fit(rows);
+  scaler.transform_in_place(rows);
+  EXPECT_NEAR(rows[0][0], -1.0, 1e-12);
+  EXPECT_NEAR(rows[1][0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace forumcast::ml

@@ -1,0 +1,136 @@
+// Parameterized property sweeps over the ML substrate:
+//  * gradient checks across MLP architectures and activations,
+//  * Adam convergence across learning rates,
+//  * point-process survival-integral identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ml/adam.hpp"
+#include "ml/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::ml {
+namespace {
+
+// ---------- gradient check across architectures ----------
+
+struct Architecture {
+  std::size_t input_dim;
+  std::vector<LayerSpec> layers;
+  const char* name;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const Architecture& architecture(int index) {
+    static const std::vector<Architecture> kArchitectures = {
+        {2, {{1, Activation::Identity}}, "linear"},
+        {3, {{4, Activation::ReLU}, {1, Activation::Identity}}, "relu-1h"},
+        {3, {{4, Activation::Tanh}, {1, Activation::Identity}}, "tanh-1h"},
+        {4,
+         {{6, Activation::Tanh}, {5, Activation::Tanh}, {1, Activation::Softplus}},
+         "tanh-2h-softplus"},
+        {5,
+         {{8, Activation::Softplus},
+          {6, Activation::Sigmoid},
+          {2, Activation::Identity}},
+         "mixed-multi-output"},
+        {6,
+         {{20, Activation::ReLU},
+          {20, Activation::ReLU},
+          {20, Activation::ReLU},
+          {1, Activation::Identity}},
+         "paper-vote-network"},
+    };
+    return kArchitectures[static_cast<std::size_t>(index)];
+  }
+};
+
+TEST_P(GradCheckTest, AnalyticMatchesNumeric) {
+  const Architecture& arch = architecture(GetParam());
+  Mlp net(arch.input_dim, arch.layers, 1234 + GetParam());
+  util::Rng rng(77 + GetParam());
+  std::vector<double> x(arch.input_dim);
+  for (double& v : x) v = rng.normal();
+  // Loss = sum of outputs (generic linear functional).
+  Mlp::Tape tape;
+  const auto y = net.forward(x, tape);
+  net.zero_grad();
+  net.backward(tape, std::vector<double>(y.size(), 1.0));
+  const std::vector<double> analytic(net.grads().begin(), net.grads().end());
+
+  auto loss = [&]() {
+    const auto out = net.forward(x);
+    double total = 0.0;
+    for (double v : out) total += v;
+    return total;
+  };
+  const double eps = 1e-6;
+  // Check a deterministic sample of parameters (all for small nets).
+  const std::size_t stride = std::max<std::size_t>(1, net.param_count() / 64);
+  for (std::size_t i = 0; i < net.param_count(); i += stride) {
+    const double original = net.params()[i];
+    net.params()[i] = original + eps;
+    const double up = loss();
+    net.params()[i] = original - eps;
+    const double down = loss();
+    net.params()[i] = original;
+    EXPECT_NEAR(analytic[i], (up - down) / (2.0 * eps), 1e-4)
+        << arch.name << " param " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, GradCheckTest, ::testing::Range(0, 6));
+
+// ---------- Adam convergence across learning rates ----------
+
+class AdamRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdamRateTest, ConvergesOnQuadratic) {
+  const double lr = GetParam();
+  std::vector<double> params = {5.0, -3.0};
+  Adam adam(2, {.learning_rate = lr});
+  std::vector<double> grads(2);
+  for (int step = 0; step < 5000; ++step) {
+    grads[0] = 2.0 * params[0];
+    grads[1] = 2.0 * params[1];
+    adam.step(params, grads);
+  }
+  EXPECT_NEAR(params[0], 0.0, 0.05) << "lr " << lr;
+  EXPECT_NEAR(params[1], 0.0, 0.05) << "lr " << lr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, AdamRateTest,
+                         ::testing::Values(0.3, 0.1, 0.03, 0.01));
+
+// ---------- training reproducibility across seeds ----------
+
+class MlpSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MlpSeedTest, SameSeedSameTraining) {
+  const std::uint64_t seed = GetParam();
+  auto train = [&] {
+    Mlp net(2, {{4, Activation::Tanh}, {1, Activation::Identity}}, seed);
+    Adam adam(net.param_count(), {.learning_rate = 0.05});
+    Mlp::Tape tape;
+    util::Rng rng(seed);
+    for (int step = 0; step < 100; ++step) {
+      const std::vector<double> x = {rng.normal(), rng.normal()};
+      net.zero_grad();
+      const auto y = net.forward(x, tape);
+      net.backward(tape, std::vector<double>{y[0] - (x[0] + x[1])});
+      adam.step(net.params(), net.grads());
+    }
+    return net.forward(std::vector<double>{0.5, -0.5})[0];
+  };
+  EXPECT_DOUBLE_EQ(train(), train());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MlpSeedTest, ::testing::Values(1u, 17u, 999u));
+
+}  // namespace
+}  // namespace forumcast::ml

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "ml/serialize.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::ml {
+namespace {
+
+TEST(Serialize, MlpRoundTripPreservesPredictions) {
+  Mlp original(4,
+               {{8, Activation::Tanh},
+                {5, Activation::Softplus},
+                {2, Activation::Identity}},
+               123);
+  std::stringstream buffer;
+  save_mlp(original, buffer);
+  const Mlp loaded = load_mlp(buffer);
+
+  EXPECT_EQ(loaded.input_dim(), original.input_dim());
+  EXPECT_EQ(loaded.output_dim(), original.output_dim());
+  EXPECT_EQ(loaded.layer_count(), original.layer_count());
+
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(4);
+    for (double& v : x) v = rng.normal();
+    const auto a = original.forward(x);
+    const auto b = loaded.forward(x);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Serialize, MlpActivationNamesRoundTrip) {
+  for (Activation act : {Activation::Identity, Activation::ReLU,
+                         Activation::Tanh, Activation::Sigmoid,
+                         Activation::Softplus}) {
+    EXPECT_EQ(activation_from_name(activation_name(act)), act);
+  }
+  EXPECT_THROW(activation_from_name("swish"), util::CheckError);
+}
+
+TEST(Serialize, MlpRejectsCorruptHeader) {
+  std::stringstream buffer("forumcast-mlp 2\n");
+  EXPECT_THROW(load_mlp(buffer), util::CheckError);
+  std::stringstream wrong("forumcast-scaler 1\n");
+  EXPECT_THROW(load_mlp(wrong), util::CheckError);
+  std::stringstream truncated("forumcast-mlp 1\ninput 3\nlayers 1\n4 relu\nparams 16\n1 2 3");
+  EXPECT_THROW(load_mlp(truncated), util::CheckError);
+}
+
+TEST(Serialize, ScalerRoundTrip) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({rng.normal(10.0, 3.0), rng.normal(-2.0, 0.1)});
+  }
+  StandardScaler original;
+  original.fit(rows);
+  std::stringstream buffer;
+  save_scaler(original, buffer);
+  const StandardScaler loaded = load_scaler(buffer);
+  const std::vector<double> x = {11.0, -2.05};
+  EXPECT_EQ(original.transform(x), loaded.transform(x));
+}
+
+TEST(Serialize, ScalerRejectsUnfitted) {
+  StandardScaler unfitted;
+  std::stringstream buffer;
+  EXPECT_THROW(save_scaler(unfitted, buffer), util::CheckError);
+}
+
+TEST(Serialize, LogisticRoundTrip) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.normal();
+    rows.push_back({x, rng.normal()});
+    labels.push_back(x > 0 ? 1 : 0);
+  }
+  LogisticRegression original({.epochs = 40});
+  original.fit(rows, labels);
+  std::stringstream buffer;
+  save_logistic(original, buffer);
+  const LogisticRegression loaded = load_logistic(buffer);
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(original.predict_probability(row),
+                     loaded.predict_probability(row));
+  }
+}
+
+TEST(Serialize, FromMomentsValidation) {
+  EXPECT_THROW(StandardScaler::from_moments({}, {}), util::CheckError);
+  EXPECT_THROW(StandardScaler::from_moments({1.0}, {1.0, 2.0}), util::CheckError);
+  EXPECT_THROW(StandardScaler::from_moments({1.0}, {0.0}), util::CheckError);
+  const auto scaler = StandardScaler::from_moments({2.0}, {4.0});
+  EXPECT_DOUBLE_EQ(scaler.transform(std::vector<double>{10.0})[0], 2.0);
+}
+
+TEST(Serialize, FromParametersValidation) {
+  EXPECT_THROW(LogisticRegression::from_parameters({}, 0.0), util::CheckError);
+  const auto model = LogisticRegression::from_parameters({1.0}, 0.0);
+  EXPECT_DOUBLE_EQ(model.predict_probability(std::vector<double>{0.0}), 0.5);
+}
+
+}  // namespace
+}  // namespace forumcast::ml

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/recommender.hpp"
+#include "forum/generator.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::core {
+namespace {
+
+// One small fitted pipeline shared by all recommender tests (fitting is the
+// expensive part).
+struct PipelineFixture {
+  forum::Dataset dataset;
+  ForecastPipeline pipeline;
+
+  static PipelineFixture& instance() {
+    static PipelineFixture fixture;
+    return fixture;
+  }
+
+ private:
+  PipelineFixture() : dataset(make_dataset()), pipeline(make_config()) {
+    const auto history = dataset.questions_in_days(1, 25);
+    pipeline.fit(dataset, history);
+  }
+
+  static forum::Dataset make_dataset() {
+    forum::GeneratorConfig config;
+    config.num_users = 200;
+    config.num_questions = 180;
+    config.seed = 2024;
+    return forum::generate_forum(config).dataset.preprocessed();
+  }
+
+  static PipelineConfig make_config() {
+    PipelineConfig config;
+    config.extractor.lda.iterations = 20;
+    config.answer.logistic.epochs = 60;
+    config.vote.epochs = 40;
+    config.timing.epochs = 15;
+    config.survival_samples_per_thread = 10;
+    return config;
+  }
+};
+
+std::vector<forum::UserId> all_users(const forum::Dataset& dataset) {
+  std::vector<forum::UserId> users(dataset.num_users());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    users[i] = static_cast<forum::UserId>(i);
+  }
+  return users;
+}
+
+forum::QuestionId fresh_question(const forum::Dataset& dataset) {
+  const auto late = dataset.questions_in_days(26, 30);
+  return late.empty() ? static_cast<forum::QuestionId>(dataset.num_questions() - 1)
+                      : late.front();
+}
+
+TEST(Recommender, ProducesDistributionOverEligibleUsers) {
+  auto& fixture = PipelineFixture::instance();
+  Recommender recommender(fixture.pipeline, {.epsilon = 0.3});
+  const auto users = all_users(fixture.dataset);
+  const auto result =
+      recommender.recommend(fresh_question(fixture.dataset), users);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_FALSE(result.ranking.empty());
+  double total = 0.0;
+  for (const auto& rec : result.ranking) {
+    EXPECT_GT(rec.probability, 0.0);
+    EXPECT_GE(rec.prediction.answer_probability, 0.3);
+    total += rec.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Ranking is sorted by probability.
+  for (std::size_t i = 1; i < result.ranking.size(); ++i) {
+    EXPECT_GE(result.ranking[i - 1].probability, result.ranking[i].probability);
+  }
+}
+
+TEST(Recommender, HighEpsilonShrinksEligibleSet) {
+  auto& fixture = PipelineFixture::instance();
+  const auto users = all_users(fixture.dataset);
+  const auto q = fresh_question(fixture.dataset);
+  Recommender loose(fixture.pipeline, {.epsilon = 0.2});
+  Recommender strict(fixture.pipeline, {.epsilon = 0.95});
+  const auto loose_result = loose.recommend(q, users);
+  const auto strict_result = strict.recommend(q, users);
+  if (strict_result.feasible) {
+    EXPECT_LE(strict_result.ranking.size(), loose_result.ranking.size());
+  } else {
+    SUCCEED();  // a very strict threshold can legitimately leave no one
+  }
+}
+
+TEST(Recommender, LoadedUsersAreExcluded) {
+  auto& fixture = PipelineFixture::instance();
+  const auto users = all_users(fixture.dataset);
+  const auto q = fresh_question(fixture.dataset);
+  Recommender recommender(fixture.pipeline, {.epsilon = 0.3});
+  const auto baseline = recommender.recommend(q, users);
+  ASSERT_TRUE(baseline.feasible);
+  ASSERT_FALSE(baseline.ranking.empty());
+
+  // Saturate the top user's capacity; they must drop out.
+  const forum::UserId top = baseline.ranking.front().user;
+  std::vector<double> load(users.size(), 0.0);
+  load[top] = 10.0;  // way above default capacity 1
+  const auto reloaded = recommender.recommend(q, users, load);
+  if (reloaded.feasible) {
+    for (const auto& rec : reloaded.ranking) EXPECT_NE(rec.user, top);
+  }
+}
+
+TEST(Recommender, TradeoffParameterShiftsWeights) {
+  auto& fixture = PipelineFixture::instance();
+  const auto users = all_users(fixture.dataset);
+  const auto q = fresh_question(fixture.dataset);
+  Recommender recommender(fixture.pipeline, {.epsilon = 0.3});
+  // λ = 0: pure quality. Large λ: pure speed.
+  const auto quality_only = recommender.recommend(q, users, {}, {}, 0.0);
+  const auto speed_heavy = recommender.recommend(q, users, {}, {}, 100.0);
+  ASSERT_TRUE(quality_only.feasible);
+  ASSERT_TRUE(speed_heavy.feasible);
+  const auto& q_top = quality_only.ranking.front();
+  const auto& s_top = speed_heavy.ranking.front();
+  // The speed-heavy choice cannot be slower than the quality-only choice.
+  EXPECT_LE(s_top.prediction.delay_hours, q_top.prediction.delay_hours + 1e-9);
+}
+
+TEST(Recommender, CustomCapacitiesRespected) {
+  auto& fixture = PipelineFixture::instance();
+  const auto users = all_users(fixture.dataset);
+  const auto q = fresh_question(fixture.dataset);
+  Recommender recommender(fixture.pipeline, {.epsilon = 0.3});
+  std::vector<double> caps(users.size(), 0.25);
+  const auto result = recommender.recommend(q, users, {}, caps);
+  if (result.feasible) {
+    for (const auto& rec : result.ranking) {
+      EXPECT_LE(rec.probability, 0.25 + 1e-9);
+    }
+    EXPECT_GE(result.ranking.size(), 4u);  // needs ≥ 4 users at cap 0.25
+  }
+}
+
+TEST(Recommender, ValidatesArguments) {
+  auto& fixture = PipelineFixture::instance();
+  Recommender recommender(fixture.pipeline);
+  EXPECT_THROW(recommender.recommend(0, std::vector<forum::UserId>{}),
+               util::CheckError);
+  const std::vector<forum::UserId> users = {0, 1};
+  const std::vector<double> wrong_load = {1.0};
+  EXPECT_THROW(recommender.recommend(0, users, wrong_load), util::CheckError);
+  EXPECT_THROW(Recommender(fixture.pipeline, {.epsilon = 0.0}), util::CheckError);
+  EXPECT_THROW(Recommender(fixture.pipeline, {.default_capacity = 0.0}),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace forumcast::core

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/routing_simulator.hpp"
+#include "forum/generator.hpp"
+#include "forum/oracle.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::core {
+namespace {
+
+struct SimFixture {
+  forum::SynthForum forum_data;
+  forum::Dataset dataset;
+  forum::OutcomeOracle oracle;
+  ForecastPipeline pipeline;
+  std::vector<forum::UserId> candidates;
+  std::vector<forum::QuestionId> arrivals;
+
+  static SimFixture& instance() {
+    static SimFixture fixture;
+    return fixture;
+  }
+
+ private:
+  SimFixture()
+      : forum_data(make_forum()),
+        dataset(forum_data.dataset.preprocessed()),
+        oracle(forum_data.dataset, forum_data.truth, generator_config()),
+        pipeline(pipeline_config()) {
+    pipeline.fit(dataset, dataset.questions_in_days(1, 25));
+    std::vector<bool> seen(dataset.num_users(), false);
+    for (const auto& pair :
+         dataset.answered_pairs(dataset.questions_in_days(1, 25))) {
+      if (!seen[pair.user]) {
+        seen[pair.user] = true;
+        candidates.push_back(pair.user);
+      }
+    }
+    arrivals = dataset.questions_in_days(26, 30);
+  }
+
+  static const forum::GeneratorConfig& generator_config() {
+    static forum::GeneratorConfig config = [] {
+      forum::GeneratorConfig c;
+      c.num_users = 300;
+      c.num_questions = 300;
+      c.seed = 616;
+      return c;
+    }();
+    return config;
+  }
+  static forum::SynthForum make_forum() {
+    return forum::generate_forum(generator_config());
+  }
+  static PipelineConfig pipeline_config() {
+    PipelineConfig config;
+    config.extractor.lda.iterations = 15;
+    config.answer.logistic.epochs = 50;
+    config.vote.epochs = 30;
+    config.timing.epochs = 10;
+    config.survival_samples_per_thread = 6;
+    return config;
+  }
+};
+
+OutcomeFn oracle_outcome(SimFixture& fixture) {
+  return [&fixture](forum::UserId u, forum::QuestionId q) {
+    const auto raw_q = fixture.oracle.raw_question_index(
+        fixture.dataset.thread(q).question.timestamp_hours);
+    return SimulatedOutcome{fixture.oracle.expected_votes(u, raw_q),
+                            fixture.oracle.expected_delay(u)};
+  };
+}
+
+TEST(OutcomeOracle, RawIndexRoundTrips) {
+  auto& fixture = SimFixture::instance();
+  for (forum::QuestionId q = 0; q < 20; ++q) {
+    const double t = fixture.dataset.thread(q).question.timestamp_hours;
+    const std::size_t raw = fixture.oracle.raw_question_index(t);
+    EXPECT_DOUBLE_EQ(
+        fixture.forum_data.dataset.thread(static_cast<forum::QuestionId>(raw))
+            .question.timestamp_hours,
+        t);
+  }
+  EXPECT_THROW(fixture.oracle.raw_question_index(-123.456), util::CheckError);
+}
+
+TEST(OutcomeOracle, ExpectedValuesMatchGeneratorModel) {
+  auto& fixture = SimFixture::instance();
+  const auto& truth = fixture.forum_data.truth;
+  EXPECT_NEAR(fixture.oracle.expected_votes(3, 5),
+              0.9 * truth.user_expertise[3] + 0.6 * truth.question_popularity[5],
+              1e-12);
+  EXPECT_GT(fixture.oracle.expected_delay(3), 0.0);
+}
+
+TEST(OutcomeOracle, SamplesCenterOnExpectation) {
+  auto& fixture = SimFixture::instance();
+  util::Rng rng(9);
+  double total = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    total += fixture.oracle.sample_votes(7, 11, rng);
+  }
+  // Rounding + the -6 floor shift things slightly; loose tolerance.
+  EXPECT_NEAR(total / n, fixture.oracle.expected_votes(7, 11), 0.25);
+}
+
+TEST(RoutingSimulator, AbTestRunsAndSplitsGroups) {
+  auto& fixture = SimFixture::instance();
+  ASSERT_FALSE(fixture.arrivals.empty());
+  SimulatorConfig config;
+  config.recommender.epsilon = 0.3;
+  config.recommender.default_capacity = 3.0;
+  RoutingSimulator simulator(fixture.pipeline, oracle_outcome(fixture), config);
+  const auto result =
+      simulator.run(fixture.dataset, fixture.arrivals, fixture.candidates);
+  EXPECT_EQ(result.organic.questions + result.routed.questions,
+            fixture.arrivals.size());
+  // Groups alternate, so sizes differ by at most one.
+  EXPECT_LE(result.organic.questions, result.routed.questions + 1);
+  EXPECT_LE(result.routed.questions, result.organic.questions + 1);
+  EXPECT_GT(result.organic.answers, 0u);
+}
+
+TEST(RoutingSimulator, RoutingLiftsExpectedQuality) {
+  auto& fixture = SimFixture::instance();
+  SimulatorConfig config;
+  config.recommender.epsilon = 0.3;
+  config.recommender.quality_time_tradeoff = 0.1;
+  config.recommender.default_capacity = 5.0;
+  RoutingSimulator simulator(fixture.pipeline, oracle_outcome(fixture), config);
+  const auto result =
+      simulator.run(fixture.dataset, fixture.arrivals, fixture.candidates);
+  if (result.routed.answers == 0) GTEST_SKIP() << "nothing routed";
+  // The headline claim of Sec. V: routed answers beat organic quality.
+  EXPECT_GT(result.routed.mean_votes, result.organic.mean_votes);
+}
+
+TEST(RoutingSimulator, DeterministicForSeed) {
+  auto& fixture = SimFixture::instance();
+  SimulatorConfig config;
+  config.recommender.epsilon = 0.3;
+  RoutingSimulator a(fixture.pipeline, oracle_outcome(fixture), config);
+  RoutingSimulator b(fixture.pipeline, oracle_outcome(fixture), config);
+  const auto ra = a.run(fixture.dataset, fixture.arrivals, fixture.candidates);
+  const auto rb = b.run(fixture.dataset, fixture.arrivals, fixture.candidates);
+  EXPECT_EQ(ra.routed.answers, rb.routed.answers);
+  EXPECT_DOUBLE_EQ(ra.routed.mean_votes, rb.routed.mean_votes);
+}
+
+TEST(RoutingSimulator, ValidatesInput) {
+  auto& fixture = SimFixture::instance();
+  EXPECT_THROW(RoutingSimulator(fixture.pipeline, nullptr), util::CheckError);
+  SimulatorConfig config;
+  config.max_draws = 0;
+  EXPECT_THROW(RoutingSimulator(fixture.pipeline, oracle_outcome(fixture), config),
+               util::CheckError);
+  RoutingSimulator simulator(fixture.pipeline, oracle_outcome(fixture));
+  EXPECT_THROW(simulator.run(fixture.dataset, {}, fixture.candidates),
+               util::CheckError);
+  EXPECT_THROW(simulator.run(fixture.dataset, fixture.arrivals, {}),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace forumcast::core

@@ -1,0 +1,103 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/centrality.hpp"
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::util {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, DisjointWritesMatchSerial) {
+  const std::size_t n = 5000;
+  std::vector<double> serial(n), parallel(n);
+  auto body = [](std::size_t i) { return static_cast<double>(i) * 1.5 + 1.0; };
+  for (std::size_t i = 0; i < n; ++i) serial[i] = body(i);
+  parallel_for(n, [&](std::size_t i) { parallel[i] = body(i); }, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for(
+                   100,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, NullBodyRejected) {
+  EXPECT_THROW(parallel_for(3, nullptr, 2), CheckError);
+}
+
+TEST(ParallelFor, DefaultThreadCountPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+// ---------- parallel centralities equal serial ----------
+
+graph::Graph random_graph(std::size_t nodes, std::size_t edges, std::uint64_t seed) {
+  graph::Graph g(nodes);
+  Rng rng(seed);
+  while (g.edge_count() < edges) {
+    g.add_edge(rng.uniform_index(nodes), rng.uniform_index(nodes));
+  }
+  return g;
+}
+
+TEST(ParallelCentrality, BetweennessMatchesSerial) {
+  const auto g = random_graph(300, 600, 42);
+  const auto serial = graph::betweenness_centrality(g, 1);
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    const auto parallel = graph::betweenness_centrality(g, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t v = 0; v < serial.size(); ++v) {
+      EXPECT_NEAR(parallel[v], serial[v], 1e-9 * (1.0 + serial[v]))
+          << "threads " << threads << " node " << v;
+    }
+  }
+}
+
+TEST(ParallelCentrality, ClosenessMatchesSerialExactly) {
+  const auto g = random_graph(250, 500, 7);
+  const auto serial = graph::closeness_centrality(g, 1);
+  const auto parallel = graph::closeness_centrality(g, 4);
+  EXPECT_EQ(serial, parallel);  // disjoint writes: bitwise identical
+}
+
+TEST(ParallelCentrality, DeterministicAcrossRunsForFixedThreads) {
+  const auto g = random_graph(200, 400, 99);
+  const auto a = graph::betweenness_centrality(g, 3);
+  const auto b = graph::betweenness_centrality(g, 3);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace forumcast::util

@@ -1,0 +1,227 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace forumcast::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, 500);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), CheckError);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  const int n = 100000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += rng.exponential(2.0);
+  EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), CheckError);
+}
+
+TEST(Rng, GammaMeanAndVariance) {
+  Rng rng(19);
+  const double shape = 3.0, scale = 2.0;
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gamma(shape, scale);
+    EXPECT_GT(g, 0.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(sum_sq / n - mean * mean, shape * scale * scale, 0.4);
+}
+
+TEST(Rng, GammaSmallShapeStaysPositive) {
+  Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.gamma(0.3, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(25);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(27);
+  const int n = 50000;
+  long long total = 0;
+  for (int i = 0; i < n; ++i) total += rng.poisson(4.5);
+  EXPECT_NEAR(static_cast<double>(total) / n, 4.5, 0.1);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(31);
+  const int n = 20000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += rng.poisson(200.0);
+  EXPECT_NEAR(total / n, 200.0, 2.0);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(33);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeights) {
+  Rng rng(35);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+TEST(Rng, CategoricalRejectsAllZero) {
+  Rng rng(37);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(weights), CheckError);
+}
+
+TEST(Rng, CategoricalRejectsNegative) {
+  Rng rng(37);
+  const std::vector<double> weights = {0.5, -0.1};
+  EXPECT_THROW(rng.categorical(weights), CheckError);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(39);
+  for (int i = 0; i < 100; ++i) {
+    const auto d = rng.dirichlet_symmetric(8, 0.3);
+    EXPECT_EQ(d.size(), 8u);
+    const double total = std::accumulate(d.begin(), d.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (double v : d) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(Rng, DirichletConcentrationControlsSpread) {
+  Rng rng(41);
+  // Small alpha → sparse draws (max component near 1 on average).
+  double sparse_max = 0.0, dense_max = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const auto sparse = rng.dirichlet_symmetric(10, 0.05);
+    const auto dense = rng.dirichlet_symmetric(10, 50.0);
+    sparse_max += *std::max_element(sparse.begin(), sparse.end());
+    dense_max += *std::max_element(dense.begin(), dense.end());
+  }
+  EXPECT_GT(sparse_max / n, 0.7);
+  EXPECT_LT(dense_max / n, 0.2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng forked = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == forked());
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace forumcast::util

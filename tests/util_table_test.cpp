@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace forumcast::util {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table table("Demo", {"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table table("T", {"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, RejectsEmptyColumnSet) {
+  EXPECT_THROW(Table("T", {}), CheckError);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::num(2.0, 1), "2.0");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table("T", {"a", "b"});
+  table.add_row({"has,comma", "has\"quote"});
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table table("T", {"x"});
+  table.add_row({"plain"});
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "x\nplain\n");
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table table("T", {"x"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace forumcast::util

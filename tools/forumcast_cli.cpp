@@ -1,0 +1,291 @@
+// forumcast — command-line interface.
+//
+//   forumcast generate --questions N --users N --seed S --out posts.csv
+//       Generate a synthetic Stack Overflow-like forum and export it.
+//
+//   forumcast stats --data posts.csv
+//       Dataset statistics after the paper's preprocessing.
+//
+//   forumcast predict --data posts.csv --history-days D --question Q [--top K]
+//       Fit the pipeline on the first D days and print the top-K candidate
+//       answerers for question Q with (â, v̂, r̂).
+//
+//   forumcast route --data posts.csv --history-days D --lambda L --epsilon E
+//       Route every question arriving after day D through the LP of eq. (2).
+//
+//   forumcast evaluate --data posts.csv [--folds F] [--repeats R]
+//       Run the Table-I protocol (all three tasks + baselines).
+//
+// All subcommands accept --seed for reproducibility.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/recommender.hpp"
+#include "exp/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "forum/generator.hpp"
+#include "forum/io.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace forumcast;
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      FORUMCAST_CHECK_MSG(key.rfind("--", 0) == 0, "expected --flag, got " << key);
+      FORUMCAST_CHECK_MSG(i + 1 < argc, key << " requires a value");
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    FORUMCAST_CHECK_MSG(it != values_.end(), "missing required --" << key);
+    return it->second;
+  }
+  long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+forum::Dataset load_data(const Args& args) {
+  const std::string path = args.require("data");
+  std::cout << "loading " << path << "...\n";
+  const auto dataset = forum::load_posts_csv(path).preprocessed();
+  const auto stats = dataset.stats();
+  std::cout << "loaded " << stats.questions << " answered questions, "
+            << stats.answers << " answers, " << stats.distinct_users
+            << " users\n";
+  return dataset;
+}
+
+core::ForecastPipeline fit_pipeline(const forum::Dataset& dataset,
+                                    const Args& args) {
+  const int history_days = static_cast<int>(args.get_int("history-days", 25));
+  FORUMCAST_CHECK_MSG(history_days >= 1, "--history-days must be >= 1");
+  core::PipelineConfig config;
+  config.extractor.lda.iterations =
+      static_cast<std::size_t>(args.get_int("lda-iterations", 50));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+  core::ForecastPipeline pipeline(config);
+  const auto history = dataset.questions_in_days(1, history_days);
+  FORUMCAST_CHECK_MSG(!history.empty(), "no questions in days 1-" << history_days);
+  std::cout << "training on " << history.size() << " threads (days 1-"
+            << history_days << ")...\n";
+  pipeline.fit(dataset, history);
+  return pipeline;
+}
+
+int cmd_generate(const Args& args) {
+  forum::GeneratorConfig config;
+  config.num_questions = static_cast<std::size_t>(args.get_int("questions", 2000));
+  config.num_users = static_cast<std::size_t>(args.get_int("users", 2000));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const std::string out = args.get("out", "posts.csv");
+  const auto forum_data = forum::generate_forum(config);
+  forum::save_posts_csv(forum_data.dataset, out);
+  const auto stats = forum_data.dataset.stats();
+  std::cout << "wrote " << out << ": " << stats.questions << " questions, "
+            << stats.answers << " answers, " << stats.distinct_users
+            << " users\n";
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const auto dataset = load_data(args);
+  const auto stats = dataset.stats();
+  util::Table table("dataset statistics (after preprocessing)",
+                    {"metric", "value"});
+  table.add_row({"questions", std::to_string(stats.questions)});
+  table.add_row({"answers", std::to_string(stats.answers)});
+  table.add_row({"askers", std::to_string(stats.askers)});
+  table.add_row({"answerers", std::to_string(stats.answerers)});
+  table.add_row({"distinct users", std::to_string(stats.distinct_users)});
+  table.add_row({"answer-matrix density",
+                 util::Table::num(stats.answer_matrix_density, 6)});
+  table.add_row({"time span (h)", util::Table::num(dataset.last_post_time(), 1)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  const auto dataset = load_data(args);
+  const auto question =
+      static_cast<forum::QuestionId>(args.get_int("question", 0));
+  FORUMCAST_CHECK_MSG(question < dataset.num_questions(),
+                      "question " << question << " out of range");
+  const auto pipeline = fit_pipeline(dataset, args);
+  const auto top_k = static_cast<std::size_t>(args.get_int("top", 10));
+
+  struct Scored {
+    forum::UserId user;
+    core::Prediction prediction;
+  };
+  std::vector<Scored> scored;
+  for (forum::UserId u = 0; u < dataset.num_users(); ++u) {
+    if (u == dataset.thread(question).question.creator) continue;
+    scored.push_back({u, pipeline.predict(u, question)});
+  }
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(
+                                         std::min(top_k, scored.size())),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      return a.prediction.answer_probability >
+                             b.prediction.answer_probability;
+                    });
+  util::Table table("top candidate answerers for question " +
+                        std::to_string(question),
+                    {"user", "P(answer)", "votes", "delay (h)"});
+  for (std::size_t i = 0; i < std::min(top_k, scored.size()); ++i) {
+    table.add_row({std::to_string(scored[i].user),
+                   util::Table::num(scored[i].prediction.answer_probability),
+                   util::Table::num(scored[i].prediction.votes, 2),
+                   util::Table::num(scored[i].prediction.delay_hours, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_route(const Args& args) {
+  const auto dataset = load_data(args);
+  const auto pipeline = fit_pipeline(dataset, args);
+  const int history_days = static_cast<int>(args.get_int("history-days", 25));
+  const int last_day =
+      static_cast<int>(dataset.last_post_time() / 24.0) + 1;
+  const auto arrivals = dataset.questions_in_days(history_days + 1, last_day);
+  FORUMCAST_CHECK_MSG(!arrivals.empty(), "no arrivals after the history window");
+
+  core::RecommenderConfig config;
+  config.epsilon = args.get_double("epsilon", 0.3);
+  config.quality_time_tradeoff = args.get_double("lambda", 0.2);
+  config.default_capacity = args.get_double("capacity", 2.0);
+  const core::Recommender recommender(pipeline, config);
+
+  std::vector<forum::UserId> candidates;
+  {
+    std::vector<bool> seen(dataset.num_users(), false);
+    for (const auto& pair : dataset.answered_pairs(
+             dataset.questions_in_days(1, history_days))) {
+      if (!seen[pair.user]) {
+        seen[pair.user] = true;
+        candidates.push_back(pair.user);
+      }
+    }
+  }
+  std::vector<double> load(candidates.size(), 0.0);
+  util::Table table("routing decisions",
+                    {"question", "user", "p", "P(answer)", "votes", "delay (h)"});
+  for (forum::QuestionId q : arrivals) {
+    const auto result = recommender.recommend(q, candidates, load);
+    if (!result.feasible) {
+      table.add_row({std::to_string(q), "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const auto& top = result.ranking.front();
+    table.add_row({std::to_string(q), std::to_string(top.user),
+                   util::Table::num(top.probability, 2),
+                   util::Table::num(top.prediction.answer_probability, 2),
+                   util::Table::num(top.prediction.votes, 2),
+                   util::Table::num(top.prediction.delay_hours, 2)});
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i] == top.user) {
+        load[i] += 1.0;
+        break;
+      }
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const auto dataset = load_data(args);
+  std::vector<forum::QuestionId> omega(dataset.num_questions());
+  for (std::size_t i = 0; i < omega.size(); ++i) {
+    omega[i] = static_cast<forum::QuestionId>(i);
+  }
+  features::ExtractorConfig extractor_config;
+  extractor_config.lda.iterations =
+      static_cast<std::size_t>(args.get_int("lda-iterations", 50));
+  exp::ExperimentContext context(dataset, omega, omega, extractor_config);
+
+  exp::TaskSetup setup = exp::fast_task_setup();
+  setup.folds = static_cast<std::size_t>(args.get_int("folds", 5));
+  setup.repeats = static_cast<std::size_t>(args.get_int("repeats", 2));
+  setup.seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  std::cout << "running " << setup.folds * setup.repeats
+            << " cross-validation iterations...\n";
+  const auto result = exp::run_tasks(context, setup);
+
+  util::Table table("evaluation (Table I protocol)",
+                    {"Task", "Metric", "Baseline", "Our model", "Improvement"});
+  auto row = [&](const std::string& task, const std::string& metric,
+                 const exp::TaskMetrics& baseline, const exp::TaskMetrics& ours,
+                 bool higher_better) {
+    table.add_row({task, metric, util::Table::num(baseline.mean()),
+                   util::Table::num(ours.mean()),
+                   util::Table::num(eval::improvement_percent(
+                                        baseline.mean(), ours.mean(), higher_better),
+                                    1) +
+                       "%"});
+  };
+  row("a_uq", "AUC", result.answer_auc_baseline, result.answer_auc, true);
+  row("v_uq", "RMSE", result.vote_rmse_baseline, result.vote_rmse, false);
+  row("r_uq", "RMSE (h)", result.timing_rmse_baseline, result.timing_rmse, false);
+  table.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cout << "usage: forumcast <generate|stats|predict|route|evaluate> [--flag value ...]\n"
+               "  generate --questions N --users N --seed S --out posts.csv\n"
+               "  stats    --data posts.csv\n"
+               "  predict  --data posts.csv --question Q [--history-days D] [--top K]\n"
+               "  route    --data posts.csv [--history-days D] [--lambda L] [--epsilon E]\n"
+               "  evaluate --data posts.csv [--folds F] [--repeats R]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "route") return cmd_route(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
