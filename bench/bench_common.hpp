@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -19,6 +20,11 @@
 
 #include "forum/dataset.hpp"
 #include "forum/generator.hpp"
+#include "obs/build_info.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace forumcast::bench {
@@ -51,6 +57,9 @@ struct BenchOptions {
         options.full = true;
       } else if (arg == "--csv") {
         options.csv_dir = next("--csv");
+        // With CSV output we also dump a metadata sidecar that includes
+        // per-span stage timings, so turn span collection on for the run.
+        obs::TraceCollector::global().set_enabled(true);
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "options: --users N --questions N --seed S --full --csv DIR\n";
         std::exit(0);
@@ -79,6 +88,47 @@ inline std::vector<forum::QuestionId> all_questions(const forum::Dataset& datase
   return ids;
 }
 
+// Run provenance for a bench CSV: which build produced it, on what workload,
+// and where the wall-clock went. Written as `<csv>.meta.json` next to the CSV
+// so plots can carry the context along.
+inline std::string run_metadata_json(const BenchOptions& options) {
+  using obs::detail::append_json_escaped;
+  using obs::detail::append_json_number;
+  std::string json = "{";
+  json += "\"git_describe\":";
+  append_json_escaped(json, obs::git_describe());
+  json += ",\"timestamp\":";
+  append_json_escaped(json, util::iso8601_now());
+  json += ",\"threads\":";
+  append_json_number(json, static_cast<double>(util::default_thread_count()));
+  json += ",\"instrumentation\":";
+  json += obs::instrumentation_enabled() ? "true" : "false";
+  json += ",\"workload\":{\"users\":";
+  append_json_number(json, static_cast<double>(options.users));
+  json += ",\"questions\":";
+  append_json_number(json, static_cast<double>(options.questions));
+  json += ",\"seed\":";
+  append_json_number(json, static_cast<double>(options.seed));
+  json += ",\"full\":";
+  json += options.full ? "true" : "false";
+  json += "},\"stage_timings_ms\":{";
+  bool first = true;
+  for (const auto& row : obs::TraceCollector::global().aggregate()) {
+    if (!first) json += ',';
+    first = false;
+    append_json_escaped(json, row.name);
+    json += ":{\"count\":";
+    append_json_number(json, static_cast<double>(row.count));
+    json += ",\"total\":";
+    append_json_number(json, row.total_ms);
+    json += ",\"mean\":";
+    append_json_number(json, row.mean_ms);
+    json += "}";
+  }
+  json += "}}";
+  return json;
+}
+
 inline void emit(const util::Table& table, const BenchOptions& options,
                  const std::string& csv_name) {
   table.print(std::cout);
@@ -87,6 +137,15 @@ inline void emit(const util::Table& table, const BenchOptions& options,
     table.save_csv(*options.csv_dir + "/" + csv_name);
     std::cout << "(csv written to " << *options.csv_dir << "/" << csv_name
               << ")\n";
+    const std::string meta_path =
+        *options.csv_dir + "/" + csv_name + ".meta.json";
+    std::ofstream meta(meta_path);
+    meta << run_metadata_json(options) << "\n";
+    if (meta) {
+      std::cout << "(run metadata written to " << meta_path << ")\n";
+    } else {
+      std::cerr << "warning: could not write " << meta_path << "\n";
+    }
   }
 }
 

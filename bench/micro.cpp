@@ -12,6 +12,7 @@
 #include "graph/centrality.hpp"
 #include "ml/adam.hpp"
 #include "ml/mlp.hpp"
+#include "obs/obs.hpp"
 #include "opt/routing_lp.hpp"
 #include "topics/lda.hpp"
 #include "util/rng.hpp"
@@ -155,6 +156,49 @@ void BM_MlpTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MlpTrainStep);
+
+// ---------- observability overhead ----------
+//
+// These quantify the cost of the obs primitives themselves so the <2%
+// instrumentation-overhead budget (DESIGN.md) stays auditable. Span cost is
+// measured both with collection disabled (the default — one relaxed atomic
+// load) and enabled (timestamping + per-thread buffer append).
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::TraceCollector::global().set_enabled(false);
+  for (auto _ : state) {
+    FORUMCAST_SPAN("bench.span_disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::TraceCollector::global().set_enabled(true);
+  for (auto _ : state) {
+    FORUMCAST_SPAN("bench.span_enabled");
+    benchmark::ClobberMemory();
+  }
+  obs::TraceCollector::global().set_enabled(false);
+  obs::TraceCollector::global().clear();
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    FORUMCAST_COUNTER_ADD("bench.counter", 1);
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  util::Rng rng(31);
+  for (auto _ : state) {
+    FORUMCAST_HISTOGRAM_OBSERVE("bench.histogram", rng.uniform(0.0, 100.0),
+                                1.0, 10.0, 50.0);
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
 
 // ---------- routing LP ----------
 

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "ml/serialize.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace forumcast::core {
@@ -14,6 +15,8 @@ AnswerPredictor::AnswerPredictor(AnswerPredictorConfig config)
 void AnswerPredictor::fit(std::span<const std::vector<double>> rows,
                           std::span<const int> labels) {
   FORUMCAST_CHECK(!rows.empty());
+  FORUMCAST_SPAN_NAMED(fit_span, "answer.fit");
+  fit_span.arg("rows", static_cast<double>(rows.size()));
   scaler_.fit(rows);
   std::vector<std::vector<double>> scaled(rows.begin(), rows.end());
   scaler_.transform_in_place(scaled);

@@ -4,7 +4,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace forumcast::core {
@@ -87,13 +89,22 @@ ForecastPipeline::ForecastPipeline(PipelineConfig config)
 void ForecastPipeline::fit(const forum::Dataset& dataset,
                            std::span<const forum::QuestionId> history_questions) {
   FORUMCAST_CHECK(!history_questions.empty());
+  FORUMCAST_SPAN_NAMED(fit_span, "pipeline.fit");
+  fit_span.arg("history_questions",
+               static_cast<double>(history_questions.size()));
   dataset_ = &dataset;
-  extractor_ = std::make_unique<features::FeatureExtractor>(
-      dataset, history_questions, config_.extractor);
+  {
+    FORUMCAST_SPAN("pipeline.extractor_build");
+    extractor_ = std::make_unique<features::FeatureExtractor>(
+        dataset, history_questions, config_.extractor);
+  }
   last_post_time_ = dataset.last_post_time();
 
   const auto positives = dataset.answered_pairs(history_questions);
   FORUMCAST_CHECK_MSG(!positives.empty(), "history window has no answers");
+  FORUMCAST_LOG_INFO_KV("pipeline.fit",
+                        {"history_questions", history_questions.size()},
+                        {"positives", positives.size()});
 
   // --- Answer classifier: positives + sampled negatives. ---
   const auto negative_count = static_cast<std::size_t>(
@@ -102,13 +113,16 @@ void ForecastPipeline::fit(const forum::Dataset& dataset,
       dataset, history_questions, negative_count, config_.seed ^ 0x9999ULL);
   std::vector<std::vector<double>> answer_rows;
   std::vector<int> answer_labels;
-  for (const auto& pair : positives) {
-    answer_rows.push_back(extractor_->features(pair.user, pair.question));
-    answer_labels.push_back(1);
-  }
-  for (const auto& pair : negatives) {
-    answer_rows.push_back(extractor_->features(pair.user, pair.question));
-    answer_labels.push_back(0);
+  {
+    FORUMCAST_SPAN("pipeline.answer_rows");
+    for (const auto& pair : positives) {
+      answer_rows.push_back(extractor_->features(pair.user, pair.question));
+      answer_labels.push_back(1);
+    }
+    for (const auto& pair : negatives) {
+      answer_rows.push_back(extractor_->features(pair.user, pair.question));
+      answer_labels.push_back(0);
+    }
   }
   answer_ = AnswerPredictor(config_.answer);
   answer_.fit(answer_rows, answer_labels);
@@ -124,15 +138,18 @@ void ForecastPipeline::fit(const forum::Dataset& dataset,
   vote_.fit(vote_rows, vote_targets);
 
   // --- Point-process timing model. ---
+  FORUMCAST_SPAN_NAMED(timing_span, "pipeline.timing_threads");
   const auto threads = build_timing_threads(
       dataset, *extractor_, positives, last_post_time_,
       config_.survival_samples_per_thread, config_.seed ^ 0x7117ULL);
+  timing_span.end();
   timing_ = TimingPredictor(config_.timing);
   timing_.fit(threads);
 }
 
 Prediction ForecastPipeline::predict(forum::UserId u, forum::QuestionId q) const {
   FORUMCAST_CHECK(fitted());
+  FORUMCAST_COUNTER_ADD("pipeline.predictions", 1);
   const auto x = extractor_->features(u, q);
   Prediction prediction;
   prediction.answer_probability = answer_.predict_probability(x);

@@ -9,6 +9,7 @@
 #include "ml/adam.hpp"
 #include "ml/activations.hpp"
 #include "ml/serialize.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -41,6 +42,8 @@ TimingPredictor::TimingPredictor(TimingPredictorConfig config)
 
 void TimingPredictor::fit(std::span<const TimingThread> threads) {
   FORUMCAST_CHECK(!threads.empty());
+  FORUMCAST_SPAN_NAMED(fit_span, "timing.fit");
+  fit_span.arg("threads", static_cast<double>(threads.size()));
 
   // Collect all feature rows to fit the scaler and determine the dimension.
   std::vector<std::vector<double>> all_rows;
@@ -139,6 +142,8 @@ void TimingPredictor::fit(std::span<const TimingThread> threads) {
   };
 
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    FORUMCAST_SPAN("timing.epoch");
+    double epoch_nll = 0.0;
     rng.shuffle(order);
     for (std::size_t start = 0; start < order.size(); start += batch) {
       const std::size_t end = std::min(order.size(), start + batch);
@@ -152,6 +157,7 @@ void TimingPredictor::fit(std::span<const TimingThread> threads) {
         // Answer events: loss −= log μ − ω·delay.
         for (const auto& [x, delay] : thread.answers) {
           const double mu = mu_of(x);
+          epoch_nll -= std::log(mu) - omega_of(x) * delay;
           accumulate(x, -inv / mu, inv * delay);
         }
         // Survival terms: loss += w · μ · A(ω), A = (1 − e^{−ωΔ})/ω.
@@ -160,6 +166,7 @@ void TimingPredictor::fit(std::span<const TimingThread> threads) {
           const double omega = omega_of(x);
           const double a = survival_integral(omega, thread.delta);
           const double da = survival_integral_domega(omega, thread.delta);
+          epoch_nll += weight * mu * a;
           accumulate(x, inv * weight * a, inv * weight * mu * da);
         }
       }
@@ -173,6 +180,8 @@ void TimingPredictor::fit(std::span<const TimingThread> threads) {
         omega_rho_ = rho;
       }
     }
+    FORUMCAST_GAUGE_SET("timing.train_nll",
+                        epoch_nll / static_cast<double>(scaled.size()));
   }
 
   // Affine calibration of the raw estimator against observed delays.

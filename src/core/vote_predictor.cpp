@@ -7,6 +7,7 @@
 
 #include "ml/adam.hpp"
 #include "ml/serialize.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -31,6 +32,7 @@ void VotePredictor::fit(std::span<const std::vector<double>> rows,
                         std::span<const double> targets) {
   FORUMCAST_CHECK(!rows.empty());
   FORUMCAST_CHECK(rows.size() == targets.size());
+  FORUMCAST_SPAN_NAMED(fit_span, "vote.fit");
 
   scaler_.fit(rows);
   std::vector<std::vector<double>> scaled(rows.begin(), rows.end());
@@ -58,6 +60,8 @@ void VotePredictor::fit(std::span<const std::vector<double>> rows,
   ml::Mlp::Tape tape;
   const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    FORUMCAST_SPAN("vote.epoch");
+    double epoch_loss = 0.0;
     rng.shuffle(order);
     for (std::size_t start = 0; start < order.size(); start += batch) {
       const std::size_t end = std::min(order.size(), start + batch);
@@ -67,13 +71,20 @@ void VotePredictor::fit(std::span<const std::vector<double>> rows,
         const auto output = network_->forward(scaled[idx], tape);
         const double standardized_target =
             (targets[idx] - target_mean_) / target_scale_;
+        const double residual = output[0] - standardized_target;
+        epoch_loss += 0.5 * residual * residual;
         // d/dŷ of ½(ŷ − y)², averaged over the batch.
-        const double grad =
-            (output[0] - standardized_target) / static_cast<double>(end - start);
+        const double grad = residual / static_cast<double>(end - start);
         network_->backward(tape, std::vector<double>{grad});
       }
       adam.step(network_->params(), network_->grads());
     }
+    FORUMCAST_GAUGE_SET("vote.train_loss",
+                        epoch_loss / static_cast<double>(rows.size()));
+  }
+  if (fit_span.active()) {
+    fit_span.arg("rows", static_cast<double>(rows.size()));
+    fit_span.arg("epochs", static_cast<double>(config_.epochs));
   }
   fitted_ = true;
 }

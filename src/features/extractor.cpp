@@ -6,11 +6,13 @@
 #include "forum/sln.hpp"
 #include "graph/centrality.hpp"
 #include "graph/link_features.hpp"
+#include "obs/obs.hpp"
 #include "text/post_text.hpp"
 #include "text/tokenizer.hpp"
 #include "text/vocabulary.hpp"
 #include "topics/topic_math.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -51,6 +53,7 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
       qa_graph_(0),
       dense_graph_(0) {
   FORUMCAST_CHECK(config_.num_topics > 0);
+  FORUMCAST_SPAN_NAMED(build_span, "features.build");
 
   const text::Tokenizer tokenizer;
   text::Vocabulary vocabulary;
@@ -65,15 +68,19 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
   std::vector<std::vector<text::TokenId>> documents;
   std::unordered_set<forum::QuestionId> window(inference_set.begin(),
                                                inference_set.end());
-  for (forum::QuestionId q : inference_set) {
-    const forum::Thread& thread = dataset_.thread(q);
-    const auto q_split = text::split_post_body(thread.question.body_html);
-    documents.push_back(vocabulary.encode(tokenizer.tokenize(q_split.words)));
-    doc_refs.push_back({q, -1});
-    for (std::size_t a = 0; a < thread.answers.size(); ++a) {
-      const auto a_split = text::split_post_body(thread.answers[a].body_html);
-      documents.push_back(vocabulary.encode(tokenizer.tokenize(a_split.words)));
-      doc_refs.push_back({q, static_cast<int>(a)});
+  {
+    FORUMCAST_SPAN("features.tokenize_corpus");
+    for (forum::QuestionId q : inference_set) {
+      const forum::Thread& thread = dataset_.thread(q);
+      const auto q_split = text::split_post_body(thread.question.body_html);
+      documents.push_back(vocabulary.encode(tokenizer.tokenize(q_split.words)));
+      doc_refs.push_back({q, -1});
+      for (std::size_t a = 0; a < thread.answers.size(); ++a) {
+        const auto a_split = text::split_post_body(thread.answers[a].body_html);
+        documents.push_back(
+            vocabulary.encode(tokenizer.tokenize(a_split.words)));
+        doc_refs.push_back({q, static_cast<int>(a)});
+      }
     }
   }
 
@@ -106,17 +113,26 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
     question_code_length_[q] = static_cast<double>(split.code.size());
     if (has_corpus && !window.contains(q)) to_infer.push_back(q);
   }
-  util::parallel_for(to_infer.size(), [&](std::size_t i) {
-    const forum::QuestionId q = to_infer[i];
-    const auto split =
-        text::split_post_body(dataset_.thread(q).question.body_html);
-    const auto tokens =
-        vocabulary.encode_existing(tokenizer.tokenize(split.words));
-    question_topics_[q] = lda_.infer(tokens, /*iterations=*/30,
-                                     /*seed=*/0x5eedULL + q);
-  });
+  // In-window questions reuse the trained per-document distributions (cache
+  // hits); everything else pays a Gibbs fold-in (cache misses).
+  FORUMCAST_COUNTER_ADD("features.topic_cache_hits",
+                        num_questions - to_infer.size());
+  FORUMCAST_COUNTER_ADD("features.topic_cache_misses", to_infer.size());
+  {
+    FORUMCAST_SPAN("features.topic_fold_in");
+    util::parallel_for(to_infer.size(), [&](std::size_t i) {
+      const forum::QuestionId q = to_infer[i];
+      const auto split =
+          text::split_post_body(dataset_.thread(q).question.body_html);
+      const auto tokens =
+          vocabulary.encode_existing(tokenizer.tokenize(split.words));
+      question_topics_[q] = lda_.infer(tokens, /*iterations=*/30,
+                                       /*seed=*/0x5eedULL + q);
+    });
+  }
 
   // --- Per-user aggregates over the window. ---
+  FORUMCAST_SPAN_NAMED(user_stats_span, "features.user_stats");
   user_stats_.assign(dataset_.num_users(), UserStats{});
   for (auto& stats : user_stats_) stats.topic_distribution = uniform;
 
@@ -173,15 +189,29 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
   }
   global_median_response_ =
       all_delays.empty() ? 0.0 : util::median(all_delays);
+  user_stats_span.end();
 
   // --- SLN graphs and centralities over the window. ---
-  qa_graph_ = forum::build_qa_graph(dataset_, inference_set);
-  dense_graph_ = forum::build_dense_graph(dataset_, inference_set);
-  const std::size_t threads = util::default_thread_count();
-  qa_closeness_ = graph::closeness_centrality(qa_graph_, threads);
-  qa_betweenness_ = graph::betweenness_centrality(qa_graph_, threads);
-  dense_closeness_ = graph::closeness_centrality(dense_graph_, threads);
-  dense_betweenness_ = graph::betweenness_centrality(dense_graph_, threads);
+  {
+    FORUMCAST_SPAN("features.sln_graphs");
+    qa_graph_ = forum::build_qa_graph(dataset_, inference_set);
+    dense_graph_ = forum::build_dense_graph(dataset_, inference_set);
+    const std::size_t threads = util::default_thread_count();
+    qa_closeness_ = graph::closeness_centrality(qa_graph_, threads);
+    qa_betweenness_ = graph::betweenness_centrality(qa_graph_, threads);
+    dense_closeness_ = graph::closeness_centrality(dense_graph_, threads);
+    dense_betweenness_ = graph::betweenness_centrality(dense_graph_, threads);
+  }
+
+  if (build_span.active()) {
+    build_span.arg("window_questions",
+                   static_cast<double>(inference_set.size()));
+    build_span.arg("users", static_cast<double>(dataset_.num_users()));
+  }
+  FORUMCAST_LOG_INFO_KV("features.build",
+                        {"window_questions", inference_set.size()},
+                        {"users", dataset_.num_users()},
+                        {"dimension", layout_.dimension()});
 }
 
 const FeatureExtractor::UserStats& FeatureExtractor::user_stats(
@@ -223,6 +253,7 @@ std::vector<double> FeatureExtractor::features(forum::UserId u,
                                                forum::QuestionId q) const {
   FORUMCAST_CHECK(u < dataset_.num_users());
   FORUMCAST_CHECK(q < dataset_.num_questions());
+  FORUMCAST_COUNTER_ADD("features.vectors_built", 1);
   const UserStats& stats = user_stats_[u];
   const forum::Thread& thread = dataset_.thread(q);
   const forum::UserId asker = thread.question.creator;

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 
 namespace forumcast::graph {
@@ -73,6 +74,8 @@ std::vector<double> closeness_centrality(const Graph& graph,
   const std::size_t n = graph.node_count();
   std::vector<double> closeness(n, 0.0);
   if (n < 2) return closeness;
+  FORUMCAST_SPAN_NAMED(span, "graph.closeness");
+  FORUMCAST_COUNTER_ADD("graph.bfs_sources", n);
   util::parallel_for(
       n,
       [&](std::size_t u) {
@@ -87,6 +90,13 @@ std::vector<double> closeness_centrality(const Graph& graph,
         }
       },
       threads);
+  if (span.active()) {
+    span.arg("nodes", static_cast<double>(n));
+    const double seconds = span.elapsed_seconds();
+    if (seconds > 0.0) {
+      span.arg("sources_per_sec", static_cast<double>(n) / seconds);
+    }
+  }
   return closeness;
 }
 
@@ -95,6 +105,8 @@ std::vector<double> betweenness_centrality(const Graph& graph,
   const std::size_t n = graph.node_count();
   std::vector<double> betweenness(n, 0.0);
   if (n < 3) return betweenness;
+  FORUMCAST_SPAN_NAMED(span, "graph.betweenness");
+  FORUMCAST_COUNTER_ADD("graph.bfs_sources", n);
   if (threads == 0) threads = util::default_thread_count();
   threads = std::min(threads, n);
 
@@ -127,6 +139,14 @@ std::vector<double> betweenness_centrality(const Graph& graph,
   }
   // Each unordered pair is counted from both endpoints in an undirected graph.
   for (double& b : betweenness) b /= 2.0;
+  if (span.active()) {
+    span.arg("nodes", static_cast<double>(n));
+    span.arg("threads", static_cast<double>(threads));
+    const double seconds = span.elapsed_seconds();
+    if (seconds > 0.0) {
+      span.arg("sources_per_sec", static_cast<double>(n) / seconds);
+    }
+  }
   return betweenness;
 }
 

@@ -6,6 +6,7 @@
 #include "ml/activations.hpp"
 #include "ml/adam.hpp"
 #include "ml/matrix.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -46,7 +47,9 @@ void LogisticRegression::fit(std::span<const std::vector<double>> rows,
 
   const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    FORUMCAST_SPAN("ml.logreg.epoch");
     rng.shuffle(order);
+    double epoch_loss = 0.0;
     for (std::size_t start = 0; start < order.size(); start += batch) {
       const std::size_t end = std::min(order.size(), start + batch);
       std::fill(grads.begin(), grads.end(), 0.0);
@@ -57,6 +60,9 @@ void LogisticRegression::fit(std::span<const std::vector<double>> rows,
             dot(std::span<const double>(params).first(dim), x) + params[dim];
         const double p = sigmoid(margin);
         const double err = p - static_cast<double>(labels[idx]);
+        // Brier score: two flops per sample, unlike log-loss, and monotone
+        // enough to watch training converge.
+        epoch_loss += err * err;
         for (std::size_t c = 0; c < dim; ++c) grads[c] += err * x[c];
         grads[dim] += err;
       }
@@ -67,6 +73,8 @@ void LogisticRegression::fit(std::span<const std::vector<double>> rows,
       grads[dim] *= inv;  // no regularization on the bias
       adam.step(params, grads);
     }
+    FORUMCAST_GAUGE_SET("ml.logreg.train_loss",
+                        epoch_loss / static_cast<double>(rows.size()));
   }
 
   weights_.assign(params.begin(), params.begin() + static_cast<std::ptrdiff_t>(dim));

@@ -1,0 +1,15 @@
+#include "obs/build_info.hpp"
+
+#include "obs/trace.hpp"  // FORUMCAST_OBS_ENABLED default
+
+#if !defined(FORUMCAST_GIT_DESCRIBE)
+#define FORUMCAST_GIT_DESCRIBE "unknown"
+#endif
+
+namespace forumcast::obs {
+
+const char* git_describe() { return FORUMCAST_GIT_DESCRIBE; }
+
+bool instrumentation_enabled() { return FORUMCAST_OBS_ENABLED != 0; }
+
+}  // namespace forumcast::obs

@@ -1,0 +1,13 @@
+// Build provenance for run metadata (bench CSV sidecars, trace headers).
+#pragma once
+
+namespace forumcast::obs {
+
+/// `git describe --always --dirty` captured at configure time, or
+/// "unknown" when the build tree is not a git checkout.
+const char* git_describe();
+
+/// True when the build compiled instrumentation in (FORUMCAST_OBS=ON).
+bool instrumentation_enabled();
+
+}  // namespace forumcast::obs

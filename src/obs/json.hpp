@@ -1,0 +1,48 @@
+// Tiny JSON emission helpers shared by the metrics and trace exporters.
+// Emission only — the library never needs to parse JSON, so there is no
+// parser here (the tests carry their own minimal one to validate output).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace forumcast::obs::detail {
+
+inline void append_json_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+inline void append_json_number(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.12g", value);
+  // JSON has no inf/nan literals; clamp to null which every parser accepts.
+  std::string_view text(buffer);
+  if (text.find("inf") != std::string_view::npos ||
+      text.find("nan") != std::string_view::npos) {
+    out += "null";
+  } else {
+    out += buffer;
+  }
+}
+
+}  // namespace forumcast::obs::detail

@@ -1,0 +1,68 @@
+// Umbrella header for instrumentation call sites.
+//
+//   FORUMCAST_SPAN("lda.fit");                       // scoped trace span
+//   FORUMCAST_SPAN_NAMED(sweep, "lda.gibbs_sweep");  // span with a handle,
+//   sweep.arg("tokens_per_sec", rate);               // for viewer args
+//   FORUMCAST_COUNTER_ADD("lda.tokens_sampled", n);
+//   FORUMCAST_GAUGE_SET("vote.train_loss", loss);
+//   FORUMCAST_HISTOGRAM_OBSERVE("parallel.chunk_ms", ms, 0.1, 1, 10, 100);
+//
+// The metric macros cache the registry lookup in a function-local static, so
+// the steady-state cost is one relaxed atomic op. Building with
+// -DFORUMCAST_OBS=OFF compiles every macro in this header to nothing; the
+// obs library API itself (registry, collector, exporters) remains available
+// so surface code needs no #ifdefs.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#define FORUMCAST_OBS_CONCAT_INNER(a, b) a##b
+#define FORUMCAST_OBS_CONCAT(a, b) FORUMCAST_OBS_CONCAT_INNER(a, b)
+
+#if FORUMCAST_OBS_ENABLED
+
+#define FORUMCAST_SPAN(name)                                             \
+  ::forumcast::obs::ScopedSpan FORUMCAST_OBS_CONCAT(forumcast_span_,     \
+                                                    __LINE__)(name)
+
+#define FORUMCAST_SPAN_NAMED(var, name) ::forumcast::obs::ScopedSpan var(name)
+
+#define FORUMCAST_COUNTER_ADD(name, n)                                   \
+  do {                                                                   \
+    static ::forumcast::obs::Counter& forumcast_obs_counter =            \
+        ::forumcast::obs::MetricsRegistry::global().counter(name);       \
+    forumcast_obs_counter.add(                                           \
+        static_cast<std::uint64_t>(n));                                  \
+  } while (0)
+
+#define FORUMCAST_GAUGE_SET(name, value)                                 \
+  do {                                                                   \
+    static ::forumcast::obs::Gauge& forumcast_obs_gauge =                \
+        ::forumcast::obs::MetricsRegistry::global().gauge(name);         \
+    forumcast_obs_gauge.set(static_cast<double>(value));                 \
+  } while (0)
+
+/// Trailing arguments are the histogram's finite bucket upper bounds,
+/// consulted only the first time the name is registered.
+#define FORUMCAST_HISTOGRAM_OBSERVE(name, value, ...)                    \
+  do {                                                                   \
+    static ::forumcast::obs::Histogram& forumcast_obs_histogram =        \
+        ::forumcast::obs::MetricsRegistry::global().histogram(           \
+            name, std::vector<double>{__VA_ARGS__});                     \
+    forumcast_obs_histogram.observe(static_cast<double>(value));         \
+  } while (0)
+
+#else  // !FORUMCAST_OBS_ENABLED
+// The disabled forms still evaluate (and discard) their arguments so that
+// accumulators feeding a gauge don't trip -Wunused warnings; the values are
+// trivially dead and the optimizer deletes them.
+
+#define FORUMCAST_SPAN(name) ((void)(name))
+#define FORUMCAST_SPAN_NAMED(var, name) ::forumcast::obs::ScopedSpan var(name)
+#define FORUMCAST_COUNTER_ADD(name, n) ((void)(name), (void)(n))
+#define FORUMCAST_GAUGE_SET(name, value) ((void)(name), (void)(value))
+#define FORUMCAST_HISTOGRAM_OBSERVE(name, value, ...) \
+  ((void)(name), (void)(value))
+
+#endif  // FORUMCAST_OBS_ENABLED

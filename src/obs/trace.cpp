@@ -1,0 +1,164 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace forumcast::obs {
+
+namespace {
+thread_local std::uint32_t t_span_depth = 0;
+}  // namespace
+
+namespace detail {
+std::uint32_t enter_span() { return t_span_depth++; }
+void exit_span() {
+  if (t_span_depth > 0) --t_span_depth;
+}
+}  // namespace detail
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector* collector = new TraceCollector();  // immortal
+  return *collector;
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
+  // One buffer per (collector, thread). In practice only the global
+  // collector exists; shared_ptr keeps buffers of exited threads alive until
+  // the collector is done with them.
+  static thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+  static thread_local TraceCollector* t_owner = nullptr;
+  if (t_owner != this || !t_buffer) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    {
+      const std::lock_guard<std::mutex> lock(buffers_mutex_);
+      buffer->tid = next_tid_++;
+      buffers_.push_back(buffer);
+    }
+    t_buffer = std::move(buffer);
+    t_owner = this;
+  }
+  return *t_buffer;
+}
+
+void TraceCollector::record(TraceEvent&& event) {
+  ThreadBuffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+void TraceCollector::clear() {
+  const std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::vector<TraceEvent> merged;
+  {
+    const std::lock_guard<std::mutex> lock(buffers_mutex_);
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.depth < b.depth;  // parents before children
+            });
+  return merged;
+}
+
+std::uint64_t TraceCollector::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::string TraceCollector::chrome_trace_json() const {
+  using detail::append_json_escaped;
+  using detail::append_json_number;
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_escaped(out, event.name);
+    out += ",\"cat\":\"forumcast\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"ts\":" + std::to_string(event.start_us);
+    out += ",\"dur\":" + std::to_string(event.dur_us);
+    if (!event.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out.push_back(',');
+        first_arg = false;
+        append_json_escaped(out, key);
+        out.push_back(':');
+        append_json_number(out, value);
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& out) const {
+  out << chrome_trace_json();
+}
+
+std::vector<TraceCollector::AggregateRow> TraceCollector::aggregate() const {
+  std::map<std::string, AggregateRow> by_name;
+  for (const TraceEvent& event : events()) {
+    AggregateRow& row = by_name[event.name];
+    const double ms = static_cast<double>(event.dur_us) / 1e3;
+    if (row.count == 0) {
+      row.name = event.name;
+      row.min_ms = ms;
+      row.max_ms = ms;
+    }
+    ++row.count;
+    row.total_ms += ms;
+    row.min_ms = std::min(row.min_ms, ms);
+    row.max_ms = std::max(row.max_ms, ms);
+  }
+  std::vector<AggregateRow> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) {
+    row.mean_ms = row.total_ms / static_cast<double>(row.count);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const AggregateRow& a, const AggregateRow& b) {
+              return a.total_ms > b.total_ms;
+            });
+  return rows;
+}
+
+#if FORUMCAST_OBS_ENABLED
+
+void ScopedSpan::finish() {
+  if (!active_) return;
+  active_ = false;
+  detail::exit_span();
+  event_.dur_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  TraceCollector::global().record(std::move(event_));
+}
+
+#endif  // FORUMCAST_OBS_ENABLED
+
+}  // namespace forumcast::obs

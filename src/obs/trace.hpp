@@ -1,0 +1,160 @@
+// Scoped tracing spans with Chrome trace-event export.
+//
+// Usage: `FORUMCAST_SPAN("lda.gibbs_sweep");` (see obs/obs.hpp) opens a span
+// that closes at scope exit. Spans form a tree per thread (tracked by a
+// thread-local depth counter) and are recorded as complete ("ph":"X") events
+// into per-thread buffers owned by the process-global TraceCollector;
+// `write_chrome_trace()` merges them into a JSON file loadable by
+// chrome://tracing or https://ui.perfetto.dev, and `aggregate()` folds them
+// into a per-name timing table for text reports and bench metadata.
+//
+// Collection is OFF by default: a disabled span costs one relaxed atomic
+// load. Building with -DFORUMCAST_OBS=OFF compiles spans out entirely
+// (ScopedSpan becomes an empty object; the collector API stays linkable so
+// export call sites need no #ifdefs — they just see zero events).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if !defined(FORUMCAST_OBS_ENABLED)
+#define FORUMCAST_OBS_ENABLED 1
+#endif
+
+namespace forumcast::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;    ///< collector-assigned dense thread index
+  std::uint32_t depth = 0;  ///< nesting depth at open time (0 = root span)
+  std::uint64_t start_us = 0;  ///< microseconds since the collector epoch
+  std::uint64_t dur_us = 0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+class TraceCollector {
+ public:
+  /// The process-wide collector every span records into.
+  static TraceCollector& global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded events (thread registrations survive).
+  void clear();
+
+  /// Merged copy of every thread's events, sorted by start time.
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}).
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(std::ostream& out) const;
+
+  struct AggregateRow {
+    std::string name;
+    std::size_t count = 0;
+    double total_ms = 0.0;
+    double mean_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  /// Per-name rollup sorted by descending total time.
+  std::vector<AggregateRow> aggregate() const;
+
+  /// Microseconds since the collector's epoch (its construction).
+  std::uint64_t now_us() const;
+
+  /// Appends to the calling thread's buffer. Internal, used by ScopedSpan.
+  void record(TraceEvent&& event);
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;  // owner thread appends; snapshots read
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 0;
+};
+
+namespace detail {
+/// Returns the current thread's span depth and increments it.
+std::uint32_t enter_span();
+void exit_span();
+}  // namespace detail
+
+#if FORUMCAST_OBS_ENABLED
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : active_(TraceCollector::global().enabled()) {
+    if (active_) {
+      event_.name = name;
+      event_.depth = detail::enter_span();
+      event_.start_us = TraceCollector::global().now_us();
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedSpan() { finish(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Seconds since the span opened (0 when tracing is disabled).
+  double elapsed_seconds() const {
+    if (!active_) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Attaches a numeric argument shown in the trace viewer's detail pane.
+  void arg(const char* key, double value) {
+    if (active_) event_.args.emplace_back(key, value);
+  }
+
+  /// Closes the span early (before scope exit). Idempotent.
+  void end() { finish(); }
+
+ private:
+  void finish();
+
+  bool active_;
+  std::chrono::steady_clock::time_point start_{};
+  TraceEvent event_;
+};
+
+#else  // !FORUMCAST_OBS_ENABLED — spans compile to nothing.
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  bool active() const { return false; }
+  double elapsed_seconds() const { return 0.0; }
+  void arg(const char*, double) {}
+  void end() {}
+};
+
+#endif  // FORUMCAST_OBS_ENABLED
+
+}  // namespace forumcast::obs

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace forumcast::topics {
@@ -18,6 +20,7 @@ Lda::Lda(LdaConfig config) : config_(config) {
 void Lda::fit(std::span<const std::vector<text::TokenId>> documents,
               std::size_t vocab_size) {
   FORUMCAST_CHECK(vocab_size > 0);
+  FORUMCAST_SPAN_NAMED(fit_span, "lda.fit");
   const std::size_t K = config_.num_topics;
   vocab_size_ = vocab_size;
 
@@ -55,6 +58,7 @@ void Lda::fit(std::span<const std::vector<text::TokenId>> documents,
   std::vector<double> weights(K);
 
   for (std::size_t sweep = 0; sweep < config_.iterations; ++sweep) {
+    FORUMCAST_SPAN_NAMED(sweep_span, "lda.gibbs_sweep");
     for (auto& token : tokens) {
       auto& doc_counts = doc_topic_counts_[token.doc];
       // Remove the token from the counts.
@@ -75,7 +79,24 @@ void Lda::fit(std::span<const std::vector<text::TokenId>> documents,
       ++topic_word_counts_[token.topic * vocab_size + token.word];
       ++topic_totals_[token.topic];
     }
+    FORUMCAST_COUNTER_ADD("lda.tokens_sampled", tokens.size());
+    if (sweep_span.active()) {
+      const double seconds = sweep_span.elapsed_seconds();
+      if (seconds > 0.0) {
+        const double rate = static_cast<double>(tokens.size()) / seconds;
+        sweep_span.arg("tokens_per_sec", rate);
+        FORUMCAST_GAUGE_SET("lda.tokens_per_sec", rate);
+      }
+    }
   }
+  if (fit_span.active()) {
+    fit_span.arg("documents", static_cast<double>(documents.size()));
+    fit_span.arg("tokens", static_cast<double>(tokens.size()));
+    fit_span.arg("topics", static_cast<double>(K));
+  }
+  FORUMCAST_LOG_DEBUG_KV("lda.fit", {"documents", documents.size()},
+                         {"tokens", tokens.size()}, {"topics", K},
+                         {"sweeps", config_.iterations});
   fitted_ = true;
 }
 
@@ -129,6 +150,7 @@ std::vector<text::TokenId> Lda::top_words(std::size_t topic,
 std::vector<double> Lda::infer(std::span<const text::TokenId> document,
                                std::size_t iterations, std::uint64_t seed) const {
   FORUMCAST_CHECK(fitted());
+  FORUMCAST_COUNTER_ADD("lda.fold_ins", 1);
   const std::size_t K = config_.num_topics;
   const double alpha = config_.alpha;
   std::vector<std::size_t> doc_counts(K, 0);

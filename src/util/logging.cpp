@@ -1,6 +1,9 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
@@ -20,15 +23,58 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// Dense per-thread index: stable within a run, far more readable than the
+// platform's opaque thread id.
+std::uint32_t thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  static thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
 }  // namespace
+
+std::string iso8601_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer,
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, static_cast<int>(millis));
+  return buffer;
+}
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (!log_enabled(level)) return;
+  const std::string stamp = iso8601_now();
+  const std::uint32_t tid = thread_index();
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[forumcast " << level_name(level) << "] " << message << '\n';
+  std::cerr << stamp << " [forumcast " << level_name(level) << " t" << tid
+            << "] " << message << '\n';
+}
+
+void log_kv(LogLevel level, std::string_view event,
+            std::initializer_list<LogField> fields) {
+  if (!log_enabled(level)) return;
+  std::string message(event);
+  for (const LogField& field : fields) {
+    message += ' ';
+    message += field.key();
+    message += '=';
+    message += field.value();
+  }
+  log(level, message);
 }
 
 }  // namespace forumcast::util

@@ -3,10 +3,23 @@
 // Experiments are long-running; INFO progress lines go to stderr so bench
 // stdout stays a clean table stream. Level is process-global and defaults to
 // Info; tests drop it to Warn to keep output quiet.
+//
+// Each line carries an ISO-8601 UTC timestamp and a dense thread index:
+//   2026-08-06T12:34:56.789Z [forumcast INFO t0] fit questions=120
+//
+// LogLine checks the level filter at construction, so `FORUMCAST_LOG_DEBUG
+// << expensive()` does no formatting work when Debug is filtered out (the
+// argument expressions themselves still evaluate — keep them cheap).
+// For structured progress lines, prefer the key=value helper:
+//   FORUMCAST_LOG_INFO_KV("pipeline.fit", {"questions", n}, {"dim", d});
 #pragma once
 
+#include <initializer_list>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 
 namespace forumcast::util {
 
@@ -16,25 +29,72 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// True when a message at `level` would be emitted.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
 /// Emits `message` to stderr if `level` passes the global threshold.
 void log(LogLevel level, const std::string& message);
+
+/// Current UTC time as `2026-08-06T12:34:56.789Z` (ISO-8601, milliseconds).
+std::string iso8601_now();
+
+/// One key=value field of a structured log line. Implicitly constructible
+/// from numbers and strings so call sites can write {"questions", n}.
+class LogField {
+ public:
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogField(std::string_view key, T value)
+      : key_(key), value_(std::to_string(value)) {}
+  LogField(std::string_view key, bool value)
+      : key_(key), value_(value ? "true" : "false") {}
+  template <typename T,
+            std::enable_if_t<std::is_floating_point_v<T>, int> = 0>
+  LogField(std::string_view key, T value) : key_(key) {
+    std::ostringstream os;
+    os << static_cast<double>(value);
+    value_ = os.str();
+  }
+  LogField(std::string_view key, std::string_view value)
+      : key_(key), value_(value) {}
+  LogField(std::string_view key, const char* value)
+      : key_(key), value_(value) {}
+
+  const std::string& key() const { return key_; }
+  const std::string& value() const { return value_; }
+
+ private:
+  std::string key_;
+  std::string value_;
+};
+
+/// Emits `event key=value key=value ...` at `level`.
+void log_kv(LogLevel level, std::string_view event,
+            std::initializer_list<LogField> fields);
 
 namespace detail {
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log(level_, os_.str()); }
+  explicit LogLine(LogLevel level)
+      : level_(level), enabled_(log_enabled(level)) {}
+  ~LogLine() {
+    if (enabled_) log(level_, os_.str());
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
   template <typename T>
   LogLine& operator<<(const T& value) {
-    os_ << value;
+    if (enabled_) os_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream os_;
 };
 }  // namespace detail
@@ -45,3 +105,13 @@ class LogLine {
 #define FORUMCAST_LOG_INFO ::forumcast::util::detail::LogLine(::forumcast::util::LogLevel::Info)
 #define FORUMCAST_LOG_WARN ::forumcast::util::detail::LogLine(::forumcast::util::LogLevel::Warn)
 #define FORUMCAST_LOG_ERROR ::forumcast::util::detail::LogLine(::forumcast::util::LogLevel::Error)
+
+// Structured variants: FORUMCAST_LOG_INFO_KV("event", {"key", value}, ...).
+#define FORUMCAST_LOG_DEBUG_KV(event, ...) \
+  ::forumcast::util::log_kv(::forumcast::util::LogLevel::Debug, event, {__VA_ARGS__})
+#define FORUMCAST_LOG_INFO_KV(event, ...) \
+  ::forumcast::util::log_kv(::forumcast::util::LogLevel::Info, event, {__VA_ARGS__})
+#define FORUMCAST_LOG_WARN_KV(event, ...) \
+  ::forumcast::util::log_kv(::forumcast::util::LogLevel::Warn, event, {__VA_ARGS__})
+#define FORUMCAST_LOG_ERROR_KV(event, ...) \
+  ::forumcast::util::log_kv(::forumcast::util::LogLevel::Error, event, {__VA_ARGS__})

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace forumcast::util {
@@ -29,6 +31,9 @@ void parallel_for(std::size_t count,
     return;
   }
 
+  FORUMCAST_SPAN_NAMED(span, "util.parallel_for");
+  FORUMCAST_COUNTER_ADD("parallel.invocations", 1);
+
   // Dynamic chunking via an atomic cursor: balances uneven per-index work
   // (BFS cost varies a lot by component size) without a scheduler.
   std::atomic<std::size_t> cursor{0};
@@ -36,26 +41,45 @@ void parallel_for(std::size_t count,
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  std::vector<double> busy_seconds(threads, 0.0);
 
-  auto worker = [&] {
+  auto worker = [&](std::size_t slot) {
+    const auto started = std::chrono::steady_clock::now();
     for (;;) {
       const std::size_t begin = cursor.fetch_add(chunk);
-      if (begin >= count) return;
+      if (begin >= count) break;
       const std::size_t end = std::min(count, begin + chunk);
       try {
         for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
-        return;
+        break;
       }
     }
+    busy_seconds[slot] = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
   };
 
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (auto& thread : pool) thread.join();
+
+  // Chunk-imbalance gauge: 0 = perfectly even worker runtimes, 1 = one
+  // worker did all the waiting. Drives chunk-size tuning in perf PRs.
+  const auto [min_it, max_it] =
+      std::minmax_element(busy_seconds.begin(), busy_seconds.end());
+  const double imbalance =
+      *max_it > 0.0 ? (*max_it - *min_it) / *max_it : 0.0;
+  FORUMCAST_GAUGE_SET("parallel.imbalance", imbalance);
+  if (span.active()) {
+    span.arg("count", static_cast<double>(count));
+    span.arg("threads", static_cast<double>(threads));
+    span.arg("imbalance", imbalance);
+  }
+
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace forumcast::obs {
+namespace {
+
+// Tests share the process-global registry; prefix names per test so a
+// previously-registered metric never leaks state into another expectation.
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsSumExactly) {
+  Counter counter;
+  const std::size_t n = 100000;
+  util::parallel_for(n, [&](std::size_t) { counter.add(); }, 8);
+  EXPECT_EQ(counter.value(), n);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  gauge.set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+TEST(HistogramTest, BucketBoundariesAreUpperInclusive) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  // Prometheus `le` semantics: value 1.0 lands in the first bucket,
+  // 1.0000001 in the second, 100.0 still in the third, 100.1 in +inf.
+  histogram.observe(1.0);
+  histogram.observe(1.0000001);
+  histogram.observe(100.0);
+  histogram.observe(100.1);
+  const auto snapshot = histogram.snapshot();
+  ASSERT_EQ(snapshot.counts.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(snapshot.counts[0], 1u);
+  EXPECT_EQ(snapshot.counts[1], 1u);
+  EXPECT_EQ(snapshot.counts[2], 1u);
+  EXPECT_EQ(snapshot.counts[3], 1u);
+  EXPECT_EQ(snapshot.total_count, 4u);
+  EXPECT_NEAR(snapshot.sum, 1.0 + 1.0000001 + 100.0 + 100.1, 1e-9);
+}
+
+TEST(HistogramTest, ValuesBelowFirstBoundLandInFirstBucket) {
+  Histogram histogram({5.0, 50.0});
+  histogram.observe(-100.0);
+  histogram.observe(0.0);
+  const auto snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.counts[0], 2u);
+  EXPECT_EQ(snapshot.total_count, 2u);
+}
+
+TEST(HistogramTest, ConcurrentObservesMergeAcrossShards) {
+  Histogram histogram({10.0, 20.0, 30.0});
+  const std::size_t per_thread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&histogram, per_thread] {
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        histogram.observe(static_cast<double>(i % 40));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.total_count, 8u * per_thread);
+  std::uint64_t bucket_sum = 0;
+  for (const auto count : snapshot.counts) bucket_sum += count;
+  EXPECT_EQ(bucket_sum, snapshot.total_count);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  auto& registry = MetricsRegistry::global();
+  Counter& a = registry.counter("test.registry.same_name");
+  Counter& b = registry.counter("test.registry.same_name");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.histogram("test.registry.histogram", {1.0, 2.0});
+  // Bounds are consulted only on first registration.
+  Histogram& h2 = registry.histogram("test.registry.histogram", {9.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndUseUnderParallelFor) {
+  auto& registry = MetricsRegistry::global();
+  registry.counter("test.registry.concurrent").reset();
+  const std::size_t n = 50000;
+  util::parallel_for(
+      n,
+      [&](std::size_t) { registry.counter("test.registry.concurrent").add(); },
+      8);
+  EXPECT_EQ(registry.counter("test.registry.concurrent").value(), n);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonContainsRegisteredMetrics) {
+  auto& registry = MetricsRegistry::global();
+  registry.counter("test.json.counter").reset();
+  registry.counter("test.json.counter").add(7);
+  registry.gauge("test.json.gauge").set(2.5);
+  registry.histogram("test.json.histogram", {1.0}).observe(0.5);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find("\"test.json.counter\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.gauge\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.histogram\""), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, TextExpositionHasCumulativeBuckets) {
+  auto& registry = MetricsRegistry::global();
+  auto& histogram = registry.histogram("test.text.histogram", {1.0, 2.0});
+  histogram.reset();
+  histogram.observe(0.5);
+  histogram.observe(1.5);
+  histogram.observe(99.0);
+  const std::string text = registry.snapshot().to_text();
+  // Cumulative counts: le=1 sees 1, le=2 sees 2, le=+Inf sees all 3.
+  EXPECT_NE(text.find("test.text.histogram_bucket{le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test.text.histogram_bucket{le=\"2\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test.text.histogram_bucket{le=\"+Inf\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test.text.histogram_count 3"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsRegistrations) {
+  auto& registry = MetricsRegistry::global();
+  registry.counter("test.reset.counter").add(5);
+  registry.gauge("test.reset.gauge").set(1.0);
+  registry.reset();
+  EXPECT_EQ(registry.counter("test.reset.counter").value(), 0u);
+  EXPECT_EQ(registry.gauge("test.reset.gauge").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace forumcast::obs

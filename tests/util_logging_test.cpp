@@ -1,0 +1,98 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace forumcast::util {
+namespace {
+
+// Restores the global log level when a test ends.
+struct LogLevelScope {
+  explicit LogLevelScope(LogLevel level) : previous(log_level()) {
+    set_log_level(level);
+  }
+  ~LogLevelScope() { set_log_level(previous); }
+  LogLevel previous;
+};
+
+// A type whose stream-insertion must never run when the line is filtered.
+struct ExplodingFormat {
+  bool* formatted;
+};
+std::ostream& operator<<(std::ostream& os, const ExplodingFormat& e) {
+  *e.formatted = true;
+  return os << "expensive";
+}
+
+TEST(Logging, FilteredLineDoesNoFormatting) {
+  LogLevelScope scope(LogLevel::Warn);
+  bool formatted = false;
+  FORUMCAST_LOG_DEBUG << ExplodingFormat{&formatted};
+  FORUMCAST_LOG_INFO << ExplodingFormat{&formatted};
+  EXPECT_FALSE(formatted);
+}
+
+TEST(Logging, EnabledLineFormatsAndEmits) {
+  LogLevelScope scope(LogLevel::Warn);
+  bool formatted = false;
+  testing::internal::CaptureStderr();
+  FORUMCAST_LOG_WARN << "value=" << ExplodingFormat{&formatted};
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(formatted);
+  EXPECT_NE(output.find("WARN"), std::string::npos) << output;
+  EXPECT_NE(output.find("value=expensive"), std::string::npos) << output;
+}
+
+TEST(Logging, LinePrefixHasTimestampAndThreadIndex) {
+  LogLevelScope scope(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  FORUMCAST_LOG_INFO << "prefix probe";
+  const std::string output = testing::internal::GetCapturedStderr();
+  // 2026-08-06T12:34:56.789Z [forumcast INFO t0] prefix probe
+  ASSERT_GE(output.size(), 24u);
+  EXPECT_EQ(output[4], '-');
+  EXPECT_EQ(output[7], '-');
+  EXPECT_EQ(output[10], 'T');
+  EXPECT_EQ(output[23], 'Z');
+  EXPECT_NE(output.find("[forumcast INFO t"), std::string::npos) << output;
+  EXPECT_NE(output.find("prefix probe"), std::string::npos) << output;
+}
+
+TEST(Logging, LogEnabledMatchesThreshold) {
+  LogLevelScope scope(LogLevel::Warn);
+  EXPECT_FALSE(log_enabled(LogLevel::Debug));
+  EXPECT_FALSE(log_enabled(LogLevel::Info));
+  EXPECT_TRUE(log_enabled(LogLevel::Warn));
+  EXPECT_TRUE(log_enabled(LogLevel::Error));
+}
+
+TEST(Logging, KvHelperFormatsFields) {
+  LogLevelScope scope(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  FORUMCAST_LOG_INFO_KV("pipeline.fit", {"questions", 120}, {"dim", 34},
+                        {"converged", true}, {"stage", "lda"});
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(
+      output.find("pipeline.fit questions=120 dim=34 converged=true stage=lda"),
+      std::string::npos)
+      << output;
+}
+
+TEST(Logging, KvHelperRespectsLevelFilter) {
+  LogLevelScope scope(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  FORUMCAST_LOG_INFO_KV("hidden.event", {"n", 1});
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Logging, Iso8601NowShape) {
+  const std::string stamp = iso8601_now();
+  ASSERT_EQ(stamp.size(), 24u);  // YYYY-MM-DDTHH:MM:SS.mmmZ
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp[19], '.');
+  EXPECT_EQ(stamp.back(), 'Z');
+}
+
+}  // namespace
+}  // namespace forumcast::util

@@ -16,8 +16,12 @@
 //   forumcast evaluate --data posts.csv [--folds F] [--repeats R]
 //       Run the Table-I protocol (all three tasks + baselines).
 //
-// All subcommands accept --seed for reproducibility.
+// All subcommands accept --seed for reproducibility, plus:
+//   --trace-out FILE     record a Chrome trace (chrome://tracing / Perfetto)
+//                        of the run and write it to FILE
+//   --metrics-out FILE   dump the metrics registry snapshot as JSON to FILE
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -30,6 +34,7 @@
 #include "eval/metrics.hpp"
 #include "forum/generator.hpp"
 #include "forum/io.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 
@@ -264,7 +269,54 @@ void usage() {
                "  stats    --data posts.csv\n"
                "  predict  --data posts.csv --question Q [--history-days D] [--top K]\n"
                "  route    --data posts.csv [--history-days D] [--lambda L] [--epsilon E]\n"
-               "  evaluate --data posts.csv [--folds F] [--repeats R]\n";
+               "  evaluate --data posts.csv [--folds F] [--repeats R]\n"
+               "observability (any subcommand):\n"
+               "  --trace-out FILE     write a Chrome trace (chrome://tracing, Perfetto)\n"
+               "  --metrics-out FILE   write the metrics registry snapshot as JSON\n";
+}
+
+// Writes the collected trace / metrics snapshots after the command ran.
+// Returns false (and complains on stderr) if a file could not be written.
+bool flush_observability(const Args& args) {
+  bool ok = true;
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (out) {
+      obs::TraceCollector::global().write_chrome_trace(out);
+    }
+    if (!out) {
+      std::cerr << "error: cannot write trace to " << trace_out << "\n";
+      ok = false;
+    } else {
+      std::cerr << "trace written to " << trace_out
+                << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+      // Per-run aggregate: where the time went, by span name.
+      util::Table table("stage timings", {"span", "count", "total (ms)",
+                                          "mean (ms)", "max (ms)"});
+      for (const auto& row : obs::TraceCollector::global().aggregate()) {
+        table.add_row({row.name, std::to_string(row.count),
+                       util::Table::num(row.total_ms, 1),
+                       util::Table::num(row.mean_ms, 2),
+                       util::Table::num(row.max_ms, 1)});
+      }
+      table.print(std::cerr);
+    }
+  }
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (out) {
+      out << obs::MetricsRegistry::global().snapshot().to_json() << "\n";
+    }
+    if (!out) {
+      std::cerr << "error: cannot write metrics to " << metrics_out << "\n";
+      ok = false;
+    } else {
+      std::cerr << "metrics written to " << metrics_out << "\n";
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -277,13 +329,21 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
-    if (command == "generate") return cmd_generate(args);
-    if (command == "stats") return cmd_stats(args);
-    if (command == "predict") return cmd_predict(args);
-    if (command == "route") return cmd_route(args);
-    if (command == "evaluate") return cmd_evaluate(args);
-    usage();
-    return 2;
+    if (!args.get("trace-out", "").empty()) {
+      obs::TraceCollector::global().set_enabled(true);
+    }
+    int rc = 2;
+    if (command == "generate") rc = cmd_generate(args);
+    else if (command == "stats") rc = cmd_stats(args);
+    else if (command == "predict") rc = cmd_predict(args);
+    else if (command == "route") rc = cmd_route(args);
+    else if (command == "evaluate") rc = cmd_evaluate(args);
+    else {
+      usage();
+      return 2;
+    }
+    if (!flush_observability(args) && rc == 0) rc = 1;
+    return rc;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

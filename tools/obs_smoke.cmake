@@ -1,0 +1,96 @@
+# End-to-end smoke test for the observability surface (ctest: tools.obs_smoke).
+#
+# Generates a tiny synthetic forum, runs `forumcast predict` with
+# --trace-out/--metrics-out, and validates that the emitted files are
+# well-formed JSON containing spans for every pipeline stage the trace is
+# supposed to cover (LDA, centrality, feature extraction, all three
+# predictors' training loops).
+#
+# Invoked as:
+#   cmake -DFORUMCAST_CLI=<path> -DWORK_DIR=<dir> -P obs_smoke.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+if(NOT FORUMCAST_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DFORUMCAST_CLI=... -DWORK_DIR=... -P obs_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(posts "${WORK_DIR}/posts.csv")
+set(trace "${WORK_DIR}/trace.json")
+set(metrics "${WORK_DIR}/metrics.json")
+
+execute_process(
+  COMMAND "${FORUMCAST_CLI}" generate
+          --questions 150 --users 150 --seed 7 --out "${posts}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forumcast generate failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND "${FORUMCAST_CLI}" predict
+          --data "${posts}" --question 0 --top 3
+          --history-days 25 --lda-iterations 5 --seed 7
+          --trace-out "${trace}" --metrics-out "${metrics}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forumcast predict failed (rc=${rc})")
+endif()
+
+# --- Trace: valid JSON with a non-empty traceEvents array. ---
+file(READ "${trace}" trace_json)
+string(JSON num_events ERROR_VARIABLE err LENGTH "${trace_json}" traceEvents)
+if(err)
+  message(FATAL_ERROR "trace is not valid Chrome-trace JSON: ${err}")
+endif()
+if(num_events LESS 1)
+  message(FATAL_ERROR "trace contains no events")
+endif()
+
+# Every instrumented stage must appear by name.
+foreach(span
+    pipeline.fit
+    features.build
+    lda.fit
+    lda.gibbs_sweep
+    graph.closeness
+    graph.betweenness
+    answer.fit
+    vote.fit
+    timing.fit)
+  string(FIND "${trace_json}" "\"name\":\"${span}\"" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "trace is missing span '${span}'")
+  endif()
+endforeach()
+
+# Spot-check one event's structure via the JSON parser: name/ph/ts/dur fields.
+string(JSON first_ph ERROR_VARIABLE err GET "${trace_json}" traceEvents 0 ph)
+if(err OR NOT first_ph STREQUAL "X")
+  message(FATAL_ERROR "trace events are not complete-phase ('X') records: ${err}")
+endif()
+string(JSON first_dur ERROR_VARIABLE err GET "${trace_json}" traceEvents 0 dur)
+if(err OR first_dur LESS 0)
+  message(FATAL_ERROR "trace event 0 has no usable dur: ${err}")
+endif()
+
+# --- Metrics: valid JSON with the expected counters populated. ---
+file(READ "${metrics}" metrics_json)
+foreach(counter
+    lda.tokens_sampled
+    graph.bfs_sources
+    features.topic_cache_misses
+    pipeline.predictions)
+  string(JSON value ERROR_VARIABLE err
+         GET "${metrics_json}" counters "${counter}")
+  if(err)
+    message(FATAL_ERROR "metrics snapshot is missing counter '${counter}': ${err}")
+  endif()
+  if(value LESS 1)
+    message(FATAL_ERROR "counter '${counter}' is ${value}, expected >= 1")
+  endif()
+endforeach()
+
+message(STATUS "obs smoke test passed: ${num_events} trace events")
