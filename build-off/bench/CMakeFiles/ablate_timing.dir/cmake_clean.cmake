@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_timing.dir/ablate_timing.cpp.o"
+  "CMakeFiles/ablate_timing.dir/ablate_timing.cpp.o.d"
+  "ablate_timing"
+  "ablate_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

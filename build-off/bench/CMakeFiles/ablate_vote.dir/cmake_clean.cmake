@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_vote.dir/ablate_vote.cpp.o"
+  "CMakeFiles/ablate_vote.dir/ablate_vote.cpp.o.d"
+  "ablate_vote"
+  "ablate_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3.dir/fig3.cpp.o"
+  "CMakeFiles/fig3.dir/fig3.cpp.o.d"
+  "fig3"
+  "fig3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

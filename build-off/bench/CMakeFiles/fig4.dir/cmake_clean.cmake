@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4.dir/fig4.cpp.o"
+  "CMakeFiles/fig4.dir/fig4.cpp.o.d"
+  "fig4"
+  "fig4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

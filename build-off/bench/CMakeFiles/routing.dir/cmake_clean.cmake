@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing.dir/routing.cpp.o"
+  "CMakeFiles/routing.dir/routing.cpp.o.d"
+  "routing"
+  "routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

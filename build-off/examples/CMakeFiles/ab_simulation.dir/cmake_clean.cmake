@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_simulation.dir/ab_simulation.cpp.o"
+  "CMakeFiles/ab_simulation.dir/ab_simulation.cpp.o.d"
+  "ab_simulation"
+  "ab_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

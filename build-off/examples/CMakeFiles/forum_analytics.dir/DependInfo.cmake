@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/forum_analytics.cpp" "examples/CMakeFiles/forum_analytics.dir/forum_analytics.cpp.o" "gcc" "examples/CMakeFiles/forum_analytics.dir/forum_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/core/CMakeFiles/forumcast_core.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/forum/CMakeFiles/forumcast_forum.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/features/CMakeFiles/forumcast_features.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/eval/CMakeFiles/forumcast_eval.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/opt/CMakeFiles/forumcast_opt.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/topics/CMakeFiles/forumcast_topics.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/graph/CMakeFiles/forumcast_graph.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/ml/CMakeFiles/forumcast_ml.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/text/CMakeFiles/forumcast_text.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/util/CMakeFiles/forumcast_util.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/obs/CMakeFiles/forumcast_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forum_analytics.dir/forum_analytics.cpp.o"
+  "CMakeFiles/forum_analytics.dir/forum_analytics.cpp.o.d"
+  "forum_analytics"
+  "forum_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forum_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

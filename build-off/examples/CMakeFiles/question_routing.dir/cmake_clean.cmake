@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/question_routing.dir/question_routing.cpp.o"
+  "CMakeFiles/question_routing.dir/question_routing.cpp.o.d"
+  "question_routing"
+  "question_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/question_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

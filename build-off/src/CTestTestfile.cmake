@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-off/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("obs")
+subdirs("util")
+subdirs("text")
+subdirs("ml")
+subdirs("graph")
+subdirs("topics")
+subdirs("forum")
+subdirs("features")
+subdirs("eval")
+subdirs("opt")
+subdirs("core")
+subdirs("exp")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/answer_predictor.cpp" "src/core/CMakeFiles/forumcast_core.dir/answer_predictor.cpp.o" "gcc" "src/core/CMakeFiles/forumcast_core.dir/answer_predictor.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/forumcast_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/forumcast_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/recommender.cpp" "src/core/CMakeFiles/forumcast_core.dir/recommender.cpp.o" "gcc" "src/core/CMakeFiles/forumcast_core.dir/recommender.cpp.o.d"
+  "/root/repo/src/core/routing_simulator.cpp" "src/core/CMakeFiles/forumcast_core.dir/routing_simulator.cpp.o" "gcc" "src/core/CMakeFiles/forumcast_core.dir/routing_simulator.cpp.o.d"
+  "/root/repo/src/core/timing_predictor.cpp" "src/core/CMakeFiles/forumcast_core.dir/timing_predictor.cpp.o" "gcc" "src/core/CMakeFiles/forumcast_core.dir/timing_predictor.cpp.o.d"
+  "/root/repo/src/core/vote_predictor.cpp" "src/core/CMakeFiles/forumcast_core.dir/vote_predictor.cpp.o" "gcc" "src/core/CMakeFiles/forumcast_core.dir/vote_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/util/CMakeFiles/forumcast_util.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/ml/CMakeFiles/forumcast_ml.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/features/CMakeFiles/forumcast_features.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/eval/CMakeFiles/forumcast_eval.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/opt/CMakeFiles/forumcast_opt.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/obs/CMakeFiles/forumcast_obs.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/forum/CMakeFiles/forumcast_forum.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/topics/CMakeFiles/forumcast_topics.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/text/CMakeFiles/forumcast_text.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/graph/CMakeFiles/forumcast_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

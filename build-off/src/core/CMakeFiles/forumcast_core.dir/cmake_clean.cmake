@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_core.dir/answer_predictor.cpp.o"
+  "CMakeFiles/forumcast_core.dir/answer_predictor.cpp.o.d"
+  "CMakeFiles/forumcast_core.dir/pipeline.cpp.o"
+  "CMakeFiles/forumcast_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/forumcast_core.dir/recommender.cpp.o"
+  "CMakeFiles/forumcast_core.dir/recommender.cpp.o.d"
+  "CMakeFiles/forumcast_core.dir/routing_simulator.cpp.o"
+  "CMakeFiles/forumcast_core.dir/routing_simulator.cpp.o.d"
+  "CMakeFiles/forumcast_core.dir/timing_predictor.cpp.o"
+  "CMakeFiles/forumcast_core.dir/timing_predictor.cpp.o.d"
+  "CMakeFiles/forumcast_core.dir/vote_predictor.cpp.o"
+  "CMakeFiles/forumcast_core.dir/vote_predictor.cpp.o.d"
+  "libforumcast_core.a"
+  "libforumcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/crossval.cpp" "src/eval/CMakeFiles/forumcast_eval.dir/crossval.cpp.o" "gcc" "src/eval/CMakeFiles/forumcast_eval.dir/crossval.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/forumcast_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/forumcast_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/ranking.cpp" "src/eval/CMakeFiles/forumcast_eval.dir/ranking.cpp.o" "gcc" "src/eval/CMakeFiles/forumcast_eval.dir/ranking.cpp.o.d"
+  "/root/repo/src/eval/sampling.cpp" "src/eval/CMakeFiles/forumcast_eval.dir/sampling.cpp.o" "gcc" "src/eval/CMakeFiles/forumcast_eval.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/util/CMakeFiles/forumcast_util.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/forum/CMakeFiles/forumcast_forum.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/graph/CMakeFiles/forumcast_graph.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/topics/CMakeFiles/forumcast_topics.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/text/CMakeFiles/forumcast_text.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/obs/CMakeFiles/forumcast_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

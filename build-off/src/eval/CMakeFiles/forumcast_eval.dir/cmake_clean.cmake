@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_eval.dir/crossval.cpp.o"
+  "CMakeFiles/forumcast_eval.dir/crossval.cpp.o.d"
+  "CMakeFiles/forumcast_eval.dir/metrics.cpp.o"
+  "CMakeFiles/forumcast_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/forumcast_eval.dir/ranking.cpp.o"
+  "CMakeFiles/forumcast_eval.dir/ranking.cpp.o.d"
+  "CMakeFiles/forumcast_eval.dir/sampling.cpp.o"
+  "CMakeFiles/forumcast_eval.dir/sampling.cpp.o.d"
+  "libforumcast_eval.a"
+  "libforumcast_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_exp.dir/experiment.cpp.o"
+  "CMakeFiles/forumcast_exp.dir/experiment.cpp.o.d"
+  "libforumcast_exp.a"
+  "libforumcast_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

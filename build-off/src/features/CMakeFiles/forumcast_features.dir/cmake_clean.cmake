@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_features.dir/extractor.cpp.o"
+  "CMakeFiles/forumcast_features.dir/extractor.cpp.o.d"
+  "CMakeFiles/forumcast_features.dir/feature_layout.cpp.o"
+  "CMakeFiles/forumcast_features.dir/feature_layout.cpp.o.d"
+  "libforumcast_features.a"
+  "libforumcast_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libforumcast_features.a"
+)

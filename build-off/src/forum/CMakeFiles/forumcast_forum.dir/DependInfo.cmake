@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forum/dataset.cpp" "src/forum/CMakeFiles/forumcast_forum.dir/dataset.cpp.o" "gcc" "src/forum/CMakeFiles/forumcast_forum.dir/dataset.cpp.o.d"
+  "/root/repo/src/forum/generator.cpp" "src/forum/CMakeFiles/forumcast_forum.dir/generator.cpp.o" "gcc" "src/forum/CMakeFiles/forumcast_forum.dir/generator.cpp.o.d"
+  "/root/repo/src/forum/io.cpp" "src/forum/CMakeFiles/forumcast_forum.dir/io.cpp.o" "gcc" "src/forum/CMakeFiles/forumcast_forum.dir/io.cpp.o.d"
+  "/root/repo/src/forum/oracle.cpp" "src/forum/CMakeFiles/forumcast_forum.dir/oracle.cpp.o" "gcc" "src/forum/CMakeFiles/forumcast_forum.dir/oracle.cpp.o.d"
+  "/root/repo/src/forum/sln.cpp" "src/forum/CMakeFiles/forumcast_forum.dir/sln.cpp.o" "gcc" "src/forum/CMakeFiles/forumcast_forum.dir/sln.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/util/CMakeFiles/forumcast_util.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/text/CMakeFiles/forumcast_text.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/graph/CMakeFiles/forumcast_graph.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/topics/CMakeFiles/forumcast_topics.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/obs/CMakeFiles/forumcast_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_forum.dir/dataset.cpp.o"
+  "CMakeFiles/forumcast_forum.dir/dataset.cpp.o.d"
+  "CMakeFiles/forumcast_forum.dir/generator.cpp.o"
+  "CMakeFiles/forumcast_forum.dir/generator.cpp.o.d"
+  "CMakeFiles/forumcast_forum.dir/io.cpp.o"
+  "CMakeFiles/forumcast_forum.dir/io.cpp.o.d"
+  "CMakeFiles/forumcast_forum.dir/oracle.cpp.o"
+  "CMakeFiles/forumcast_forum.dir/oracle.cpp.o.d"
+  "CMakeFiles/forumcast_forum.dir/sln.cpp.o"
+  "CMakeFiles/forumcast_forum.dir/sln.cpp.o.d"
+  "libforumcast_forum.a"
+  "libforumcast_forum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_forum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

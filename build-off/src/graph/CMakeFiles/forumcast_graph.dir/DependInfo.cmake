@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/centrality.cpp" "src/graph/CMakeFiles/forumcast_graph.dir/centrality.cpp.o" "gcc" "src/graph/CMakeFiles/forumcast_graph.dir/centrality.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/forumcast_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/forumcast_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/link_features.cpp" "src/graph/CMakeFiles/forumcast_graph.dir/link_features.cpp.o" "gcc" "src/graph/CMakeFiles/forumcast_graph.dir/link_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/util/CMakeFiles/forumcast_util.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/obs/CMakeFiles/forumcast_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

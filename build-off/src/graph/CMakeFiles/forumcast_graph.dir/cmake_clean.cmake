@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_graph.dir/centrality.cpp.o"
+  "CMakeFiles/forumcast_graph.dir/centrality.cpp.o.d"
+  "CMakeFiles/forumcast_graph.dir/graph.cpp.o"
+  "CMakeFiles/forumcast_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/forumcast_graph.dir/link_features.cpp.o"
+  "CMakeFiles/forumcast_graph.dir/link_features.cpp.o.d"
+  "libforumcast_graph.a"
+  "libforumcast_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

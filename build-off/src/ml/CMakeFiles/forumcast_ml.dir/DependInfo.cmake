@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/activations.cpp" "src/ml/CMakeFiles/forumcast_ml.dir/activations.cpp.o" "gcc" "src/ml/CMakeFiles/forumcast_ml.dir/activations.cpp.o.d"
+  "/root/repo/src/ml/adam.cpp" "src/ml/CMakeFiles/forumcast_ml.dir/adam.cpp.o" "gcc" "src/ml/CMakeFiles/forumcast_ml.dir/adam.cpp.o.d"
+  "/root/repo/src/ml/logistic_regression.cpp" "src/ml/CMakeFiles/forumcast_ml.dir/logistic_regression.cpp.o" "gcc" "src/ml/CMakeFiles/forumcast_ml.dir/logistic_regression.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/forumcast_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/forumcast_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/matrix_factorization.cpp" "src/ml/CMakeFiles/forumcast_ml.dir/matrix_factorization.cpp.o" "gcc" "src/ml/CMakeFiles/forumcast_ml.dir/matrix_factorization.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/forumcast_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/forumcast_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/poisson_regression.cpp" "src/ml/CMakeFiles/forumcast_ml.dir/poisson_regression.cpp.o" "gcc" "src/ml/CMakeFiles/forumcast_ml.dir/poisson_regression.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/forumcast_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/forumcast_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/forumcast_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/forumcast_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/sparfa.cpp" "src/ml/CMakeFiles/forumcast_ml.dir/sparfa.cpp.o" "gcc" "src/ml/CMakeFiles/forumcast_ml.dir/sparfa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/util/CMakeFiles/forumcast_util.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/obs/CMakeFiles/forumcast_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

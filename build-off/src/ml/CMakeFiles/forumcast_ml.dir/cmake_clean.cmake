@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_ml.dir/activations.cpp.o"
+  "CMakeFiles/forumcast_ml.dir/activations.cpp.o.d"
+  "CMakeFiles/forumcast_ml.dir/adam.cpp.o"
+  "CMakeFiles/forumcast_ml.dir/adam.cpp.o.d"
+  "CMakeFiles/forumcast_ml.dir/logistic_regression.cpp.o"
+  "CMakeFiles/forumcast_ml.dir/logistic_regression.cpp.o.d"
+  "CMakeFiles/forumcast_ml.dir/matrix.cpp.o"
+  "CMakeFiles/forumcast_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/forumcast_ml.dir/matrix_factorization.cpp.o"
+  "CMakeFiles/forumcast_ml.dir/matrix_factorization.cpp.o.d"
+  "CMakeFiles/forumcast_ml.dir/mlp.cpp.o"
+  "CMakeFiles/forumcast_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/forumcast_ml.dir/poisson_regression.cpp.o"
+  "CMakeFiles/forumcast_ml.dir/poisson_regression.cpp.o.d"
+  "CMakeFiles/forumcast_ml.dir/scaler.cpp.o"
+  "CMakeFiles/forumcast_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/forumcast_ml.dir/serialize.cpp.o"
+  "CMakeFiles/forumcast_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/forumcast_ml.dir/sparfa.cpp.o"
+  "CMakeFiles/forumcast_ml.dir/sparfa.cpp.o.d"
+  "libforumcast_ml.a"
+  "libforumcast_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_obs.dir/build_info.cpp.o"
+  "CMakeFiles/forumcast_obs.dir/build_info.cpp.o.d"
+  "CMakeFiles/forumcast_obs.dir/metrics.cpp.o"
+  "CMakeFiles/forumcast_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/forumcast_obs.dir/trace.cpp.o"
+  "CMakeFiles/forumcast_obs.dir/trace.cpp.o.d"
+  "libforumcast_obs.a"
+  "libforumcast_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_opt.dir/lp.cpp.o"
+  "CMakeFiles/forumcast_opt.dir/lp.cpp.o.d"
+  "CMakeFiles/forumcast_opt.dir/routing_lp.cpp.o"
+  "CMakeFiles/forumcast_opt.dir/routing_lp.cpp.o.d"
+  "libforumcast_opt.a"
+  "libforumcast_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/post_text.cpp" "src/text/CMakeFiles/forumcast_text.dir/post_text.cpp.o" "gcc" "src/text/CMakeFiles/forumcast_text.dir/post_text.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/text/CMakeFiles/forumcast_text.dir/tokenizer.cpp.o" "gcc" "src/text/CMakeFiles/forumcast_text.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocabulary.cpp" "src/text/CMakeFiles/forumcast_text.dir/vocabulary.cpp.o" "gcc" "src/text/CMakeFiles/forumcast_text.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/util/CMakeFiles/forumcast_util.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/obs/CMakeFiles/forumcast_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

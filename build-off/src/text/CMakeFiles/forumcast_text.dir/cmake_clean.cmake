@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_text.dir/post_text.cpp.o"
+  "CMakeFiles/forumcast_text.dir/post_text.cpp.o.d"
+  "CMakeFiles/forumcast_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/forumcast_text.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/forumcast_text.dir/vocabulary.cpp.o"
+  "CMakeFiles/forumcast_text.dir/vocabulary.cpp.o.d"
+  "libforumcast_text.a"
+  "libforumcast_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

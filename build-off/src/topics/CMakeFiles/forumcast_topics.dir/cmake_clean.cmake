@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_topics.dir/lda.cpp.o"
+  "CMakeFiles/forumcast_topics.dir/lda.cpp.o.d"
+  "CMakeFiles/forumcast_topics.dir/topic_math.cpp.o"
+  "CMakeFiles/forumcast_topics.dir/topic_math.cpp.o.d"
+  "libforumcast_topics.a"
+  "libforumcast_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_util.dir/csv.cpp.o"
+  "CMakeFiles/forumcast_util.dir/csv.cpp.o.d"
+  "CMakeFiles/forumcast_util.dir/logging.cpp.o"
+  "CMakeFiles/forumcast_util.dir/logging.cpp.o.d"
+  "CMakeFiles/forumcast_util.dir/parallel.cpp.o"
+  "CMakeFiles/forumcast_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/forumcast_util.dir/rng.cpp.o"
+  "CMakeFiles/forumcast_util.dir/rng.cpp.o.d"
+  "CMakeFiles/forumcast_util.dir/stats.cpp.o"
+  "CMakeFiles/forumcast_util.dir/stats.cpp.o.d"
+  "CMakeFiles/forumcast_util.dir/table.cpp.o"
+  "CMakeFiles/forumcast_util.dir/table.cpp.o.d"
+  "libforumcast_util.a"
+  "libforumcast_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

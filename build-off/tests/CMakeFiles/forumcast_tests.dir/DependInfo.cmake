@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_predictors_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/core_predictors_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/core_predictors_test.cpp.o.d"
+  "/root/repo/tests/core_serialize_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/core_serialize_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/core_serialize_test.cpp.o.d"
+  "/root/repo/tests/core_timing_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/core_timing_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/core_timing_test.cpp.o.d"
+  "/root/repo/tests/eval_ranking_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/eval_ranking_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/eval_ranking_test.cpp.o.d"
+  "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/eval_test.cpp.o.d"
+  "/root/repo/tests/exp_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/exp_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/exp_test.cpp.o.d"
+  "/root/repo/tests/features_edge_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/features_edge_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/features_edge_test.cpp.o.d"
+  "/root/repo/tests/features_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/features_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/features_test.cpp.o.d"
+  "/root/repo/tests/forum_io_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/forum_io_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/forum_io_test.cpp.o.d"
+  "/root/repo/tests/forum_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/forum_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/forum_test.cpp.o.d"
+  "/root/repo/tests/generator_property_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/generator_property_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/generator_property_test.cpp.o.d"
+  "/root/repo/tests/generator_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/generator_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/generator_test.cpp.o.d"
+  "/root/repo/tests/graph_property_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/graph_property_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/graph_property_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/ml_matrix_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/ml_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/ml_matrix_test.cpp.o.d"
+  "/root/repo/tests/ml_mlp_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/ml_mlp_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/ml_mlp_test.cpp.o.d"
+  "/root/repo/tests/ml_models_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/ml_models_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/ml_models_test.cpp.o.d"
+  "/root/repo/tests/ml_optim_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/ml_optim_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/ml_optim_test.cpp.o.d"
+  "/root/repo/tests/ml_property_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/ml_property_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/ml_property_test.cpp.o.d"
+  "/root/repo/tests/ml_serialize_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/ml_serialize_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/ml_serialize_test.cpp.o.d"
+  "/root/repo/tests/obs_metrics_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/obs_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/obs_metrics_test.cpp.o.d"
+  "/root/repo/tests/obs_trace_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/obs_trace_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/obs_trace_test.cpp.o.d"
+  "/root/repo/tests/opt_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/opt_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/opt_test.cpp.o.d"
+  "/root/repo/tests/recommender_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/recommender_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/recommender_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/text_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/text_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/text_test.cpp.o.d"
+  "/root/repo/tests/topics_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/topics_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/topics_test.cpp.o.d"
+  "/root/repo/tests/util_logging_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/util_logging_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/util_logging_test.cpp.o.d"
+  "/root/repo/tests/util_parallel_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/util_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/util_parallel_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/forumcast_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/forumcast_tests.dir/util_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/exp/CMakeFiles/forumcast_exp.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/core/CMakeFiles/forumcast_core.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/forum/CMakeFiles/forumcast_forum.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/features/CMakeFiles/forumcast_features.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/eval/CMakeFiles/forumcast_eval.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/opt/CMakeFiles/forumcast_opt.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/topics/CMakeFiles/forumcast_topics.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/graph/CMakeFiles/forumcast_graph.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/ml/CMakeFiles/forumcast_ml.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/text/CMakeFiles/forumcast_text.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/util/CMakeFiles/forumcast_util.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/obs/CMakeFiles/forumcast_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forumcast_cli.dir/forumcast_cli.cpp.o"
+  "CMakeFiles/forumcast_cli.dir/forumcast_cli.cpp.o.d"
+  "forumcast"
+  "forumcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forumcast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
