@@ -29,6 +29,18 @@ double AnswerPredictor::predict_probability(std::span<const double> features) co
   return model_.predict_probability(scaler_.transform(features));
 }
 
+void AnswerPredictor::predict_probability_batch(const ml::Matrix& rows,
+                                                std::span<double> out) const {
+  FORUMCAST_CHECK(fitted());
+  FORUMCAST_CHECK(out.size() == rows.rows());
+  thread_local std::vector<double> scaled;
+  scaled.resize(rows.cols());
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    scaler_.transform_into(rows.row(r), scaled);
+    out[r] = model_.predict_probability(scaled);
+  }
+}
+
 void AnswerPredictor::save(std::ostream& out) const {
   FORUMCAST_CHECK_MSG(fitted(), "cannot save an unfitted AnswerPredictor");
   out << "forumcast-answer 1\n";

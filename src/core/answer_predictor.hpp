@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ml/logistic_regression.hpp"
+#include "ml/matrix.hpp"
 #include "ml/scaler.hpp"
 
 namespace forumcast::core {
@@ -27,6 +28,11 @@ class AnswerPredictor {
 
   /// P(a_{u,q} = 1 | x). Requires fit().
   double predict_probability(std::span<const double> features) const;
+
+  /// Batched form over raw (unscaled) feature rows; writes one probability
+  /// per row. Results match predict_probability() bit for bit.
+  void predict_probability_batch(const ml::Matrix& rows,
+                                 std::span<double> out) const;
 
   bool fitted() const { return model_.fitted(); }
 

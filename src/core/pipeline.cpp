@@ -145,6 +145,7 @@ void ForecastPipeline::fit(const forum::Dataset& dataset,
   timing_span.end();
   timing_ = TimingPredictor(config_.timing);
   timing_.fit(threads);
+  ++generation_;
 }
 
 Prediction ForecastPipeline::predict(forum::UserId u, forum::QuestionId q) const {
@@ -154,10 +155,19 @@ Prediction ForecastPipeline::predict(forum::UserId u, forum::QuestionId q) const
   Prediction prediction;
   prediction.answer_probability = answer_.predict_probability(x);
   prediction.votes = vote_.predict(x);
-  const double open_duration =
-      std::max(1e-3, last_post_time_ - dataset_->thread(q).question.timestamp_hours);
-  prediction.delay_hours = timing_.predict_delay(x, open_duration);
+  prediction.delay_hours = timing_.predict_delay(x, question_open_duration(q));
   return prediction;
+}
+
+const forum::Dataset& ForecastPipeline::dataset() const {
+  FORUMCAST_CHECK(fitted());
+  return *dataset_;
+}
+
+double ForecastPipeline::question_open_duration(forum::QuestionId q) const {
+  FORUMCAST_CHECK(fitted());
+  return std::max(
+      1e-3, last_post_time_ - dataset_->thread(q).question.timestamp_hours);
 }
 
 const features::FeatureExtractor& ForecastPipeline::extractor() const {

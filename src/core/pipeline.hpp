@@ -46,6 +46,14 @@ struct Prediction {
 using FeatureFn =
     std::function<std::vector<double>(forum::UserId, forum::QuestionId)>;
 
+/// Callable scoring one question against many candidate users at once,
+/// returning one Prediction per candidate in order. The serving layer
+/// (serve::BatchScorer) provides an implementation backed by feature caching
+/// and batched model forwards; consumers like Recommender fall back to
+/// per-pair ForecastPipeline::predict when none is supplied.
+using BatchPredictFn = std::function<std::vector<Prediction>(
+    forum::QuestionId, std::span<const forum::UserId>)>;
+
 /// Builds the point-process training threads for `pairs`, sampling
 /// non-answering users into each thread's survival term with importance
 /// weights that extrapolate to the full user population.
@@ -78,6 +86,18 @@ class ForecastPipeline {
   const VotePredictor& vote_predictor() const { return vote_; }
   const TimingPredictor& timing_predictor() const { return timing_; }
 
+  /// The dataset of the last fit(). Requires fit().
+  const forum::Dataset& dataset() const;
+
+  /// Δ_q = max(1e-3, T − t_q): how long question q has been open at the
+  /// snapshot time T — the horizon predict() feeds the timing model.
+  double question_open_duration(forum::QuestionId q) const;
+
+  /// Monotonic snapshot token: bumped by every fit(), so caches keyed on it
+  /// (serve::FeatureCache) notice when the forum snapshot they were built
+  /// against is gone. Zero means never fitted.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   PipelineConfig config_;
   const forum::Dataset* dataset_ = nullptr;
@@ -86,6 +106,7 @@ class ForecastPipeline {
   VotePredictor vote_;
   TimingPredictor timing_;
   double last_post_time_ = 0.0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace forumcast::core

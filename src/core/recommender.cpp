@@ -8,7 +8,13 @@
 namespace forumcast::core {
 
 Recommender::Recommender(const ForecastPipeline& pipeline, RecommenderConfig config)
-    : pipeline_(pipeline), config_(config) {
+    : Recommender(pipeline, BatchPredictFn{}, config) {}
+
+Recommender::Recommender(const ForecastPipeline& pipeline,
+                         BatchPredictFn batch_predict, RecommenderConfig config)
+    : pipeline_(pipeline),
+      batch_predict_(std::move(batch_predict)),
+      config_(config) {
   FORUMCAST_CHECK(config_.epsilon > 0.0 && config_.epsilon < 1.0);
   FORUMCAST_CHECK(config_.default_capacity > 0.0);
 }
@@ -29,12 +35,20 @@ RecommendationResult Recommender::recommend(
 
   RecommendationResult result;
 
-  // Predict for every candidate and keep the eligible ones.
+  // Predict for every candidate and keep the eligible ones. With a batch
+  // scorer wired in, all candidates go through one bulk call; otherwise each
+  // pair runs through the scalar reference path.
+  std::vector<Prediction> batch;
+  if (batch_predict_) {
+    batch = batch_predict_(question, candidates);
+    FORUMCAST_CHECK(batch.size() == candidates.size());
+  }
   std::vector<forum::UserId> eligible;
   std::vector<Prediction> predictions;
   std::vector<double> weights, caps;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const Prediction prediction = pipeline_.predict(candidates[i], question);
+    const Prediction prediction =
+        batch_predict_ ? batch[i] : pipeline_.predict(candidates[i], question);
     if (prediction.answer_probability < config_.epsilon) continue;
     const double base_capacity =
         capacities.empty() ? config_.default_capacity : capacities[i];

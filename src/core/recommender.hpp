@@ -44,6 +44,13 @@ class Recommender {
   /// The pipeline must stay alive (and fitted) while the recommender is used.
   Recommender(const ForecastPipeline& pipeline, RecommenderConfig config = {});
 
+  /// Same, but candidate scoring goes through `batch_predict` (one call per
+  /// question instead of one pipeline.predict per pair) — pass
+  /// serve::BatchScorer::predict_fn() here. A null callable falls back to the
+  /// per-pair reference path.
+  Recommender(const ForecastPipeline& pipeline, BatchPredictFn batch_predict,
+              RecommenderConfig config = {});
+
   /// Recommends answerers for question q among `candidates`.
   /// `now_hours` is the decision time n (used for the load window);
   /// `recent_answer_counts` maps user → answers recorded inside the window
@@ -59,6 +66,7 @@ class Recommender {
 
  private:
   const ForecastPipeline& pipeline_;
+  BatchPredictFn batch_predict_;
   RecommenderConfig config_;
 };
 

@@ -22,7 +22,8 @@ AbTestResult RoutingSimulator::run(const forum::Dataset& dataset,
   FORUMCAST_CHECK(!arrivals.empty());
   FORUMCAST_CHECK(!candidates.empty());
 
-  const Recommender recommender(pipeline_, config_.recommender);
+  const Recommender recommender(pipeline_, config_.batch_predict,
+                                config_.recommender);
   util::Rng rng(config_.seed);
 
   util::RunningStats organic_votes, organic_delay, routed_votes, routed_delay;

@@ -33,6 +33,10 @@ using OutcomeFn =
 
 struct SimulatorConfig {
   RecommenderConfig recommender = {};
+  /// Bulk scorer for the routing LP's candidate predictions (pass
+  /// serve::BatchScorer::predict_fn()); null scores pair by pair through the
+  /// scalar reference path.
+  BatchPredictFn batch_predict = {};
   std::uint64_t seed = 5150;
   std::size_t max_draws = 5;       ///< redraws before giving up on a question
   double acceptance_scale = 1.0;   ///< accept prob = min(1, scale · â)

@@ -285,6 +285,29 @@ double TimingPredictor::predict_delay(std::span<const double> features,
   return std::max(0.0, calibration_offset_ + calibration_slope_ * raw);
 }
 
+void TimingPredictor::predict_delay_batch(const ml::Matrix& rows,
+                                          double open_duration,
+                                          std::span<double> out) const {
+  FORUMCAST_CHECK(fitted());
+  FORUMCAST_CHECK(out.size() == rows.rows());
+  if (open_duration <= 0.0) open_duration = mean_open_duration_;
+  // Scratch is reused across calls: transform_into and forward_batch_into
+  // overwrite every element they expose, so nothing stale leaks through.
+  thread_local ml::Matrix scaled, mu, omega;
+  scaled.resize(rows.rows(), rows.cols());
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    scaler_.transform_into(rows.row(r), scaled.row(r));
+  }
+  f_net_->forward_batch_into(scaled, mu);
+  if (g_net_) g_net_->forward_batch_into(scaled, omega);
+  const double constant_omega = ml::softplus(omega_rho_) + kOmegaFloor;
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    const double omega_r = g_net_ ? omega(r, 0) + kOmegaFloor : constant_omega;
+    const double raw = raw_estimate(mu(r, 0) + kMuFloor, omega_r, open_duration);
+    out[r] = std::max(0.0, calibration_offset_ + calibration_slope_ * raw);
+  }
+}
+
 void TimingPredictor::save(std::ostream& out) const {
   FORUMCAST_CHECK_MSG(fitted(), "cannot save an unfitted TimingPredictor");
   out.precision(17);

@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "ml/matrix.hpp"
 #include "ml/mlp.hpp"
 #include "ml/scaler.hpp"
 
@@ -80,6 +81,12 @@ class TimingPredictor {
   /// whose question has been (or will be) open for `open_duration` hours.
   double predict_delay(std::span<const double> features,
                        double open_duration) const;
+
+  /// Batched form over raw (unscaled) feature rows sharing one question (and
+  /// hence one open duration); writes one delay per row. Both rate networks
+  /// run as blocked-GEMM forwards; matches predict_delay() bit for bit.
+  void predict_delay_batch(const ml::Matrix& rows, double open_duration,
+                           std::span<double> out) const;
 
   /// Rate parameters for a pair (diagnostics / tests).
   double excitation(std::span<const double> features) const;  ///< μ

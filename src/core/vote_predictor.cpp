@@ -95,6 +95,23 @@ double VotePredictor::predict(std::span<const double> features) const {
   return output[0] * target_scale_ + target_mean_;
 }
 
+void VotePredictor::predict_batch(const ml::Matrix& rows,
+                                  std::span<double> out) const {
+  FORUMCAST_CHECK(fitted());
+  FORUMCAST_CHECK(out.size() == rows.rows());
+  // Scratch is reused across calls: transform_into and forward_batch_into
+  // overwrite every element they expose, so nothing stale leaks through.
+  thread_local ml::Matrix scaled, output;
+  scaled.resize(rows.rows(), rows.cols());
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    scaler_.transform_into(rows.row(r), scaled.row(r));
+  }
+  network_->forward_batch_into(scaled, output);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    out[r] = output(r, 0) * target_scale_ + target_mean_;
+  }
+}
+
 void VotePredictor::save(std::ostream& out) const {
   FORUMCAST_CHECK_MSG(fitted(), "cannot save an unfitted VotePredictor");
   out.precision(17);

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "ml/matrix.hpp"
 #include "ml/mlp.hpp"
 #include "ml/scaler.hpp"
 
@@ -38,6 +39,10 @@ class VotePredictor {
            std::span<const double> targets);
 
   double predict(std::span<const double> features) const;
+
+  /// Batched form over raw (unscaled) feature rows; writes one estimate per
+  /// row. One blocked-GEMM forward pass; matches predict() bit for bit.
+  void predict_batch(const ml::Matrix& rows, std::span<double> out) const;
 
   bool fitted() const { return fitted_; }
 

@@ -37,7 +37,22 @@ class Matrix {
   /// C = A * B. Requires cols() == other.rows().
   Matrix matmul(const Matrix& other) const;
 
+  /// C = A * B^T (+ optional per-column bias). Requires cols() == other.cols().
+  /// This is the batched-inference product: A holds N samples row-major and B
+  /// holds M weight rows, so both operands stream contiguously. Backed by the
+  /// blocked gemm_nt kernel below; accumulation order per output element
+  /// matches the scalar dot-product loop, so results are bit-identical to
+  /// per-row multiply().
+  Matrix matmul_nt(const Matrix& other,
+                   std::span<const double> bias = {}) const;
+
   Matrix transposed() const;
+
+  /// Reshapes to rows × cols, reusing the existing allocation when its
+  /// capacity allows. Element values are unspecified afterwards — this is for
+  /// scratch buffers whose every element is overwritten before being read
+  /// (e.g. gemm_nt outputs, which are seeded with the bias).
+  void resize(std::size_t rows, std::size_t cols);
 
   void fill(double value);
 
@@ -52,6 +67,32 @@ class Matrix {
   std::size_t cols_ = 0;
   std::vector<double> storage_;
 };
+
+/// One accumulation step acc + a·b with the floating-point contraction pinned
+/// at the source: a single rounding (true FMA) when the target has FMA
+/// hardware, mul-then-add otherwise. The scalar Mlp::forward loop and every
+/// gemm_nt variant below accumulate through this helper (or its SIMD
+/// equivalent), so batch and scalar paths make the same rounding decisions
+/// and stay bit-identical even when the compiler would otherwise contract
+/// one path but not the other.
+inline double fmadd(double a, double b, double acc) {
+#ifdef __FMA__
+  return __builtin_fma(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+/// Blocked GEMM kernel: C(n×m) = A(n×k) · B(m×k)^T, C[i][j] += bias[j] first
+/// when `bias` is non-null. Row strides are lda/ldb/ldc. B's rows play the
+/// role of weight vectors, so for each output the k-loop accumulates in
+/// ascending order — bit-identical to a scalar dot product. The kernel is
+/// register-blocked four columns wide: one pass over an A row feeds four
+/// independent accumulators, which hides FP latency and quarters the A-row
+/// load traffic without reordering any per-element sum.
+void gemm_nt(std::size_t n, std::size_t m, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb,
+             const double* bias, double* c, std::size_t ldc);
 
 /// Dot product; sizes must match.
 double dot(std::span<const double> a, std::span<const double> b);

@@ -61,7 +61,10 @@ std::vector<double> Mlp::forward(std::span<const double> x, Tape& tape) const {
     for (std::size_t u = 0; u < units; ++u) {
       const double* w_row = weights + u * in_dim;
       double accum = bias[u];
-      for (std::size_t i = 0; i < in_dim; ++i) accum += w_row[i] * current[i];
+      // fmadd pins the contraction so this loop and gemm_nt round alike.
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        accum = fmadd(w_row[i], current[i], accum);
+      }
       pre[u] = accum;
     }
     std::vector<double> post(units);
@@ -73,6 +76,35 @@ std::vector<double> Mlp::forward(std::span<const double> x, Tape& tape) const {
     tape.post[l] = current;
   }
   return current;
+}
+
+Matrix Mlp::forward_batch(const Matrix& x) const {
+  Matrix out;
+  forward_batch_into(x, out);
+  return out;
+}
+
+void Mlp::forward_batch_into(const Matrix& x, Matrix& out) const {
+  FORUMCAST_CHECK_MSG(x.cols() == input_dim_,
+                      "input dim " << x.cols() << " != " << input_dim_);
+  // Hidden layers ping-pong between two thread-local scratch matrices so a
+  // steady-state serving loop allocates nothing. gemm_nt writes every output
+  // element (seeded with the layer bias) before anything reads it, so the
+  // unspecified contents left by resize() are harmless.
+  thread_local Matrix scratch[2];
+  const Matrix* source = &x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::size_t units = layers_[l].units;
+    const std::size_t in_dim = fan_in(l);
+    Matrix& next = l + 1 == layers_.size() ? out : scratch[l % 2];
+    next.resize(source->rows(), units);
+    gemm_nt(source->rows(), units, in_dim, source->data().data(), in_dim,
+            params_.data() + weight_offset_[l], in_dim,
+            params_.data() + bias_offset_[l], next.data().data(), units);
+    const Activation activation = layers_[l].activation;
+    for (double& value : next.data()) value = activate(activation, value);
+    source = &next;
+  }
 }
 
 std::vector<double> Mlp::backward(const Tape& tape, std::span<const double> grad_output) {

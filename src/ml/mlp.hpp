@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ml/activations.hpp"
+#include "ml/matrix.hpp"
 
 namespace forumcast::ml {
 
@@ -42,6 +43,21 @@ class Mlp {
 
   /// Inference-only forward pass.
   std::vector<double> forward(std::span<const double> x) const;
+
+  /// Inference-only forward pass over a batch: `x` holds one sample per row
+  /// (cols == input_dim). Each layer is one blocked GEMM against the layer's
+  /// weight matrix (gemm_nt seeds outputs with the bias, so per-sample sums
+  /// accumulate in exactly the order of the scalar forward() — results are
+  /// bit-identical). Returns rows() × output_dim().
+  Matrix forward_batch(const Matrix& x) const;
+
+  /// forward_batch writing into `out` (reshaped to rows() × output_dim()),
+  /// with hidden-layer intermediates held in thread-local scratch that is
+  /// reused across calls. Serving hot paths call this per block; the scratch
+  /// reuse removes the per-call allocations without changing a single
+  /// computed value (gemm_nt seeds every output with the bias, so stale
+  /// buffer contents are never read). `out` must not alias `x`.
+  void forward_batch_into(const Matrix& x, Matrix& out) const;
 
   /// Forward pass that fills `tape` for a subsequent backward().
   std::vector<double> forward(std::span<const double> x, Tape& tape) const;

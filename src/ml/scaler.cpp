@@ -51,6 +51,16 @@ std::vector<double> StandardScaler::transform(std::span<const double> row) const
   return out;
 }
 
+void StandardScaler::transform_into(std::span<const double> row,
+                                    std::span<double> out) const {
+  FORUMCAST_CHECK(fitted());
+  FORUMCAST_CHECK(row.size() == mean_.size());
+  FORUMCAST_CHECK(out.size() == mean_.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - mean_[c]) / scale_[c];
+  }
+}
+
 void StandardScaler::transform_in_place(std::vector<std::vector<double>>& rows) const {
   for (auto& row : rows) row = transform(row);
 }

@@ -18,6 +18,10 @@ class StandardScaler {
   /// Scales one sample; requires fit() was called with matching width.
   std::vector<double> transform(std::span<const double> row) const;
 
+  /// Scales one sample into a caller-provided buffer (no allocation).
+  /// `row` and `out` may alias; both must be dimension() wide.
+  void transform_into(std::span<const double> row, std::span<double> out) const;
+
   /// Scales rows in place.
   void transform_in_place(std::vector<std::vector<double>>& rows) const;
 

@@ -1,0 +1,103 @@
+#include "serve/batch_scorer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "ml/matrix.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace forumcast::serve {
+
+BatchScorer::BatchScorer(const core::ForecastPipeline& pipeline,
+                         BatchScorerConfig config)
+    : pipeline_(pipeline),
+      config_(config),
+      cache_(config.max_cached_questions) {
+  FORUMCAST_CHECK_MSG(pipeline_.fitted(),
+                      "BatchScorer requires a fitted pipeline");
+  config_.block_rows = std::max<std::size_t>(1, config_.block_rows);
+}
+
+std::vector<core::Prediction> BatchScorer::score(
+    forum::QuestionId question, std::span<const forum::UserId> users) const {
+  FORUMCAST_CHECK(pipeline_.fitted());
+  std::vector<core::Prediction> predictions(users.size());
+  if (users.empty()) return predictions;
+
+  FORUMCAST_SPAN_NAMED(span, "serve.batch_score");
+
+  // Fill phase (writer side): bind to the current pipeline generation and
+  // materialize any missing blocks. The shared_ptr pins the question block
+  // against eviction by a concurrent score() of a different question.
+  std::shared_ptr<const FeatureCache::QuestionBlock> block;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    cache_.sync(pipeline_.extractor(), pipeline_.dataset(),
+                pipeline_.generation());
+    cache_.warm_users(users);
+    block = cache_.question_block(question);
+  }
+
+  const double open_duration = pipeline_.question_open_duration(question);
+  const std::size_t dim = cache_.dimension();
+  const std::size_t block_rows = config_.block_rows;
+  const std::size_t num_blocks = (users.size() + block_rows - 1) / block_rows;
+
+  // Scoring phase (reader side): assemble each row block and run all three
+  // predictors on it. Blocks are independent, so they shard cleanly.
+  std::shared_lock<std::shared_mutex> read_lock(mutex_);
+  util::parallel_for(
+      num_blocks,
+      [&](std::size_t b) {
+        const std::size_t begin = b * block_rows;
+        const std::size_t end = std::min(users.size(), begin + block_rows);
+        const std::size_t rows = end - begin;
+
+        // Scratch is reused across blocks and score() calls: assemble writes
+        // every element of its row and the predictors fill every output slot,
+        // so resize() leftovers are never read.
+        thread_local ml::Matrix x;
+        thread_local std::vector<double> answer, votes, delay;
+        x.resize(rows, dim);
+        for (std::size_t r = 0; r < rows; ++r) {
+          cache_.assemble(users[begin + r], *block, x.row(r));
+        }
+
+        answer.resize(rows);
+        votes.resize(rows);
+        delay.resize(rows);
+        pipeline_.answer_predictor().predict_probability_batch(x, answer);
+        pipeline_.vote_predictor().predict_batch(x, votes);
+        pipeline_.timing_predictor().predict_delay_batch(x, open_duration,
+                                                         delay);
+        for (std::size_t r = 0; r < rows; ++r) {
+          predictions[begin + r] = {answer[r], votes[r], delay[r]};
+        }
+      },
+      config_.threads);
+
+  FORUMCAST_COUNTER_ADD("serve.pairs_scored", users.size());
+  FORUMCAST_COUNTER_ADD("serve.batches", 1);
+  if (span.active()) {
+    span.arg("pairs", static_cast<double>(users.size()));
+    span.arg("blocks", static_cast<double>(num_blocks));
+  }
+  return predictions;
+}
+
+core::BatchPredictFn BatchScorer::predict_fn() const {
+  return [this](forum::QuestionId question,
+                std::span<const forum::UserId> users) {
+    return score(question, users);
+  };
+}
+
+FeatureCacheStats BatchScorer::cache_stats() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return cache_.stats();
+}
+
+}  // namespace forumcast::serve

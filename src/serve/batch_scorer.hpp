@@ -1,0 +1,66 @@
+// Batched scoring engine: one question × N candidate users in one pass.
+//
+// The scalar reference path (ForecastPipeline::predict) pays, per pair, a
+// feature rebuild, three scaler allocations, and four per-sample MLP
+// forwards. BatchScorer instead assembles the N × (18 + 2K) feature matrix
+// from a FeatureCache and pushes whole row blocks through each predictor's
+// batch entry point — the MLP forwards become blocked GEMMs
+// (ml::gemm_nt) — sharded across util::parallel_for. Scores are
+// bit-identical to the scalar path; it is purely an execution-layout change.
+//
+// Thread safety: concurrent score() calls are safe. Cache fills run under a
+// writer lock, matrix assembly and model forwards under a reader lock; the
+// only contract (shared with ForecastPipeline::predict) is that fit() must
+// not run concurrently with score().
+#pragma once
+
+#include <cstddef>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/feature_cache.hpp"
+
+namespace forumcast::serve {
+
+struct BatchScorerConfig {
+  /// Rows per assembled feature block: the GEMM tile height and the
+  /// parallel_for work unit. Sized so a block's activations stay cache
+  /// resident (256 × 34 doubles ≈ 68 KB).
+  std::size_t block_rows = 256;
+  /// Worker threads for block sharding; 0 = util::default_thread_count().
+  std::size_t threads = 0;
+  /// Question blocks kept warm in the FeatureCache.
+  std::size_t max_cached_questions = 64;
+};
+
+class BatchScorer {
+ public:
+  /// The pipeline must be fitted and outlive the scorer. Refitting the
+  /// pipeline is detected via its generation counter and invalidates the
+  /// cache on the next score() call.
+  explicit BatchScorer(const core::ForecastPipeline& pipeline,
+                       BatchScorerConfig config = {});
+
+  /// Scores question `question` against every user in `users`, returning one
+  /// Prediction per user in order. Equals pipeline.predict(u, question) for
+  /// each u.
+  std::vector<core::Prediction> score(
+      forum::QuestionId question, std::span<const forum::UserId> users) const;
+
+  /// Adapter for consumers taking a core::BatchPredictFn (Recommender,
+  /// RoutingSimulator). The returned callable references *this.
+  core::BatchPredictFn predict_fn() const;
+
+  FeatureCacheStats cache_stats() const;
+  const BatchScorerConfig& config() const { return config_; }
+
+ private:
+  const core::ForecastPipeline& pipeline_;
+  BatchScorerConfig config_;
+  mutable std::shared_mutex mutex_;
+  mutable FeatureCache cache_;
+};
+
+}  // namespace forumcast::serve

@@ -1,0 +1,222 @@
+#include "serve/feature_cache.hpp"
+
+#include <algorithm>
+
+#include "graph/link_features.hpp"
+#include "obs/obs.hpp"
+#include "topics/topic_math.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::serve {
+
+namespace {
+// Scalar slots of a user block; the K entries of d_u follow.
+enum UserSlot : std::size_t {
+  kAnswersProvided = 0,
+  kAnswerRatio,
+  kNetAnswerVotes,
+  kMedianResponseTime,
+  kQaCloseness,
+  kQaBetweenness,
+  kDenseCloseness,
+  kDenseBetweenness,
+  kUserScalarSlots,
+};
+}  // namespace
+
+FeatureCache::FeatureCache(std::size_t max_cached_questions)
+    : max_cached_questions_(std::max<std::size_t>(1, max_cached_questions)) {}
+
+std::size_t FeatureCache::user_stride() const {
+  return kUserScalarSlots + extractor_->num_topics();
+}
+
+std::size_t FeatureCache::dimension() const {
+  FORUMCAST_CHECK(bound_);
+  return extractor_->dimension();
+}
+
+void FeatureCache::sync(const features::FeatureExtractor& extractor,
+                        const forum::Dataset& dataset,
+                        std::uint64_t generation) {
+  if (bound_ && generation == generation_ && extractor_ == &extractor) return;
+  if (bound_) {
+    ++stats_.invalidations;
+    FORUMCAST_COUNTER_ADD("serve.cache.invalidations", 1);
+  }
+  extractor_ = &extractor;
+  dataset_ = &dataset;
+  generation_ = generation;
+  bound_ = true;
+  user_blocks_.assign(dataset.num_users() * user_stride(), 0.0);
+  user_ready_.assign(dataset.num_users(), 0);
+  question_blocks_.clear();
+}
+
+void FeatureCache::warm_users(std::span<const forum::UserId> users) {
+  FORUMCAST_CHECK(bound_);
+  const std::size_t stride = user_stride();
+  const std::size_t num_topics = extractor_->num_topics();
+  std::uint64_t hits = 0, misses = 0;
+  for (forum::UserId u : users) {
+    FORUMCAST_CHECK(u < user_ready_.size());
+    if (user_ready_[u]) {
+      ++hits;
+      continue;
+    }
+    ++misses;
+    const auto& stats = extractor_->user_stats(u);
+    double* block = user_blocks_.data() + u * stride;
+    block[kAnswersProvided] = static_cast<double>(stats.answers_provided);
+    block[kAnswerRatio] = static_cast<double>(stats.answers_provided) /
+                          (1.0 + static_cast<double>(stats.questions_asked));
+    block[kNetAnswerVotes] = stats.net_answer_votes;
+    block[kMedianResponseTime] = extractor_->median_response_time(u);
+    block[kQaCloseness] = extractor_->qa_closeness()[u];
+    block[kQaBetweenness] = extractor_->qa_betweenness()[u];
+    block[kDenseCloseness] = extractor_->dense_closeness()[u];
+    block[kDenseBetweenness] = extractor_->dense_betweenness()[u];
+    for (std::size_t k = 0; k < num_topics; ++k) {
+      block[kUserScalarSlots + k] = stats.topic_distribution[k];
+    }
+    user_ready_[u] = 1;
+  }
+  stats_.user_hits += hits;
+  stats_.user_misses += misses;
+  FORUMCAST_COUNTER_ADD("serve.cache.user_hits", hits);
+  FORUMCAST_COUNTER_ADD("serve.cache.user_misses", misses);
+}
+
+std::shared_ptr<const FeatureCache::QuestionBlock> FeatureCache::question_block(
+    forum::QuestionId q) {
+  FORUMCAST_CHECK(bound_);
+  if (const auto it = question_blocks_.find(q); it != question_blocks_.end()) {
+    ++stats_.question_hits;
+    FORUMCAST_COUNTER_ADD("serve.cache.question_hits", 1);
+    return it->second;
+  }
+  ++stats_.question_misses;
+  FORUMCAST_COUNTER_ADD("serve.cache.question_misses", 1);
+  if (question_blocks_.size() >= max_cached_questions_) {
+    stats_.question_evictions += question_blocks_.size();
+    FORUMCAST_COUNTER_ADD("serve.cache.question_evictions",
+                          question_blocks_.size());
+    question_blocks_.clear();
+  }
+
+  auto block = std::make_shared<QuestionBlock>();
+  const forum::Thread& thread = dataset_->thread(q);
+  block->question = q;
+  block->asker = thread.question.creator;
+  block->net_votes = static_cast<double>(thread.question.net_votes);
+  block->word_length = extractor_->question_word_length(q);
+  block->code_length = extractor_->question_code_length(q);
+  block->topics = extractor_->question_topics(q);
+  block->asker_topics = extractor_->user_stats(block->asker).topic_distribution;
+  // Similarity of every dataset question's topic mix against d_q: the
+  // TopicWeighted* pair features only ever look these up, so one O(Q·K) pass
+  // here replaces an O(K) recomputation per (answered question, candidate).
+  const std::size_t num_questions = dataset_->num_questions();
+  block->similarity.resize(num_questions);
+  for (forum::QuestionId r = 0; r < num_questions; ++r) {
+    block->similarity[r] = topics::total_variation_similarity(
+        extractor_->question_topics(r), block->topics);
+  }
+
+  // Per-user pair-feature tables. The arithmetic below is lifted verbatim
+  // from FeatureExtractor::features (same calls, same answered-list
+  // accumulation order, same −1 co-occurrence correction), so each table
+  // entry is the exact double the reference path would produce.
+  const std::size_t num_users = dataset_->num_users();
+  const auto& asker_participated =
+      extractor_->user_stats(block->asker).participated;
+  const bool asker_in_thread = std::binary_search(
+      asker_participated.begin(), asker_participated.end(), q);
+  block->user_question_sim.resize(num_users);
+  block->user_asker_sim.resize(num_users);
+  block->weighted_answers.resize(num_users);
+  block->weighted_votes.resize(num_users);
+  block->cooccurrence.resize(num_users);
+  block->ra_qa.resize(num_users);
+  block->ra_dense.resize(num_users);
+  for (forum::UserId u = 0; u < num_users; ++u) {
+    const auto& stats = extractor_->user_stats(u);
+    const std::span<const double> d_u = stats.topic_distribution;
+    block->user_question_sim[u] =
+        topics::total_variation_similarity(d_u, block->topics);
+    block->user_asker_sim[u] =
+        topics::total_variation_similarity(d_u, block->asker_topics);
+    double topic_weighted_answers = 0.0;
+    double topic_weighted_votes = 0.0;
+    for (std::size_t i = 0; i < stats.answered.size(); ++i) {
+      const forum::QuestionId r = stats.answered[i];
+      if (r == q) continue;
+      const double sim = block->similarity[r];
+      topic_weighted_answers += sim;
+      topic_weighted_votes += stats.answered_votes[i] * sim;
+    }
+    block->weighted_answers[u] = topic_weighted_answers;
+    block->weighted_votes[u] = topic_weighted_votes;
+    double cooccurrence = extractor_->thread_cooccurrence(u, block->asker);
+    if (asker_in_thread &&
+        std::binary_search(stats.participated.begin(),
+                           stats.participated.end(), q)) {
+      cooccurrence -= 1.0;
+    }
+    block->cooccurrence[u] = cooccurrence;
+    block->ra_qa[u] =
+        graph::resource_allocation_index(extractor_->qa_graph(), u, block->asker);
+    block->ra_dense[u] = graph::resource_allocation_index(
+        extractor_->dense_graph(), u, block->asker);
+  }
+  question_blocks_.emplace(q, block);
+  return block;
+}
+
+void FeatureCache::assemble(forum::UserId u, const QuestionBlock& block,
+                            std::span<double> row) const {
+  using features::FeatureId;
+  const auto& layout = extractor_->layout();
+  FORUMCAST_CHECK(row.size() == layout.dimension());
+  FORUMCAST_CHECK(u < user_ready_.size() && user_ready_[u]);
+  const std::size_t num_topics = extractor_->num_topics();
+  const double* user = user_blocks_.data() + u * user_stride();
+  const std::span<const double> d_u(user + kUserScalarSlots, num_topics);
+
+  auto put = [&](FeatureId id, double value) { row[layout.offset(id)] = value; };
+  auto put_dist = [&](FeatureId id, std::span<const double> dist) {
+    const std::size_t start = layout.offset(id);
+    for (std::size_t k = 0; k < num_topics; ++k) row[start + k] = dist[k];
+  };
+
+  // User features (i)-(v), straight from the cached block.
+  put(FeatureId::AnswersProvided, user[kAnswersProvided]);
+  put(FeatureId::AnswerRatio, user[kAnswerRatio]);
+  put(FeatureId::NetAnswerVotes, user[kNetAnswerVotes]);
+  put(FeatureId::MedianResponseTime, user[kMedianResponseTime]);
+  put_dist(FeatureId::TopicsAnswered, d_u);
+
+  // Question features (vi)-(ix), from the cached block.
+  put(FeatureId::NetQuestionVotes, block.net_votes);
+  put(FeatureId::QuestionWordLength, block.word_length);
+  put(FeatureId::QuestionCodeLength, block.code_length);
+  put_dist(FeatureId::TopicsAsked, block.topics);
+
+  // User-question features (x)-(xii) and social features (xiii)-(xx): every
+  // pair term was tabled at block build with the reference arithmetic (see
+  // question_block), so this is pure lookups — no per-row topic loops, graph
+  // walks, or binary searches left on the hot path.
+  put(FeatureId::UserQuestionTopicSimilarity, block.user_question_sim[u]);
+  put(FeatureId::TopicWeightedQuestionsAnswered, block.weighted_answers[u]);
+  put(FeatureId::TopicWeightedAnswerVotes, block.weighted_votes[u]);
+  put(FeatureId::UserUserTopicSimilarity, block.user_asker_sim[u]);
+  put(FeatureId::ThreadCooccurrence, block.cooccurrence[u]);
+  put(FeatureId::QaCloseness, user[kQaCloseness]);
+  put(FeatureId::QaBetweenness, user[kQaBetweenness]);
+  put(FeatureId::QaResourceAllocation, block.ra_qa[u]);
+  put(FeatureId::DenseCloseness, user[kDenseCloseness]);
+  put(FeatureId::DenseBetweenness, user[kDenseBetweenness]);
+  put(FeatureId::DenseResourceAllocation, block.ra_dense[u]);
+}
+
+}  // namespace forumcast::serve

@@ -1,0 +1,122 @@
+// Per-user / per-question feature caching for the serving hot path.
+//
+// FeatureExtractor::features(u, q) rebuilds the full x_{u,q} vector from
+// scratch on every call: it recomputes the user's median response time
+// (a copy + nth_element per pair), re-reads per-user aggregates, and — the
+// expensive part — evaluates a topic-similarity term against every question
+// the user ever answered. Bulk scoring hits the same users and the same
+// question over and over, so FeatureCache materializes
+//   * one block per user   — a_u, o_u, v_u, r_u, d_u plus the four
+//     centrality scores (everything that depends only on u), and
+//   * one block per question — v_q, word/code lengths, d_q, the asker's
+//     topic profile, and a table of topic similarities sim(d_r, d_q) for
+//     every dataset question r, which turns the per-pair
+//     TopicWeighted{QuestionsAnswered,AnswerVotes} loops from O(|answered|·K)
+//     into O(|answered|) lookups.
+// assemble() then writes x_{u,q} into a caller-provided row using exactly the
+// arithmetic (and accumulation order) of FeatureExtractor::features, so the
+// cached path is bit-identical to the reference implementation.
+//
+// Invalidation is generation based: sync() compares the pipeline's fit
+// generation against the one the cache was built for and drops every block
+// when they differ (the extractor object itself is replaced on refit, so
+// stale blocks would dangle, not just mislead).
+//
+// FeatureCache itself is not synchronized; serve::BatchScorer wraps it in a
+// reader/writer lock (fills take the writer side, assembly the reader side).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "features/extractor.hpp"
+#include "forum/dataset.hpp"
+
+namespace forumcast::serve {
+
+struct FeatureCacheStats {
+  std::uint64_t user_hits = 0;
+  std::uint64_t user_misses = 0;
+  std::uint64_t question_hits = 0;
+  std::uint64_t question_misses = 0;
+  std::uint64_t question_evictions = 0;
+  std::uint64_t invalidations = 0;  ///< generation changes observed by sync()
+};
+
+class FeatureCache {
+ public:
+  /// `max_cached_questions` bounds the per-question block map; the map is
+  /// cleared wholesale when it would exceed the cap (bulk scoring touches one
+  /// question at a time, so anything beyond a small working set is cold).
+  explicit FeatureCache(std::size_t max_cached_questions = 64);
+
+  /// Binds the cache to the extractor of pipeline generation `generation`.
+  /// A generation change invalidates every cached block.
+  void sync(const features::FeatureExtractor& extractor,
+            const forum::Dataset& dataset, std::uint64_t generation);
+
+  /// Materializes blocks for any of `users` that miss. Requires sync().
+  void warm_users(std::span<const forum::UserId> users);
+
+  struct QuestionBlock {
+    forum::QuestionId question = 0;
+    forum::UserId asker = 0;
+    double net_votes = 0.0;
+    double word_length = 0.0;
+    double code_length = 0.0;
+    std::span<const double> topics;        ///< d_q (owned by the extractor)
+    std::span<const double> asker_topics;  ///< d_v of the asker
+    std::vector<double> similarity;        ///< sim(d_r, d_q) per question r
+
+    // Per-user tables, indexed by UserId. Every pair feature that depends
+    // only on (u, q) is computed once here — with exactly the calls and
+    // accumulation order FeatureExtractor::features uses, so the values are
+    // bit-identical — and assemble() degrades to plain lookups. One block
+    // build costs a single scoring pass over all users; every cache hit
+    // afterwards gets the pair features for free.
+    std::vector<double> user_question_sim;  ///< sim(d_u, d_q)
+    std::vector<double> user_asker_sim;     ///< sim(d_u, d_v)
+    std::vector<double> weighted_answers;   ///< Σ sim over u's answered r≠q
+    std::vector<double> weighted_votes;     ///< Σ votes·sim over answered r≠q
+    std::vector<double> cooccurrence;       ///< corrected thread co-occurrence
+    std::vector<double> ra_qa;              ///< QA-graph resource allocation
+    std::vector<double> ra_dense;           ///< dense-graph resource allocation
+  };
+
+  /// Returns the block for `q`, building it on first use. The shared_ptr
+  /// keeps the block alive across a later eviction. Requires sync().
+  std::shared_ptr<const QuestionBlock> question_block(forum::QuestionId q);
+
+  /// Writes x_{u,q} into `row` (`dimension()` wide). The user must have been
+  /// warmed and `block` obtained from this cache since the last sync().
+  /// Read-only: safe to call concurrently with other assemble() calls.
+  void assemble(forum::UserId u, const QuestionBlock& block,
+                std::span<double> row) const;
+
+  std::size_t dimension() const;
+  std::uint64_t generation() const { return generation_; }
+  const FeatureCacheStats& stats() const { return stats_; }
+
+ private:
+  std::size_t user_stride() const;
+
+  const features::FeatureExtractor* extractor_ = nullptr;
+  const forum::Dataset* dataset_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool bound_ = false;
+  std::size_t max_cached_questions_;
+
+  // User blocks live in one flat rows × stride array (stride = 8 scalars
+  // followed by the K entries of d_u); user_ready_ marks filled rows.
+  std::vector<double> user_blocks_;
+  std::vector<std::uint8_t> user_ready_;
+  std::unordered_map<forum::QuestionId, std::shared_ptr<const QuestionBlock>>
+      question_blocks_;
+
+  FeatureCacheStats stats_;
+};
+
+}  // namespace forumcast::serve

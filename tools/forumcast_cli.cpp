@@ -35,6 +35,7 @@
 #include "forum/generator.hpp"
 #include "forum/io.hpp"
 #include "obs/obs.hpp"
+#include "serve/batch_scorer.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 
@@ -103,6 +104,21 @@ core::ForecastPipeline fit_pipeline(const forum::Dataset& dataset,
   return pipeline;
 }
 
+serve::BatchScorerConfig scorer_config(const Args& args) {
+  serve::BatchScorerConfig config;
+  config.block_rows = static_cast<std::size_t>(args.get_int("batch-size", 256));
+  FORUMCAST_CHECK_MSG(config.block_rows >= 1, "--batch-size must be >= 1");
+  return config;
+}
+
+void print_cache_stats(const serve::BatchScorer& scorer) {
+  const serve::FeatureCacheStats stats = scorer.cache_stats();
+  std::cerr << "serve cache: user " << stats.user_hits << " hits / "
+            << stats.user_misses << " misses, question "
+            << stats.question_hits << " hits / " << stats.question_misses
+            << " misses, " << stats.invalidations << " invalidations\n";
+}
+
 int cmd_generate(const Args& args) {
   forum::GeneratorConfig config;
   config.num_questions = static_cast<std::size_t>(args.get_int("questions", 2000));
@@ -144,14 +160,24 @@ int cmd_predict(const Args& args) {
   const auto pipeline = fit_pipeline(dataset, args);
   const auto top_k = static_cast<std::size_t>(args.get_int("top", 10));
 
+  // Score every candidate through the batched serving engine.
+  std::vector<forum::UserId> candidates;
+  candidates.reserve(dataset.num_users());
+  for (forum::UserId u = 0; u < dataset.num_users(); ++u) {
+    if (u == dataset.thread(question).question.creator) continue;
+    candidates.push_back(u);
+  }
+  const serve::BatchScorer scorer(pipeline, scorer_config(args));
+  const auto predictions = scorer.score(question, candidates);
+
   struct Scored {
     forum::UserId user;
     core::Prediction prediction;
   };
   std::vector<Scored> scored;
-  for (forum::UserId u = 0; u < dataset.num_users(); ++u) {
-    if (u == dataset.thread(question).question.creator) continue;
-    scored.push_back({u, pipeline.predict(u, question)});
+  scored.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scored.push_back({candidates[i], predictions[i]});
   }
   std::partial_sort(scored.begin(),
                     scored.begin() + static_cast<std::ptrdiff_t>(
@@ -170,6 +196,7 @@ int cmd_predict(const Args& args) {
                    util::Table::num(scored[i].prediction.delay_hours, 2)});
   }
   table.print(std::cout);
+  print_cache_stats(scorer);
   return 0;
 }
 
@@ -186,7 +213,8 @@ int cmd_route(const Args& args) {
   config.epsilon = args.get_double("epsilon", 0.3);
   config.quality_time_tradeoff = args.get_double("lambda", 0.2);
   config.default_capacity = args.get_double("capacity", 2.0);
-  const core::Recommender recommender(pipeline, config);
+  const serve::BatchScorer scorer(pipeline, scorer_config(args));
+  const core::Recommender recommender(pipeline, scorer.predict_fn(), config);
 
   std::vector<forum::UserId> candidates;
   {
@@ -222,6 +250,7 @@ int cmd_route(const Args& args) {
     }
   }
   table.print(std::cout);
+  print_cache_stats(scorer);
   return 0;
 }
 
@@ -270,6 +299,9 @@ void usage() {
                "  predict  --data posts.csv --question Q [--history-days D] [--top K]\n"
                "  route    --data posts.csv [--history-days D] [--lambda L] [--epsilon E]\n"
                "  evaluate --data posts.csv [--folds F] [--repeats R]\n"
+               "serving (predict, route):\n"
+               "  --batch-size N       rows per batched-scoring block (default 256);\n"
+               "                       cache hit/miss counters land in --metrics-out\n"
                "observability (any subcommand):\n"
                "  --trace-out FILE     write a Chrome trace (chrome://tracing, Perfetto)\n"
                "  --metrics-out FILE   write the metrics registry snapshot as JSON\n";

@@ -59,7 +59,8 @@ foreach(span
     graph.betweenness
     answer.fit
     vote.fit
-    timing.fit)
+    timing.fit
+    serve.batch_score)
   string(FIND "${trace_json}" "\"name\":\"${span}\"" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "trace is missing span '${span}'")
@@ -82,7 +83,9 @@ foreach(counter
     lda.tokens_sampled
     graph.bfs_sources
     features.topic_cache_misses
-    pipeline.predictions)
+    serve.pairs_scored
+    serve.cache.user_misses
+    serve.cache.question_misses)
   string(JSON value ERROR_VARIABLE err
          GET "${metrics_json}" counters "${counter}")
   if(err)

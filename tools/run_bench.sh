@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CI bench runner + regression guard.
+#
+# Runs the serving-layer benchmark (batch vs scalar scoring) and the substrate
+# microbenches in google-benchmark JSON mode, writes BENCH_serve.json /
+# BENCH_micro.json into --out-dir, and fails if batched scoring at 256
+# candidates is not at least BENCH_MIN_SPEEDUP times faster (pairs/sec) than
+# the scalar path. CI uploads the JSON files as artifacts so regressions can
+# be diffed across runs.
+#
+# Usage: tools/run_bench.sh [--build-dir DIR] [--out-dir DIR]
+# Env:   BENCH_MIN_SPEEDUP  minimum batch/scalar items_per_second ratio
+#                           (default 1.0; the acceptance bar for the serving
+#                           layer is 3.0 on quiet hardware — CI runners are
+#                           noisy and shared, so the guard ships conservative).
+set -euo pipefail
+
+BUILD_DIR=build
+OUT_DIR=.
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-1.0}"
+SERVE_BIN="$BUILD_DIR/bench/serve"
+MICRO_BIN="$BUILD_DIR/bench/micro"
+SERVE_JSON="$OUT_DIR/BENCH_serve.json"
+MICRO_JSON="$OUT_DIR/BENCH_micro.json"
+
+for bin in "$SERVE_BIN" "$MICRO_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (configure with default options first)" >&2
+    exit 2
+  fi
+done
+mkdir -p "$OUT_DIR"
+
+echo "== bench/serve -> $SERVE_JSON"
+"$SERVE_BIN" --benchmark_out="$SERVE_JSON" --benchmark_out_format=json \
+  --benchmark_min_warmup_time=0.2
+
+echo "== bench/micro -> $MICRO_JSON"
+"$MICRO_BIN" --benchmark_out="$MICRO_JSON" --benchmark_out_format=json
+
+echo "== regression guard: batch vs scalar pairs/sec at 256 candidates"
+python3 - "$SERVE_JSON" "$MIN_SPEEDUP" <<'PY'
+import json
+import sys
+
+path, min_speedup = sys.argv[1], float(sys.argv[2])
+with open(path) as fh:
+    report = json.load(fh)
+
+rates = {}
+for bench in report["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    rates[bench["name"]] = bench.get("items_per_second", 0.0)
+
+scalar = rates.get("BM_ScalarScore/256")
+batch = rates.get("BM_BatchScore/256")
+if not scalar or not batch:
+    sys.exit(f"missing BM_ScalarScore/256 or BM_BatchScore/256 in {path}")
+
+speedup = batch / scalar
+print(f"scalar: {scalar:,.0f} pairs/sec")
+print(f"batch:  {batch:,.0f} pairs/sec")
+print(f"speedup: {speedup:.2f}x (required >= {min_speedup:.2f}x)")
+if speedup < min_speedup:
+    sys.exit(f"bench regression: batch/scalar speedup {speedup:.2f}x "
+             f"below required {min_speedup:.2f}x")
+PY
+echo "bench guard passed"
