@@ -1,0 +1,206 @@
+// Streaming ingestion throughput (events/sec) for src/stream/.
+//
+// The stream is pre-generated once by splitting a generated forum at an
+// early cutoff, so most of its life arrives as events: NewQuestion /
+// NewAnswer / Vote in timestamp order, exactly what `forumcast ingest`
+// replays. Ingestion mutates the pipeline in place, so each timed run
+// consumes the stream from a fresh fit; iteration counts are pinned so a
+// run fits inside one pass, with an untimed rebuild as the fallback when
+// the stream runs dry. items_per_second in the JSON report is events/sec —
+// tools/run_bench.sh surfaces it as BENCH_stream.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "forum/generator.hpp"
+#include "serve/batch_scorer.hpp"
+#include "stream/live_state.hpp"
+#include "stream/split.hpp"
+#include "stream/wal.hpp"
+
+namespace {
+
+using namespace forumcast;
+
+struct StreamFixture {
+  forum::Dataset base;               // pristine pre-stream forum
+  std::vector<stream::ForumEvent> events;
+  core::PipelineConfig config;
+
+  static StreamFixture& instance() {
+    static StreamFixture fixture;
+    return fixture;
+  }
+
+ private:
+  StreamFixture() {
+    forum::GeneratorConfig generator;
+    generator.num_users = 300;
+    generator.num_questions = 800;
+    generator.mean_extra_answers = 1.5;
+    generator.seed = 77;
+    const auto full = forum::generate_forum(generator).dataset.preprocessed();
+    // Day-18 cutoff of a 30-day forum: roughly the back half of the corpus
+    // arrives as events — a few thousand of them.
+    auto split = stream::split_events_after(full, 18.0 * 24.0);
+    base = std::move(split.base);
+    events = std::move(split.events);
+
+    config.extractor.lda.iterations = 10;
+    config.answer.logistic.epochs = 20;
+    config.vote.epochs = 10;
+    config.timing.epochs = 4;
+    config.survival_samples_per_thread = 3;
+    config.timing.learn_omega = false;
+    config.timing.f_hidden = {20, 10};
+  }
+};
+
+// One fitted pipeline + live state consuming the fixture's stream.
+struct LiveRun {
+  forum::Dataset dataset;
+  core::ForecastPipeline pipeline;
+  stream::LiveState live;
+  std::size_t cursor = 0;
+
+  explicit LiveRun(const StreamFixture& fixture)
+      : dataset(fixture.base),
+        pipeline(fixture.config),
+        live((fit(), pipeline), dataset) {}
+
+ private:
+  void fit() {
+    std::vector<forum::QuestionId> window(dataset.num_questions());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      window[i] = static_cast<forum::QuestionId>(i);
+    }
+    pipeline.fit(dataset, window);
+  }
+};
+
+void BM_StreamIngest(benchmark::State& state) {
+  auto& fixture = StreamFixture::instance();
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  const std::span<const stream::ForumEvent> events(fixture.events);
+  auto run = std::make_unique<LiveRun>(fixture);
+  std::int64_t ingested = 0;
+  for (auto _ : state) {
+    if (run->cursor + chunk > events.size()) {
+      state.PauseTiming();
+      run = std::make_unique<LiveRun>(fixture);  // stream exhausted: refit
+      state.ResumeTiming();
+    }
+    run->live.ingest(events.subspan(run->cursor, chunk));
+    run->cursor += chunk;
+    ingested += static_cast<std::int64_t>(chunk);
+  }
+  state.SetItemsProcessed(ingested);
+}
+// Iteration count pinned (it applies to every Arg) so runtime stays
+// deterministic instead of google-benchmark adaptively looping through
+// dozens of untimed refits.
+BENCHMARK(BM_StreamIngest)
+    ->Arg(1)->Arg(64)->Arg(256)
+    ->Iterations(6)
+    ->Unit(benchmark::kMillisecond);
+
+// Same ingestion with a warm BatchScorer attached: every batch additionally
+// pays fine-grained cache invalidation plus a rescore of the full candidate
+// set, i.e. the serve-while-ingesting steady state.
+void BM_StreamIngestWithScorer(benchmark::State& state) {
+  auto& fixture = StreamFixture::instance();
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  const std::span<const stream::ForumEvent> events(fixture.events);
+  std::vector<forum::UserId> users(fixture.base.num_users());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    users[i] = static_cast<forum::UserId>(i);
+  }
+  const auto question =
+      static_cast<forum::QuestionId>(fixture.base.num_questions() / 2);
+
+  auto run = std::make_unique<LiveRun>(fixture);
+  auto scorer = std::make_unique<serve::BatchScorer>(run->pipeline);
+  run->live.attach(scorer.get());
+  run->live.score(*scorer, question, users);  // warm before the clock starts
+  std::int64_t ingested = 0;
+  for (auto _ : state) {
+    if (run->cursor + chunk > events.size()) {
+      state.PauseTiming();
+      run = std::make_unique<LiveRun>(fixture);
+      scorer = std::make_unique<serve::BatchScorer>(run->pipeline);
+      run->live.attach(scorer.get());
+      run->live.score(*scorer, question, users);
+      state.ResumeTiming();
+    }
+    run->live.ingest(events.subspan(run->cursor, chunk));
+    run->cursor += chunk;
+    ingested += static_cast<std::int64_t>(chunk);
+    benchmark::DoNotOptimize(run->live.score(*scorer, question, users));
+  }
+  state.SetItemsProcessed(ingested);
+}
+BENCHMARK(BM_StreamIngestWithScorer)
+    ->Arg(64)->Iterations(24)
+    ->Unit(benchmark::kMillisecond);
+
+// Durability floor: ingestion with a WAL dir pays one buffered append per
+// event plus one fsync per batch. Runs against tmpdir storage.
+void BM_StreamIngestDurable(benchmark::State& state) {
+  auto& fixture = StreamFixture::instance();
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  const std::span<const stream::ForumEvent> events(fixture.events);
+  const auto wal_dir =
+      std::filesystem::temp_directory_path() / "forumcast_bench_wal";
+
+  // LiveState is not assignable; rebuild the whole run per pass.
+  struct DurableRun {
+    forum::Dataset dataset;
+    core::ForecastPipeline pipeline;
+    std::unique_ptr<stream::LiveState> live;
+    std::size_t cursor = 0;
+    DurableRun(const forum::Dataset& base, const core::PipelineConfig& config)
+        : dataset(base), pipeline(config) {}
+  };
+  auto fresh = [&] {
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::create_directories(wal_dir);
+    auto run = std::make_unique<DurableRun>(fixture.base, fixture.config);
+    std::vector<forum::QuestionId> window(run->dataset.num_questions());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      window[i] = static_cast<forum::QuestionId>(i);
+    }
+    run->pipeline.fit(run->dataset, window);
+    stream::LiveStateConfig config;
+    config.wal_dir = wal_dir.string();
+    run->live = std::make_unique<stream::LiveState>(run->pipeline,
+                                                    run->dataset, config);
+    return run;
+  };
+
+  auto run = fresh();
+  std::int64_t ingested = 0;
+  for (auto _ : state) {
+    if (run->cursor + chunk > events.size()) {
+      state.PauseTiming();
+      run = fresh();
+      state.ResumeTiming();
+    }
+    run->live->ingest(events.subspan(run->cursor, chunk));
+    run->cursor += chunk;
+    ingested += static_cast<std::int64_t>(chunk);
+  }
+  state.SetItemsProcessed(ingested);
+  std::filesystem::remove_all(wal_dir);
+}
+BENCHMARK(BM_StreamIngestDurable)
+    ->Arg(64)->Iterations(24)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -175,4 +175,9 @@ const features::FeatureExtractor& ForecastPipeline::extractor() const {
   return *extractor_;
 }
 
+features::FeatureExtractor& ForecastPipeline::extractor_mutable() {
+  FORUMCAST_CHECK(fitted());
+  return *extractor_;
+}
+
 }  // namespace forumcast::core

@@ -82,6 +82,13 @@ class ForecastPipeline {
 
   bool fitted() const { return extractor_ != nullptr; }
   const features::FeatureExtractor& extractor() const;
+
+  /// Mutable extractor access for the streaming ingestion layer
+  /// (stream::LiveState), which updates feature state in place as live
+  /// events arrive instead of refitting. Requires fit(). Does not bump the
+  /// generation: streamed updates invalidate serving caches fine-grained via
+  /// the dirty set, not wholesale.
+  features::FeatureExtractor& extractor_mutable();
   const AnswerPredictor& answer_predictor() const { return answer_; }
   const VotePredictor& vote_predictor() const { return vote_; }
   const TimingPredictor& timing_predictor() const { return timing_; }

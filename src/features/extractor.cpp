@@ -1,7 +1,6 @@
 #include "features/extractor.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "forum/sln.hpp"
 #include "graph/centrality.hpp"
@@ -37,6 +36,22 @@ std::vector<forum::QuestionId> intersect_sorted(
   }
   return {};
 }
+
+// Deterministic fold-in seed for an answer document outside the topic
+// corpus. Keyed by (question, answer index) so a streaming fold-in and a
+// batch rebuild draw identical Gibbs chains for the same post. (Question
+// posts keep their historical 0x5eed + q seed.)
+std::uint64_t answer_doc_seed(forum::QuestionId q, std::size_t answer_index) {
+  return 0xa45e7d0cULL +
+         0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(q) +
+         static_cast<std::uint64_t>(answer_index);
+}
+
+void insert_sorted_unique(std::vector<forum::QuestionId>& ids,
+                          forum::QuestionId q) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), q);
+  if (it == ids.end() || *it != q) ids.insert(it, q);
+}
 }  // namespace
 
 FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
@@ -55,39 +70,45 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
   FORUMCAST_CHECK(config_.num_topics > 0);
   FORUMCAST_SPAN_NAMED(build_span, "features.build");
 
-  const text::Tokenizer tokenizer;
-  text::Vocabulary vocabulary;
+  window_.assign(inference_set.begin(), inference_set.end());
+  std::sort(window_.begin(), window_.end());
+  window_.erase(std::unique(window_.begin(), window_.end()), window_.end());
 
   // --- Topic model over the window's posts (questions and answers). ---
   // Document ids: for each window question, its question post then answers.
+  // Posts beyond the corpus cutoff stay out of the training set entirely —
+  // they are folded in below, exactly like the streaming path would.
+  const double corpus_cutoff = config_.topic_corpus_cutoff_hours;
   struct DocRef {
     forum::QuestionId question;
     int answer_index;  // -1 = the question post
   };
   std::vector<DocRef> doc_refs;
   std::vector<std::vector<text::TokenId>> documents;
-  std::unordered_set<forum::QuestionId> window(inference_set.begin(),
-                                               inference_set.end());
   {
     FORUMCAST_SPAN("features.tokenize_corpus");
     for (forum::QuestionId q : inference_set) {
       const forum::Thread& thread = dataset_.thread(q);
-      const auto q_split = text::split_post_body(thread.question.body_html);
-      documents.push_back(vocabulary.encode(tokenizer.tokenize(q_split.words)));
-      doc_refs.push_back({q, -1});
+      if (thread.question.timestamp_hours <= corpus_cutoff) {
+        const auto q_split = text::split_post_body(thread.question.body_html);
+        documents.push_back(
+            vocabulary_.encode(tokenizer_.tokenize(q_split.words)));
+        doc_refs.push_back({q, -1});
+      }
       for (std::size_t a = 0; a < thread.answers.size(); ++a) {
+        if (thread.answers[a].timestamp_hours > corpus_cutoff) continue;
         const auto a_split = text::split_post_body(thread.answers[a].body_html);
         documents.push_back(
-            vocabulary.encode(tokenizer.tokenize(a_split.words)));
+            vocabulary_.encode(tokenizer_.tokenize(a_split.words)));
         doc_refs.push_back({q, static_cast<int>(a)});
       }
     }
   }
 
   // Degenerate window (no documents / empty vocabulary): uniform topics.
-  const bool has_corpus = !documents.empty() && vocabulary.size() > 0;
-  if (has_corpus) {
-    lda_.fit(documents, vocabulary.size());
+  has_corpus_ = !documents.empty() && vocabulary_.size() > 0;
+  if (has_corpus_) {
+    lda_.fit(documents, vocabulary_.size());
   }
   auto uniform = topics::uniform_distribution(config_.num_topics);
 
@@ -96,24 +117,27 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
   question_topics_.assign(num_questions, uniform);
   question_word_length_.assign(num_questions, 0.0);
   question_code_length_.assign(num_questions, 0.0);
-  if (has_corpus) {
+  std::vector<std::uint8_t> question_in_corpus(num_questions, 0);
+  if (has_corpus_) {
     for (std::size_t doc = 0; doc < doc_refs.size(); ++doc) {
       if (doc_refs[doc].answer_index == -1) {
         question_topics_[doc_refs[doc].question] = lda_.document_topics(doc);
+        question_in_corpus[doc_refs[doc].question] = 1;
       }
     }
   }
-  // Lengths are cheap; fold-in inference for out-of-window questions is not,
-  // and each question is independent (own seed), so it runs in parallel.
+  // Lengths are cheap; fold-in inference for questions whose post is not a
+  // corpus document is not, and each question is independent (own seed), so
+  // it runs in parallel.
   std::vector<forum::QuestionId> to_infer;
   for (forum::QuestionId q = 0; q < num_questions; ++q) {
     const forum::Thread& thread = dataset_.thread(q);
     const auto split = text::split_post_body(thread.question.body_html);
     question_word_length_[q] = static_cast<double>(split.words.size());
     question_code_length_[q] = static_cast<double>(split.code.size());
-    if (has_corpus && !window.contains(q)) to_infer.push_back(q);
+    if (has_corpus_ && !question_in_corpus[q]) to_infer.push_back(q);
   }
-  // In-window questions reuse the trained per-document distributions (cache
+  // In-corpus questions reuse the trained per-document distributions (cache
   // hits); everything else pays a Gibbs fold-in (cache misses).
   FORUMCAST_COUNTER_ADD("features.topic_cache_hits",
                         num_questions - to_infer.size());
@@ -121,13 +145,7 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
   {
     FORUMCAST_SPAN("features.topic_fold_in");
     util::parallel_for(to_infer.size(), [&](std::size_t i) {
-      const forum::QuestionId q = to_infer[i];
-      const auto split =
-          text::split_post_body(dataset_.thread(q).question.body_html);
-      const auto tokens =
-          vocabulary.encode_existing(tokenizer.tokenize(split.words));
-      question_topics_[q] = lda_.infer(tokens, /*iterations=*/30,
-                                       /*seed=*/0x5eedULL + q);
+      question_topics_[to_infer[i]] = fold_question_topics(to_infer[i]);
     });
   }
 
@@ -136,23 +154,46 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
   user_stats_.assign(dataset_.num_users(), UserStats{});
   for (auto& stats : user_stats_) stats.topic_distribution = uniform;
 
-  std::vector<std::vector<double>> user_answer_topics(dataset_.num_users());
-  std::vector<std::size_t> user_answer_doc_count(dataset_.num_users(), 0);
-  for (auto& topics_accum : user_answer_topics) {
+  user_topic_accum_.assign(dataset_.num_users(), {});
+  user_doc_count_.assign(dataset_.num_users(), 0);
+  user_streamed_docs_.assign(dataset_.num_users(), {});
+  for (auto& topics_accum : user_topic_accum_) {
     topics_accum.assign(config_.num_topics, 0.0);
   }
 
   std::vector<double> all_delays;
-  for (std::size_t doc = 0; has_corpus && doc < doc_refs.size(); ++doc) {
+  for (std::size_t doc = 0; has_corpus_ && doc < doc_refs.size(); ++doc) {
     const DocRef& ref = doc_refs[doc];
     if (ref.answer_index < 0) continue;
     const forum::Thread& thread = dataset_.thread(ref.question);
     const forum::Post& answer =
         thread.answers[static_cast<std::size_t>(ref.answer_index)];
     const auto theta = lda_.document_topics(doc);
-    auto& accum = user_answer_topics[answer.creator];
+    auto& accum = user_topic_accum_[answer.creator];
     for (std::size_t k = 0; k < config_.num_topics; ++k) accum[k] += theta[k];
-    ++user_answer_doc_count[answer.creator];
+    ++user_doc_count_[answer.creator];
+  }
+  // Answer documents beyond the corpus cutoff: folded in with deterministic
+  // per-document seeds, in (question, answer index) order — the exact
+  // sequence the streaming path appends, so both accumulate the same bits.
+  if (has_corpus_) {
+    for (forum::QuestionId q : inference_set) {
+      const forum::Thread& thread = dataset_.thread(q);
+      for (std::size_t a = 0; a < thread.answers.size(); ++a) {
+        const forum::Post& answer = thread.answers[a];
+        if (answer.timestamp_hours <= corpus_cutoff) continue;
+        const auto split = text::split_post_body(answer.body_html);
+        const auto tokens =
+            vocabulary_.encode_existing(tokenizer_.tokenize(split.words));
+        const auto theta =
+            lda_.infer(tokens, /*iterations=*/30, answer_doc_seed(q, a));
+        auto& accum = user_topic_accum_[answer.creator];
+        for (std::size_t k = 0; k < config_.num_topics; ++k) {
+          accum[k] += theta[k];
+        }
+        ++user_doc_count_[answer.creator];
+      }
+    }
   }
 
   for (forum::QuestionId q : inference_set) {
@@ -169,6 +210,7 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
           answer.timestamp_hours - thread.question.timestamp_hours;
       stats.response_times.push_back(delay);
       all_delays.push_back(delay);
+      global_delay_sketch_.add(delay);
       stats.answered.push_back(q);
       stats.answered_votes.push_back(static_cast<double>(answer.net_votes));
       stats.participated.push_back(q);
@@ -180,11 +222,14 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
     stats.participated.erase(
         std::unique(stats.participated.begin(), stats.participated.end()),
         stats.participated.end());
-    if (user_answer_doc_count[u] > 0) {
-      auto& dist = user_answer_topics[u];
-      const double inv = 1.0 / static_cast<double>(user_answer_doc_count[u]);
-      for (double& d : dist) d *= inv;
-      stats.topic_distribution = dist;
+    if (user_doc_count_[u] > 0) {
+      // Scale the raw sums without mutating them: the accumulators stay
+      // live so streamed answer documents can extend them later.
+      const double inv = 1.0 / static_cast<double>(user_doc_count_[u]);
+      const auto& accum = user_topic_accum_[u];
+      for (std::size_t k = 0; k < config_.num_topics; ++k) {
+        stats.topic_distribution[k] = accum[k] * inv;
+      }
     }
   }
   global_median_response_ =
@@ -212,6 +257,170 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
                         {"window_questions", inference_set.size()},
                         {"users", dataset_.num_users()},
                         {"dimension", layout_.dimension()});
+}
+
+std::vector<double> FeatureExtractor::fold_question_topics(
+    forum::QuestionId q) const {
+  const auto split = text::split_post_body(dataset_.thread(q).question.body_html);
+  const auto tokens =
+      vocabulary_.encode_existing(tokenizer_.tokenize(split.words));
+  return lda_.infer(tokens, /*iterations=*/30, /*seed=*/0x5eedULL + q);
+}
+
+bool FeatureExtractor::in_window(forum::QuestionId q) const {
+  return std::binary_search(window_.begin(), window_.end(), q);
+}
+
+void FeatureExtractor::stream_add_question(forum::QuestionId q) {
+  FORUMCAST_CHECK(q < dataset_.num_questions());
+  FORUMCAST_CHECK_MSG(q == question_topics_.size(),
+                      "streamed questions must extend the dataset contiguously");
+  const forum::Thread& thread = dataset_.thread(q);
+  const auto split = text::split_post_body(thread.question.body_html);
+  question_word_length_.push_back(static_cast<double>(split.words.size()));
+  question_code_length_.push_back(static_cast<double>(split.code.size()));
+  question_topics_.push_back(
+      has_corpus_ ? fold_question_topics(q)
+                  : topics::uniform_distribution(config_.num_topics));
+
+  auto& asker_stats = user_stats_[thread.question.creator];
+  ++asker_stats.questions_asked;
+  insert_sorted_unique(asker_stats.participated, q);
+  window_.push_back(q);  // ids are monotone, so window_ stays sorted
+  FORUMCAST_COUNTER_ADD("features.topic_cache_misses", 1);
+}
+
+bool FeatureExtractor::stream_add_answer(forum::QuestionId q,
+                                         std::size_t answer_index) {
+  FORUMCAST_CHECK_MSG(in_window(q), "streamed answer to a non-window question");
+  const forum::Thread& thread = dataset_.thread(q);
+  FORUMCAST_CHECK(answer_index < thread.answers.size());
+  const forum::Post& answer = thread.answers[answer_index];
+  const forum::UserId u = answer.creator;
+  auto& stats = user_stats_[u];
+
+  // Insert at the canonical position — ascending (question, answer index) —
+  // which is exactly where a batch rebuild's aggregate loop would have
+  // emitted this answer. All four aligned lists share one position.
+  const std::size_t pos = static_cast<std::size_t>(
+      std::upper_bound(stats.answered.begin(), stats.answered.end(), q) -
+      stats.answered.begin());
+  const double delay =
+      answer.timestamp_hours - thread.question.timestamp_hours;
+  stats.answered.insert(stats.answered.begin() + pos, q);
+  stats.answered_votes.insert(stats.answered_votes.begin() + pos,
+                              static_cast<double>(answer.net_votes));
+  stats.answer_votes.insert(stats.answer_votes.begin() + pos,
+                            static_cast<double>(answer.net_votes));
+  stats.response_times.insert(stats.response_times.begin() + pos, delay);
+  ++stats.answers_provided;
+  stats.net_answer_votes += answer.net_votes;
+  insert_sorted_unique(stats.participated, q);
+
+  global_delay_sketch_.add(delay);
+  global_median_response_ = global_delay_sketch_.median();
+
+  if (has_corpus_) {
+    const auto split = text::split_post_body(answer.body_html);
+    const auto tokens =
+        vocabulary_.encode_existing(tokenizer_.tokenize(split.words));
+    StreamedDoc doc;
+    doc.question = q;
+    doc.answer_index = static_cast<std::uint32_t>(answer_index);
+    doc.theta = lda_.infer(tokens, /*iterations=*/30,
+                           answer_doc_seed(q, answer_index));
+    auto& docs = user_streamed_docs_[u];
+    const auto it = std::upper_bound(
+        docs.begin(), docs.end(), doc,
+        [](const StreamedDoc& a, const StreamedDoc& b) {
+          return a.question != b.question ? a.question < b.question
+                                          : a.answer_index < b.answer_index;
+        });
+    docs.insert(it, std::move(doc));
+    ++user_doc_count_[u];
+    topics_dirty_.push_back(u);
+  }
+
+  // Incremental SLN edges: the asker–answerer QA edge, and dense edges from
+  // the new answerer to every prior thread participant. The union over all
+  // events equals the batch pairwise build (add_edge deduplicates).
+  bool edges_added = false;
+  const forum::UserId asker = thread.question.creator;
+  if (asker != u) edges_added |= qa_graph_.add_edge(asker, u);
+  std::vector<forum::UserId> prior = {asker};
+  for (std::size_t a = 0; a < answer_index; ++a) {
+    prior.push_back(thread.answers[a].creator);
+  }
+  std::sort(prior.begin(), prior.end());
+  prior.erase(std::unique(prior.begin(), prior.end()), prior.end());
+  for (const forum::UserId p : prior) {
+    if (p != u) edges_added |= dense_graph_.add_edge(u, p);
+  }
+  graph_dirty_ |= edges_added;
+  return edges_added;
+}
+
+void FeatureExtractor::stream_apply_answer_vote(forum::QuestionId q,
+                                                std::size_t answer_index,
+                                                int delta) {
+  FORUMCAST_CHECK_MSG(in_window(q), "streamed vote on a non-window question");
+  const forum::Thread& thread = dataset_.thread(q);
+  FORUMCAST_CHECK(answer_index < thread.answers.size());
+  const forum::Post& answer = thread.answers[answer_index];
+  const forum::UserId u = answer.creator;
+  auto& stats = user_stats_[u];
+
+  // The n-th of u's answers within this thread (by index) occupies the n-th
+  // slot of the run of `q` entries in the user's aligned lists.
+  std::size_t rank = 0;
+  for (std::size_t a = 0; a < answer_index; ++a) {
+    if (thread.answers[a].creator == u) ++rank;
+  }
+  const std::size_t pos =
+      static_cast<std::size_t>(
+          std::lower_bound(stats.answered.begin(), stats.answered.end(), q) -
+          stats.answered.begin()) +
+      rank;
+  FORUMCAST_CHECK(pos < stats.answered.size() && stats.answered[pos] == q);
+  stats.net_answer_votes += delta;
+  stats.answered_votes[pos] += delta;
+  stats.answer_votes[pos] += delta;
+}
+
+void FeatureExtractor::stream_refresh() {
+  FORUMCAST_SPAN("features.stream_refresh");
+  std::sort(topics_dirty_.begin(), topics_dirty_.end());
+  topics_dirty_.erase(
+      std::unique(topics_dirty_.begin(), topics_dirty_.end()),
+      topics_dirty_.end());
+  for (const forum::UserId u : topics_dirty_) {
+    // Replay the rebuild's accumulation: trained-corpus sums first, then
+    // every folded document in (question, answer index) order, one divide.
+    std::vector<double> accum = user_topic_accum_[u];
+    for (const StreamedDoc& doc : user_streamed_docs_[u]) {
+      for (std::size_t k = 0; k < config_.num_topics; ++k) {
+        accum[k] += doc.theta[k];
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(user_doc_count_[u]);
+    // Element-wise writes keep the distribution's buffer (and the spans the
+    // serving cache hands out) stable.
+    auto& dist = user_stats_[u].topic_distribution;
+    for (std::size_t k = 0; k < config_.num_topics; ++k) {
+      dist[k] = accum[k] * inv;
+    }
+  }
+  topics_dirty_.clear();
+
+  if (graph_dirty_) {
+    FORUMCAST_SPAN("features.stream_centrality_refresh");
+    const std::size_t threads = util::default_thread_count();
+    qa_closeness_ = graph::closeness_centrality(qa_graph_, threads);
+    qa_betweenness_ = graph::betweenness_centrality(qa_graph_, threads);
+    dense_closeness_ = graph::closeness_centrality(dense_graph_, threads);
+    dense_betweenness_ = graph::betweenness_centrality(dense_graph_, threads);
+    graph_dirty_ = false;
+  }
 }
 
 const FeatureExtractor::UserStats& FeatureExtractor::user_stats(

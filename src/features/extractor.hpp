@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
@@ -15,13 +17,23 @@
 #include "forum/dataset.hpp"
 #include "features/feature_layout.hpp"
 #include "graph/graph.hpp"
+#include "text/tokenizer.hpp"
+#include "text/vocabulary.hpp"
 #include "topics/lda.hpp"
+#include "util/stats.hpp"
 
 namespace forumcast::features {
 
 struct ExtractorConfig {
   std::size_t num_topics = 8;  ///< K (paper default 8)
   topics::LdaConfig lda = {};  ///< .num_topics is overridden by `num_topics`
+  /// Only posts with timestamp ≤ this cutoff join the LDA training corpus;
+  /// later posts (and questions whose post lies beyond it) get folded-in
+  /// topic distributions instead. The default (+inf) trains on the whole
+  /// window — the batch behavior. The streaming layer uses a finite cutoff
+  /// to rebuild reference state whose topic model matches a live extractor
+  /// that was fitted before the streamed events existed (see stream/).
+  double topic_corpus_cutoff_hours = std::numeric_limits<double>::infinity();
 };
 
 class FeatureExtractor {
@@ -76,7 +88,48 @@ class FeatureExtractor {
   /// Thread co-occurrence count h_{u,v} over the window.
   double thread_cooccurrence(forum::UserId u, forum::UserId v) const;
 
+  /// The window-global median response delay — the r_u fallback for users
+  /// with no window answers. stream::LiveState watches it to know when that
+  /// fallback shifted under answerless users.
+  double global_median_response() const { return global_median_response_; }
+
+  // --- Streaming update API (driven by stream::LiveState) ---
+  //
+  // These mutate the extractor in place as live events arrive, with the
+  // invariant that after stream_refresh() the observable state (features,
+  // aggregates, graphs, centralities) is bit-identical to constructing a
+  // fresh extractor over the mutated dataset with the same window plus the
+  // streamed question ids and `topic_corpus_cutoff_hours` set to the fit-time
+  // corpus horizon. Callers must mutate the shared forum::Dataset *first*
+  // (append_thread / append_answer / apply_vote) and synchronize externally:
+  // none of these are safe to run concurrently with feature reads.
+
+  /// True if `q` is part of the inference window (original or streamed).
+  bool in_window(forum::QuestionId q) const;
+
+  /// Registers the freshly appended dataset question `q` (topics fold-in,
+  /// lengths, asker aggregates) and adds it to the window.
+  void stream_add_question(forum::QuestionId q);
+
+  /// Registers answer `answer_index` of window thread `q` (user aggregates,
+  /// topic doc fold-in, incremental G_QA/G_D edges). Returns true if any new
+  /// graph edge appeared — centralities are then stale until
+  /// stream_refresh().
+  bool stream_add_answer(forum::QuestionId q, std::size_t answer_index);
+
+  /// Applies a vote delta to the aggregates tracking answer `answer_index`
+  /// of window thread `q`. The dataset post must already carry the delta.
+  void stream_apply_answer_vote(forum::QuestionId q, std::size_t answer_index,
+                                int delta);
+
+  /// Recomputes state invalidated by stream_add_answer: the topic profiles
+  /// d_u of users with new answer documents and, if the graph structure
+  /// changed, all four centrality arrays.
+  void stream_refresh();
+
  private:
+  std::vector<double> fold_question_topics(forum::QuestionId q) const;
+
   const forum::Dataset& dataset_;
   ExtractorConfig config_;
   FeatureLayout layout_;
@@ -95,6 +148,32 @@ class FeatureExtractor {
   std::vector<double> qa_betweenness_;
   std::vector<double> dense_closeness_;
   std::vector<double> dense_betweenness_;
+
+  // Retained text/topic machinery so streamed posts can be folded in with
+  // the vocabulary and topic-word counts of the original fit.
+  text::Tokenizer tokenizer_;
+  text::Vocabulary vocabulary_;
+  bool has_corpus_ = false;
+  std::vector<forum::QuestionId> window_;  // sorted window question ids
+
+  // Raw (unscaled) per-user answer-document topic sums and counts. d_u is
+  // always recomputed from these in the batch accumulation order — trained
+  // corpus documents first, then folded documents sorted by (question,
+  // answer index) — so incremental updates reproduce the rebuild bits.
+  std::vector<std::vector<double>> user_topic_accum_;
+  std::vector<std::size_t> user_doc_count_;
+  struct StreamedDoc {
+    forum::QuestionId question = 0;
+    std::uint32_t answer_index = 0;
+    std::vector<double> theta;
+  };
+  std::vector<std::vector<StreamedDoc>> user_streamed_docs_;
+  std::vector<forum::UserId> topics_dirty_;
+
+  // Global median over all window response delays, maintained as an exact
+  // streaming sketch (bit-equal to util::median over the same multiset).
+  util::StreamingMedian global_delay_sketch_;
+  bool graph_dirty_ = false;
 };
 
 }  // namespace forumcast::features

@@ -129,6 +129,41 @@ std::vector<QuestionId> Dataset::questions_in_days(int first_day, int last_day) 
   return selected;
 }
 
+QuestionId Dataset::append_thread(Post question) {
+  FORUMCAST_CHECK(question.creator < num_users_);
+  Thread thread;
+  thread.id = static_cast<QuestionId>(threads_.size());
+  thread.question = std::move(question);
+  threads_.push_back(std::move(thread));
+  return threads_.back().id;
+}
+
+std::size_t Dataset::append_answer(QuestionId q, Post answer) {
+  FORUMCAST_CHECK(q < threads_.size());
+  FORUMCAST_CHECK(answer.creator < num_users_);
+  Thread& thread = threads_[q];
+  FORUMCAST_CHECK_MSG(
+      answer.timestamp_hours >= thread.question.timestamp_hours,
+      "streamed answer precedes its question");
+  FORUMCAST_CHECK_MSG(thread.answers.empty() ||
+                          answer.timestamp_hours >=
+                              thread.answers.back().timestamp_hours,
+                      "streamed answer out of time order");
+  thread.answers.push_back(std::move(answer));
+  return thread.answers.size() - 1;
+}
+
+void Dataset::apply_vote(QuestionId q, int answer_index, int delta) {
+  FORUMCAST_CHECK(q < threads_.size());
+  Thread& thread = threads_[q];
+  if (answer_index < 0) {
+    thread.question.net_votes += delta;
+    return;
+  }
+  FORUMCAST_CHECK(static_cast<std::size_t>(answer_index) < thread.answers.size());
+  thread.answers[static_cast<std::size_t>(answer_index)].net_votes += delta;
+}
+
 double Dataset::last_post_time() const {
   double last = 0.0;
   for (const auto& thread : threads_) {

@@ -66,6 +66,25 @@ class Dataset {
   /// Timestamp of the last post anywhere in the dataset (the paper's T).
   double last_post_time() const;
 
+  // --- Streaming mutation API (src/stream/) ---
+  // The live ingestion path grows a dataset in place instead of rebuilding
+  // it. Mutators preserve every constructor invariant (creator bounds,
+  // answers sorted by timestamp) so readers holding a reference — the
+  // extractor, the pipeline — always observe a valid snapshot. They do NOT
+  // re-id or re-sort threads: new questions take the next contiguous id.
+
+  /// Appends a new question thread (no answers yet) and returns its id.
+  QuestionId append_thread(Post question);
+
+  /// Appends an answer to thread `q`; the timestamp must not precede the
+  /// question's or the thread's last answer (streaming events arrive in
+  /// time order). Returns the answer's index within the thread.
+  std::size_t append_answer(QuestionId q, Post answer);
+
+  /// Applies a vote delta to the question post (`answer_index` < 0) or to
+  /// the answer at `answer_index`.
+  void apply_vote(QuestionId q, int answer_index, int delta);
+
  private:
   std::vector<Thread> threads_;
   std::size_t num_users_ = 0;

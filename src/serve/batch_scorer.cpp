@@ -95,6 +95,11 @@ core::BatchPredictFn BatchScorer::predict_fn() const {
   };
 }
 
+void BatchScorer::invalidate(const CacheInvalidation& invalidation) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  cache_.invalidate(invalidation);
+}
+
 FeatureCacheStats BatchScorer::cache_stats() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   return cache_.stats();

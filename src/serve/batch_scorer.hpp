@@ -53,6 +53,12 @@ class BatchScorer {
   /// RoutingSimulator). The returned callable references *this.
   core::BatchPredictFn predict_fn() const;
 
+  /// Fine-grained invalidation from the streaming layer: drops exactly the
+  /// cached state a batch of live events made stale (see
+  /// FeatureCache::invalidate) under the writer lock, instead of waiting
+  /// for a generation bump to drop everything.
+  void invalidate(const CacheInvalidation& invalidation);
+
   FeatureCacheStats cache_stats() const;
   const BatchScorerConfig& config() const { return config_; }
 

@@ -41,8 +41,14 @@ void FeatureCache::sync(const features::FeatureExtractor& extractor,
                         std::uint64_t generation) {
   if (bound_ && generation == generation_ && extractor_ == &extractor) return;
   if (bound_) {
+    const std::uint64_t dropped =
+        static_cast<std::uint64_t>(
+            std::count(user_ready_.begin(), user_ready_.end(), 1)) +
+        question_blocks_.size();
     ++stats_.invalidations;
+    stats_.blocks_dropped += dropped;
     FORUMCAST_COUNTER_ADD("serve.cache.invalidations", 1);
+    FORUMCAST_COUNTER_ADD("serve.cache.blocks_dropped", dropped);
   }
   extractor_ = &extractor;
   dataset_ = &dataset;
@@ -123,14 +129,14 @@ std::shared_ptr<const FeatureCache::QuestionBlock> FeatureCache::question_block(
         extractor_->question_topics(r), block->topics);
   }
 
-  // Per-user pair-feature tables. The arithmetic below is lifted verbatim
-  // from FeatureExtractor::features (same calls, same answered-list
-  // accumulation order, same −1 co-occurrence correction), so each table
-  // entry is the exact double the reference path would produce.
+  // Per-user pair-feature tables (fill_pair_entries): every pair feature is
+  // computed once here — with exactly the calls and accumulation order
+  // FeatureExtractor::features uses, so the values are bit-identical — and
+  // assemble() degrades to plain lookups.
   const std::size_t num_users = dataset_->num_users();
   const auto& asker_participated =
       extractor_->user_stats(block->asker).participated;
-  const bool asker_in_thread = std::binary_search(
+  block->asker_in_thread = std::binary_search(
       asker_participated.begin(), asker_participated.end(), q);
   block->user_question_sim.resize(num_users);
   block->user_asker_sim.resize(num_users);
@@ -140,37 +146,122 @@ std::shared_ptr<const FeatureCache::QuestionBlock> FeatureCache::question_block(
   block->ra_qa.resize(num_users);
   block->ra_dense.resize(num_users);
   for (forum::UserId u = 0; u < num_users; ++u) {
-    const auto& stats = extractor_->user_stats(u);
-    const std::span<const double> d_u = stats.topic_distribution;
-    block->user_question_sim[u] =
-        topics::total_variation_similarity(d_u, block->topics);
-    block->user_asker_sim[u] =
-        topics::total_variation_similarity(d_u, block->asker_topics);
-    double topic_weighted_answers = 0.0;
-    double topic_weighted_votes = 0.0;
-    for (std::size_t i = 0; i < stats.answered.size(); ++i) {
-      const forum::QuestionId r = stats.answered[i];
-      if (r == q) continue;
-      const double sim = block->similarity[r];
-      topic_weighted_answers += sim;
-      topic_weighted_votes += stats.answered_votes[i] * sim;
-    }
-    block->weighted_answers[u] = topic_weighted_answers;
-    block->weighted_votes[u] = topic_weighted_votes;
-    double cooccurrence = extractor_->thread_cooccurrence(u, block->asker);
-    if (asker_in_thread &&
-        std::binary_search(stats.participated.begin(),
-                           stats.participated.end(), q)) {
-      cooccurrence -= 1.0;
-    }
-    block->cooccurrence[u] = cooccurrence;
-    block->ra_qa[u] =
-        graph::resource_allocation_index(extractor_->qa_graph(), u, block->asker);
-    block->ra_dense[u] = graph::resource_allocation_index(
-        extractor_->dense_graph(), u, block->asker);
+    fill_pair_entries(*block, u);
   }
   question_blocks_.emplace(q, block);
   return block;
+}
+
+void FeatureCache::fill_pair_entries(QuestionBlock& block,
+                                     forum::UserId u) const {
+  // The arithmetic below is lifted verbatim from FeatureExtractor::features
+  // (same calls, same answered-list accumulation order, same −1
+  // co-occurrence correction), so each table entry is the exact double the
+  // reference path would produce.
+  const forum::QuestionId q = block.question;
+  const auto& stats = extractor_->user_stats(u);
+  const std::span<const double> d_u = stats.topic_distribution;
+  block.user_question_sim[u] =
+      topics::total_variation_similarity(d_u, block.topics);
+  block.user_asker_sim[u] =
+      topics::total_variation_similarity(d_u, block.asker_topics);
+  double topic_weighted_answers = 0.0;
+  double topic_weighted_votes = 0.0;
+  for (std::size_t i = 0; i < stats.answered.size(); ++i) {
+    const forum::QuestionId r = stats.answered[i];
+    if (r == q) continue;
+    const double sim = block.similarity[r];
+    topic_weighted_answers += sim;
+    topic_weighted_votes += stats.answered_votes[i] * sim;
+  }
+  block.weighted_answers[u] = topic_weighted_answers;
+  block.weighted_votes[u] = topic_weighted_votes;
+  double cooccurrence = extractor_->thread_cooccurrence(u, block.asker);
+  if (block.asker_in_thread &&
+      std::binary_search(stats.participated.begin(),
+                         stats.participated.end(), q)) {
+    cooccurrence -= 1.0;
+  }
+  block.cooccurrence[u] = cooccurrence;
+  block.ra_qa[u] =
+      graph::resource_allocation_index(extractor_->qa_graph(), u, block.asker);
+  block.ra_dense[u] = graph::resource_allocation_index(
+      extractor_->dense_graph(), u, block.asker);
+}
+
+void FeatureCache::invalidate(const CacheInvalidation& invalidation) {
+  if (!bound_) return;
+  ++stats_.invalidations;
+  FORUMCAST_COUNTER_ADD("serve.cache.invalidations", 1);
+  std::uint64_t dropped = 0;
+
+  if (invalidation.drop_all) {
+    dropped = static_cast<std::uint64_t>(
+                  std::count(user_ready_.begin(), user_ready_.end(), 1)) +
+              question_blocks_.size();
+    std::fill(user_ready_.begin(), user_ready_.end(), 0);
+    question_blocks_.clear();
+    stats_.blocks_dropped += dropped;
+    FORUMCAST_COUNTER_ADD("serve.cache.blocks_dropped", dropped);
+    return;
+  }
+
+  std::vector<forum::UserId> users = invalidation.users;
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  std::vector<forum::QuestionId> questions = invalidation.questions;
+  std::sort(questions.begin(), questions.end());
+
+  // Question blocks: drop the listed questions and anything asked by a
+  // pair-dirty user (the asker's topic profile / participation feeds whole
+  // columns); repair survivors copy-on-write — concurrent scorers may still
+  // hold the old shared_ptr, which stays internally consistent.
+  const std::size_t num_questions = dataset_->num_questions();
+  for (auto it = question_blocks_.begin(); it != question_blocks_.end();) {
+    const auto& old_block = it->second;
+    if (std::binary_search(questions.begin(), questions.end(),
+                           old_block->question) ||
+        std::binary_search(users.begin(), users.end(), old_block->asker)) {
+      ++dropped;
+      it = question_blocks_.erase(it);
+      continue;
+    }
+    const bool grow = old_block->similarity.size() < num_questions;
+    if (grow || !users.empty()) {
+      auto fresh = std::make_shared<QuestionBlock>(*old_block);
+      if (grow) {
+        const auto old_size =
+            static_cast<forum::QuestionId>(fresh->similarity.size());
+        fresh->similarity.resize(num_questions);
+        for (forum::QuestionId r = old_size; r < num_questions; ++r) {
+          fresh->similarity[r] = topics::total_variation_similarity(
+              extractor_->question_topics(r), fresh->topics);
+        }
+      }
+      for (const forum::UserId u : users) {
+        fill_pair_entries(*fresh, u);
+      }
+      it->second = std::move(fresh);
+    }
+    ++it;
+  }
+
+  // User blocks: a cleared ready bit is a drop — warm_users rebuilds from
+  // the refreshed extractor on next use.
+  for (const forum::UserId u : users) {
+    if (u < user_ready_.size() && user_ready_[u]) {
+      user_ready_[u] = 0;
+      ++dropped;
+    }
+  }
+  for (const forum::UserId u : invalidation.scalar_users) {
+    if (u < user_ready_.size() && user_ready_[u]) {
+      user_ready_[u] = 0;
+      ++dropped;
+    }
+  }
+  stats_.blocks_dropped += dropped;
+  FORUMCAST_COUNTER_ADD("serve.cache.blocks_dropped", dropped);
 }
 
 void FeatureCache::assemble(forum::UserId u, const QuestionBlock& block,

@@ -43,7 +43,33 @@ struct FeatureCacheStats {
   std::uint64_t question_hits = 0;
   std::uint64_t question_misses = 0;
   std::uint64_t question_evictions = 0;
-  std::uint64_t invalidations = 0;  ///< generation changes observed by sync()
+  /// Invalidation *events*: generation changes observed by sync() plus
+  /// explicit invalidate() calls. One event may drop many blocks.
+  std::uint64_t invalidations = 0;
+  /// Blocks actually discarded by invalidation events: warmed user blocks
+  /// plus question blocks (capacity evictions count separately above).
+  std::uint64_t blocks_dropped = 0;
+};
+
+/// Which cached state a batch of live events made stale. Produced by
+/// stream::DirtySet, consumed by FeatureCache::invalidate — see the contract
+/// there.
+struct CacheInvalidation {
+  /// Graph structure changed: centralities and resource-allocation terms
+  /// moved for everyone, so every block is stale.
+  bool drop_all = false;
+  /// Users whose aggregates, topic profile, or graph position changed. Their
+  /// user block is dropped, their rows in surviving question blocks are
+  /// repatched, and question blocks they asked are dropped (the asker's
+  /// topic profile/participation feeds whole columns).
+  std::vector<forum::UserId> users;
+  /// Users whose cached *scalars* went stale without any pair-level change
+  /// (e.g. the global median fallback moved for answerless users). Only the
+  /// user block is dropped.
+  std::vector<forum::UserId> scalar_users;
+  /// Question blocks to drop outright (e.g. the thread that received the
+  /// event, whose net votes / exclusion terms changed).
+  std::vector<forum::QuestionId> questions;
 };
 
 class FeatureCache {
@@ -69,6 +95,7 @@ class FeatureCache {
     double code_length = 0.0;
     std::span<const double> topics;        ///< d_q (owned by the extractor)
     std::span<const double> asker_topics;  ///< d_v of the asker
+    bool asker_in_thread = false;  ///< asker participates in thread q
     std::vector<double> similarity;        ///< sim(d_r, d_q) per question r
 
     // Per-user tables, indexed by UserId. Every pair feature that depends
@@ -90,6 +117,21 @@ class FeatureCache {
   /// keeps the block alive across a later eviction. Requires sync().
   std::shared_ptr<const QuestionBlock> question_block(forum::QuestionId q);
 
+  /// Fine-grained invalidation after in-place streamed updates (same
+  /// extractor object, same generation). Contract, assuming the extractor
+  /// has been stream_refresh()ed:
+  ///   * drop_all — every warmed block is discarded;
+  ///   * otherwise user blocks of `users` ∪ `scalar_users` are discarded,
+  ///     question blocks of `questions` or asked by a user in `users` are
+  ///     discarded, and every surviving question block is repaired
+  ///     copy-on-write: its similarity table is extended to newly appended
+  ///     dataset questions and the rows of `users` are recomputed with the
+  ///     reference arithmetic.
+  /// Afterwards assemble() via warm_users()/question_block() is again
+  /// bit-identical to a cold cache over the updated extractor. No-op when
+  /// the cache was never bound. Writer-side: callers synchronize like sync().
+  void invalidate(const CacheInvalidation& invalidation);
+
   /// Writes x_{u,q} into `row` (`dimension()` wide). The user must have been
   /// warmed and `block` obtained from this cache since the last sync().
   /// Read-only: safe to call concurrently with other assemble() calls.
@@ -102,6 +144,10 @@ class FeatureCache {
 
  private:
   std::size_t user_stride() const;
+  /// Recomputes every per-user pair-feature table entry of `block` for `u`
+  /// with exactly the reference arithmetic (shared by the block build and
+  /// invalidation repair paths).
+  void fill_pair_entries(QuestionBlock& block, forum::UserId u) const;
 
   const features::FeatureExtractor* extractor_ = nullptr;
   const forum::Dataset* dataset_ = nullptr;

@@ -1,0 +1,78 @@
+// DirtySet: the precise record of which cached serving state a batch of
+// live events touched.
+//
+// Every LiveState apply marks exactly the users / questions whose feature
+// state moved (the contract is documented per event type in live_state.cpp);
+// drain() folds the marks into one serve::CacheInvalidation that
+// serve::FeatureCache repairs fine-grained instead of dropping everything.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "forum/post.hpp"
+#include "serve/feature_cache.hpp"
+
+namespace forumcast::stream {
+
+class DirtySet {
+ public:
+  /// Pair-level damage: u's user block, its rows in cached question blocks,
+  /// and question blocks asked by u are all stale.
+  void mark_user(forum::UserId u) { users_.push_back(u); }
+
+  /// Scalar-only damage: only u's user block is stale (e.g. the global
+  /// median fallback under an answerless user moved).
+  void mark_user_scalars(forum::UserId u) { scalar_users_.push_back(u); }
+
+  /// The cached block of question q is stale.
+  void mark_question(forum::QuestionId q) { questions_.push_back(q); }
+
+  /// Global damage (graph structure changed): everything is stale.
+  void mark_all() { drop_all_ = true; }
+
+  bool empty() const {
+    return !drop_all_ && users_.empty() && scalar_users_.empty() &&
+           questions_.empty();
+  }
+
+  std::size_t user_count() const { return users_.size(); }
+  std::size_t question_count() const { return questions_.size(); }
+
+  /// Deduplicates the marks into a CacheInvalidation and resets the set.
+  serve::CacheInvalidation drain() {
+    serve::CacheInvalidation invalidation;
+    invalidation.drop_all = drop_all_;
+    if (!drop_all_) {
+      sort_unique(users_);
+      sort_unique(scalar_users_);
+      sort_unique(questions_);
+      // A user marked pair-level supersedes a scalar mark.
+      std::erase_if(scalar_users_, [&](forum::UserId u) {
+        return std::binary_search(users_.begin(), users_.end(), u);
+      });
+      invalidation.users = std::move(users_);
+      invalidation.scalar_users = std::move(scalar_users_);
+      invalidation.questions = std::move(questions_);
+    }
+    drop_all_ = false;
+    users_.clear();
+    scalar_users_.clear();
+    questions_.clear();
+    return invalidation;
+  }
+
+ private:
+  template <typename T>
+  static void sort_unique(std::vector<T>& values) {
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+  }
+
+  bool drop_all_ = false;
+  std::vector<forum::UserId> users_;
+  std::vector<forum::UserId> scalar_users_;
+  std::vector<forum::QuestionId> questions_;
+};
+
+}  // namespace forumcast::stream

@@ -1,0 +1,117 @@
+#include "stream/event.hpp"
+
+#include <array>
+#include <cstring>
+#include <type_traits>
+
+namespace forumcast::stream {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+template <typename T>
+void append_raw(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));  // x86-64/aarch64: little-endian
+}
+
+template <typename T>
+bool read_raw(std::string_view& data, T& value) {
+  if (data.size() < sizeof(T)) return false;
+  std::memcpy(&value, data.data(), sizeof(T));
+  data.remove_prefix(sizeof(T));
+  return true;
+}
+
+std::string encode_payload(const ForumEvent& event) {
+  std::string payload;
+  payload.reserve(40 + event.body.size());
+  append_raw(payload, static_cast<std::uint8_t>(event.type));
+  append_raw(payload, event.seq);
+  append_raw(payload, event.timestamp_hours);
+  append_raw(payload, event.user);
+  append_raw(payload, event.question);
+  append_raw(payload, event.answer_index);
+  append_raw(payload, event.vote_delta);
+  append_raw(payload, event.net_votes);
+  append_raw(payload, static_cast<std::uint32_t>(event.body.size()));
+  payload.append(event.body);
+  return payload;
+}
+
+bool decode_payload(std::string_view payload, ForumEvent& event) {
+  std::uint8_t type = 0;
+  std::uint32_t body_len = 0;
+  if (!read_raw(payload, type) || type > 2) return false;
+  event.type = static_cast<EventType>(type);
+  if (!read_raw(payload, event.seq) ||
+      !read_raw(payload, event.timestamp_hours) ||
+      !read_raw(payload, event.user) || !read_raw(payload, event.question) ||
+      !read_raw(payload, event.answer_index) ||
+      !read_raw(payload, event.vote_delta) ||
+      !read_raw(payload, event.net_votes) || !read_raw(payload, body_len)) {
+    return false;
+  }
+  if (payload.size() != body_len) return false;
+  event.body.assign(payload.data(), payload.size());
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const auto table = build_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void append_event_record(std::string& out, const ForumEvent& event) {
+  const std::string payload = encode_payload(event);
+  append_raw(out, static_cast<std::uint32_t>(payload.size()));
+  append_raw(out, crc32(payload));
+  out.append(payload);
+}
+
+DecodeResult decode_event_record(std::string_view data) {
+  DecodeResult result;
+  std::string_view cursor = data;
+  std::uint32_t length = 0;
+  std::uint32_t checksum = 0;
+  if (!read_raw(cursor, length)) return result;  // clean end
+  if (!read_raw(cursor, checksum)) return result;
+  if (cursor.size() < length) return result;  // torn tail: record cut short
+  const std::string_view payload = cursor.substr(0, length);
+  if (crc32(payload) != checksum || !decode_payload(payload, result.event)) {
+    result.corrupt = true;
+    return result;
+  }
+  result.bytes_consumed = sizeof(std::uint32_t) * 2 + length;
+  return result;
+}
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kNewQuestion: return "question";
+    case EventType::kNewAnswer: return "answer";
+    case EventType::kVote: return "vote";
+  }
+  return "unknown";
+}
+
+}  // namespace forumcast::stream

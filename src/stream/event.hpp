@@ -1,0 +1,71 @@
+// The append-only forum event log: the unit of live ingestion.
+//
+// A ForumEvent is one observed change to the forum — a new question thread,
+// a new answer, or a vote — stamped with a monotonic sequence number and the
+// event time in hours. stream::LiveState applies events incrementally; the
+// same records are what the WAL persists and the snapshot compacts, so one
+// binary codec (below) serves the whole durability path.
+//
+// Encoding: every record is [u32 payload_len][u32 crc32(payload)][payload],
+// little-endian, with a fixed-layout payload (type, seq, timestamp, ids,
+// vote fields, length-prefixed body). The CRC lets replay distinguish a
+// torn tail write (crash mid-append) from a clean end of log.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "forum/post.hpp"
+
+namespace forumcast::stream {
+
+enum class EventType : std::uint8_t {
+  kNewQuestion = 0,
+  kNewAnswer = 1,
+  kVote = 2,
+};
+
+struct ForumEvent {
+  std::uint64_t seq = 0;  ///< monotonic id; 0 = unassigned (LiveState assigns)
+  EventType type = EventType::kNewQuestion;
+  double timestamp_hours = 0.0;
+  /// Post creator for kNewQuestion / kNewAnswer; unused for kVote.
+  forum::UserId user = 0;
+  /// Target question. For kNewQuestion this is the id LiveState assigned
+  /// (recorded after apply so replay is deterministic).
+  forum::QuestionId question = 0;
+  /// kVote: answer index within the thread, −1 for a vote on the question
+  /// post. kNewAnswer: the index assigned on apply.
+  std::int32_t answer_index = -1;
+  /// kVote: signed vote delta.
+  std::int32_t vote_delta = 0;
+  /// Initial net votes carried by a new post (generators emit snapshots
+  /// whose posts already hold votes; live platforms would send 0 + deltas).
+  std::int32_t net_votes = 0;
+  /// Post body HTML for new posts.
+  std::string body;
+};
+
+/// IEEE CRC-32 (the zlib polynomial), table-driven.
+std::uint32_t crc32(std::string_view data);
+
+/// Appends one length+CRC framed record for `event` to `out`.
+void append_event_record(std::string& out, const ForumEvent& event);
+
+/// Result of pulling one record off a byte stream.
+struct DecodeResult {
+  ForumEvent event;
+  std::size_t bytes_consumed = 0;  ///< 0 = no complete, valid record
+  bool corrupt = false;            ///< framing/CRC failure (torn tail)
+};
+
+/// Decodes the record at the front of `data`. A short buffer yields
+/// bytes_consumed = 0 with corrupt = false (clean end of log); a framing or
+/// CRC mismatch yields corrupt = true.
+DecodeResult decode_event_record(std::string_view data);
+
+const char* event_type_name(EventType type);
+
+}  // namespace forumcast::stream

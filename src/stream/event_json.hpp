@@ -1,0 +1,36 @@
+// JSONL (one JSON object per line) codec for ForumEvent — the CLI ingest
+// format. obs/json.hpp is emission-only by design, so the tiny flat-object
+// parser the ingest path needs lives here.
+//
+// Schema (unknown keys are rejected; `seq` is optional and usually omitted —
+// LiveState assigns sequence numbers on apply):
+//   {"type":"question","user":12,"time":725.5,"votes":0,"body":"..."}
+//   {"type":"answer","user":9,"question":140,"time":726.0,"votes":1,"body":"..."}
+//   {"type":"vote","question":140,"answer":0,"time":726.5,"delta":1}
+// A vote with "answer":-1 (or without "answer") targets the question post.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/event.hpp"
+
+namespace forumcast::stream {
+
+/// Parses one JSONL line. Throws util::CheckError with context on malformed
+/// input (bad JSON, unknown type/key, missing required field).
+ForumEvent parse_event_json(std::string_view line);
+
+/// The inverse: one JSON object, no trailing newline.
+std::string event_to_json(const ForumEvent& event);
+
+/// Loads every non-empty line of a JSONL file. Throws on unreadable file or
+/// malformed line (the error names the line number).
+std::vector<ForumEvent> load_events_jsonl(const std::string& path);
+
+void save_events_jsonl(const std::string& path,
+                       std::span<const ForumEvent> events);
+
+}  // namespace forumcast::stream

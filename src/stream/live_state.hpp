@@ -1,0 +1,150 @@
+// LiveState: the streaming ingestion core.
+//
+// A fitted ForecastPipeline is a function of a forum snapshot. LiveState
+// keeps that snapshot *live*: ingest() applies ForumEvents (new questions,
+// new answers, votes) incrementally — mutating the shared forum::Dataset,
+// updating the FeatureExtractor's aggregates / topic fold-ins / SLN graphs
+// in place, and handing attached serve::BatchScorers a fine-grained
+// CacheInvalidation describing exactly which users and questions each batch
+// touched. The predictors themselves stay frozen at their fit (that is the
+// serving model of the paper's Sec. IV: fit on a history window, score live
+// arrivals), so after every ingest the system's predictions are bit-identical
+// to rebuilding the dataset from (base + events) and re-deriving feature
+// state from scratch — the replay-equivalence property the tests enforce.
+//
+// Durability: with a wal_dir configured, every applied event is appended to a
+// write-ahead log and fsynced once per ingest batch before ingest() returns;
+// every `snapshot_every` events the full applied sequence is compacted into
+// an atomic snapshot. Constructing a LiveState over the same wal_dir replays
+// snapshot + WAL tail, reconstructing the exact pre-crash state (same
+// digest()). See wal.hpp for the on-disk format.
+//
+// Thread safety: ingest() takes a writer lock; predict()/score() take a
+// reader lock, so scoring runs concurrently with other scoring and is
+// serialized against mutation. Scorer invalidation happens while the writer
+// lock is still held (lock order LiveState → scorer everywhere), so a scorer
+// can never assemble features from a half-applied batch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "forum/dataset.hpp"
+#include "serve/batch_scorer.hpp"
+#include "stream/dirty_set.hpp"
+#include "stream/event.hpp"
+#include "stream/wal.hpp"
+
+namespace forumcast::stream {
+
+struct LiveStateConfig {
+  /// Directory for WAL + snapshots; empty disables durability. If the
+  /// directory already holds a log, the constructor recovers from it.
+  std::string wal_dir;
+  /// Write a compacted snapshot every N applied events (0 = never).
+  std::size_t snapshot_every = 0;
+};
+
+class LiveState {
+ public:
+  /// `pipeline` must be fitted on `dataset` (the same object — LiveState
+  /// mutates it in place) with its inference window covering every dataset
+  /// question. Both must outlive the LiveState. If config.wal_dir holds a
+  /// previous log, it is replayed before the constructor returns.
+  LiveState(core::ForecastPipeline& pipeline, forum::Dataset& dataset,
+            LiveStateConfig config = {});
+  ~LiveState();
+  LiveState(const LiveState&) = delete;
+  LiveState& operator=(const LiveState&) = delete;
+
+  /// Applies `events` in order under the writer lock: mutate dataset →
+  /// update extractor → refresh derived state → invalidate attached scorers
+  /// → append + fsync WAL. Returns the number of events applied. Throws
+  /// util::CheckError on an invalid event (unknown user, out-of-range
+  /// question, non-monotonic timestamp); events before the bad one stay
+  /// applied and logged.
+  std::size_t ingest(std::span<const ForumEvent> events);
+
+  /// Registers a scorer for fine-grained invalidation on every ingest. The
+  /// scorer must be built over this LiveState's pipeline and outlive it (or
+  /// be detached). Score through it only via this->score() — the reader
+  /// lock is what keeps assembly off half-applied batches.
+  void attach(serve::BatchScorer* scorer);
+  void detach(serve::BatchScorer* scorer);
+
+  /// pipeline.predict(u, q) under the reader lock.
+  core::Prediction predict(forum::UserId u, forum::QuestionId q) const;
+
+  /// scorer.score(question, users) under the reader lock.
+  std::vector<core::Prediction> score(
+      const serve::BatchScorer& scorer, forum::QuestionId question,
+      std::span<const forum::UserId> users) const;
+
+  /// Sequence number of the last applied event (0 before any).
+  std::uint64_t last_seq() const;
+  std::size_t events_applied() const;
+  /// Events replayed from the WAL/snapshot by the constructor.
+  std::size_t events_recovered() const { return events_recovered_; }
+  /// True if recovery hit a torn WAL tail (crash during append).
+  bool recovered_truncated_tail() const { return recovered_truncated_tail_; }
+
+  /// The applied event log, with assigned seq / question ids / answer
+  /// indices — replaying it into a copy of the base dataset reproduces the
+  /// live one exactly.
+  std::vector<ForumEvent> event_log() const;
+
+  /// FNV-1a digest over the observable feature state (per-user aggregates,
+  /// topic profiles, graphs, centralities, question topics, global median):
+  /// equal digests ⇒ bit-identical serving state. Used by the crash-recovery
+  /// and replay-equivalence tests.
+  std::uint64_t digest() const;
+
+  /// Forces a snapshot of the full applied log (no-op without a wal_dir).
+  void snapshot_now();
+
+ private:
+  // Writer-priority locking. pthread's rwlock (behind std::shared_mutex on
+  // glibc) prefers readers, so a continuous scoring load would starve ingest
+  // forever. Writers announce themselves; new readers hold off while any
+  // writer is waiting.
+  std::unique_lock<std::shared_mutex> writer_lock() const;
+  std::shared_lock<std::shared_mutex> reader_lock() const;
+
+  std::size_t apply_locked(ForumEvent event, bool durable);
+  void finish_batch_locked(double global_median_before);
+  void maybe_snapshot_locked();
+  std::uint64_t digest_locked() const;
+
+  core::ForecastPipeline& pipeline_;
+  forum::Dataset& dataset_;
+  LiveStateConfig config_;
+
+  mutable std::shared_mutex mutex_;
+  mutable std::atomic<int> writers_waiting_{0};
+  DirtySet dirty_;
+  std::vector<serve::BatchScorer*> scorers_;
+
+  std::vector<ForumEvent> applied_;  ///< the durable log, seq-stamped
+  std::uint64_t last_seq_ = 0;
+  double last_event_time_ = 0.0;
+  std::size_t events_since_snapshot_ = 0;
+  std::size_t events_recovered_ = 0;
+  bool recovered_truncated_tail_ = false;
+
+  std::unique_ptr<WalWriter> wal_;
+};
+
+/// Replays `events` (an applied log: seq-stamped, question ids and answer
+/// indices assigned) into a copy of `base`, returning the dataset LiveState
+/// would have produced — the reference side of the replay-equivalence tests.
+forum::Dataset dataset_from_events(const forum::Dataset& base,
+                                   std::span<const ForumEvent> events);
+
+}  // namespace forumcast::stream

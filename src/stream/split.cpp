@@ -1,0 +1,126 @@
+#include "stream/split.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace forumcast::stream {
+
+namespace {
+
+ForumEvent question_event(const forum::Post& post) {
+  ForumEvent event;
+  event.type = EventType::kNewQuestion;
+  event.timestamp_hours = post.timestamp_hours;
+  event.user = post.creator;
+  event.net_votes = 0;  // final votes arrive as a Vote event
+  event.body = post.body_html;
+  return event;
+}
+
+ForumEvent answer_event(forum::QuestionId question, const forum::Post& post) {
+  ForumEvent event;
+  event.type = EventType::kNewAnswer;
+  event.timestamp_hours = post.timestamp_hours;
+  event.user = post.creator;
+  event.question = question;
+  event.net_votes = 0;
+  event.body = post.body_html;
+  return event;
+}
+
+ForumEvent vote_event(forum::QuestionId question, std::int32_t answer_index,
+                      int delta, double time) {
+  ForumEvent event;
+  event.type = EventType::kVote;
+  event.timestamp_hours = time;
+  event.question = question;
+  event.answer_index = answer_index;
+  event.vote_delta = delta;
+  return event;
+}
+
+}  // namespace
+
+EventSplit split_events_after(const forum::Dataset& dataset,
+                              double cutoff_hours, double vote_delay_hours) {
+  const auto& threads = dataset.threads();
+
+  // Pass 1: base thread ids. Kept threads keep their relative order (so the
+  // base id is the count of kept threads before them); streamed questions
+  // get contiguous ids past the base in question-timestamp order — exactly
+  // the order their NewQuestion events replay in.
+  std::vector<forum::QuestionId> base_id(threads.size(), 0);
+  std::vector<std::size_t> streamed;  // original thread indices, t_q > cutoff
+  forum::QuestionId next_base = 0;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    if (threads[i].question.timestamp_hours <= cutoff_hours) {
+      base_id[i] = next_base++;
+    } else {
+      streamed.push_back(i);
+    }
+  }
+  std::stable_sort(streamed.begin(), streamed.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return threads[a].question.timestamp_hours <
+                            threads[b].question.timestamp_hours;
+                   });
+  for (std::size_t rank = 0; rank < streamed.size(); ++rank) {
+    base_id[streamed[rank]] = next_base + static_cast<forum::QuestionId>(rank);
+  }
+
+  // Pass 2: base threads (answers ≤ cutoff) and the event stream.
+  EventSplit split;
+  std::vector<forum::Thread> base_threads;
+  base_threads.reserve(next_base);
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const forum::Thread& thread = threads[i];
+    const forum::QuestionId id = base_id[i];
+    const bool thread_streamed =
+        thread.question.timestamp_hours > cutoff_hours;
+    std::size_t answer_index = 0;
+    if (thread_streamed) {
+      split.events.push_back(question_event(thread.question));
+      split.events.back().question = id;  // the id LiveState will assign
+      if (thread.question.net_votes != 0) {
+        split.events.push_back(vote_event(
+            id, -1, thread.question.net_votes,
+            thread.question.timestamp_hours + vote_delay_hours));
+      }
+    } else {
+      forum::Thread base_thread;
+      base_thread.question = thread.question;
+      for (const forum::Post& answer : thread.answers) {
+        if (answer.timestamp_hours <= cutoff_hours) {
+          base_thread.answers.push_back(answer);
+          ++answer_index;
+        }
+      }
+      base_threads.push_back(std::move(base_thread));
+    }
+    for (const forum::Post& answer : thread.answers) {
+      if (answer.timestamp_hours <= cutoff_hours) continue;
+      split.events.push_back(answer_event(id, answer));
+      // The index append_answer will assign — lets the raw stream replay
+      // through dataset_from_events without first passing through LiveState.
+      split.events.back().answer_index = static_cast<std::int32_t>(answer_index);
+      if (answer.net_votes != 0) {
+        split.events.push_back(
+            vote_event(id, static_cast<std::int32_t>(answer_index),
+                       answer.net_votes,
+                       answer.timestamp_hours + vote_delay_hours));
+      }
+      ++answer_index;
+    }
+  }
+
+  // Stable by time: construction order already respects causality (question
+  // before its answers, post before its vote), so ties replay correctly.
+  std::stable_sort(split.events.begin(), split.events.end(),
+                   [](const ForumEvent& a, const ForumEvent& b) {
+                     return a.timestamp_hours < b.timestamp_hours;
+                   });
+  split.base = forum::Dataset(std::move(base_threads), dataset.num_users());
+  return split;
+}
+
+}  // namespace forumcast::stream

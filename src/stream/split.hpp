@@ -1,0 +1,36 @@
+// Splits a complete forum dataset into (base snapshot, event stream).
+//
+// Everything posted at or before the cutoff becomes the base dataset a
+// pipeline fits on; everything after becomes a time-ordered ForumEvent
+// stream whose replay into the base reproduces the original forum's
+// activity: new questions and answers arrive with zero votes, and each
+// post's final net votes land as a separate Vote event shortly after the
+// post. Ids in the event stream anticipate LiveState's assignment rule
+// (next contiguous question id, next answer index in the thread), so the
+// stream applies cleanly to the base in order.
+//
+// This is both the `generate --events-out` implementation and the fixture
+// the replay-equivalence tests stream from.
+#pragma once
+
+#include <vector>
+
+#include "forum/dataset.hpp"
+#include "stream/event.hpp"
+
+namespace forumcast::stream {
+
+struct EventSplit {
+  forum::Dataset base;
+  std::vector<ForumEvent> events;  ///< sorted by timestamp, causally ordered
+};
+
+/// Splits `dataset` at `cutoff_hours`. Questions posted after the cutoff are
+/// removed from the base along with every answer posted after it; the
+/// removed activity returns as events. Vote events are offset
+/// `vote_delay_hours` after their post so they replay strictly later.
+EventSplit split_events_after(const forum::Dataset& dataset,
+                              double cutoff_hours,
+                              double vote_delay_hours = 1e-3);
+
+}  // namespace forumcast::stream

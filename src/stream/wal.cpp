@@ -1,0 +1,199 @@
+#include "stream/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::stream {
+
+namespace {
+
+constexpr char kSnapshotMagic[4] = {'F', 'C', 'S', 'N'};
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+std::string read_file(const std::string& path, bool& exists) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    exists = false;
+    return {};
+  }
+  exists = true;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return std::move(contents).str();
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  while (size > 0) {
+    const ssize_t written = ::write(fd, data, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      FORUMCAST_CHECK_MSG(false, "write failed: " + path + ": " +
+                                     std::strerror(errno));
+    }
+    data += written;
+    size -= static_cast<std::size_t>(written);
+  }
+}
+
+}  // namespace
+
+std::string wal_path(const std::string& dir) { return dir + "/wal.bin"; }
+std::string snapshot_path(const std::string& dir) {
+  return dir + "/snapshot.bin";
+}
+
+WalWriter::WalWriter(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  FORUMCAST_CHECK_MSG(fd_ >= 0, "cannot open WAL for append: " + path + ": " +
+                                    std::strerror(errno));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    sync();
+    ::close(fd_);
+  }
+}
+
+void WalWriter::append(const ForumEvent& event) {
+  append_event_record(buffer_, event);
+  ++records_appended_;
+  FORUMCAST_COUNTER_ADD("stream.wal.records", 1);
+}
+
+void WalWriter::sync() {
+  const auto start = std::chrono::steady_clock::now();
+  if (!buffer_.empty()) {
+    write_all(fd_, buffer_.data(), buffer_.size(), "wal");
+    FORUMCAST_COUNTER_ADD("stream.wal.bytes", buffer_.size());
+    buffer_.clear();
+  }
+  FORUMCAST_CHECK_MSG(::fsync(fd_) == 0,
+                      std::string("WAL fsync failed: ") + std::strerror(errno));
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  FORUMCAST_HISTOGRAM_OBSERVE("stream.wal.fsync_ms", ms, 0.01, 0.1, 1, 10,
+                              100);
+  FORUMCAST_COUNTER_ADD("stream.wal.fsyncs", 1);
+}
+
+ReplayResult replay_wal(const std::string& path) {
+  ReplayResult result;
+  bool exists = false;
+  const std::string contents = read_file(path, exists);
+  if (!exists) return result;
+  std::string_view cursor(contents);
+  while (!cursor.empty()) {
+    DecodeResult decoded = decode_event_record(cursor);
+    if (decoded.bytes_consumed == 0) {
+      // Torn tail (record cut short by a crash) or CRC failure: the log is
+      // usable up to here.
+      result.truncated_tail = true;
+      break;
+    }
+    result.events.push_back(std::move(decoded.event));
+    cursor.remove_prefix(decoded.bytes_consumed);
+    result.valid_bytes += decoded.bytes_consumed;
+  }
+  return result;
+}
+
+void write_snapshot(const std::string& path, std::span<const ForumEvent> events,
+                    std::uint64_t last_seq) {
+  std::string blob;
+  blob.append(kSnapshotMagic, sizeof kSnapshotMagic);
+  const std::uint32_t version = kSnapshotVersion;
+  const std::uint64_t count = events.size();
+  blob.append(reinterpret_cast<const char*>(&version), sizeof version);
+  blob.append(reinterpret_cast<const char*>(&last_seq), sizeof last_seq);
+  blob.append(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const ForumEvent& event : events) {
+    append_event_record(blob, event);
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  FORUMCAST_CHECK_MSG(fd >= 0, "cannot write snapshot: " + tmp + ": " +
+                                   std::strerror(errno));
+  write_all(fd, blob.data(), blob.size(), tmp);
+  FORUMCAST_CHECK_MSG(::fsync(fd) == 0,
+                      "snapshot fsync failed: " + std::string(std::strerror(errno)));
+  ::close(fd);
+  FORUMCAST_CHECK_MSG(::rename(tmp.c_str(), path.c_str()) == 0,
+                      "snapshot rename failed: " + path + ": " +
+                          std::strerror(errno));
+  FORUMCAST_COUNTER_ADD("stream.snapshots_written", 1);
+  FORUMCAST_GAUGE_SET("stream.snapshot_events", static_cast<double>(count));
+}
+
+SnapshotData read_snapshot(const std::string& path) {
+  SnapshotData snapshot;
+  bool exists = false;
+  const std::string contents = read_file(path, exists);
+  if (!exists) return snapshot;
+  snapshot.present = true;
+  const std::size_t header_size =
+      sizeof kSnapshotMagic + sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+  FORUMCAST_CHECK_MSG(contents.size() >= header_size &&
+                          std::memcmp(contents.data(), kSnapshotMagic,
+                                      sizeof kSnapshotMagic) == 0,
+                      "malformed snapshot header: " + path);
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  std::size_t off = sizeof kSnapshotMagic;
+  std::memcpy(&version, contents.data() + off, sizeof version);
+  off += sizeof version;
+  FORUMCAST_CHECK_MSG(version == kSnapshotVersion,
+                      "unsupported snapshot version: " + path);
+  std::memcpy(&snapshot.last_seq, contents.data() + off,
+              sizeof snapshot.last_seq);
+  off += sizeof snapshot.last_seq;
+  std::memcpy(&count, contents.data() + off, sizeof count);
+  off += sizeof count;
+
+  std::string_view cursor(contents.data() + off, contents.size() - off);
+  snapshot.events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DecodeResult decoded = decode_event_record(cursor);
+    FORUMCAST_CHECK_MSG(decoded.bytes_consumed != 0,
+                        "truncated snapshot record: " + path);
+    snapshot.events.push_back(std::move(decoded.event));
+    cursor.remove_prefix(decoded.bytes_consumed);
+  }
+  return snapshot;
+}
+
+RecoveredLog recover_log(const std::string& dir) {
+  RecoveredLog recovered;
+  const SnapshotData snapshot = read_snapshot(snapshot_path(dir));
+  recovered.events = snapshot.events;
+  recovered.from_snapshot = snapshot.events.size();
+  recovered.last_seq = snapshot.last_seq;
+
+  ReplayResult wal = replay_wal(wal_path(dir));
+  recovered.truncated_tail = wal.truncated_tail;
+  recovered.wal_valid_bytes = wal.valid_bytes;
+  for (ForumEvent& event : wal.events) {
+    if (event.seq <= snapshot.last_seq) continue;  // already compacted
+    recovered.last_seq = event.seq;
+    recovered.events.push_back(std::move(event));
+  }
+  if (!recovered.events.empty()) {
+    recovered.last_seq = recovered.events.back().seq;
+  }
+  return recovered;
+}
+
+}  // namespace forumcast::stream

@@ -1,0 +1,95 @@
+// Write-ahead log + snapshots for the streaming ingestion path.
+//
+// Durability model: every applied event is appended to `<dir>/wal.bin`
+// before it is acknowledged; sync() fsyncs the fd (timed into the
+// stream.wal.fsync_ms histogram). A snapshot is a *compacted log* — the
+// full applied-event sequence re-encoded into `<dir>/snapshot.bin` behind a
+// header carrying the last covered sequence number — written to a temp file
+// and renamed, so a crash never leaves a half snapshot in place. LiveState
+// is a deterministic function of (base fit, event sequence), so replaying
+// snapshot events + the WAL records with seq beyond the snapshot
+// reconstructs the exact pre-crash state (same digest).
+//
+// Replay is tolerant of a torn tail: a record cut short by a crash, or one
+// failing its CRC, ends the usable log; everything before it is applied.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stream/event.hpp"
+
+namespace forumcast::stream {
+
+/// Appends framed event records to a WAL file (created if missing, opened
+/// for append otherwise). Writes go through a small user-space buffer;
+/// sync() flushes it and fsyncs.
+class WalWriter {
+ public:
+  explicit WalWriter(const std::string& path);
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  void append(const ForumEvent& event);
+  /// Flush + fsync. Called automatically by the destructor.
+  void sync();
+
+  std::uint64_t records_appended() const { return records_appended_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  std::uint64_t records_appended_ = 0;
+};
+
+struct ReplayResult {
+  std::vector<ForumEvent> events;
+  /// True when the file ended mid-record or a record failed its CRC — the
+  /// expected signature of a crash during append. Events up to that point
+  /// are valid.
+  bool truncated_tail = false;
+  /// Byte length of the valid prefix (everything before the torn record).
+  /// Truncate the file to this before appending again, or the new records
+  /// land after the garbage and are unreachable on the next recovery.
+  std::size_t valid_bytes = 0;
+};
+
+/// Reads every valid record of a WAL file. A missing file is an empty log.
+ReplayResult replay_wal(const std::string& path);
+
+/// Atomically (write temp + rename) writes a snapshot covering `events`,
+/// whose greatest sequence number is `last_seq`.
+void write_snapshot(const std::string& path, std::span<const ForumEvent> events,
+                    std::uint64_t last_seq);
+
+struct SnapshotData {
+  bool present = false;
+  std::uint64_t last_seq = 0;
+  std::vector<ForumEvent> events;
+};
+
+/// Reads a snapshot; `present` is false for a missing file. Throws
+/// util::CheckError on a malformed file (snapshots are written atomically,
+/// so corruption is a real error, not a crash artifact).
+SnapshotData read_snapshot(const std::string& path);
+
+/// The combined recovery read over a WAL directory: snapshot events plus
+/// the WAL records with seq greater than the snapshot's horizon.
+struct RecoveredLog {
+  std::vector<ForumEvent> events;
+  std::uint64_t last_seq = 0;        ///< greatest seq in `events` (0 if none)
+  std::size_t from_snapshot = 0;     ///< leading events that came compacted
+  bool truncated_tail = false;       ///< WAL ended in a torn record
+  std::size_t wal_valid_bytes = 0;   ///< valid prefix length of wal.bin
+};
+
+/// Standard file names inside a --wal-dir.
+std::string wal_path(const std::string& dir);
+std::string snapshot_path(const std::string& dir);
+
+RecoveredLog recover_log(const std::string& dir);
+
+}  // namespace forumcast::stream

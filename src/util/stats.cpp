@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <numeric>
 
@@ -113,6 +114,35 @@ double fraction_at_most(std::span<const double> values, double threshold) {
   const auto count = std::count_if(values.begin(), values.end(),
                                    [&](double v) { return v <= threshold; });
   return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+void StreamingMedian::add(double value) {
+  if (lower_.empty() || value <= lower_.front()) {
+    lower_.push_back(value);
+    std::push_heap(lower_.begin(), lower_.end());
+  } else {
+    upper_.push_back(value);
+    std::push_heap(upper_.begin(), upper_.end(), std::greater<double>{});
+  }
+  if (lower_.size() > upper_.size() + 1) {
+    std::pop_heap(lower_.begin(), lower_.end());
+    upper_.push_back(lower_.back());
+    lower_.pop_back();
+    std::push_heap(upper_.begin(), upper_.end(), std::greater<double>{});
+  } else if (upper_.size() > lower_.size()) {
+    std::pop_heap(upper_.begin(), upper_.end(), std::greater<double>{});
+    lower_.push_back(upper_.back());
+    upper_.pop_back();
+    std::push_heap(lower_.begin(), lower_.end());
+  }
+}
+
+double StreamingMedian::median() const {
+  FORUMCAST_CHECK(!lower_.empty());
+  if (lower_.size() > upper_.size()) return lower_.front();
+  // Even count: identical expression to percentile()'s
+  // `sorted[lo] * (1.0 - frac) + sorted[hi] * frac` with frac == 0.5 exactly.
+  return lower_.front() * 0.5 + upper_.front() * 0.5;
 }
 
 void RunningStats::add(double value) {

@@ -43,6 +43,28 @@ std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
 /// Fraction of `values` less than or equal to `threshold`.
 double fraction_at_most(std::span<const double> values, double threshold);
 
+/// Exact streaming median over an insert-only stream (two balanced heaps).
+///
+/// median() reproduces util::median — i.e. percentile(values, 50) — bit for
+/// bit on the same multiset: the interpolation there reduces to the lower
+/// middle element for odd counts and `lo * 0.5 + hi * 0.5` for even counts,
+/// which is exactly the expression evaluated here. The streaming layer relies
+/// on that equality to keep incrementally-maintained medians identical to a
+/// batch rebuild.
+class StreamingMedian {
+ public:
+  void add(double value);
+  std::size_t count() const { return lower_.size() + upper_.size(); }
+  /// Requires count() > 0.
+  double median() const;
+
+ private:
+  // lower_ is a max-heap over the smaller half (holds the extra element when
+  // the count is odd); upper_ is a min-heap over the larger half.
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+};
+
 /// Streaming mean/variance accumulator (Welford).
 class RunningStats {
  public:

@@ -126,6 +126,83 @@ TEST(Dataset, PreprocessDropsQuestionWhoseOnlyAnswerWasSimultaneous) {
   EXPECT_EQ(cleaned.num_questions(), 0u);
 }
 
+TEST(Dataset, PreprocessAllUnansweredYieldsEmptyDataset) {
+  std::vector<Thread> threads;
+  threads.push_back(make_thread(0, 1.0, {}));
+  threads.push_back(make_thread(1, 2.0, {}));
+  threads.push_back(make_thread(2, 3.0, {}));
+  const Dataset cleaned = Dataset(std::move(threads), 3).preprocessed();
+  EXPECT_EQ(cleaned.num_questions(), 0u);
+  EXPECT_EQ(cleaned.answered_pairs().size(), 0u);
+  const auto stats = cleaned.stats();
+  EXPECT_EQ(stats.questions, 0u);
+  EXPECT_EQ(stats.answers, 0u);
+  EXPECT_DOUBLE_EQ(stats.answer_matrix_density, 0.0);
+}
+
+TEST(Dataset, PreprocessTiedDuplicateAnswerVotesKeepsEarliest) {
+  // User 1 answers twice with identical votes: the strict > comparison keeps
+  // the first (earliest, answers being time-sorted) of the tie.
+  std::vector<Thread> threads;
+  threads.push_back(make_thread(
+      0, 0.0, {make_post(1, 1.0, 4), make_post(1, 3.0, 4), make_post(2, 2.0, 0)}));
+  const Dataset cleaned = Dataset(std::move(threads), 3).preprocessed();
+  ASSERT_EQ(cleaned.thread(0).answers.size(), 2u);
+  const auto pairs = cleaned.answered_pairs();
+  for (const auto& pair : pairs) {
+    if (pair.user == 1) {
+      EXPECT_DOUBLE_EQ(pair.delay_hours, 1.0);
+      EXPECT_EQ(pair.votes, 4);
+    }
+  }
+}
+
+TEST(Dataset, PreprocessSimultaneousAnswerLosesToLaterDuplicate) {
+  // The same user's answer at exactly the question timestamp is dropped
+  // before duplicate resolution, so their later (lower-voted) answer wins.
+  std::vector<Thread> threads;
+  threads.push_back(make_thread(0, 5.0, {make_post(1, 5.0, 9), make_post(1, 6.0, 1)}));
+  const Dataset cleaned = Dataset(std::move(threads), 2).preprocessed();
+  ASSERT_EQ(cleaned.num_questions(), 1u);
+  ASSERT_EQ(cleaned.thread(0).answers.size(), 1u);
+  EXPECT_DOUBLE_EQ(cleaned.thread(0).answers[0].timestamp_hours, 6.0);
+  EXPECT_EQ(cleaned.thread(0).answers[0].net_votes, 1);
+}
+
+// ---------- streaming mutators ----------
+
+TEST(Dataset, AppendThreadAssignsNextContiguousId) {
+  Dataset data = small_dataset();
+  const QuestionId q = data.append_thread(make_post(2, 30.0, 0));
+  EXPECT_EQ(q, 3u);
+  EXPECT_EQ(data.num_questions(), 4u);
+  EXPECT_EQ(data.thread(q).id, q);
+  EXPECT_TRUE(data.thread(q).answers.empty());
+  EXPECT_THROW(data.append_thread(make_post(99, 31.0, 0)), util::CheckError);
+}
+
+TEST(Dataset, AppendAnswerEnforcesTimeOrder) {
+  Dataset data = small_dataset();
+  EXPECT_EQ(data.append_answer(1, make_post(0, 13.0, 0)), 1u);
+  EXPECT_EQ(data.thread(1).answers.size(), 2u);
+  // Before the thread's last answer → rejected; before the question → too.
+  EXPECT_THROW(data.append_answer(1, make_post(3, 12.9, 0)), util::CheckError);
+  EXPECT_THROW(data.append_answer(2, make_post(0, 19.0, 0)), util::CheckError);
+  // Exactly at the last answer's timestamp is allowed (ties are valid).
+  EXPECT_EQ(data.append_answer(1, make_post(3, 13.0, 0)), 2u);
+}
+
+TEST(Dataset, ApplyVoteTargetsQuestionOrAnswer) {
+  Dataset data = small_dataset();
+  const int question_votes = data.thread(0).question.net_votes;
+  data.apply_vote(0, -1, 2);
+  EXPECT_EQ(data.thread(0).question.net_votes, question_votes + 2);
+  data.apply_vote(0, 1, -1);
+  EXPECT_EQ(data.thread(0).answers[1].net_votes, 0);
+  EXPECT_THROW(data.apply_vote(0, 7, 1), util::CheckError);
+  EXPECT_THROW(data.apply_vote(9, -1, 1), util::CheckError);
+}
+
 TEST(Dataset, PreprocessOrdersChronologically) {
   std::vector<Thread> threads;
   threads.push_back(make_thread(0, 50.0, {make_post(1, 51.0, 0)}));

@@ -203,6 +203,9 @@ TEST(BatchScorer, RefitInvalidatesCache) {
   const auto q = static_cast<forum::QuestionId>(dataset.num_questions() - 1);
   scorer.score(q, users);
   const auto generation_before = pipeline.generation();
+  // Warming is not invalidation: nothing has been dropped yet.
+  EXPECT_EQ(scorer.cache_stats().invalidations, 0u);
+  EXPECT_EQ(scorer.cache_stats().blocks_dropped, 0u);
 
   // Refit on a different window: the extractor object is replaced, every
   // cached block must be dropped, and post-refit scores must equal the new
@@ -216,7 +219,10 @@ TEST(BatchScorer, RefitInvalidatesCache) {
     EXPECT_EQ(batch[i].votes, scalar.votes);
     EXPECT_EQ(batch[i].delay_hours, scalar.delay_hours);
   }
+  // One invalidation event; it dropped every warmed block (all user blocks
+  // from the first score plus the question block).
   EXPECT_GE(scorer.cache_stats().invalidations, 1u);
+  EXPECT_GE(scorer.cache_stats().blocks_dropped, users.size() + 1);
 }
 
 TEST(BatchScorer, RecommenderBatchPathMatchesScalarPath) {

@@ -1,0 +1,407 @@
+// Event codec, JSONL interchange, WAL durability, and snapshot recovery for
+// the streaming ingestion subsystem (src/stream/).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "forum/generator.hpp"
+#include "stream/event.hpp"
+#include "stream/event_json.hpp"
+#include "stream/live_state.hpp"
+#include "stream/split.hpp"
+#include "stream/wal.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::stream {
+namespace {
+
+ForumEvent question_event(std::uint64_t seq, forum::UserId user, double time,
+                          std::string body = "<p>hello</p>") {
+  ForumEvent event;
+  event.seq = seq;
+  event.type = EventType::kNewQuestion;
+  event.timestamp_hours = time;
+  event.user = user;
+  event.body = std::move(body);
+  return event;
+}
+
+ForumEvent answer_event(std::uint64_t seq, forum::UserId user,
+                        forum::QuestionId question, double time,
+                        std::string body = "<p>try this</p>") {
+  ForumEvent event;
+  event.seq = seq;
+  event.type = EventType::kNewAnswer;
+  event.timestamp_hours = time;
+  event.user = user;
+  event.question = question;
+  event.body = std::move(body);
+  return event;
+}
+
+ForumEvent vote_event(std::uint64_t seq, forum::QuestionId question,
+                      std::int32_t answer_index, int delta, double time) {
+  ForumEvent event;
+  event.seq = seq;
+  event.type = EventType::kVote;
+  event.timestamp_hours = time;
+  event.question = question;
+  event.answer_index = answer_index;
+  event.vote_delta = delta;
+  return event;
+}
+
+void expect_events_equal(const ForumEvent& a, const ForumEvent& b) {
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.timestamp_hours, b.timestamp_hours);  // bitwise via double ==
+  EXPECT_EQ(a.user, b.user);
+  EXPECT_EQ(a.question, b.question);
+  EXPECT_EQ(a.answer_index, b.answer_index);
+  EXPECT_EQ(a.vote_delta, b.vote_delta);
+  EXPECT_EQ(a.net_votes, b.net_votes);
+  EXPECT_EQ(a.body, b.body);
+}
+
+std::vector<ForumEvent> sample_events() {
+  return {question_event(1, 3, 100.5),
+          answer_event(2, 7, 42, 101.25, "<p>w1 w2</p><pre><code>x=1\n</code></pre>"),
+          vote_event(3, 42, 0, 1, 101.5),
+          vote_event(4, 42, -1, -2, 102.0),
+          question_event(5, 9, 103.0, "")};  // empty body round-trips too
+}
+
+std::string fresh_dir(const std::string& name) {
+  // PID-suffixed so concurrent test invocations (e.g. two ctest trees at
+  // once) cannot stomp each other's WAL files.
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      (name + "." + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void dump(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+// ---------- binary codec ----------
+
+TEST(EventCodec, RoundTripsAllEventTypes) {
+  for (const ForumEvent& event : sample_events()) {
+    std::string record;
+    append_event_record(record, event);
+    const DecodeResult decoded = decode_event_record(record);
+    ASSERT_EQ(decoded.bytes_consumed, record.size());
+    EXPECT_FALSE(decoded.corrupt);
+    expect_events_equal(decoded.event, event);
+  }
+}
+
+TEST(EventCodec, RoundTripsBinaryAndLargeBodies) {
+  ForumEvent event = question_event(9, 1, 5.0);
+  event.body.assign("\x00\x01\xff binary \n\t", 11);
+  std::string record;
+  append_event_record(record, event);
+  auto decoded = decode_event_record(record);
+  ASSERT_GT(decoded.bytes_consumed, 0u);
+  expect_events_equal(decoded.event, event);
+
+  event.body.assign(100000, 'x');
+  record.clear();
+  append_event_record(record, event);
+  decoded = decode_event_record(record);
+  ASSERT_EQ(decoded.bytes_consumed, record.size());
+  EXPECT_EQ(decoded.event.body.size(), 100000u);
+}
+
+TEST(EventCodec, TruncatedRecordIsATornTailNotCorruption) {
+  std::string record;
+  append_event_record(record, answer_event(1, 2, 3, 4.0));
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{8}, record.size() - 1}) {
+    const DecodeResult decoded = decode_event_record(record.substr(0, keep));
+    EXPECT_EQ(decoded.bytes_consumed, 0u) << "keep=" << keep;
+    EXPECT_FALSE(decoded.corrupt) << "keep=" << keep;
+  }
+}
+
+TEST(EventCodec, CorruptedPayloadFailsChecksum) {
+  std::string record;
+  append_event_record(record, answer_event(1, 2, 3, 4.0));
+  record[10] = static_cast<char>(record[10] ^ 0x40);  // flip a payload bit
+  const DecodeResult decoded = decode_event_record(record);
+  EXPECT_EQ(decoded.bytes_consumed, 0u);
+  EXPECT_TRUE(decoded.corrupt);
+}
+
+// ---------- JSONL codec ----------
+
+TEST(EventJson, RoundTripsAllEventTypes) {
+  for (const ForumEvent& event : sample_events()) {
+    const ForumEvent parsed = parse_event_json(event_to_json(event));
+    expect_events_equal(parsed, event);
+  }
+}
+
+TEST(EventJson, ParsesDocumentedSchema) {
+  const ForumEvent q = parse_event_json(
+      R"({"type":"question","user":12,"time":725.5,"votes":0,"body":"w1 w2"})");
+  EXPECT_EQ(q.type, EventType::kNewQuestion);
+  EXPECT_EQ(q.user, 12u);
+  EXPECT_DOUBLE_EQ(q.timestamp_hours, 725.5);
+  EXPECT_EQ(q.body, "w1 w2");
+  EXPECT_EQ(q.seq, 0u);  // unassigned until applied
+
+  const ForumEvent a = parse_event_json(
+      R"({"type":"answer","user":9,"question":140,"time":726.0,"votes":1,"body":""})");
+  EXPECT_EQ(a.type, EventType::kNewAnswer);
+  EXPECT_EQ(a.question, 140u);
+  EXPECT_EQ(a.net_votes, 1);
+  EXPECT_EQ(a.answer_index, -1);  // assigned on apply
+
+  // A vote without "answer" targets the question post.
+  const ForumEvent v =
+      parse_event_json(R"({"type":"vote","question":140,"time":726.5,"delta":-1})");
+  EXPECT_EQ(v.type, EventType::kVote);
+  EXPECT_EQ(v.answer_index, -1);
+  EXPECT_EQ(v.vote_delta, -1);
+}
+
+TEST(EventJson, EscapesSpecialCharacters) {
+  ForumEvent event = question_event(0, 4, 1.0);
+  event.body = "quote \" backslash \\ newline \n tab \t";
+  const std::string json = event_to_json(event);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // JSONL stays one line
+  expect_events_equal(parse_event_json(json), event);
+  // \uXXXX escapes decode to UTF-8.
+  EXPECT_EQ(parse_event_json(
+                R"({"type":"question","user":1,"time":2.0,"body":"é"})")
+                .body,
+            "\xc3\xa9");
+}
+
+TEST(EventJson, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                                                     // not an object
+      "{}",                                                   // missing type
+      R"({"type":"question","user":1})",                      // missing time
+      R"({"type":"answer","user":1,"time":2.0})",             // missing question
+      R"({"type":"vote","question":1,"time":2.0})",           // missing delta
+      R"({"type":"merge","time":2.0})",                       // unknown type
+      R"({"type":"question","user":1,"time":2.0,"x":3})",     // unknown key
+      R"({"type":"question","user":1.5,"time":2.0})",         // non-integer id
+      R"({"type":"question","user":1,"time":2.0} extra)",     // trailing bytes
+      R"({"type":"question","user":1,"time":2.0,"body":"\q"})",  // bad escape
+      R"({"type":"question","user":1,"time":oops})",          // bad number
+  };
+  for (const char* line : bad) {
+    EXPECT_THROW(parse_event_json(line), util::CheckError) << line;
+  }
+}
+
+TEST(EventJson, JsonlFileRoundTrip) {
+  const std::string dir = fresh_dir("events_jsonl");
+  const auto events = sample_events();
+  const std::string path = dir + "/events.jsonl";
+  save_events_jsonl(path, events);
+  const auto loaded = load_events_jsonl(path);
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    expect_events_equal(loaded[i], events[i]);
+  }
+  // Malformed line errors carry the line number.
+  dump(path, "{\"type\":\"question\",\"user\":1,\"time\":2.0}\nnot json\n");
+  try {
+    load_events_jsonl(path);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find(":2:"), std::string::npos)
+        << error.what();
+  }
+}
+
+// ---------- WAL ----------
+
+TEST(Wal, AppendReplayRoundTrip) {
+  const std::string dir = fresh_dir("wal_roundtrip");
+  const auto events = sample_events();
+  {
+    WalWriter writer(wal_path(dir));
+    for (const auto& event : events) writer.append(event);
+    EXPECT_EQ(writer.records_appended(), events.size());
+  }  // destructor syncs
+  const ReplayResult replayed = replay_wal(wal_path(dir));
+  EXPECT_FALSE(replayed.truncated_tail);
+  ASSERT_EQ(replayed.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    expect_events_equal(replayed.events[i], events[i]);
+  }
+  // Reopening appends instead of truncating.
+  {
+    WalWriter writer(wal_path(dir));
+    writer.append(question_event(6, 1, 200.0));
+  }
+  EXPECT_EQ(replay_wal(wal_path(dir)).events.size(), events.size() + 1);
+}
+
+TEST(Wal, MissingFileIsAnEmptyLog) {
+  const ReplayResult replayed = replay_wal(fresh_dir("wal_none") + "/wal.bin");
+  EXPECT_TRUE(replayed.events.empty());
+  EXPECT_FALSE(replayed.truncated_tail);
+}
+
+TEST(Wal, TornTailKeepsThePrefix) {
+  const std::string dir = fresh_dir("wal_torn");
+  const auto events = sample_events();
+  {
+    WalWriter writer(wal_path(dir));
+    for (const auto& event : events) writer.append(event);
+  }
+  std::string contents = slurp(wal_path(dir));
+  contents.resize(contents.size() - 5);  // crash mid-append
+  dump(wal_path(dir), contents);
+  const ReplayResult replayed = replay_wal(wal_path(dir));
+  EXPECT_TRUE(replayed.truncated_tail);
+  ASSERT_EQ(replayed.events.size(), events.size() - 1);
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    expect_events_equal(replayed.events[i], events[i]);
+  }
+
+  // valid_bytes marks the clean prefix: cutting the file there removes the
+  // torn record and nothing else.
+  ASSERT_LT(replayed.valid_bytes, contents.size());
+  std::filesystem::resize_file(wal_path(dir), replayed.valid_bytes);
+  const ReplayResult clean = replay_wal(wal_path(dir));
+  EXPECT_FALSE(clean.truncated_tail);
+  EXPECT_EQ(clean.events.size(), events.size() - 1);
+}
+
+TEST(Wal, CorruptRecordEndsTheUsableLog) {
+  const std::string dir = fresh_dir("wal_corrupt");
+  std::string first, second;
+  append_event_record(first, question_event(1, 2, 3.0));
+  append_event_record(second, question_event(2, 2, 4.0));
+  second[second.size() / 2] ^= 0x01;
+  dump(wal_path(dir), first + second);
+  const ReplayResult replayed = replay_wal(wal_path(dir));
+  EXPECT_TRUE(replayed.truncated_tail);
+  ASSERT_EQ(replayed.events.size(), 1u);
+  EXPECT_EQ(replayed.events[0].seq, 1u);
+}
+
+// ---------- snapshots + combined recovery ----------
+
+TEST(Snapshot, RoundTrip) {
+  const std::string dir = fresh_dir("snap_roundtrip");
+  const auto events = sample_events();
+  write_snapshot(snapshot_path(dir), events, 5);
+  const SnapshotData snapshot = read_snapshot(snapshot_path(dir));
+  EXPECT_TRUE(snapshot.present);
+  EXPECT_EQ(snapshot.last_seq, 5u);
+  ASSERT_EQ(snapshot.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    expect_events_equal(snapshot.events[i], events[i]);
+  }
+  EXPECT_FALSE(read_snapshot(dir + "/absent.bin").present);
+}
+
+TEST(Snapshot, MalformedFileThrows) {
+  const std::string dir = fresh_dir("snap_bad");
+  dump(snapshot_path(dir), "garbage that is no snapshot");
+  EXPECT_THROW(read_snapshot(snapshot_path(dir)), util::CheckError);
+}
+
+TEST(RecoverLog, MergesSnapshotWithNewerWalRecords) {
+  const std::string dir = fresh_dir("recover_merge");
+  std::vector<ForumEvent> events;
+  for (std::uint64_t seq = 1; seq <= 8; ++seq) {
+    events.push_back(question_event(seq, 1, 10.0 + static_cast<double>(seq)));
+  }
+  {
+    WalWriter writer(wal_path(dir));
+    for (const auto& event : events) writer.append(event);
+  }
+  // Snapshot compacts the first 5; WAL still holds all 8.
+  write_snapshot(snapshot_path(dir),
+                 std::span<const ForumEvent>(events).first(5), 5);
+  const RecoveredLog recovered = recover_log(dir);
+  EXPECT_EQ(recovered.from_snapshot, 5u);
+  EXPECT_EQ(recovered.last_seq, 8u);
+  ASSERT_EQ(recovered.events.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    expect_events_equal(recovered.events[i], events[i]);
+  }
+}
+
+TEST(RecoverLog, EmptyDirectoryIsAFreshStart) {
+  const RecoveredLog recovered = recover_log(fresh_dir("recover_empty"));
+  EXPECT_TRUE(recovered.events.empty());
+  EXPECT_EQ(recovered.last_seq, 0u);
+  EXPECT_EQ(recovered.from_snapshot, 0u);
+}
+
+// ---------- dataset split / event replay ----------
+
+TEST(Split, ReplayingTheStreamReproducesTheForum) {
+  forum::GeneratorConfig config;
+  config.num_users = 80;
+  config.num_questions = 90;
+  config.seed = 515;
+  const forum::Dataset original =
+      forum::generate_forum(config).dataset.preprocessed();
+  const double cutoff = 20.0 * 24.0;
+  const EventSplit split = split_events_after(original, cutoff);
+  ASSERT_GT(split.events.size(), 0u);
+  ASSERT_GT(split.base.num_questions(), 0u);
+  EXPECT_LT(split.base.num_questions(), original.num_questions());
+  EXPECT_LE(split.base.last_post_time(), cutoff);
+  double previous = cutoff;
+  for (const ForumEvent& event : split.events) {
+    EXPECT_GE(event.timestamp_hours, previous);
+    previous = event.timestamp_hours;
+  }
+
+  // Stamp sequence numbers the way LiveState would and replay.
+  std::vector<ForumEvent> events = split.events;
+  for (std::size_t i = 0; i < events.size(); ++i) events[i].seq = i + 1;
+  const forum::Dataset rebuilt = dataset_from_events(split.base, events);
+
+  ASSERT_EQ(rebuilt.num_questions(), original.num_questions());
+  // Thread ids shift (streamed questions append after the base), so compare
+  // threads matched by their question post.
+  auto post_key = [](const forum::Post& post) {
+    return std::tuple(post.creator, post.timestamp_hours, post.net_votes,
+                      post.body_html);
+  };
+  for (const forum::Thread& thread : original.threads()) {
+    const forum::Thread* match = nullptr;
+    for (const forum::Thread& candidate : rebuilt.threads()) {
+      if (post_key(candidate.question) == post_key(thread.question)) {
+        match = &candidate;
+        break;
+      }
+    }
+    ASSERT_NE(match, nullptr);
+    ASSERT_EQ(match->answers.size(), thread.answers.size());
+    for (std::size_t i = 0; i < thread.answers.size(); ++i) {
+      EXPECT_EQ(post_key(match->answers[i]), post_key(thread.answers[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace forumcast::stream

@@ -121,6 +121,35 @@ TEST(Stats, RunningStatsMatchesBatch) {
   EXPECT_GE(running.max(), running.mean());
 }
 
+TEST(Stats, StreamingMedianMatchesBatchMedianBitwise) {
+  // The streaming layer relies on StreamingMedian reproducing util::median
+  // bit-for-bit over the same multiset — exact equality, no tolerance.
+  Rng rng(405);
+  for (int trial = 0; trial < 20; ++trial) {
+    StreamingMedian sketch;
+    std::vector<double> values;
+    const std::size_t n = 1 + rng.uniform_index(200);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of duplicates, negatives, and awkward magnitudes.
+      const double v = rng.uniform_index(4) == 0
+                           ? static_cast<double>(rng.uniform_int(-3, 3))
+                           : rng.normal(0.0, 1e3);
+      values.push_back(v);
+      sketch.add(v);
+      EXPECT_EQ(sketch.count(), values.size());
+      EXPECT_EQ(sketch.median(), median(values))
+          << "trial " << trial << " after " << values.size() << " samples";
+    }
+  }
+}
+
+TEST(Stats, StreamingMedianEmptyThrows) {
+  StreamingMedian sketch;
+  EXPECT_THROW(sketch.median(), CheckError);
+  sketch.add(7.5);
+  EXPECT_DOUBLE_EQ(sketch.median(), 7.5);
+}
+
 TEST(Stats, RunningStatsFewSamples) {
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);

@@ -16,6 +16,13 @@
 //   forumcast evaluate --data posts.csv [--folds F] [--repeats R]
 //       Run the Table-I protocol (all three tasks + baselines).
 //
+//   forumcast ingest --data base.csv --ingest events.jsonl
+//       Fit on the base forum, then stream the events through the live
+//       ingestion subsystem (src/stream/): incremental dataset + feature
+//       updates with fine-grained serving-cache invalidation. --wal-dir
+//       makes ingestion durable (and recovers any previous log found
+//       there); --snapshot-every N compacts the log periodically.
+//
 // All subcommands accept --seed for reproducibility, plus:
 //   --trace-out FILE     record a Chrome trace (chrome://tracing / Perfetto)
 //                        of the run and write it to FILE
@@ -36,6 +43,9 @@
 #include "forum/io.hpp"
 #include "obs/obs.hpp"
 #include "serve/batch_scorer.hpp"
+#include "stream/event_json.hpp"
+#include "stream/live_state.hpp"
+#include "stream/split.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 
@@ -126,11 +136,146 @@ int cmd_generate(const Args& args) {
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
   const std::string out = args.get("out", "posts.csv");
   const auto forum_data = forum::generate_forum(config);
-  forum::save_posts_csv(forum_data.dataset, out);
-  const auto stats = forum_data.dataset.stats();
-  std::cout << "wrote " << out << ": " << stats.questions << " questions, "
-            << stats.answers << " answers, " << stats.distinct_users
-            << " users\n";
+
+  const std::string events_out = args.get("events-out", "");
+  if (events_out.empty()) {
+    forum::save_posts_csv(forum_data.dataset, out);
+    const auto stats = forum_data.dataset.stats();
+    std::cout << "wrote " << out << ": " << stats.questions << " questions, "
+              << stats.answers << " answers, " << stats.distinct_users
+              << " users\n";
+    return 0;
+  }
+
+  // Split: activity before the cutoff day becomes the base CSV, everything
+  // after becomes a JSONL event stream for `forumcast ingest`.
+  const double cutoff_day = args.get_double("events-after-day", 25.0);
+  FORUMCAST_CHECK_MSG(cutoff_day >= 1, "--events-after-day must be >= 1");
+  auto split =
+      stream::split_events_after(forum_data.dataset, cutoff_day * 24.0);
+  FORUMCAST_CHECK_MSG(split.base.num_questions() > 0,
+                      "no questions before day " << cutoff_day);
+
+  // The CSV format carries no user count (load derives max id + 1), so
+  // events referencing users unseen in the base would fail ingestion.
+  forum::UserId base_users = 0;
+  for (const auto& thread : split.base.threads()) {
+    base_users = std::max(base_users, thread.question.creator + 1);
+    for (const auto& answer : thread.answers) {
+      base_users = std::max(base_users, answer.creator + 1);
+    }
+  }
+  const std::size_t before = split.events.size();
+  std::erase_if(split.events, [&](const stream::ForumEvent& event) {
+    return (event.type == stream::EventType::kNewQuestion ||
+            event.type == stream::EventType::kNewAnswer) &&
+           event.user >= base_users;
+  });
+  if (split.events.size() != before) {
+    std::cerr << "note: dropped " << before - split.events.size()
+              << " events from users unseen before day " << cutoff_day << "\n";
+  }
+
+  forum::save_posts_csv(split.base, out);
+  stream::save_events_jsonl(events_out, split.events);
+  std::cout << "wrote " << out << ": " << split.base.num_questions()
+            << " questions (days 1-" << cutoff_day << ")\n"
+            << "wrote " << events_out << ": " << split.events.size()
+            << " events after day " << cutoff_day << "\n";
+  return 0;
+}
+
+int cmd_ingest(const Args& args) {
+  const std::string path = args.require("data");
+  std::cout << "loading " << path << "...\n";
+  // Raw load (no preprocessing): the event stream references these ids.
+  auto dataset = forum::load_posts_csv(path);
+  std::cout << "loaded " << dataset.num_questions() << " questions, "
+            << dataset.num_users() << " users\n";
+
+  core::PipelineConfig config;
+  config.extractor.lda.iterations =
+      static_cast<std::size_t>(args.get_int("lda-iterations", 50));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+  core::ForecastPipeline pipeline(config);
+  std::vector<forum::QuestionId> window(dataset.num_questions());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    window[i] = static_cast<forum::QuestionId>(i);
+  }
+  std::cout << "fitting on " << window.size() << " threads...\n";
+  pipeline.fit(dataset, window);
+
+  stream::LiveStateConfig live_config;
+  live_config.wal_dir = args.get("wal-dir", "");
+  live_config.snapshot_every =
+      static_cast<std::size_t>(args.get_int("snapshot-every", 0));
+  stream::LiveState live(pipeline, dataset, live_config);
+  if (live.events_recovered() > 0) {
+    std::cout << "recovered " << live.events_recovered()
+              << " events from " << live_config.wal_dir
+              << (live.recovered_truncated_tail() ? " (torn WAL tail)" : "")
+              << "\n";
+  }
+
+  serve::BatchScorer scorer(pipeline, scorer_config(args));
+  live.attach(&scorer);
+
+  const std::string events_path = args.get("ingest", "");
+  if (!events_path.empty()) {
+    const auto events = stream::load_events_jsonl(events_path);
+    const std::size_t chunk =
+        static_cast<std::size_t>(args.get_int("chunk", 256));
+    FORUMCAST_CHECK_MSG(chunk >= 1, "--chunk must be >= 1");
+    std::size_t applied = 0;
+    for (std::size_t begin = 0; begin < events.size(); begin += chunk) {
+      const std::size_t n = std::min(chunk, events.size() - begin);
+      applied += live.ingest(
+          std::span<const stream::ForumEvent>(events).subspan(begin, n));
+    }
+    std::cout << "ingested " << applied << " events (seq "
+              << live.last_seq() << "), " << dataset.num_questions()
+              << " questions live\n";
+  }
+  std::cout << "state digest: " << std::hex << live.digest() << std::dec
+            << "\n";
+
+  const long question = args.get_int("question", -1);
+  if (question >= 0) {
+    FORUMCAST_CHECK_MSG(static_cast<std::size_t>(question) <
+                            dataset.num_questions(),
+                        "question " << question << " out of range");
+    const auto q = static_cast<forum::QuestionId>(question);
+    std::vector<forum::UserId> candidates;
+    candidates.reserve(dataset.num_users());
+    for (forum::UserId u = 0; u < dataset.num_users(); ++u) {
+      if (u == dataset.thread(q).question.creator) continue;
+      candidates.push_back(u);
+    }
+    const auto predictions = live.score(scorer, q, candidates);
+    const auto top_k = static_cast<std::size_t>(args.get_int("top", 10));
+    std::vector<std::size_t> order(candidates.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(top_k, order.size())),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return predictions[a].answer_probability >
+                               predictions[b].answer_probability;
+                      });
+    util::Table table("top candidate answerers for question " +
+                          std::to_string(q) + " (post-ingest)",
+                      {"user", "P(answer)", "votes", "delay (h)"});
+    for (std::size_t i = 0; i < std::min(top_k, order.size()); ++i) {
+      const auto& p = predictions[order[i]];
+      table.add_row({std::to_string(candidates[order[i]]),
+                     util::Table::num(p.answer_probability),
+                     util::Table::num(p.votes, 2),
+                     util::Table::num(p.delay_hours, 2)});
+    }
+    table.print(std::cout);
+  }
+  print_cache_stats(scorer);
+  live.detach(&scorer);
   return 0;
 }
 
@@ -293,12 +438,18 @@ int cmd_evaluate(const Args& args) {
 }
 
 void usage() {
-  std::cout << "usage: forumcast <generate|stats|predict|route|evaluate> [--flag value ...]\n"
+  std::cout << "usage: forumcast <generate|stats|predict|route|evaluate|ingest> [--flag value ...]\n"
                "  generate --questions N --users N --seed S --out posts.csv\n"
+               "           [--events-out events.jsonl --events-after-day D]\n"
+               "           split: base CSV holds days 1-D, later activity\n"
+               "           becomes a JSONL event stream for `ingest`\n"
                "  stats    --data posts.csv\n"
                "  predict  --data posts.csv --question Q [--history-days D] [--top K]\n"
                "  route    --data posts.csv [--history-days D] [--lambda L] [--epsilon E]\n"
                "  evaluate --data posts.csv [--folds F] [--repeats R]\n"
+               "  ingest   --data base.csv --ingest events.jsonl [--chunk N]\n"
+               "           [--wal-dir DIR] [--snapshot-every N]\n"
+               "           [--question Q --top K]  score after ingesting\n"
                "serving (predict, route):\n"
                "  --batch-size N       rows per batched-scoring block (default 256);\n"
                "                       cache hit/miss counters land in --metrics-out\n"
@@ -370,6 +521,7 @@ int main(int argc, char** argv) {
     else if (command == "predict") rc = cmd_predict(args);
     else if (command == "route") rc = cmd_route(args);
     else if (command == "evaluate") rc = cmd_evaluate(args);
+    else if (command == "ingest") rc = cmd_ingest(args);
     else {
       usage();
       return 2;

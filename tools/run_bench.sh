@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
 # CI bench runner + regression guard.
 #
-# Runs the serving-layer benchmark (batch vs scalar scoring) and the substrate
-# microbenches in google-benchmark JSON mode, writes BENCH_serve.json /
-# BENCH_micro.json into --out-dir, and fails if batched scoring at 256
-# candidates is not at least BENCH_MIN_SPEEDUP times faster (pairs/sec) than
-# the scalar path. CI uploads the JSON files as artifacts so regressions can
-# be diffed across runs.
+# Runs the serving-layer benchmark (batch vs scalar scoring), the substrate
+# microbenches, and the streaming-ingestion benchmark in google-benchmark
+# JSON mode, writes BENCH_serve.json / BENCH_micro.json / BENCH_stream.json
+# into --out-dir, and fails if batched scoring at 256 candidates is not at
+# least BENCH_MIN_SPEEDUP times faster (pairs/sec) than the scalar path. CI
+# uploads the JSON files as artifacts so regressions can be diffed across
+# runs.
 #
 # Usage: tools/run_bench.sh [--build-dir DIR] [--out-dir DIR]
-# Env:   BENCH_MIN_SPEEDUP  minimum batch/scalar items_per_second ratio
-#                           (default 1.0; the acceptance bar for the serving
+# Env:   BENCH_MIN_SPEEDUP  minimum batch/scalar items_per_second ratio.
+#                           Unset -> 1.0 (the acceptance bar for the serving
 #                           layer is 3.0 on quiet hardware — CI runners are
-#                           noisy and shared, so the guard ships conservative).
+#                           noisy and shared, so the guard ships
+#                           conservative). If set it must be a plain
+#                           non-negative decimal like "1.5"; anything else —
+#                           including set-but-empty — is rejected up front
+#                           rather than surfacing as a python stack trace
+#                           after minutes of benchmarking.
 set -euo pipefail
 
 BUILD_DIR=build
@@ -25,13 +31,28 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-1.0}"
+# Validate the guard threshold before any expensive work. ${VAR+x}
+# distinguishes unset (use the default) from set-but-empty (an error: the
+# caller exported something, but not a number).
+if [[ -z "${BENCH_MIN_SPEEDUP+x}" ]]; then
+  MIN_SPEEDUP="1.0"
+elif [[ "$BENCH_MIN_SPEEDUP" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
+  MIN_SPEEDUP="$BENCH_MIN_SPEEDUP"
+else
+  echo "error: BENCH_MIN_SPEEDUP must be a non-negative decimal number" \
+       "(e.g. 1.5); got '${BENCH_MIN_SPEEDUP}'" >&2
+  echo "hint: unset it to use the default of 1.0" >&2
+  exit 2
+fi
+
 SERVE_BIN="$BUILD_DIR/bench/serve"
 MICRO_BIN="$BUILD_DIR/bench/micro"
+STREAM_BIN="$BUILD_DIR/bench/stream"
 SERVE_JSON="$OUT_DIR/BENCH_serve.json"
 MICRO_JSON="$OUT_DIR/BENCH_micro.json"
+STREAM_JSON="$OUT_DIR/BENCH_stream.json"
 
-for bin in "$SERVE_BIN" "$MICRO_BIN"; do
+for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (configure with default options first)" >&2
     exit 2
@@ -45,6 +66,30 @@ echo "== bench/serve -> $SERVE_JSON"
 
 echo "== bench/micro -> $MICRO_JSON"
 "$MICRO_BIN" --benchmark_out="$MICRO_JSON" --benchmark_out_format=json
+
+echo "== bench/stream -> $STREAM_JSON"
+"$STREAM_BIN" --benchmark_out="$STREAM_JSON" --benchmark_out_format=json
+
+echo "== streaming ingestion: events/sec"
+python3 - "$STREAM_JSON" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+
+rates = {
+    bench["name"]: bench.get("items_per_second", 0.0)
+    for bench in report["benchmarks"]
+    if bench.get("run_type") != "aggregate"
+}
+if not any(name.startswith("BM_StreamIngest") for name in rates):
+    sys.exit(f"missing BM_StreamIngest results in {sys.argv[1]}")
+for name, rate in sorted(rates.items()):
+    print(f"{name}: {rate:,.0f} events/sec")
+    if rate <= 0.0:
+        sys.exit(f"bench regression: {name} reported no throughput")
+PY
 
 echo "== regression guard: batch vs scalar pairs/sec at 256 candidates"
 python3 - "$SERVE_JSON" "$MIN_SPEEDUP" <<'PY'
