@@ -7,7 +7,9 @@
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace forumcast::core {
 
@@ -84,7 +86,17 @@ ForecastPipeline::ForecastPipeline(PipelineConfig config)
     : config_(std::move(config)),
       answer_(config_.answer),
       vote_(config_.vote),
-      timing_(config_.timing) {}
+      timing_(config_.timing) {
+  const std::size_t fit_threads = config_.fit_threads == 0
+                                      ? util::default_thread_count()
+                                      : config_.fit_threads;
+  if (fit_threads != 1) {
+    config_.extractor.lda.threads = fit_threads;
+    config_.answer.logistic.threads = fit_threads;
+    config_.vote.threads = fit_threads;
+    config_.timing.threads = fit_threads;
+  }
+}
 
 void ForecastPipeline::fit(const forum::Dataset& dataset,
                            std::span<const forum::QuestionId> history_questions) {
@@ -93,11 +105,18 @@ void ForecastPipeline::fit(const forum::Dataset& dataset,
   fit_span.arg("history_questions",
                static_cast<double>(history_questions.size()));
   dataset_ = &dataset;
+  // Per-stage wall-clock histograms: the fit-threads knob speeds stages up
+  // very unevenly (timing dominates), so per-stage timings are what the
+  // bench regressions and any perf triage actually need.
+  util::Timer stage_timer;
   {
     FORUMCAST_SPAN("pipeline.extractor_build");
     extractor_ = std::make_unique<features::FeatureExtractor>(
         dataset, history_questions, config_.extractor);
   }
+  FORUMCAST_HISTOGRAM_OBSERVE("pipeline.fit.extractor_build_ms",
+                              stage_timer.milliseconds(), 10, 100, 1000, 10000,
+                              60000);
   last_post_time_ = dataset.last_post_time();
 
   const auto positives = dataset.answered_pairs(history_questions);
@@ -125,7 +144,11 @@ void ForecastPipeline::fit(const forum::Dataset& dataset,
     }
   }
   answer_ = AnswerPredictor(config_.answer);
+  stage_timer.reset();
   answer_.fit(answer_rows, answer_labels);
+  FORUMCAST_HISTOGRAM_OBSERVE("pipeline.fit.answer_ms",
+                              stage_timer.milliseconds(), 10, 100, 1000, 10000,
+                              60000);
 
   // --- Vote regressor. ---
   std::vector<std::vector<double>> vote_rows;
@@ -135,7 +158,11 @@ void ForecastPipeline::fit(const forum::Dataset& dataset,
     vote_targets.push_back(static_cast<double>(pair.votes));
   }
   vote_ = VotePredictor(config_.vote);
+  stage_timer.reset();
   vote_.fit(vote_rows, vote_targets);
+  FORUMCAST_HISTOGRAM_OBSERVE("pipeline.fit.vote_ms",
+                              stage_timer.milliseconds(), 10, 100, 1000, 10000,
+                              60000);
 
   // --- Point-process timing model. ---
   FORUMCAST_SPAN_NAMED(timing_span, "pipeline.timing_threads");
@@ -144,7 +171,11 @@ void ForecastPipeline::fit(const forum::Dataset& dataset,
       config_.survival_samples_per_thread, config_.seed ^ 0x7117ULL);
   timing_span.end();
   timing_ = TimingPredictor(config_.timing);
+  stage_timer.reset();
   timing_.fit(threads);
+  FORUMCAST_HISTOGRAM_OBSERVE("pipeline.fit.timing_ms",
+                              stage_timer.milliseconds(), 10, 100, 1000, 10000,
+                              60000);
   ++generation_;
 }
 

@@ -117,6 +117,15 @@ void TimingPredictor::fit(std::span<const TimingThread> threads) {
 
   ml::Mlp::Tape f_tape, g_tape;
   const std::size_t batch = std::max<std::size_t>(1, config_.batch_threads);
+  const bool batched = config_.threads > 1;
+  ml::Mlp::BatchTape f_btape, g_btape;
+  ml::Matrix xbatch, f_gout, g_gout;
+  struct RowMeta {
+    double value = 0.0;  ///< delay (answer rows) or weight (survival rows)
+    double delta = 0.0;  ///< thread open duration Δ
+    bool answer = false;
+  };
+  std::vector<RowMeta> meta;
 
   // Evaluates μ, ω for a scaled row and accumulates gradients given
   // dLoss/dμ and dLoss/dω (loss = negative log-likelihood).
@@ -152,23 +161,82 @@ void TimingPredictor::fit(std::span<const TimingThread> threads) {
       rho_grad = 0.0;
       const double inv = 1.0 / static_cast<double>(end - start);
 
-      for (std::size_t k = start; k < end; ++k) {
-        const ScaledThread& thread = scaled[order[k]];
-        // Answer events: loss −= log μ − ω·delay.
-        for (const auto& [x, delay] : thread.answers) {
-          const double mu = mu_of(x);
-          epoch_nll -= std::log(mu) - omega_of(x) * delay;
-          accumulate(x, -inv / mu, inv * delay);
+      if (!batched) {
+        for (std::size_t k = start; k < end; ++k) {
+          const ScaledThread& thread = scaled[order[k]];
+          // Answer events: loss −= log μ − ω·delay.
+          for (const auto& [x, delay] : thread.answers) {
+            const double mu = mu_of(x);
+            epoch_nll -= std::log(mu) - omega_of(x) * delay;
+            accumulate(x, -inv / mu, inv * delay);
+          }
+          // Survival terms: loss += w · μ · A(ω), A = (1 − e^{−ωΔ})/ω.
+          for (const auto& [x, weight] : thread.survival) {
+            const double mu = mu_of(x);
+            const double omega = omega_of(x);
+            const double a = survival_integral(omega, thread.delta);
+            const double da = survival_integral_domega(omega, thread.delta);
+            epoch_nll += weight * mu * a;
+            accumulate(x, inv * weight * a, inv * weight * mu * da);
+          }
         }
-        // Survival terms: loss += w · μ · A(ω), A = (1 − e^{−ωΔ})/ω.
-        for (const auto& [x, weight] : thread.survival) {
-          const double mu = mu_of(x);
-          const double omega = omega_of(x);
-          const double a = survival_integral(omega, thread.delta);
-          const double da = survival_integral_domega(omega, thread.delta);
-          epoch_nll += weight * mu * a;
-          accumulate(x, inv * weight * a, inv * weight * mu * da);
+      } else {
+        // Flatten the minibatch's event rows (answers then survival per
+        // thread, threads in shuffle order — the serial visit order) and run
+        // each net once over the whole block instead of twice per row. The
+        // nll/ρ folds below walk the same row order and backward_batch
+        // accumulates its contraction in row order, so every fitted
+        // parameter matches the serial loop bit for bit.
+        meta.clear();
+        std::size_t nrows = 0;
+        for (std::size_t k = start; k < end; ++k) {
+          const ScaledThread& thread = scaled[order[k]];
+          nrows += thread.answers.size() + thread.survival.size();
         }
+        xbatch.resize(nrows, dim);
+        std::size_t b = 0;
+        for (std::size_t k = start; k < end; ++k) {
+          const ScaledThread& thread = scaled[order[k]];
+          for (const auto& [x, delay] : thread.answers) {
+            std::copy(x.begin(), x.end(), xbatch.row(b++).begin());
+            meta.push_back({delay, thread.delta, true});
+          }
+          for (const auto& [x, weight] : thread.survival) {
+            std::copy(x.begin(), x.end(), xbatch.row(b++).begin());
+            meta.push_back({weight, thread.delta, false});
+          }
+        }
+        const ml::Matrix& f_out = f_net_->forward_batch(xbatch, f_btape);
+        const ml::Matrix* g_out =
+            g_net_ ? &g_net_->forward_batch(xbatch, g_btape) : nullptr;
+        f_gout.resize(nrows, 1);
+        if (g_net_) g_gout.resize(nrows, 1);
+        const double constant_omega = ml::softplus(omega_rho_) + kOmegaFloor;
+        for (std::size_t r = 0; r < nrows; ++r) {
+          const double mu = f_out(r, 0) + kMuFloor;
+          const double omega =
+              g_net_ ? (*g_out)(r, 0) + kOmegaFloor : constant_omega;
+          double dloss_dmu = 0.0, dloss_domega = 0.0;
+          if (meta[r].answer) {
+            epoch_nll -= std::log(mu) - omega * meta[r].value;
+            dloss_dmu = -inv / mu;
+            dloss_domega = inv * meta[r].value;
+          } else {
+            const double a = survival_integral(omega, meta[r].delta);
+            const double da = survival_integral_domega(omega, meta[r].delta);
+            epoch_nll += meta[r].value * mu * a;
+            dloss_dmu = inv * meta[r].value * a;
+            dloss_domega = inv * meta[r].value * mu * da;
+          }
+          f_gout(r, 0) = dloss_dmu;
+          if (g_net_) {
+            g_gout(r, 0) = dloss_domega;
+          } else if (config_.train_constant_omega) {
+            rho_grad += dloss_domega * ml::sigmoid(omega_rho_);
+          }
+        }
+        f_net_->backward_batch(f_btape, f_gout);
+        if (g_net_) g_net_->backward_batch(g_btape, g_gout);
       }
       f_adam.step(f_net_->params(), f_net_->grads());
       if (g_net_) {
@@ -189,10 +257,38 @@ void TimingPredictor::fit(std::span<const TimingThread> threads) {
   calibration_slope_ = 1.0;
   if (config_.calibrate) {
     std::vector<double> raw, observed;
-    for (const auto& thread : scaled) {
-      for (const auto& [x, delay] : thread.answers) {
-        raw.push_back(raw_estimate(mu_of(x), omega_of(x), thread.delta));
-        observed.push_back(delay);
+    if (!batched) {
+      for (const auto& thread : scaled) {
+        for (const auto& [x, delay] : thread.answers) {
+          raw.push_back(raw_estimate(mu_of(x), omega_of(x), thread.delta));
+          observed.push_back(delay);
+        }
+      }
+    } else {
+      // Same estimates in the same order from one batched forward per net.
+      std::size_t nrows = 0;
+      for (const auto& thread : scaled) nrows += thread.answers.size();
+      ml::Matrix xall, f_mu, g_omega;
+      xall.resize(nrows, dim);
+      std::vector<double> deltas(nrows);
+      std::size_t b = 0;
+      for (const auto& thread : scaled) {
+        for (const auto& [x, delay] : thread.answers) {
+          std::copy(x.begin(), x.end(), xall.row(b).begin());
+          deltas[b] = thread.delta;
+          observed.push_back(delay);
+          ++b;
+        }
+      }
+      f_net_->forward_batch_into(xall, f_mu);
+      if (g_net_) g_net_->forward_batch_into(xall, g_omega);
+      const double constant_omega = ml::softplus(omega_rho_) + kOmegaFloor;
+      raw.reserve(nrows);
+      for (std::size_t r = 0; r < nrows; ++r) {
+        const double omega_r =
+            g_net_ ? g_omega(r, 0) + kOmegaFloor : constant_omega;
+        raw.push_back(
+            raw_estimate(f_mu(r, 0) + kMuFloor, omega_r, deltas[r]));
       }
     }
     const double n = static_cast<double>(raw.size());

@@ -28,6 +28,12 @@ struct VotePredictorConfig {
   std::uint64_t seed = 17;
   /// Targets are standardized internally; predictions are de-standardized.
   bool standardize_targets = true;
+  /// Training threads: >1 routes every minibatch through Mlp::train_batch
+  /// (blocked-GEMM forward and backward), 1 = the per-sample serial loop.
+  /// The gemm path accumulates gradients in sample order under the pinned
+  /// fmadd contraction, so the fitted model is bit-equal either way — the
+  /// knob only changes execution layout.
+  std::size_t threads = 1;
 };
 
 class VotePredictor {

@@ -144,9 +144,12 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
   FORUMCAST_COUNTER_ADD("features.topic_cache_misses", to_infer.size());
   {
     FORUMCAST_SPAN("features.topic_fold_in");
-    util::parallel_for(to_infer.size(), [&](std::size_t i) {
-      question_topics_[to_infer[i]] = fold_question_topics(to_infer[i]);
-    });
+    util::parallel_for_chunks(
+        to_infer.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            question_topics_[to_infer[i]] = fold_question_topics(to_infer[i]);
+          }
+        });
   }
 
   // --- Per-user aggregates over the window. ---

@@ -76,17 +76,19 @@ std::vector<double> closeness_centrality(const Graph& graph,
   if (n < 2) return closeness;
   FORUMCAST_SPAN_NAMED(span, "graph.closeness");
   FORUMCAST_COUNTER_ADD("graph.bfs_sources", n);
-  util::parallel_for(
+  util::parallel_for_chunks(
       n,
-      [&](std::size_t u) {
-        const auto dist = graph.bfs_distances(u);
-        double total = 0.0;
-        for (NodeId v = 0; v < n; ++v) {
-          if (v == u || dist[v] == Graph::kUnreachable) continue;
-          total += static_cast<double>(dist[v]);
-        }
-        if (total > 0.0) {
-          closeness[u] = static_cast<double>(n - 1) / total;
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t u = begin; u < end; ++u) {
+          const auto dist = graph.bfs_distances(u);
+          double total = 0.0;
+          for (NodeId v = 0; v < n; ++v) {
+            if (v == u || dist[v] == Graph::kUnreachable) continue;
+            total += static_cast<double>(dist[v]);
+          }
+          if (total > 0.0) {
+            closeness[u] = static_cast<double>(n - 1) / total;
+          }
         }
       },
       threads);

@@ -48,6 +48,17 @@ double activate_derivative(Activation act, double pre) {
   return 1.0;
 }
 
+double activate_derivative_cached(Activation act, double pre, double post) {
+  switch (act) {
+    case Activation::Identity: return 1.0;
+    case Activation::ReLU: return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::Tanh: return 1.0 - post * post;
+    case Activation::Sigmoid: return post * (1.0 - post);
+    case Activation::Softplus: return sigmoid(pre);
+  }
+  return 1.0;
+}
+
 std::string activation_name(Activation act) {
   switch (act) {
     case Activation::Identity: return "identity";

@@ -13,6 +13,13 @@ double activate(Activation act, double pre);
 /// Derivative d(activate)/d(pre) evaluated at pre-activation `pre`.
 double activate_derivative(Activation act, double pre);
 
+/// activate_derivative when the activation `post = activate(act, pre)` is
+/// already at hand (training tapes cache it). Bit-identical — Tanh and
+/// Sigmoid derivatives are algebraic in the activation value, and `post` is
+/// the very double the recompute would produce — but skips the transcendental
+/// call, which dominates backward passes through tanh hidden layers.
+double activate_derivative_cached(Activation act, double pre, double post);
+
 /// Human-readable name ("relu", "tanh", ...).
 std::string activation_name(Activation act);
 

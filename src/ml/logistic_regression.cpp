@@ -46,6 +46,9 @@ void LogisticRegression::fit(std::span<const std::vector<double>> rows,
   util::Rng rng(config_.seed);
 
   const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
+  const std::size_t threads = config_.threads;
+  std::vector<double> errs;
+  std::vector<const double*> xrows;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     FORUMCAST_SPAN("ml.logreg.epoch");
     rng.shuffle(order);
@@ -53,18 +56,40 @@ void LogisticRegression::fit(std::span<const std::vector<double>> rows,
     for (std::size_t start = 0; start < order.size(); start += batch) {
       const std::size_t end = std::min(order.size(), start + batch);
       std::fill(grads.begin(), grads.end(), 0.0);
-      for (std::size_t k = start; k < end; ++k) {
-        const auto idx = order[k];
-        const auto& x = rows[idx];
-        const double margin =
-            dot(std::span<const double>(params).first(dim), x) + params[dim];
-        const double p = sigmoid(margin);
-        const double err = p - static_cast<double>(labels[idx]);
-        // Brier score: two flops per sample, unlike log-loss, and monotone
-        // enough to watch training converge.
-        epoch_loss += err * err;
-        for (std::size_t c = 0; c < dim; ++c) grads[c] += err * x[c];
-        grads[dim] += err;
+      if (threads == 1) {
+        for (std::size_t k = start; k < end; ++k) {
+          const auto idx = order[k];
+          const auto& x = rows[idx];
+          const double margin =
+              dot(std::span<const double>(params).first(dim), x) + params[dim];
+          const double p = sigmoid(margin);
+          const double err = p - static_cast<double>(labels[idx]);
+          // Brier score: two flops per sample, unlike log-loss, and monotone
+          // enough to watch training converge.
+          epoch_loss += err * err;
+          for (std::size_t c = 0; c < dim; ++c) grads[c] += err * x[c];
+          grads[dim] += err;
+        }
+      } else {
+        // Margins and residuals depend only on the batch-start parameters,
+        // so compute them serially in sample order, then shard the gradient
+        // columns (bit-equal to the serial loop above at any thread count).
+        errs.clear();
+        xrows.clear();
+        for (std::size_t k = start; k < end; ++k) {
+          const auto idx = order[k];
+          const auto& x = rows[idx];
+          const double margin =
+              dot(std::span<const double>(params).first(dim), x) + params[dim];
+          const double p = sigmoid(margin);
+          const double err = p - static_cast<double>(labels[idx]);
+          epoch_loss += err * err;
+          errs.push_back(err);
+          xrows.push_back(x.data());
+        }
+        accumulate_weighted_rows(xrows, errs,
+                                 std::span<double>(grads).first(dim), threads);
+        for (const double err : errs) grads[dim] += err;
       }
       const double inv = 1.0 / static_cast<double>(end - start);
       for (std::size_t c = 0; c < dim; ++c) {

@@ -18,6 +18,11 @@ struct LogisticRegressionConfig {
   std::size_t epochs = 200;
   std::size_t batch_size = 64;
   std::uint64_t seed = 1;
+  /// Gradient-accumulation threads; 1 = the sample-major serial loop, 0 =
+  /// util::default_thread_count(). The parallel path shards columns with
+  /// per-column chains in sample order (ml::accumulate_weighted_rows), so it
+  /// is bit-equal to the serial loop at every thread count.
+  std::size_t threads = 1;
 };
 
 class LogisticRegression {

@@ -7,6 +7,7 @@
 #endif
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace forumcast::ml {
 
@@ -243,6 +244,61 @@ void gemm_nt(std::size_t n, std::size_t m, std::size_t k, const double* a,
 #endif
 }
 
+void gemm_nn(std::size_t n, std::size_t m, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    std::fill(ci, ci + m, 0.0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double av = ai[kk];
+      if (av == 0.0) continue;
+      const double* bk = b + kk * ldb;
+      std::size_t j = 0;
+#ifdef FORUMCAST_GEMM_SIMD
+      for (; j + 4 <= m; j += 4) {
+        v4df cv, bv;
+        __builtin_memcpy(&cv, ci + j, sizeof(cv));
+        __builtin_memcpy(&bv, bk + j, sizeof(bv));
+        cv = vfmadd(av, bv, cv);
+        __builtin_memcpy(ci + j, &cv, sizeof(cv));
+      }
+#endif
+      for (; j < m; ++j) {
+        ci[j] = fmadd(av, bk[j], ci[j]);
+      }
+    }
+  }
+}
+
+void gemm_tn_accumulate(std::size_t k, std::size_t n, std::size_t m,
+                        const double* a, std::size_t lda, const double* b,
+                        std::size_t ldb, double* c, std::size_t ldc) {
+  for (std::size_t r = 0; r < k; ++r) {
+    const double* ar = a + r * lda;
+    const double* br = b + r * ldb;
+    for (std::size_t u = 0; u < n; ++u) {
+      const double av = ar[u];
+      if (av == 0.0) continue;
+      double* cu = c + u * ldc;
+      std::size_t j = 0;
+#ifdef FORUMCAST_GEMM_SIMD
+      for (; j + 4 <= m; j += 4) {
+        v4df cv, bv;
+        __builtin_memcpy(&cv, cu + j, sizeof(cv));
+        __builtin_memcpy(&bv, br + j, sizeof(bv));
+        cv = vfmadd(av, bv, cv);
+        __builtin_memcpy(cu + j, &cv, sizeof(cv));
+      }
+#endif
+      for (; j < m; ++j) {
+        cu[j] = fmadd(av, br[j], cu[j]);
+      }
+    }
+  }
+}
+
 Matrix Matrix::transposed() const {
   Matrix out(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
@@ -264,6 +320,26 @@ double Matrix::frobenius_norm() const {
   double accum = 0.0;
   for (double v : storage_) accum += v * v;
   return std::sqrt(accum);
+}
+
+void accumulate_weighted_rows(std::span<const double* const> rows,
+                              std::span<const double> errs,
+                              std::span<double> grads, std::size_t threads) {
+  FORUMCAST_CHECK(rows.size() == errs.size());
+  const std::size_t count = rows.size();
+  // Grain of 64 columns: below that a chunk is a few thousand flops, far
+  // cheaper than a thread spawn, so feature-vector-sized models (a few tens
+  // of columns) always run inline regardless of the requested thread count.
+  util::parallel_for_chunks(
+      grads.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = 0; k < count; ++k) {
+          const double e = errs[k];
+          const double* x = rows[k];
+          for (std::size_t c = begin; c < end; ++c) grads[c] += e * x[c];
+        }
+      },
+      threads, /*grain=*/64);
 }
 
 double dot(std::span<const double> a, std::span<const double> b) {

@@ -135,15 +135,117 @@ std::vector<double> Mlp::backward(const Tape& tape, std::span<const double> grad
       if (g == 0.0) continue;
       double* wg_row = weight_grad + u * in_dim;
       const double* w_row = weights + u * in_dim;
+      // fmadd pins the contraction so these chains and the gemm-backed
+      // backward_batch round alike.
       for (std::size_t i = 0; i < in_dim; ++i) {
-        wg_row[i] += g * below[i];
-        grad_below[i] += g * w_row[i];
+        wg_row[i] = fmadd(g, below[i], wg_row[i]);
+        grad_below[i] = fmadd(g, w_row[i], grad_below[i]);
       }
       bias_grad[u] += g;
     }
     grad_post = std::move(grad_below);
   }
   return grad_post;  // = dL/dinput
+}
+
+const Matrix& Mlp::forward_batch(const Matrix& x, BatchTape& tape) const {
+  FORUMCAST_CHECK_MSG(x.cols() == input_dim_,
+                      "input dim " << x.cols() << " != " << input_dim_);
+  tape.input = x;
+  tape.pre.resize(layers_.size());
+  tape.post.resize(layers_.size());
+  const Matrix* source = &x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::size_t units = layers_[l].units;
+    const std::size_t in_dim = fan_in(l);
+    Matrix& pre = tape.pre[l];
+    pre.resize(x.rows(), units);
+    gemm_nt(source->rows(), units, in_dim, source->data().data(), in_dim,
+            params_.data() + weight_offset_[l], in_dim,
+            params_.data() + bias_offset_[l], pre.data().data(), units);
+    Matrix& post = tape.post[l];
+    post.resize(x.rows(), units);
+    const Activation activation = layers_[l].activation;
+    const double* src = pre.data().data();
+    double* dst = post.data().data();
+    const std::size_t count = pre.data().size();
+    for (std::size_t i = 0; i < count; ++i) dst[i] = activate(activation, src[i]);
+    source = &post;
+  }
+  return tape.post.back();
+}
+
+void Mlp::backward_batch(const BatchTape& tape, const Matrix& grad_output) {
+  FORUMCAST_CHECK(tape.pre.size() == layers_.size());
+  FORUMCAST_CHECK(grad_output.cols() == output_dim());
+  const std::size_t rows = grad_output.rows();
+  FORUMCAST_CHECK(tape.input.rows() == rows);
+
+  // Scratch reused across calls; every element is written before being read.
+  thread_local Matrix grad_pre, grad_below[2];
+  const Matrix* grad_post = &grad_output;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const std::size_t units = layers_[l].units;
+    const std::size_t in_dim = fan_in(l);
+    const Matrix& pre = tape.pre[l];
+    const Matrix& below = l == 0 ? tape.input : tape.post[l - 1];
+
+    // dL/dpre = dL/dpost ⊙ σ'(pre), elementwise per sample. The tape holds
+    // the activations, so σ' comes from the cached value — bit-identical to
+    // the scalar backward's recompute, without the second tanh per unit.
+    grad_pre.resize(rows, units);
+    {
+      const Activation activation = layers_[l].activation;
+      const double* gp = grad_post->data().data();
+      const double* pr = pre.data().data();
+      const double* po = tape.post[l].data().data();
+      double* out = grad_pre.data().data();
+      const std::size_t count = rows * units;
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = gp[i] * activate_derivative_cached(activation, pr[i], po[i]);
+      }
+    }
+
+    // Weight gradients WG[u][i] += Σ_b grad_pre[b][u] · below[b][i], applied
+    // as batch-ascending rank-1 updates directly into grads_ — the exact
+    // operation sequence (fmadd chains, g == 0 skips included) of per-sample
+    // accumulation, so parity holds even with gradients already accumulated.
+    gemm_tn_accumulate(rows, units, in_dim, grad_pre.data().data(), units,
+                       below.data().data(), in_dim,
+                       grads_.data() + weight_offset_[l], in_dim);
+
+    // Bias gradients: per-unit column sums of grad_pre, batch order, plain
+    // += to match the scalar backward chain.
+    double* bias_grad = grads_.data() + bias_offset_[l];
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* gp = grad_pre.data().data() + r * units;
+      for (std::size_t u = 0; u < units; ++u) bias_grad[u] += gp[u];
+    }
+
+    // dL/dbelow = grad_pre · W, ascending-unit chains via gemm_nn. The input
+    // gradient is unused by every trainer, so layer 0 skips it.
+    if (l > 0) {
+      Matrix& gb = grad_below[l % 2];
+      gb.resize(rows, in_dim);
+      gemm_nn(rows, in_dim, units, grad_pre.data().data(), units,
+              params_.data() + weight_offset_[l], in_dim, gb.data().data(),
+              in_dim);
+      grad_post = &gb;
+    }
+  }
+}
+
+void Mlp::train_batch(
+    const Matrix& x,
+    const std::function<void(const Matrix& outputs, Matrix& grad_output)>&
+        loss_grad) {
+  FORUMCAST_CHECK(loss_grad != nullptr);
+  thread_local BatchTape tape;
+  thread_local Matrix grad_output;
+  const Matrix& outputs = forward_batch(x, tape);
+  grad_output.resize(outputs.rows(), outputs.cols());
+  loss_grad(outputs, grad_output);
+  backward_batch(tape, grad_output);
 }
 
 void Mlp::zero_grad() { std::fill(grads_.begin(), grads_.end(), 0.0); }

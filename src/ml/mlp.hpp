@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -65,6 +66,38 @@ class Mlp {
   /// Accumulates dL/dparams into grads() given dL/doutput for the sample
   /// recorded in `tape`. Returns dL/dinput (useful for stacked models).
   std::vector<double> backward(const Tape& tape, std::span<const double> grad_output);
+
+  /// Records the intermediate values of one batched forward pass: one sample
+  /// per row, layer activations as B × units matrices.
+  struct BatchTape {
+    Matrix input;               ///< B × input_dim copy of the batch
+    std::vector<Matrix> pre;    ///< per layer: pre-activations
+    std::vector<Matrix> post;   ///< per layer: post-activations
+  };
+
+  /// Forward pass over a batch that fills `tape` for backward_batch(). Each
+  /// layer is one blocked gemm_nt, so every value is bit-identical to the
+  /// per-row scalar forward(). Returns tape.post.back() (B × output_dim).
+  const Matrix& forward_batch(const Matrix& x, BatchTape& tape) const;
+
+  /// Batched backward: accumulates dL/dparams into grads() given one
+  /// dL/doutput row per sample of `tape`. Weight gradients apply one
+  /// gemm_tn_accumulate per layer — batch-ascending rank-1 updates directly
+  /// into grads(), the exact operation sequence of per-sample accumulation —
+  /// and layer-to-layer gradient propagation is one gemm_nn. The accumulated
+  /// gradient is bit-equal to calling the per-sample backward() on each row
+  /// in order, whatever grads() held on entry.
+  void backward_batch(const BatchTape& tape, const Matrix& grad_output);
+
+  /// One gemm-backed training step over a minibatch: batched forward, then
+  /// `loss_grad(outputs, grad_output)` fills dL/doutput (one row per sample;
+  /// `grad_output` arrives pre-sized B × output_dim and every element must be
+  /// written), then batched backward accumulates into grads(). The caller
+  /// zeroes grads and applies the optimizer step, exactly as with the
+  /// per-sample forward()/backward() pair this replaces.
+  void train_batch(const Matrix& x,
+                   const std::function<void(const Matrix& outputs,
+                                            Matrix& grad_output)>& loss_grad);
 
   /// Zeroes the gradient accumulator (call per minibatch).
   void zero_grad();

@@ -20,6 +20,11 @@ struct PoissonRegressionConfig {
   /// effective ceiling to log(2·max target) so a diverging iterate cannot
   /// produce astronomically large rate predictions.
   double max_linear_predictor = 20.0;
+  /// Gradient-accumulation threads; 1 = the sample-major serial loop, 0 =
+  /// util::default_thread_count(). The parallel path shards columns with
+  /// per-column chains in sample order (ml::accumulate_weighted_rows), so it
+  /// is bit-equal to the serial loop at every thread count.
+  std::size_t threads = 1;
 };
 
 class PoissonRegression {

@@ -6,6 +6,7 @@
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace forumcast::topics {
@@ -55,29 +56,129 @@ void Lda::fit(std::span<const std::vector<text::TokenId>> documents,
   const double alpha = config_.alpha;
   const double beta = config_.beta;
   const double beta_sum = beta * static_cast<double>(vocab_size);
-  std::vector<double> weights(K);
 
-  for (std::size_t sweep = 0; sweep < config_.iterations; ++sweep) {
-    FORUMCAST_SPAN_NAMED(sweep_span, "lda.gibbs_sweep");
-    for (auto& token : tokens) {
+  // Per-topic cached denominators n_k + Vβ. Each Gibbs move changes exactly
+  // two topic totals, so only those two entries are recomputed (from the
+  // integer count, so the cached double is always bit-equal to computing it
+  // fresh, as the serial sampler of previous releases did for all K).
+  auto refresh_denom = [&](std::vector<double>& denom,
+                           const std::vector<std::size_t>& totals) {
+    for (std::size_t k = 0; k < K; ++k) {
+      denom[k] = static_cast<double>(totals[k]) + beta_sum;
+    }
+  };
+
+  // One collapsed-Gibbs pass over tokens [begin, end) against the given
+  // count tables. Shared verbatim by the serial sampler (global tables) and
+  // each AD-LDA shard (its local copies), so both make identical
+  // floating-point decisions per token.
+  auto sample_range = [&](std::size_t begin, std::size_t end,
+                          std::vector<std::size_t>& twc,
+                          std::vector<std::size_t>& totals,
+                          std::vector<double>& denom,
+                          std::vector<double>& weights, util::Rng& sampler) {
+    for (std::size_t t = begin; t < end; ++t) {
+      auto& token = tokens[t];
       auto& doc_counts = doc_topic_counts_[token.doc];
       // Remove the token from the counts.
       --doc_counts[token.topic];
-      --topic_word_counts_[token.topic * vocab_size + token.word];
-      --topic_totals_[token.topic];
+      --twc[token.topic * vocab_size + token.word];
+      --totals[token.topic];
+      denom[token.topic] = static_cast<double>(totals[token.topic]) + beta_sum;
 
       // Collapsed conditional p(z = k | rest).
       for (std::size_t k = 0; k < K; ++k) {
         const double word_term =
-            (static_cast<double>(topic_word_counts_[k * vocab_size + token.word]) + beta) /
-            (static_cast<double>(topic_totals_[k]) + beta_sum);
+            (static_cast<double>(twc[k * vocab_size + token.word]) + beta) /
+            denom[k];
         weights[k] = (static_cast<double>(doc_counts[k]) + alpha) * word_term;
       }
-      token.topic = static_cast<std::uint32_t>(rng.categorical(weights));
+      token.topic = static_cast<std::uint32_t>(sampler.categorical(weights));
 
       ++doc_counts[token.topic];
-      ++topic_word_counts_[token.topic * vocab_size + token.word];
-      ++topic_totals_[token.topic];
+      ++twc[token.topic * vocab_size + token.word];
+      ++totals[token.topic];
+      denom[token.topic] = static_cast<double>(totals[token.topic]) + beta_sum;
+    }
+  };
+
+  std::size_t threads =
+      config_.threads == 0 ? util::default_thread_count() : config_.threads;
+
+  // AD-LDA shards: contiguous token ranges cut only at document boundaries
+  // (documents own their doc-topic row exclusively), balanced by token count.
+  std::vector<std::size_t> shard_begin;
+  if (threads > 1 && !tokens.empty()) {
+    const std::size_t target = (tokens.size() + threads - 1) / threads;
+    shard_begin.push_back(0);
+    std::size_t current = 0;
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+      if (tokens[t].doc != tokens[t - 1].doc && t - current >= target) {
+        shard_begin.push_back(t);
+        current = t;
+      }
+    }
+  }
+  const std::size_t num_shards = shard_begin.size();
+  if (num_shards <= 1) threads = 1;
+
+  std::vector<double> denom(K), weights(K);
+  refresh_denom(denom, topic_totals_);
+  // Shard-local count tables, allocated once and refreshed per sweep.
+  std::vector<std::vector<std::size_t>> shard_twc(num_shards);
+  std::vector<std::vector<std::size_t>> shard_totals(num_shards);
+
+  for (std::size_t sweep = 0; sweep < config_.iterations; ++sweep) {
+    FORUMCAST_SPAN_NAMED(sweep_span, "lda.gibbs_sweep");
+    if (threads <= 1) {
+      sample_range(0, tokens.size(), topic_word_counts_, topic_totals_, denom,
+                   weights, rng);
+    } else {
+      // Each shard samples its documents against a sweep-start snapshot of
+      // the topic–word table (its private copy; the global table is not
+      // touched until every shard joins), with an RNG stream derived from
+      // the (seed, sweep, shard) counter — so a fixed thread count replays
+      // identically no matter how the OS schedules the workers.
+      util::parallel_for(
+          num_shards,
+          [&](std::size_t s) {
+            const std::size_t begin = shard_begin[s];
+            const std::size_t end =
+                s + 1 < num_shards ? shard_begin[s + 1] : tokens.size();
+            std::uint64_t counter = config_.seed;
+            counter += 0x9e3779b97f4a7c15ULL *
+                       (static_cast<std::uint64_t>(sweep) + 1);
+            counter += 0xbf58476d1ce4e5b9ULL *
+                       (static_cast<std::uint64_t>(s) + 1);
+            util::Rng shard_rng(util::splitmix64(counter));
+            shard_twc[s] = topic_word_counts_;
+            shard_totals[s] = topic_totals_;
+            std::vector<double> shard_denom(K), shard_weights(K);
+            refresh_denom(shard_denom, shard_totals[s]);
+            sample_range(begin, end, shard_twc[s], shard_totals[s],
+                         shard_denom, shard_weights, shard_rng);
+          },
+          threads);
+      // Deterministic reduction in fixed shard order: fold each shard's
+      // count deltas back into the global tables. Every token decrement is
+      // owned by exactly one shard, so the folded counts can never go
+      // negative.
+      for (std::size_t i = 0; i < topic_word_counts_.size(); ++i) {
+        const auto base = static_cast<std::int64_t>(topic_word_counts_[i]);
+        std::int64_t value = base;
+        for (std::size_t s = 0; s < num_shards; ++s) {
+          value += static_cast<std::int64_t>(shard_twc[s][i]) - base;
+        }
+        topic_word_counts_[i] = static_cast<std::size_t>(value);
+      }
+      for (std::size_t k = 0; k < K; ++k) {
+        const auto base = static_cast<std::int64_t>(topic_totals_[k]);
+        std::int64_t value = base;
+        for (std::size_t s = 0; s < num_shards; ++s) {
+          value += static_cast<std::int64_t>(shard_totals[s][k]) - base;
+        }
+        topic_totals_[k] = static_cast<std::size_t>(value);
+      }
     }
     FORUMCAST_COUNTER_ADD("lda.tokens_sampled", tokens.size());
     if (sweep_span.active()) {

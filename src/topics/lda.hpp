@@ -20,6 +20,11 @@ struct LdaConfig {
   double beta = 0.01;              ///< topic-word prior
   std::size_t iterations = 100;    ///< Gibbs sweeps over the corpus
   std::uint64_t seed = 42;
+  /// Gibbs shards (AD-LDA document partitioning). 1 = the serial collapsed
+  /// sampler; 0 = util::default_thread_count(). Results are deterministic
+  /// for a given thread count, and threads=1 is bit-equal to the serial
+  /// sampler of previous releases.
+  std::size_t threads = 1;
 };
 
 class Lda {
@@ -55,6 +60,12 @@ class Lda {
 
   /// In-sample log p(w | z) (up to constants); increases as sampling mixes.
   double corpus_log_likelihood() const;
+
+  /// Raw topic–word count table (K × V row-major), exposed so determinism
+  /// tests and digests can compare sampler end states exactly.
+  std::span<const std::size_t> topic_word_counts() const {
+    return topic_word_counts_;
+  }
 
  private:
   LdaConfig config_;

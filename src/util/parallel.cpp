@@ -22,12 +22,25 @@ void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
                   std::size_t threads) {
   FORUMCAST_CHECK(body != nullptr);
+  parallel_for_chunks(
+      count,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      threads);
+}
+
+void parallel_for_chunks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t threads, std::size_t grain) {
+  FORUMCAST_CHECK(body != nullptr);
   if (count == 0) return;
   if (threads == 0) threads = default_thread_count();
   threads = std::min(threads, count);
 
-  if (threads <= 1 || count < 2) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+  if (threads <= 1 || count < 2 || count <= grain) {
+    body(0, count);
     return;
   }
 
@@ -37,7 +50,8 @@ void parallel_for(std::size_t count,
   // Dynamic chunking via an atomic cursor: balances uneven per-index work
   // (BFS cost varies a lot by component size) without a scheduler.
   std::atomic<std::size_t> cursor{0};
-  const std::size_t chunk = std::max<std::size_t>(1, count / (threads * 8));
+  const std::size_t chunk =
+      std::max({grain, std::size_t{1}, count / (threads * 8)});
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
@@ -50,7 +64,7 @@ void parallel_for(std::size_t count,
       if (begin >= count) break;
       const std::size_t end = std::min(count, begin + chunk);
       try {
-        for (std::size_t i = begin; i < end; ++i) body(i);
+        body(begin, end);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

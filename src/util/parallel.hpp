@@ -22,4 +22,16 @@ void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 
+/// Chunked variant: runs body(begin, end) over contiguous, disjoint
+/// subranges that together cover [0, count). Hot loops pay one indirect call
+/// per chunk instead of one per index, and the body can keep per-chunk state
+/// (scratch buffers, running accumulators) in registers. `grain` is the
+/// minimum chunk width; counts of at most `grain` (or a single thread) run
+/// inline on the calling thread as body(0, count), so tiny inner loops on a
+/// training hot path never pay a thread spawn.
+void parallel_for_chunks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t threads = 0, std::size_t grain = 1);
+
 }  // namespace forumcast::util

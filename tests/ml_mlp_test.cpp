@@ -56,6 +56,20 @@ INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationDerivativeTest,
                                            Activation::Sigmoid,
                                            Activation::Softplus));
 
+// The cached-activation derivative must be the recompute's double, bit for
+// bit — backward_batch leans on this to skip the second transcendental.
+TEST(Activations, CachedDerivativeBitEqualToRecompute) {
+  for (Activation act :
+       {Activation::Identity, Activation::ReLU, Activation::Tanh,
+        Activation::Sigmoid, Activation::Softplus}) {
+    for (double pre : {-31.0, -2.3, -0.7, 0.0, 0.4, 1.9, 31.0}) {
+      EXPECT_EQ(activate_derivative_cached(act, pre, activate(act, pre)),
+                activate_derivative(act, pre))
+          << activation_name(act) << " at " << pre;
+    }
+  }
+}
+
 // ---------- MLP structure ----------
 
 TEST(Mlp, ShapesAndParamCount) {
@@ -152,6 +166,103 @@ TEST(Mlp, GradsAccumulateAcrossSamples) {
   EXPECT_NEAR(net.grads()[0], 2.0 * after_one, 1e-12);
   net.zero_grad();
   EXPECT_DOUBLE_EQ(net.grads()[0], 0.0);
+}
+
+// ---------- batched training parity ----------
+
+// A fixed minibatch pushed through train_batch must produce the same outputs
+// and byte-identical gradients as the per-sample forward/backward loop — the
+// guarantee every threads>1 trainer in core/ relies on.
+TEST(MlpBatch, TrainBatchMatchesPerSampleBitwise) {
+  const std::size_t batch = 9, dim = 5;
+  Mlp serial(dim,
+             {{7, Activation::Tanh},
+              {4, Activation::Softplus},
+              {1, Activation::Identity}},
+             31);
+  Mlp batched(dim,
+              {{7, Activation::Tanh},
+               {4, Activation::Softplus},
+               {1, Activation::Identity}},
+              31);
+  util::Rng rng(77);
+  Matrix x(batch, dim);
+  std::vector<double> targets(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) x(r, c) = rng.normal(0.0, 1.0);
+    targets[r] = rng.normal(0.0, 1.0);
+  }
+
+  Mlp::Tape tape;
+  std::vector<double> serial_outputs(batch);
+  serial.zero_grad();
+  for (std::size_t r = 0; r < batch; ++r) {
+    const std::vector<double> row(x.row(r).begin(), x.row(r).end());
+    const auto y = serial.forward(row, tape);
+    serial_outputs[r] = y[0];
+    serial.backward(tape, std::vector<double>{y[0] - targets[r]});
+  }
+
+  batched.zero_grad();
+  batched.train_batch(x, [&](const Matrix& outputs, Matrix& grad_output) {
+    ASSERT_EQ(outputs.rows(), batch);
+    ASSERT_EQ(grad_output.rows(), batch);
+    for (std::size_t r = 0; r < batch; ++r) {
+      EXPECT_EQ(outputs(r, 0), serial_outputs[r]) << "row " << r;
+      grad_output(r, 0) = outputs(r, 0) - targets[r];
+    }
+  });
+
+  ASSERT_EQ(serial.grads().size(), batched.grads().size());
+  for (std::size_t i = 0; i < serial.grads().size(); ++i) {
+    EXPECT_EQ(serial.grads()[i], batched.grads()[i]) << "grad " << i;
+  }
+}
+
+// Multi-output heads get the same bitwise parity, and train_batch adds into
+// grads() rather than zeroing them: the weight gradients land as
+// batch-ascending rank-1 updates directly on grads(), so a second call
+// without zero_grad still tracks the serial per-sample loop bit-for-bit —
+// parity does not depend on starting from zero.
+TEST(MlpBatch, TrainBatchHandlesMultiOutputAndAccumulates) {
+  Mlp serial(3, {{4, Activation::ReLU}, {2, Activation::Identity}}, 13);
+  Mlp batched(3, {{4, Activation::ReLU}, {2, Activation::Identity}}, 13);
+  Matrix x(4, 3);
+  util::Rng rng(5);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) x(r, c) = rng.normal(0.0, 1.0);
+  }
+
+  Mlp::Tape tape;
+  serial.zero_grad();
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::vector<double> row(x.row(r).begin(), x.row(r).end());
+    serial.forward(row, tape);
+    serial.backward(tape, std::vector<double>{1.0, -0.5});
+  }
+
+  auto fill_grad = [](const Matrix&, Matrix& grad_output) {
+    for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+      grad_output(r, 0) = 1.0;
+      grad_output(r, 1) = -0.5;
+    }
+  };
+  batched.zero_grad();
+  batched.train_batch(x, fill_grad);
+  for (std::size_t i = 0; i < batched.grads().size(); ++i) {
+    EXPECT_EQ(serial.grads()[i], batched.grads()[i]) << "grad " << i;
+  }
+
+  // Second pass, no zero_grad on either side.
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::vector<double> row(x.row(r).begin(), x.row(r).end());
+    serial.forward(row, tape);
+    serial.backward(tape, std::vector<double>{1.0, -0.5});
+  }
+  batched.train_batch(x, fill_grad);
+  for (std::size_t i = 0; i < batched.grads().size(); ++i) {
+    EXPECT_EQ(serial.grads()[i], batched.grads()[i]) << "grad " << i;
+  }
 }
 
 // ---------- end-to-end training sanity ----------

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "graph/centrality.hpp"
@@ -59,6 +60,73 @@ TEST(ParallelFor, NullBodyRejected) {
 
 TEST(ParallelFor, DefaultThreadCountPositive) {
   EXPECT_GE(default_thread_count(), 1u);
+}
+
+// ---------- chunked variant ----------
+
+TEST(ParallelForChunks, ChunksCoverRangeExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_chunks(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        ASSERT_LT(begin, end);
+        ASSERT_LE(end, n);
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      4);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForChunks, SingleThreadRunsInlineAsOneChunk) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunks(
+      7, [&](std::size_t begin, std::size_t end) { chunks.push_back({begin, end}); },
+      1);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 7}));
+}
+
+TEST(ParallelForChunks, CountWithinGrainRunsInline) {
+  // count <= grain must not spawn threads: the single inline chunk is the
+  // whole range, so a non-thread-safe body is fine.
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunks(
+      50, [&](std::size_t begin, std::size_t end) { chunks.push_back({begin, end}); },
+      8, /*grain=*/64);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 50}));
+}
+
+TEST(ParallelForChunks, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for_chunks(
+      0, [&](std::size_t, std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunks, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for_chunks(
+                   1000,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin >= 500) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelForChunks, DisjointWritesMatchSerial) {
+  const std::size_t n = 5000;
+  std::vector<double> serial(n), parallel(n);
+  auto value = [](std::size_t i) { return static_cast<double>(i) * 0.75 - 2.0; };
+  for (std::size_t i = 0; i < n; ++i) serial[i] = value(i);
+  parallel_for_chunks(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) parallel[i] = value(i);
+      },
+      8);
+  EXPECT_EQ(serial, parallel);
 }
 
 // ---------- parallel centralities equal serial ----------

@@ -105,6 +105,8 @@ core::ForecastPipeline fit_pipeline(const forum::Dataset& dataset,
   config.extractor.lda.iterations =
       static_cast<std::size_t>(args.get_int("lda-iterations", 50));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+  config.fit_threads =
+      static_cast<std::size_t>(args.get_int("fit-threads", 1));
   core::ForecastPipeline pipeline(config);
   const auto history = dataset.questions_in_days(1, history_days);
   FORUMCAST_CHECK_MSG(!history.empty(), "no questions in days 1-" << history_days);
@@ -197,6 +199,8 @@ int cmd_ingest(const Args& args) {
   config.extractor.lda.iterations =
       static_cast<std::size_t>(args.get_int("lda-iterations", 50));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+  config.fit_threads =
+      static_cast<std::size_t>(args.get_int("fit-threads", 1));
   core::ForecastPipeline pipeline(config);
   std::vector<forum::QuestionId> window(dataset.num_questions());
   for (std::size_t i = 0; i < window.size(); ++i) {
@@ -453,6 +457,11 @@ void usage() {
                "serving (predict, route):\n"
                "  --batch-size N       rows per batched-scoring block (default 256);\n"
                "                       cache hit/miss counters land in --metrics-out\n"
+               "training (predict, route, ingest):\n"
+               "  --fit-threads N      training parallelism for every fit stage\n"
+               "                       (0 = all cores). 1 (default) is bit-equal\n"
+               "                       to previous releases; N>1 only changes the\n"
+               "                       LDA stage (deterministic per thread count)\n"
                "observability (any subcommand):\n"
                "  --trace-out FILE     write a Chrome trace (chrome://tracing, Perfetto)\n"
                "  --metrics-out FILE   write the metrics registry snapshot as JSON\n";

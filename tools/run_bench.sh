@@ -2,12 +2,19 @@
 # CI bench runner + regression guard.
 #
 # Runs the serving-layer benchmark (batch vs scalar scoring), the substrate
-# microbenches, and the streaming-ingestion benchmark in google-benchmark
-# JSON mode, writes BENCH_serve.json / BENCH_micro.json / BENCH_stream.json
-# into --out-dir, and fails if batched scoring at 256 candidates is not at
-# least BENCH_MIN_SPEEDUP times faster (pairs/sec) than the scalar path. CI
-# uploads the JSON files as artifacts so regressions can be diffed across
-# runs.
+# microbenches, the streaming-ingestion benchmark, and the training-path
+# benchmark in google-benchmark JSON mode, writes BENCH_serve.json /
+# BENCH_micro.json / BENCH_stream.json / BENCH_fit.json into --out-dir, and
+# fails if batched scoring at 256 candidates is not at least
+# BENCH_MIN_SPEEDUP times faster (pairs/sec) than the scalar path, or if
+# pipeline fitting at 8 fit-threads is not at least BENCH_FIT_MIN_SPEEDUP
+# times faster than at 1. CI uploads the JSON files as artifacts so
+# regressions can be diffed across runs.
+#
+# BENCH numbers from unoptimized builds are meaningless and, once committed,
+# poison every future comparison — the script refuses to run unless the
+# build directory was configured with CMAKE_BUILD_TYPE=Release and
+# FORUMCAST_NATIVE=ON.
 #
 # Usage: tools/run_bench.sh [--build-dir DIR] [--out-dir DIR]
 # Env:   BENCH_MIN_SPEEDUP  minimum batch/scalar items_per_second ratio.
@@ -19,6 +26,9 @@
 #                           including set-but-empty — is rejected up front
 #                           rather than surfacing as a python stack trace
 #                           after minutes of benchmarking.
+#        BENCH_FIT_MIN_SPEEDUP  minimum fit-threads=8 / fit-threads=1
+#                           pipeline-fit ratio, same format and default; the
+#                           acceptance bar is 2.5 on quiet hardware.
 set -euo pipefail
 
 BUILD_DIR=build
@@ -45,14 +55,49 @@ else
   exit 2
 fi
 
+if [[ -z "${BENCH_FIT_MIN_SPEEDUP+x}" ]]; then
+  FIT_MIN_SPEEDUP="1.0"
+elif [[ "$BENCH_FIT_MIN_SPEEDUP" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
+  FIT_MIN_SPEEDUP="$BENCH_FIT_MIN_SPEEDUP"
+else
+  echo "error: BENCH_FIT_MIN_SPEEDUP must be a non-negative decimal number" \
+       "(e.g. 2.5); got '${BENCH_FIT_MIN_SPEEDUP}'" >&2
+  echo "hint: unset it to use the default of 1.0" >&2
+  exit 2
+fi
+
+# Refuse to emit BENCH files from an unoptimized build: a Debug or
+# non-native binary runs the same code an order of magnitude slower, and a
+# committed baseline measured that way would flag every healthy Release run
+# as a regression (or mask a real one).
+CACHE="$BUILD_DIR/CMakeCache.txt"
+if [[ ! -f "$CACHE" ]]; then
+  echo "error: $CACHE not found — is '$BUILD_DIR' a configured build tree?" >&2
+  exit 2
+fi
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")
+NATIVE=$(sed -n 's/^FORUMCAST_NATIVE:[^=]*=//p' "$CACHE")
+if [[ "$BUILD_TYPE" != "Release" || ( "$NATIVE" != "ON" && "$NATIVE" != "TRUE" && "$NATIVE" != "1" ) ]]; then
+  echo "error: refusing to write BENCH files from this build tree:" >&2
+  [[ "$BUILD_TYPE" == "Release" ]] || \
+    echo "  CMAKE_BUILD_TYPE='$BUILD_TYPE' (need Release)" >&2
+  [[ "$NATIVE" == "ON" || "$NATIVE" == "TRUE" || "$NATIVE" == "1" ]] || \
+    echo "  FORUMCAST_NATIVE='$NATIVE' (need ON)" >&2
+  echo "configure with:" >&2
+  echo "  cmake -B '$BUILD_DIR' -S . -DCMAKE_BUILD_TYPE=Release -DFORUMCAST_NATIVE=ON" >&2
+  exit 2
+fi
+
 SERVE_BIN="$BUILD_DIR/bench/serve"
 MICRO_BIN="$BUILD_DIR/bench/micro"
 STREAM_BIN="$BUILD_DIR/bench/stream"
+FIT_BIN="$BUILD_DIR/bench/fit"
 SERVE_JSON="$OUT_DIR/BENCH_serve.json"
 MICRO_JSON="$OUT_DIR/BENCH_micro.json"
 STREAM_JSON="$OUT_DIR/BENCH_stream.json"
+FIT_JSON="$OUT_DIR/BENCH_fit.json"
 
-for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN"; do
+for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN" "$FIT_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (configure with default options first)" >&2
     exit 2
@@ -69,6 +114,9 @@ echo "== bench/micro -> $MICRO_JSON"
 
 echo "== bench/stream -> $STREAM_JSON"
 "$STREAM_BIN" --benchmark_out="$STREAM_JSON" --benchmark_out_format=json
+
+echo "== bench/fit -> $FIT_JSON"
+"$FIT_BIN" --benchmark_out="$FIT_JSON" --benchmark_out_format=json
 
 echo "== streaming ingestion: events/sec"
 python3 - "$STREAM_JSON" <<'PY'
@@ -117,6 +165,35 @@ print(f"batch:  {batch:,.0f} pairs/sec")
 print(f"speedup: {speedup:.2f}x (required >= {min_speedup:.2f}x)")
 if speedup < min_speedup:
     sys.exit(f"bench regression: batch/scalar speedup {speedup:.2f}x "
+             f"below required {min_speedup:.2f}x")
+PY
+
+echo "== regression guard: pipeline fit at 8 vs 1 fit-threads"
+python3 - "$FIT_JSON" "$FIT_MIN_SPEEDUP" <<'PY'
+import json
+import sys
+
+path, min_speedup = sys.argv[1], float(sys.argv[2])
+with open(path) as fh:
+    report = json.load(fh)
+
+rates = {}
+for bench in report["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    rates[bench["name"]] = bench.get("items_per_second", 0.0)
+
+serial = rates.get("BM_PipelineFit/1")
+parallel = rates.get("BM_PipelineFit/8")
+if not serial or not parallel:
+    sys.exit(f"missing BM_PipelineFit/1 or BM_PipelineFit/8 in {path}")
+
+speedup = parallel / serial
+print(f"fit-threads=1: {serial:,.1f} questions/sec")
+print(f"fit-threads=8: {parallel:,.1f} questions/sec")
+print(f"speedup: {speedup:.2f}x (required >= {min_speedup:.2f}x)")
+if speedup < min_speedup:
+    sys.exit(f"bench regression: fit speedup {speedup:.2f}x "
              f"below required {min_speedup:.2f}x")
 PY
 echo "bench guard passed"
