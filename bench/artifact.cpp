@@ -1,0 +1,96 @@
+// Model-bundle save/load latency and bundle size.
+//
+// The artifact layer sits on the deploy path (fit box → object store →
+// serving fleet) and on the crash-recovery path (LiveState writes the bundle
+// into every WAL directory), so regressions in serialization cost or an
+// unexplained jump in bundle size are worth catching. bundle_bytes is
+// exported as a counter so CI can diff it across runs; BENCH_artifact.json
+// is published by tools/run_bench.sh.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "forum/generator.hpp"
+
+namespace {
+
+using namespace forumcast;
+
+struct ArtifactFixture {
+  forum::Dataset dataset;
+  core::ForecastPipeline pipeline;
+  std::string bundle;  ///< pre-saved bytes for the load benchmark
+
+  static ArtifactFixture& instance() {
+    static ArtifactFixture fixture;
+    return fixture;
+  }
+
+ private:
+  ArtifactFixture() : dataset(make_dataset()), pipeline(make_config()) {
+    const auto history = dataset.questions_in_days(1, 25);
+    pipeline.fit(dataset, history);
+    std::ostringstream out;
+    pipeline.save(out);
+    bundle = std::move(out).str();
+  }
+
+  static forum::Dataset make_dataset() {
+    forum::GeneratorConfig config;
+    // Mid-sized forum: the extractor section (topic tables, graphs,
+    // similarity state) dominates the bundle, and it scales with users ×
+    // questions, so the measurement reflects deploy-sized payloads.
+    config.num_users = 600;
+    config.num_questions = 500;
+    config.seed = 47;
+    return forum::generate_forum(config).dataset.preprocessed();
+  }
+
+  static core::PipelineConfig make_config() {
+    core::PipelineConfig config;
+    config.extractor.lda.iterations = 15;
+    config.answer.logistic.epochs = 30;
+    config.vote.epochs = 10;
+    config.timing.epochs = 5;
+    config.survival_samples_per_thread = 5;
+    return config;
+  }
+};
+
+void BM_BundleSave(benchmark::State& state) {
+  auto& fixture = ArtifactFixture::instance();
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    fixture.pipeline.save(out);
+    bytes = static_cast<std::uint64_t>(out.tellp());
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["bundle_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+}
+BENCHMARK(BM_BundleSave)->Unit(benchmark::kMillisecond);
+
+void BM_BundleLoad(benchmark::State& state) {
+  auto& fixture = ArtifactFixture::instance();
+  for (auto _ : state) {
+    std::istringstream in(fixture.bundle);
+    core::ForecastPipeline loaded =
+        core::ForecastPipeline::load(in, fixture.dataset);
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.bundle.size()));
+  state.counters["bundle_bytes"] =
+      benchmark::Counter(static_cast<double>(fixture.bundle.size()));
+}
+BENCHMARK(BM_BundleLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

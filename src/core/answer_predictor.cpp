@@ -60,4 +60,17 @@ AnswerPredictor AnswerPredictor::load(std::istream& in) {
   return predictor;
 }
 
+void AnswerPredictor::encode(artifact::Encoder& enc) const {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot encode an unfitted AnswerPredictor");
+  ml::encode_scaler(scaler_, enc);
+  ml::encode_logistic(model_, enc);
+}
+
+AnswerPredictor AnswerPredictor::decode(artifact::Decoder& dec) {
+  AnswerPredictor predictor;
+  predictor.scaler_ = ml::decode_scaler(dec);
+  predictor.model_ = ml::decode_logistic(dec);
+  return predictor;
+}
+
 }  // namespace forumcast::core

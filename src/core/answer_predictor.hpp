@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "artifact/artifact.hpp"
 #include "ml/logistic_regression.hpp"
 #include "ml/matrix.hpp"
 #include "ml/scaler.hpp"
@@ -39,6 +40,10 @@ class AnswerPredictor {
   /// Persistence: scaler + logistic parameters (not the training config).
   void save(std::ostream& out) const;
   static AnswerPredictor load(std::istream& in);
+
+  /// Model-bundle codec; a decoded predictor is bit-identical in prediction.
+  void encode(artifact::Encoder& enc) const;
+  static AnswerPredictor decode(artifact::Decoder& dec);
 
  private:
   AnswerPredictorConfig config_;

@@ -1,9 +1,12 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "artifact/artifact.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -209,6 +212,101 @@ const features::FeatureExtractor& ForecastPipeline::extractor() const {
 features::FeatureExtractor& ForecastPipeline::extractor_mutable() {
   FORUMCAST_CHECK(fitted());
   return *extractor_;
+}
+
+void ForecastPipeline::save(std::ostream& out) const {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot save an unfitted ForecastPipeline");
+  FORUMCAST_SPAN("pipeline.save");
+  artifact::BundleWriter writer(out);
+
+  // Dataset fingerprint: load() refuses a bundle fitted against a different
+  // forum snapshot — the extractor state indexes users and questions by id,
+  // so a mismatch would mis-features silently, not fail loudly.
+  artifact::Encoder meta;
+  meta.u64(dataset_->num_questions());
+  meta.u64(dataset_->num_users());
+  meta.u64(dataset_->stats().answers);
+  meta.f64(last_post_time_, "meta last post time");
+  meta.u64(generation_);
+  writer.section(artifact::SectionKind::kMeta, meta);
+
+  artifact::Encoder extractor;
+  extractor_->encode(extractor);
+  writer.section(artifact::SectionKind::kExtractor, extractor);
+
+  artifact::Encoder answer;
+  answer_.encode(answer);
+  writer.section(artifact::SectionKind::kAnswerPredictor, answer);
+
+  artifact::Encoder vote;
+  vote_.encode(vote);
+  writer.section(artifact::SectionKind::kVotePredictor, vote);
+
+  artifact::Encoder timing;
+  timing_.encode(timing);
+  writer.section(artifact::SectionKind::kTimingPredictor, timing);
+
+  writer.finish();
+  FORUMCAST_COUNTER_ADD("pipeline.bundle_saves", 1);
+}
+
+ForecastPipeline ForecastPipeline::load(std::istream& in,
+                                        const forum::Dataset& dataset) {
+  FORUMCAST_SPAN("pipeline.load");
+  artifact::BundleReader reader(in);
+
+  auto meta = reader.expect(artifact::SectionKind::kMeta);
+  const std::uint64_t questions = meta.u64("meta question count");
+  const std::uint64_t users = meta.u64("meta user count");
+  const std::uint64_t answers = meta.u64("meta answer count");
+  const double last_post_time = meta.f64("meta last post time");
+  const std::uint64_t generation = meta.u64("meta generation");
+  meta.finish();
+  FORUMCAST_CHECK_MSG(questions == dataset.num_questions(),
+                      "model bundle fingerprint mismatch: bundle fitted on "
+                          << questions << " questions, dataset has "
+                          << dataset.num_questions());
+  FORUMCAST_CHECK_MSG(users == dataset.num_users(),
+                      "model bundle fingerprint mismatch: bundle fitted on "
+                          << users << " users, dataset has "
+                          << dataset.num_users());
+  FORUMCAST_CHECK_MSG(answers == dataset.stats().answers,
+                      "model bundle fingerprint mismatch: bundle fitted on "
+                          << answers << " answers, dataset has "
+                          << dataset.stats().answers);
+  FORUMCAST_CHECK_MSG(last_post_time == dataset.last_post_time(),
+                      "model bundle fingerprint mismatch: bundle last post "
+                      "time "
+                          << last_post_time << ", dataset "
+                          << dataset.last_post_time());
+  FORUMCAST_CHECK_MSG(generation >= 1,
+                      "model bundle carries generation 0 (unfitted)");
+
+  ForecastPipeline pipeline;
+  pipeline.dataset_ = &dataset;
+  pipeline.last_post_time_ = last_post_time;
+  pipeline.generation_ = generation;
+
+  auto extractor = reader.expect(artifact::SectionKind::kExtractor);
+  pipeline.extractor_ = features::FeatureExtractor::decode(extractor, dataset);
+  extractor.finish();
+  pipeline.config_.extractor = pipeline.extractor_->config();
+
+  auto answer = reader.expect(artifact::SectionKind::kAnswerPredictor);
+  pipeline.answer_ = AnswerPredictor::decode(answer);
+  answer.finish();
+
+  auto vote = reader.expect(artifact::SectionKind::kVotePredictor);
+  pipeline.vote_ = VotePredictor::decode(vote);
+  vote.finish();
+
+  auto timing = reader.expect(artifact::SectionKind::kTimingPredictor);
+  pipeline.timing_ = TimingPredictor::decode(timing);
+  timing.finish();
+
+  reader.finish();
+  FORUMCAST_COUNTER_ADD("pipeline.bundle_loads", 1);
+  return pipeline;
 }
 
 }  // namespace forumcast::core

@@ -115,6 +115,17 @@ class ForecastPipeline {
   /// against is gone. Zero means never fitted.
   std::uint64_t generation() const { return generation_; }
 
+  /// Writes the whole fitted pipeline — extractor (topics, aggregates, SLN
+  /// graphs) plus all three predictors — as one versioned model bundle.
+  /// Requires fit() and a quiesced extractor (no pending streamed updates).
+  void save(std::ostream& out) const;
+
+  /// Restores a pipeline from a bundle against `dataset`, which must match
+  /// the fingerprint recorded at save time (named error otherwise). Runs
+  /// zero fit stages; the loaded pipeline predicts bit-identically to the
+  /// one that saved the bundle, on both scalar and batch paths.
+  static ForecastPipeline load(std::istream& in, const forum::Dataset& dataset);
+
  private:
   PipelineConfig config_;
   const forum::Dataset* dataset_ = nullptr;

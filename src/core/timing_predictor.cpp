@@ -458,6 +458,40 @@ TimingPredictor TimingPredictor::load(std::istream& in) {
   return predictor;
 }
 
+void TimingPredictor::encode(artifact::Encoder& enc) const {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot encode an unfitted TimingPredictor");
+  enc.boolean(config_.expectation ==
+              TimingPredictorConfig::Expectation::PaperUnnormalized);
+  enc.f64(calibration_offset_, "timing calibration offset");
+  enc.f64(calibration_slope_, "timing calibration slope");
+  enc.f64(mean_open_duration_, "timing mean open duration");
+  enc.boolean(static_cast<bool>(g_net_));
+  enc.f64(omega_rho_, "timing omega rho");
+  ml::encode_scaler(scaler_, enc);
+  ml::encode_mlp(*f_net_, enc);
+  if (g_net_) ml::encode_mlp(*g_net_, enc);
+}
+
+TimingPredictor TimingPredictor::decode(artifact::Decoder& dec) {
+  TimingPredictor predictor;
+  predictor.config_.expectation =
+      dec.boolean("timing expectation kind")
+          ? TimingPredictorConfig::Expectation::PaperUnnormalized
+          : TimingPredictorConfig::Expectation::ConditionalFirstEvent;
+  predictor.calibration_offset_ = dec.f64("timing calibration offset");
+  predictor.calibration_slope_ = dec.f64("timing calibration slope");
+  predictor.mean_open_duration_ = dec.f64("timing mean open duration");
+  predictor.config_.learn_omega = dec.boolean("timing omega kind");
+  predictor.omega_rho_ = dec.f64("timing omega rho");
+  predictor.scaler_ = ml::decode_scaler(dec);
+  predictor.f_net_ = std::make_unique<ml::Mlp>(ml::decode_mlp(dec));
+  if (predictor.config_.learn_omega) {
+    predictor.g_net_ = std::make_unique<ml::Mlp>(ml::decode_mlp(dec));
+  }
+  predictor.fitted_ = true;
+  return predictor;
+}
+
 double TimingPredictor::cumulative_intensity(std::span<const double> features,
                                              double horizon_hours) const {
   FORUMCAST_CHECK(fitted());

@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "artifact/artifact.hpp"
 #include "ml/matrix.hpp"
 #include "ml/mlp.hpp"
 #include "ml/scaler.hpp"
@@ -116,6 +117,11 @@ class TimingPredictor {
   /// estimator choice, calibration, and the mean open duration.
   void save(std::ostream& out) const;
   static TimingPredictor load(std::istream& in);
+
+  /// Model-bundle codec covering the full point-process parametrization
+  /// (μ via f_Θ, ω via g_Θ or the constant-ω ρ); bit-identical predictions.
+  void encode(artifact::Encoder& enc) const;
+  static TimingPredictor decode(artifact::Decoder& dec);
 
  private:
   double raw_estimate(double mu, double omega, double open_duration) const;

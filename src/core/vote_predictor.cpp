@@ -164,4 +164,24 @@ VotePredictor VotePredictor::load(std::istream& in) {
   return predictor;
 }
 
+void VotePredictor::encode(artifact::Encoder& enc) const {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot encode an unfitted VotePredictor");
+  enc.f64(target_mean_, "vote target mean");
+  enc.f64(target_scale_, "vote target scale");
+  ml::encode_scaler(scaler_, enc);
+  ml::encode_mlp(*network_, enc);
+}
+
+VotePredictor VotePredictor::decode(artifact::Decoder& dec) {
+  VotePredictor predictor;
+  predictor.target_mean_ = dec.f64("vote target mean");
+  predictor.target_scale_ = dec.f64("vote target scale");
+  FORUMCAST_CHECK_MSG(predictor.target_scale_ > 0.0,
+                      "vote target scale must be positive");
+  predictor.scaler_ = ml::decode_scaler(dec);
+  predictor.network_ = std::make_unique<ml::Mlp>(ml::decode_mlp(dec));
+  predictor.fitted_ = true;
+  return predictor;
+}
+
 }  // namespace forumcast::core

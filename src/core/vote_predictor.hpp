@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "artifact/artifact.hpp"
 #include "ml/matrix.hpp"
 #include "ml/mlp.hpp"
 #include "ml/scaler.hpp"
@@ -55,6 +56,10 @@ class VotePredictor {
   /// Persistence: scaler, network, and the target de-standardization.
   void save(std::ostream& out) const;
   static VotePredictor load(std::istream& in);
+
+  /// Model-bundle codec; a decoded predictor is bit-identical in prediction.
+  void encode(artifact::Encoder& enc) const;
+  static VotePredictor decode(artifact::Decoder& dec);
 
  private:
   VotePredictorConfig config_;

@@ -10,10 +10,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "artifact/artifact.hpp"
 #include "forum/dataset.hpp"
 #include "features/feature_layout.hpp"
 #include "graph/graph.hpp"
@@ -53,6 +55,7 @@ class FeatureExtractor {
   const FeatureLayout& layout() const { return layout_; }
   std::size_t dimension() const { return layout_.dimension(); }
   std::size_t num_topics() const { return config_.num_topics; }
+  const ExtractorConfig& config() const { return config_; }
 
   const graph::Graph& qa_graph() const { return qa_graph_; }
   const graph::Graph& dense_graph() const { return dense_graph_; }
@@ -127,7 +130,27 @@ class FeatureExtractor {
   /// changed, all four centrality arrays.
   void stream_refresh();
 
+  /// Serializes the complete fitted state — config, topic model +
+  /// vocabulary, per-question topic/length caches, per-user aggregates
+  /// (including the streamed-document fold-in accumulators), both SLN
+  /// graphs, and all four centrality arrays — into a model-bundle section
+  /// body. Requires a quiesced extractor: no pending stream_refresh() work.
+  void encode(artifact::Encoder& enc) const;
+
+  /// Rebuilds an extractor over `dataset` (which must be the dataset the
+  /// encoded one was built on — question/user counts are validated). No fit
+  /// stage runs: every cached value is restored verbatim, so features(u, q)
+  /// and streamed fold-ins are bit-identical to the encoded extractor.
+  static std::unique_ptr<FeatureExtractor> decode(
+      artifact::Decoder& dec, const forum::Dataset& dataset);
+
  private:
+  /// Decode-path constructor: wires the dataset and config without running
+  /// any fit stage; decode() fills every cache afterwards.
+  struct DecodeTag {};
+  FeatureExtractor(const forum::Dataset& dataset, ExtractorConfig config,
+                   DecodeTag);
+
   std::vector<double> fold_question_topics(forum::QuestionId q) const;
 
   const forum::Dataset& dataset_;

@@ -1,0 +1,292 @@
+// FeatureExtractor artifact codec: the complete fitted-state inventory.
+//
+// Everything construction derives is restored verbatim — nothing is refit on
+// decode, so a decoded extractor's features(u, q) and streamed fold-ins are
+// bit-identical to the encoded one's. The only member not stored literally
+// is the global-delay StreamingMedian sketch: its median (and every median
+// after future adds) is determined by the multiset of delays, so it is
+// rebuilt by re-adding the serialized per-user response times.
+#include <cmath>
+#include <utility>
+
+#include "features/extractor.hpp"
+#include "graph/serialize.hpp"
+#include "text/serialize.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::features {
+
+namespace {
+
+// The extractor body is format-versioned inside the bundle section so the
+// aggregate inventory can evolve without a whole-bundle version bump.
+constexpr std::uint32_t kExtractorFormat = 1;
+
+void encode_question_ids(artifact::Encoder& enc,
+                         std::span<const forum::QuestionId> ids) {
+  enc.u64(ids.size());
+  for (const forum::QuestionId id : ids) enc.u32(id);
+}
+
+std::vector<forum::QuestionId> decode_question_ids(artifact::Decoder& dec,
+                                                   const char* field,
+                                                   std::size_t bound) {
+  const auto count = dec.u64(field);
+  std::vector<forum::QuestionId> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const forum::QuestionId id = dec.u32(field);
+    FORUMCAST_CHECK_MSG(id < bound, "model bundle: " << field << " holds "
+                                                     << id
+                                                     << ", out of range (< "
+                                                     << bound << ")");
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
+                                   ExtractorConfig config, DecodeTag)
+    : dataset_(dataset),
+      config_(config),
+      layout_(config.num_topics),
+      lda_([&config] {
+        topics::LdaConfig lda_config = config.lda;
+        lda_config.num_topics = config.num_topics;
+        return lda_config;
+      }()),
+      qa_graph_(0),
+      dense_graph_(0),
+      tokenizer_(text::TokenizerOptions{}) {}
+
+void FeatureExtractor::encode(artifact::Encoder& enc) const {
+  FORUMCAST_CHECK_MSG(topics_dirty_.empty() && !graph_dirty_,
+                      "cannot encode an extractor with pending "
+                      "stream_refresh() work");
+  enc.u32(kExtractorFormat);
+
+  // Config. The corpus cutoff legitimately defaults to +inf (train on the
+  // whole window), which the strict f64 codec rejects — store finiteness
+  // explicitly.
+  enc.u64(config_.num_topics);
+  const bool finite_cutoff = std::isfinite(config_.topic_corpus_cutoff_hours);
+  enc.boolean(finite_cutoff);
+  if (finite_cutoff) {
+    enc.f64(config_.topic_corpus_cutoff_hours, "extractor corpus cutoff");
+  }
+
+  // Text/topic machinery for streamed fold-ins.
+  text::encode_tokenizer_options(tokenizer_.options(), enc);
+  text::encode_vocabulary(vocabulary_, enc);
+  enc.boolean(has_corpus_);
+  if (has_corpus_) lda_.encode(enc);
+
+  // Window + per-question caches.
+  encode_question_ids(enc, window_);
+  enc.u64(question_topics_.size());
+  for (const auto& topics : question_topics_) {
+    enc.f64s(topics, "extractor question topics");
+  }
+  enc.f64s(question_word_length_, "extractor question word length");
+  enc.f64s(question_code_length_, "extractor question code length");
+
+  // Per-user aggregates (and the raw fold-in accumulators that keep
+  // streamed updates bit-equal to a batch rebuild).
+  enc.u64(user_stats_.size());
+  for (std::size_t u = 0; u < user_stats_.size(); ++u) {
+    const UserStats& stats = user_stats_[u];
+    enc.u64(stats.answers_provided);
+    enc.u64(stats.questions_asked);
+    enc.f64(stats.net_answer_votes, "extractor net answer votes");
+    enc.f64s(stats.answer_votes, "extractor answer votes");
+    enc.f64s(stats.response_times, "extractor response times");
+    enc.f64s(stats.topic_distribution, "extractor topic distribution");
+    encode_question_ids(enc, stats.answered);
+    enc.f64s(stats.answered_votes, "extractor answered votes");
+    encode_question_ids(enc, stats.participated);
+
+    enc.f64s(user_topic_accum_[u], "extractor topic accumulator");
+    enc.u64(user_doc_count_[u]);
+    enc.u64(user_streamed_docs_[u].size());
+    for (const StreamedDoc& doc : user_streamed_docs_[u]) {
+      enc.u64(doc.question);
+      enc.u32(doc.answer_index);
+      enc.f64s(doc.theta, "extractor streamed doc theta");
+    }
+  }
+  enc.f64(global_median_response_, "extractor global median response");
+
+  // SLN graphs + centralities.
+  graph::encode_graph(qa_graph_, enc);
+  graph::encode_graph(dense_graph_, enc);
+  enc.f64s(qa_closeness_, "extractor qa closeness");
+  enc.f64s(qa_betweenness_, "extractor qa betweenness");
+  enc.f64s(dense_closeness_, "extractor dense closeness");
+  enc.f64s(dense_betweenness_, "extractor dense betweenness");
+}
+
+std::unique_ptr<FeatureExtractor> FeatureExtractor::decode(
+    artifact::Decoder& dec, const forum::Dataset& dataset) {
+  const auto format = dec.u32("extractor format");
+  FORUMCAST_CHECK_MSG(format == kExtractorFormat,
+                      "unsupported extractor format " << format);
+
+  ExtractorConfig config;
+  config.num_topics = static_cast<std::size_t>(dec.u64("extractor num topics"));
+  FORUMCAST_CHECK_MSG(config.num_topics >= 1,
+                      "extractor num topics must be >= 1");
+  if (dec.boolean("extractor corpus cutoff finite")) {
+    config.topic_corpus_cutoff_hours = dec.f64("extractor corpus cutoff");
+  }
+
+  const text::TokenizerOptions tokenizer_options =
+      text::decode_tokenizer_options(dec);
+  auto vocabulary = text::decode_vocabulary(dec);
+  const bool has_corpus = dec.boolean("extractor has corpus");
+
+  std::unique_ptr<FeatureExtractor> extractor(
+      new FeatureExtractor(dataset, config, DecodeTag{}));
+  extractor->tokenizer_ = text::Tokenizer(tokenizer_options);
+  extractor->vocabulary_ = std::move(vocabulary);
+  extractor->has_corpus_ = has_corpus;
+  if (has_corpus) {
+    extractor->lda_ = topics::Lda::decode(dec);
+    FORUMCAST_CHECK_MSG(
+        extractor->lda_.num_topics() == config.num_topics,
+        "extractor topic model has " << extractor->lda_.num_topics()
+                                     << " topics, expected "
+                                     << config.num_topics);
+    FORUMCAST_CHECK_MSG(
+        extractor->lda_.vocab_size() == extractor->vocabulary_.size(),
+        "extractor topic model vocabulary size "
+            << extractor->lda_.vocab_size() << " != "
+            << extractor->vocabulary_.size() << " stored tokens");
+    // config_.lda drives nothing after construction (the fitted Lda carries
+    // its own config), but keep them coherent for introspection.
+    extractor->config_.lda = extractor->lda_.config();
+  }
+
+  const std::size_t num_questions = dataset.num_questions();
+  const std::size_t num_users = dataset.num_users();
+
+  extractor->window_ =
+      decode_question_ids(dec, "extractor window", num_questions);
+  for (std::size_t i = 1; i < extractor->window_.size(); ++i) {
+    FORUMCAST_CHECK_MSG(
+        extractor->window_[i - 1] < extractor->window_[i],
+        "extractor window is not a sorted set of dataset question ids");
+  }
+
+  const auto stored_questions = dec.u64("extractor question count");
+  FORUMCAST_CHECK_MSG(stored_questions == num_questions,
+                      "extractor was saved over " << stored_questions
+                                                  << " questions, dataset has "
+                                                  << num_questions);
+  extractor->question_topics_.reserve(num_questions);
+  for (std::size_t q = 0; q < num_questions; ++q) {
+    auto topics = dec.f64s("extractor question topics");
+    FORUMCAST_CHECK_MSG(topics.size() == config.num_topics,
+                        "extractor question topics row has "
+                            << topics.size() << " entries, expected "
+                            << config.num_topics);
+    extractor->question_topics_.push_back(std::move(topics));
+  }
+  extractor->question_word_length_ =
+      dec.f64s("extractor question word length");
+  extractor->question_code_length_ =
+      dec.f64s("extractor question code length");
+  FORUMCAST_CHECK_MSG(
+      extractor->question_word_length_.size() == num_questions &&
+          extractor->question_code_length_.size() == num_questions,
+      "extractor question length caches do not cover the dataset");
+
+  const auto stored_users = dec.u64("extractor user count");
+  FORUMCAST_CHECK_MSG(stored_users == num_users,
+                      "extractor was saved over " << stored_users
+                                                  << " users, dataset has "
+                                                  << num_users);
+  extractor->user_stats_.resize(num_users);
+  extractor->user_topic_accum_.resize(num_users);
+  extractor->user_doc_count_.resize(num_users);
+  extractor->user_streamed_docs_.resize(num_users);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    UserStats& stats = extractor->user_stats_[u];
+    stats.answers_provided =
+        static_cast<std::size_t>(dec.u64("extractor answers provided"));
+    stats.questions_asked =
+        static_cast<std::size_t>(dec.u64("extractor questions asked"));
+    stats.net_answer_votes = dec.f64("extractor net answer votes");
+    stats.answer_votes = dec.f64s("extractor answer votes");
+    stats.response_times = dec.f64s("extractor response times");
+    stats.topic_distribution = dec.f64s("extractor topic distribution");
+    FORUMCAST_CHECK_MSG(stats.topic_distribution.size() == config.num_topics,
+                        "extractor topic distribution has "
+                            << stats.topic_distribution.size()
+                            << " entries, expected " << config.num_topics);
+    stats.answered =
+        decode_question_ids(dec, "extractor answered", num_questions);
+    stats.answered_votes = dec.f64s("extractor answered votes");
+    stats.participated =
+        decode_question_ids(dec, "extractor participated", num_questions);
+    FORUMCAST_CHECK_MSG(
+        stats.answered.size() == stats.answered_votes.size() &&
+            stats.answered.size() == stats.answer_votes.size() &&
+            stats.answered.size() == stats.response_times.size(),
+        "extractor per-answer lists are misaligned for user " << u);
+
+    extractor->user_topic_accum_[u] = dec.f64s("extractor topic accumulator");
+    FORUMCAST_CHECK_MSG(
+        extractor->user_topic_accum_[u].size() == config.num_topics,
+        "extractor topic accumulator has "
+            << extractor->user_topic_accum_[u].size() << " entries, expected "
+            << config.num_topics);
+    extractor->user_doc_count_[u] =
+        static_cast<std::size_t>(dec.u64("extractor doc count"));
+    const auto streamed = dec.u64("extractor streamed doc count");
+    auto& docs = extractor->user_streamed_docs_[u];
+    docs.reserve(static_cast<std::size_t>(streamed));
+    for (std::uint64_t d = 0; d < streamed; ++d) {
+      StreamedDoc doc;
+      doc.question = static_cast<forum::QuestionId>(
+          dec.u64("extractor streamed doc question"));
+      doc.answer_index = dec.u32("extractor streamed doc answer index");
+      doc.theta = dec.f64s("extractor streamed doc theta");
+      FORUMCAST_CHECK_MSG(doc.theta.size() == config.num_topics,
+                          "extractor streamed doc theta has "
+                              << doc.theta.size() << " entries, expected "
+                              << config.num_topics);
+      docs.push_back(std::move(doc));
+    }
+
+    // Rebuild the global-delay sketch: the median is multiset-determined,
+    // so re-adding per-user delays (any order) reproduces every future
+    // median bit-exactly.
+    for (const double delay : stats.response_times) {
+      extractor->global_delay_sketch_.add(delay);
+    }
+  }
+  extractor->global_median_response_ =
+      dec.f64("extractor global median response");
+
+  extractor->qa_graph_ = graph::decode_graph(dec);
+  extractor->dense_graph_ = graph::decode_graph(dec);
+  FORUMCAST_CHECK_MSG(
+      extractor->qa_graph_.node_count() == num_users &&
+          extractor->dense_graph_.node_count() == num_users,
+      "extractor SLN graphs do not cover the dataset's users");
+  extractor->qa_closeness_ = dec.f64s("extractor qa closeness");
+  extractor->qa_betweenness_ = dec.f64s("extractor qa betweenness");
+  extractor->dense_closeness_ = dec.f64s("extractor dense closeness");
+  extractor->dense_betweenness_ = dec.f64s("extractor dense betweenness");
+  FORUMCAST_CHECK_MSG(
+      extractor->qa_closeness_.size() == num_users &&
+          extractor->qa_betweenness_.size() == num_users &&
+          extractor->dense_closeness_.size() == num_users &&
+          extractor->dense_betweenness_.size() == num_users,
+      "extractor centrality arrays do not cover the dataset's users");
+  return extractor;
+}
+
+}  // namespace forumcast::features

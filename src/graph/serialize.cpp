@@ -1,0 +1,38 @@
+#include "graph/serialize.hpp"
+
+#include "util/check.hpp"
+
+namespace forumcast::graph {
+
+void encode_graph(const Graph& graph, artifact::Encoder& enc) {
+  enc.u64(graph.node_count());
+  enc.u64(graph.edge_count());
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const NodeId v : graph.neighbors(u)) {
+      if (u < v) {
+        enc.u64(u);
+        enc.u64(v);
+      }
+    }
+  }
+}
+
+Graph decode_graph(artifact::Decoder& dec) {
+  const auto node_count = dec.u64("graph node count");
+  const auto edge_count = dec.u64("graph edge count");
+  Graph graph(static_cast<std::size_t>(node_count));
+  for (std::uint64_t e = 0; e < edge_count; ++e) {
+    const auto u = dec.u64("graph edge endpoint u");
+    const auto v = dec.u64("graph edge endpoint v");
+    FORUMCAST_CHECK_MSG(u < v && v < node_count,
+                        "graph edge {" << u << ", " << v
+                                       << "} is not canonical (need u < v < "
+                                       << node_count << ")");
+    FORUMCAST_CHECK_MSG(
+        graph.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v)),
+        "graph edge {" << u << ", " << v << "} appears twice");
+  }
+  return graph;
+}
+
+}  // namespace forumcast::graph

@@ -1,0 +1,18 @@
+// Artifact codec for graph::Graph.
+//
+// Serialized as node count + the canonical edge list (u < v, ascending).
+// Decode replays add_edge, which maintains sorted deduplicated adjacency —
+// so a decoded graph is structurally identical to the encoded one (same
+// neighbor orderings, same edge count), and centralities computed over it
+// are bit-identical.
+#pragma once
+
+#include "artifact/artifact.hpp"
+#include "graph/graph.hpp"
+
+namespace forumcast::graph {
+
+void encode_graph(const Graph& graph, artifact::Encoder& enc);
+Graph decode_graph(artifact::Decoder& dec);
+
+}  // namespace forumcast::graph

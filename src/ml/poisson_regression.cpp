@@ -104,4 +104,16 @@ double PoissonRegression::predict_mean(std::span<const double> row) const {
   return std::exp(eta);
 }
 
+PoissonRegression PoissonRegression::from_parameters(
+    std::vector<double> weights, double bias, double eta_ceiling,
+    PoissonRegressionConfig config) {
+  FORUMCAST_CHECK_MSG(!weights.empty(),
+                      "PoissonRegression::from_parameters: empty weights");
+  PoissonRegression model(config);
+  model.weights_ = std::move(weights);
+  model.bias_ = bias;
+  model.eta_ceiling_ = eta_ceiling;
+  return model;
+}
+
 }  // namespace forumcast::ml

@@ -42,6 +42,14 @@ class PoissonRegression {
   bool fitted() const { return !weights_.empty(); }
   std::span<const double> weights() const { return weights_; }
   double bias() const { return bias_; }
+  double eta_ceiling() const { return eta_ceiling_; }
+  const PoissonRegressionConfig& config() const { return config_; }
+
+  /// Rebuilds a fitted model from serialized state; predictions are
+  /// bit-identical to the model that exported (weights, bias, eta_ceiling).
+  static PoissonRegression from_parameters(std::vector<double> weights,
+                                           double bias, double eta_ceiling,
+                                           PoissonRegressionConfig config = {});
 
  private:
   PoissonRegressionConfig config_;

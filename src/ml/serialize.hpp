@@ -1,18 +1,36 @@
-// Model persistence: a small line-oriented text format.
+// Model persistence.
 //
-// Each artifact starts with a magic line "forumcast-<kind> 1" followed by
-// kind-specific fields; doubles are written with round-trip precision.
-// Covers the trainable pieces a deployment wants to ship without retraining:
-// MLPs, scalers, and logistic regressions. Loaders validate the magic and
-// all dimensions and throw util::CheckError on any mismatch.
+// Two formats live here:
+//
+//  - A small line-oriented *text* format ("forumcast-<kind> 1" magic line,
+//    kind-specific fields). Human-inspectable; doubles are written via
+//    std::to_chars shortest-round-trip so -0.0, denormals, and
+//    max-precision values survive exactly. Loaders validate magic, every
+//    dimension, and every value (NaN/Inf and malformed tokens are rejected)
+//    and throw util::CheckError naming the offending field — a truncated
+//    stream can never silently yield default-initialized parameters.
+//
+//  - Binary *artifact* codecs (encode_*/decode_*) speaking the
+//    artifact::Encoder/Decoder protocol, used by the model bundle
+//    (ForecastPipeline::save/load). Doubles travel as raw IEEE bits, so a
+//    decoded model predicts bit-identically to the one encoded.
+//
+// Covers every trainable piece a deployment ships without retraining: MLPs,
+// scalers, logistic/Poisson regressions, the matrix-factorization and
+// SPARFA baselines, and Adam optimizer state (resumable fits).
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "artifact/artifact.hpp"
+#include "ml/adam.hpp"
 #include "ml/logistic_regression.hpp"
+#include "ml/matrix_factorization.hpp"
 #include "ml/mlp.hpp"
+#include "ml/poisson_regression.hpp"
 #include "ml/scaler.hpp"
+#include "ml/sparfa.hpp"
 
 namespace forumcast::ml {
 
@@ -27,5 +45,30 @@ LogisticRegression load_logistic(std::istream& in);
 
 /// Parses an activation name written by activation_name(); throws on unknown.
 Activation activation_from_name(const std::string& name);
+
+// Binary artifact codecs. Each decode_* reverses the matching encode_* and
+// produces a model whose predictions are bit-identical to the encoded one.
+
+void encode_scaler(const StandardScaler& scaler, artifact::Encoder& enc);
+StandardScaler decode_scaler(artifact::Decoder& dec);
+
+void encode_logistic(const LogisticRegression& model, artifact::Encoder& enc);
+LogisticRegression decode_logistic(artifact::Decoder& dec);
+
+void encode_mlp(const Mlp& model, artifact::Encoder& enc);
+Mlp decode_mlp(artifact::Decoder& dec);
+
+void encode_poisson(const PoissonRegression& model, artifact::Encoder& enc);
+PoissonRegression decode_poisson(artifact::Decoder& dec);
+
+void encode_matrix_factorization(const MatrixFactorization& model,
+                                 artifact::Encoder& enc);
+MatrixFactorization decode_matrix_factorization(artifact::Decoder& dec);
+
+void encode_sparfa(const Sparfa& model, artifact::Encoder& enc);
+Sparfa decode_sparfa(artifact::Decoder& dec);
+
+void encode_adam(const Adam& optimizer, artifact::Encoder& enc);
+Adam decode_adam(artifact::Decoder& dec);
 
 }  // namespace forumcast::ml

@@ -13,71 +13,96 @@ namespace forumcast::serve {
 
 BatchScorer::BatchScorer(const core::ForecastPipeline& pipeline,
                          BatchScorerConfig config)
-    : pipeline_(pipeline),
+    // Aliasing, non-owning shared_ptr: the caller keeps ownership, exactly
+    // the pre-hot-swap contract ("must outlive the scorer").
+    : BatchScorer(std::shared_ptr<const core::ForecastPipeline>(
+                      std::shared_ptr<const core::ForecastPipeline>(),
+                      &pipeline),
+                  config) {}
+
+BatchScorer::BatchScorer(std::shared_ptr<const core::ForecastPipeline> pipeline,
+                         BatchScorerConfig config)
+    : pipeline_(std::move(pipeline)),
       config_(config),
       cache_(config.max_cached_questions) {
-  FORUMCAST_CHECK_MSG(pipeline_.fitted(),
+  FORUMCAST_CHECK_MSG(pipeline_ != nullptr && pipeline_->fitted(),
                       "BatchScorer requires a fitted pipeline");
   config_.block_rows = std::max<std::size_t>(1, config_.block_rows);
 }
 
 std::vector<core::Prediction> BatchScorer::score(
     forum::QuestionId question, std::span<const forum::UserId> users) const {
-  FORUMCAST_CHECK(pipeline_.fitted());
   std::vector<core::Prediction> predictions(users.size());
   if (users.empty()) return predictions;
 
   FORUMCAST_SPAN_NAMED(span, "serve.batch_score");
 
-  // Fill phase (writer side): bind to the current pipeline generation and
-  // materialize any missing blocks. The shared_ptr pins the question block
-  // against eviction by a concurrent score() of a different question.
-  std::shared_ptr<const FeatureCache::QuestionBlock> block;
-  {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    cache_.sync(pipeline_.extractor(), pipeline_.dataset(),
-                pipeline_.generation());
-    cache_.warm_users(users);
-    block = cache_.question_block(question);
+  std::size_t num_blocks = 0;
+  for (;;) {
+    // Fill phase (writer side): snapshot the served model, bind the cache to
+    // its (swap epoch, generation) token, and materialize any missing
+    // blocks. The block shared_ptr pins it against eviction by a concurrent
+    // score() of a different question; the pipeline shared_ptr pins the
+    // model itself against a concurrent hot swap.
+    std::shared_ptr<const core::ForecastPipeline> pipeline;
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const FeatureCache::QuestionBlock> block;
+    {
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      pipeline = pipeline_;
+      epoch = swap_epoch_;
+      FORUMCAST_CHECK(pipeline->fitted());
+      cache_.sync(pipeline->extractor(), pipeline->dataset(),
+                  sync_token(epoch, pipeline->generation()));
+      cache_.warm_users(users);
+      block = cache_.question_block(question);
+    }
+
+    const double open_duration = pipeline->question_open_duration(question);
+    const std::size_t dim = pipeline->extractor().dimension();
+    const std::size_t block_rows = config_.block_rows;
+    num_blocks = (users.size() + block_rows - 1) / block_rows;
+
+    // Scoring phase (reader side): assemble each row block and run all three
+    // predictors on it. Blocks are independent, so they shard cleanly.
+    std::shared_lock<std::shared_mutex> read_lock(mutex_);
+    if (epoch != swap_epoch_) {
+      // A hot swap landed in the fill→score lock gap: the warmed cache now
+      // belongs to the new model. Rebuild on it rather than mixing models.
+      FORUMCAST_COUNTER_ADD("serve.swap_retries", 1);
+      continue;
+    }
+    util::parallel_for(
+        num_blocks,
+        [&](std::size_t b) {
+          const std::size_t begin = b * block_rows;
+          const std::size_t end = std::min(users.size(), begin + block_rows);
+          const std::size_t rows = end - begin;
+
+          // Scratch is reused across blocks and score() calls: assemble
+          // writes every element of its row and the predictors fill every
+          // output slot, so resize() leftovers are never read.
+          thread_local ml::Matrix x;
+          thread_local std::vector<double> answer, votes, delay;
+          x.resize(rows, dim);
+          for (std::size_t r = 0; r < rows; ++r) {
+            cache_.assemble(users[begin + r], *block, x.row(r));
+          }
+
+          answer.resize(rows);
+          votes.resize(rows);
+          delay.resize(rows);
+          pipeline->answer_predictor().predict_probability_batch(x, answer);
+          pipeline->vote_predictor().predict_batch(x, votes);
+          pipeline->timing_predictor().predict_delay_batch(x, open_duration,
+                                                           delay);
+          for (std::size_t r = 0; r < rows; ++r) {
+            predictions[begin + r] = {answer[r], votes[r], delay[r]};
+          }
+        },
+        config_.threads);
+    break;
   }
-
-  const double open_duration = pipeline_.question_open_duration(question);
-  const std::size_t dim = cache_.dimension();
-  const std::size_t block_rows = config_.block_rows;
-  const std::size_t num_blocks = (users.size() + block_rows - 1) / block_rows;
-
-  // Scoring phase (reader side): assemble each row block and run all three
-  // predictors on it. Blocks are independent, so they shard cleanly.
-  std::shared_lock<std::shared_mutex> read_lock(mutex_);
-  util::parallel_for(
-      num_blocks,
-      [&](std::size_t b) {
-        const std::size_t begin = b * block_rows;
-        const std::size_t end = std::min(users.size(), begin + block_rows);
-        const std::size_t rows = end - begin;
-
-        // Scratch is reused across blocks and score() calls: assemble writes
-        // every element of its row and the predictors fill every output slot,
-        // so resize() leftovers are never read.
-        thread_local ml::Matrix x;
-        thread_local std::vector<double> answer, votes, delay;
-        x.resize(rows, dim);
-        for (std::size_t r = 0; r < rows; ++r) {
-          cache_.assemble(users[begin + r], *block, x.row(r));
-        }
-
-        answer.resize(rows);
-        votes.resize(rows);
-        delay.resize(rows);
-        pipeline_.answer_predictor().predict_probability_batch(x, answer);
-        pipeline_.vote_predictor().predict_batch(x, votes);
-        pipeline_.timing_predictor().predict_delay_batch(x, open_duration,
-                                                         delay);
-        for (std::size_t r = 0; r < rows; ++r) {
-          predictions[begin + r] = {answer[r], votes[r], delay[r]};
-        }
-      },
-      config_.threads);
 
   FORUMCAST_COUNTER_ADD("serve.pairs_scored", users.size());
   FORUMCAST_COUNTER_ADD("serve.batches", 1);
@@ -98,6 +123,26 @@ core::BatchPredictFn BatchScorer::predict_fn() const {
 void BatchScorer::invalidate(const CacheInvalidation& invalidation) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
   cache_.invalidate(invalidation);
+}
+
+void BatchScorer::swap_model(
+    std::shared_ptr<const core::ForecastPipeline> next) {
+  FORUMCAST_CHECK_MSG(next != nullptr && next->fitted(),
+                      "swap_model requires a fitted pipeline");
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  pipeline_ = std::move(next);
+  ++swap_epoch_;
+  FORUMCAST_COUNTER_ADD("serve.model_swaps", 1);
+}
+
+std::uint64_t BatchScorer::swap_epoch() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return swap_epoch_;
+}
+
+std::shared_ptr<const core::ForecastPipeline> BatchScorer::pipeline() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return pipeline_;
 }
 
 FeatureCacheStats BatchScorer::cache_stats() const {

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <span>
 #include <vector>
@@ -43,6 +45,12 @@ class BatchScorer {
   explicit BatchScorer(const core::ForecastPipeline& pipeline,
                        BatchScorerConfig config = {});
 
+  /// Owning form: the scorer shares the pipeline's lifetime, which is what
+  /// hot swapping needs (the outgoing model must stay alive until every
+  /// in-flight score() drops its snapshot).
+  explicit BatchScorer(std::shared_ptr<const core::ForecastPipeline> pipeline,
+                       BatchScorerConfig config = {});
+
   /// Scores question `question` against every user in `users`, returning one
   /// Prediction per user in order. Equals pipeline.predict(u, question) for
   /// each u.
@@ -59,14 +67,36 @@ class BatchScorer {
   /// for a generation bump to drop everything.
   void invalidate(const CacheInvalidation& invalidation);
 
+  /// Atomic hot swap: replaces the served model with `next` (fitted, e.g. a
+  /// freshly loaded bundle) under the writer lock and bumps the swap epoch.
+  /// The next score() sees a changed cache token and drops every cached
+  /// block, exactly as a refit generation bump does; in-flight score()
+  /// calls that snapshotted the old model before the swap either finish on
+  /// a consistent old-model cache or detect the epoch change and rebuild.
+  void swap_model(std::shared_ptr<const core::ForecastPipeline> next);
+
+  /// Bumped by every swap_model(). Starts at 0.
+  std::uint64_t swap_epoch() const;
+
+  /// The currently served model.
+  std::shared_ptr<const core::ForecastPipeline> pipeline() const;
+
   FeatureCacheStats cache_stats() const;
   const BatchScorerConfig& config() const { return config_; }
 
  private:
-  const core::ForecastPipeline& pipeline_;
+  /// Cache sync token: swap epoch in the high half, fit generation in the
+  /// low half, so both a refit and a hot swap (which may carry the same
+  /// generation) invalidate every cached block.
+  static std::uint64_t sync_token(std::uint64_t epoch, std::uint64_t generation) {
+    return (epoch << 32) | (generation & 0xffffffffu);
+  }
+
+  std::shared_ptr<const core::ForecastPipeline> pipeline_;
   BatchScorerConfig config_;
   mutable std::shared_mutex mutex_;
   mutable FeatureCache cache_;
+  std::uint64_t swap_epoch_ = 0;
 };
 
 }  // namespace forumcast::serve

@@ -1,24 +1,13 @@
 #include "stream/event.hpp"
 
-#include <array>
 #include <cstring>
 #include <type_traits>
+
+#include "artifact/artifact.hpp"
 
 namespace forumcast::stream {
 
 namespace {
-
-std::array<std::uint32_t, 256> build_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
 
 template <typename T>
 void append_raw(std::string& out, T value) {
@@ -73,12 +62,9 @@ bool decode_payload(std::string_view payload, ForumEvent& event) {
 }  // namespace
 
 std::uint32_t crc32(std::string_view data) {
-  static const auto table = build_crc_table();
-  std::uint32_t crc = 0xffffffffu;
-  for (const char ch : data) {
-    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xffu] ^ (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
+  // One checksum for every durable byte: the WAL and the model-artifact
+  // bundle share the artifact-layer implementation.
+  return artifact::crc32(data);
 }
 
 void append_event_record(std::string& out, const ForumEvent& event) {

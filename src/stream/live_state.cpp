@@ -1,43 +1,21 @@
 #include "stream/live_state.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "features/extractor.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/digest.hpp"
 
 namespace forumcast::stream {
 
 namespace {
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-void fnv_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= kFnvPrime;
-  }
-}
-
-void fnv_u64(std::uint64_t& hash, std::uint64_t value) {
-  fnv_bytes(hash, &value, sizeof value);
-}
-
-void fnv_double(std::uint64_t& hash, double value) {
-  fnv_u64(hash, std::bit_cast<std::uint64_t>(value));
-}
-
-void fnv_doubles(std::uint64_t& hash, std::span<const double> values) {
-  fnv_u64(hash, values.size());
-  for (const double v : values) fnv_double(hash, v);
-}
 
 forum::Post post_from_event(const ForumEvent& event) {
   forum::Post post;
@@ -62,6 +40,16 @@ LiveState::LiveState(core::ForecastPipeline& pipeline, forum::Dataset& dataset,
 
   if (!config_.wal_dir.empty()) {
     std::filesystem::create_directories(config_.wal_dir);
+    if (config_.save_model_bundle) {
+      // Written *before* replay: the bundle must capture the fit-time model
+      // — recovery re-applies every streamed event on top of it, so a
+      // bundle written after replay would double-apply the streamed state.
+      std::ostringstream bundle;
+      pipeline_.save(bundle);
+      write_file_atomic(model_bundle_path(config_.wal_dir),
+                        std::move(bundle).str());
+      model_ref_ = "model.fcm";
+    }
     const RecoveredLog recovered = recover_log(config_.wal_dir);
     recovered_truncated_tail_ = recovered.truncated_tail;
     if (!recovered.events.empty()) {
@@ -243,14 +231,16 @@ void LiveState::finish_batch_locked(double global_median_before) {
 void LiveState::maybe_snapshot_locked() {
   if (config_.wal_dir.empty() || config_.snapshot_every == 0) return;
   if (events_since_snapshot_ < config_.snapshot_every) return;
-  write_snapshot(snapshot_path(config_.wal_dir), applied_, last_seq_);
+  write_snapshot(snapshot_path(config_.wal_dir), applied_, last_seq_,
+                 model_ref_);
   events_since_snapshot_ = 0;
 }
 
 void LiveState::snapshot_now() {
   auto lock = writer_lock();
   if (config_.wal_dir.empty()) return;
-  write_snapshot(snapshot_path(config_.wal_dir), applied_, last_seq_);
+  write_snapshot(snapshot_path(config_.wal_dir), applied_, last_seq_,
+                 model_ref_);
   events_since_snapshot_ = 0;
 }
 
@@ -302,49 +292,49 @@ std::uint64_t LiveState::digest() const {
 
 std::uint64_t LiveState::digest_locked() const {
   const features::FeatureExtractor& extractor = pipeline_.extractor();
-  std::uint64_t hash = kFnvOffset;
+  util::Fnv1a hash;
 
   const std::size_t num_users = dataset_.num_users();
   const std::size_t num_questions = dataset_.num_questions();
-  fnv_u64(hash, num_users);
-  fnv_u64(hash, num_questions);
-  fnv_double(hash, extractor.global_median_response());
+  hash.u64(num_users);
+  hash.u64(num_questions);
+  hash.f64(extractor.global_median_response());
 
   for (forum::UserId u = 0; u < num_users; ++u) {
     const auto& stats = extractor.user_stats(u);
-    fnv_u64(hash, stats.answers_provided);
-    fnv_u64(hash, stats.questions_asked);
-    fnv_double(hash, stats.net_answer_votes);
-    fnv_doubles(hash, stats.answer_votes);
-    fnv_doubles(hash, stats.response_times);
-    fnv_doubles(hash, stats.topic_distribution);
-    fnv_doubles(hash, stats.answered_votes);
-    fnv_u64(hash, stats.answered.size());
-    for (const forum::QuestionId q : stats.answered) fnv_u64(hash, q);
-    fnv_u64(hash, stats.participated.size());
-    for (const forum::QuestionId q : stats.participated) fnv_u64(hash, q);
+    hash.u64(stats.answers_provided);
+    hash.u64(stats.questions_asked);
+    hash.f64(stats.net_answer_votes);
+    hash.f64s(stats.answer_votes);
+    hash.f64s(stats.response_times);
+    hash.f64s(stats.topic_distribution);
+    hash.f64s(stats.answered_votes);
+    hash.u64(stats.answered.size());
+    for (const forum::QuestionId q : stats.answered) hash.u64(q);
+    hash.u64(stats.participated.size());
+    for (const forum::QuestionId q : stats.participated) hash.u64(q);
   }
 
   for (forum::QuestionId q = 0; q < num_questions; ++q) {
-    fnv_doubles(hash, extractor.question_topics(q));
-    fnv_double(hash, extractor.question_word_length(q));
-    fnv_double(hash, extractor.question_code_length(q));
-    fnv_double(hash, static_cast<double>(dataset_.thread(q).question.net_votes));
-    fnv_u64(hash, dataset_.thread(q).answers.size());
+    hash.f64s(extractor.question_topics(q));
+    hash.f64(extractor.question_word_length(q));
+    hash.f64(extractor.question_code_length(q));
+    hash.f64(static_cast<double>(dataset_.thread(q).question.net_votes));
+    hash.u64(dataset_.thread(q).answers.size());
   }
 
   for (const graph::Graph* g :
        {&extractor.qa_graph(), &extractor.dense_graph()}) {
-    fnv_u64(hash, g->edge_count());
+    hash.u64(g->edge_count());
     for (graph::NodeId n = 0; n < g->node_count(); ++n) {
-      for (const graph::NodeId v : g->neighbors(n)) fnv_u64(hash, v);
+      for (const graph::NodeId v : g->neighbors(n)) hash.u64(v);
     }
   }
-  fnv_doubles(hash, extractor.qa_closeness());
-  fnv_doubles(hash, extractor.qa_betweenness());
-  fnv_doubles(hash, extractor.dense_closeness());
-  fnv_doubles(hash, extractor.dense_betweenness());
-  return hash;
+  hash.f64s(extractor.qa_closeness());
+  hash.f64s(extractor.qa_betweenness());
+  hash.f64s(extractor.dense_closeness());
+  hash.f64s(extractor.dense_betweenness());
+  return hash.value();
 }
 
 forum::Dataset dataset_from_events(const forum::Dataset& base,

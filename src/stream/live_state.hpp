@@ -50,6 +50,14 @@ struct LiveStateConfig {
   std::string wal_dir;
   /// Write a compacted snapshot every N applied events (0 = never).
   std::size_t snapshot_every = 0;
+  /// Write the fitted pipeline as a model bundle (<wal_dir>/model.fcm)
+  /// before replaying recovery, and reference it from every snapshot —
+  /// one directory then restores both models and events: load the bundle
+  /// against the base dataset, construct a LiveState over it, and the
+  /// snapshot + WAL replay reproduces the pre-crash serving state. The
+  /// bundle must capture the *fit-time* model (replay re-applies every
+  /// streamed event on top), which is why it is written before recovery.
+  bool save_model_bundle = true;
 };
 
 class LiveState {
@@ -109,6 +117,10 @@ class LiveState {
   /// Forces a snapshot of the full applied log (no-op without a wal_dir).
   void snapshot_now();
 
+  /// The model bundle reference snapshots carry ("model.fcm" when the
+  /// constructor wrote one, empty otherwise).
+  const std::string& model_ref() const { return model_ref_; }
+
  private:
   // Writer-priority locking. pthread's rwlock (behind std::shared_mutex on
   // glibc) prefers readers, so a continuous scoring load would starve ingest
@@ -132,6 +144,7 @@ class LiveState {
   std::vector<serve::BatchScorer*> scorers_;
 
   std::vector<ForumEvent> applied_;  ///< the durable log, seq-stamped
+  std::string model_ref_;            ///< bundle file name snapshots reference
   std::uint64_t last_seq_ = 0;
   double last_event_time_ = 0.0;
   std::size_t events_since_snapshot_ = 0;

@@ -18,7 +18,9 @@ namespace forumcast::stream {
 namespace {
 
 constexpr char kSnapshotMagic[4] = {'F', 'C', 'S', 'N'};
-constexpr std::uint32_t kSnapshotVersion = 1;
+// v1: header + event records. v2 appends a model-bundle reference (u64
+// length + bytes) between the header and the records; v1 files still read.
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 std::string read_file(const std::string& path, bool& exists) {
   std::ifstream in(path, std::ios::binary);
@@ -51,6 +53,9 @@ void write_all(int fd, const char* data, std::size_t size,
 std::string wal_path(const std::string& dir) { return dir + "/wal.bin"; }
 std::string snapshot_path(const std::string& dir) {
   return dir + "/snapshot.bin";
+}
+std::string model_bundle_path(const std::string& dir) {
+  return dir + "/model.fcm";
 }
 
 WalWriter::WalWriter(const std::string& path) {
@@ -110,30 +115,36 @@ ReplayResult replay_wal(const std::string& path) {
   return result;
 }
 
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  FORUMCAST_CHECK_MSG(fd >= 0, "cannot write " + tmp + ": " +
+                                   std::strerror(errno));
+  write_all(fd, contents.data(), contents.size(), tmp);
+  FORUMCAST_CHECK_MSG(::fsync(fd) == 0, "fsync failed: " + tmp + ": " +
+                                            std::strerror(errno));
+  ::close(fd);
+  FORUMCAST_CHECK_MSG(::rename(tmp.c_str(), path.c_str()) == 0,
+                      "rename failed: " + path + ": " + std::strerror(errno));
+}
+
 void write_snapshot(const std::string& path, std::span<const ForumEvent> events,
-                    std::uint64_t last_seq) {
+                    std::uint64_t last_seq, std::string_view model_ref) {
   std::string blob;
   blob.append(kSnapshotMagic, sizeof kSnapshotMagic);
   const std::uint32_t version = kSnapshotVersion;
   const std::uint64_t count = events.size();
+  const std::uint64_t ref_length = model_ref.size();
   blob.append(reinterpret_cast<const char*>(&version), sizeof version);
   blob.append(reinterpret_cast<const char*>(&last_seq), sizeof last_seq);
   blob.append(reinterpret_cast<const char*>(&count), sizeof count);
+  blob.append(reinterpret_cast<const char*>(&ref_length), sizeof ref_length);
+  blob.append(model_ref.data(), model_ref.size());
   for (const ForumEvent& event : events) {
     append_event_record(blob, event);
   }
 
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  FORUMCAST_CHECK_MSG(fd >= 0, "cannot write snapshot: " + tmp + ": " +
-                                   std::strerror(errno));
-  write_all(fd, blob.data(), blob.size(), tmp);
-  FORUMCAST_CHECK_MSG(::fsync(fd) == 0,
-                      "snapshot fsync failed: " + std::string(std::strerror(errno)));
-  ::close(fd);
-  FORUMCAST_CHECK_MSG(::rename(tmp.c_str(), path.c_str()) == 0,
-                      "snapshot rename failed: " + path + ": " +
-                          std::strerror(errno));
+  write_file_atomic(path, blob);
   FORUMCAST_COUNTER_ADD("stream.snapshots_written", 1);
   FORUMCAST_GAUGE_SET("stream.snapshot_events", static_cast<double>(count));
 }
@@ -155,13 +166,24 @@ SnapshotData read_snapshot(const std::string& path) {
   std::size_t off = sizeof kSnapshotMagic;
   std::memcpy(&version, contents.data() + off, sizeof version);
   off += sizeof version;
-  FORUMCAST_CHECK_MSG(version == kSnapshotVersion,
+  FORUMCAST_CHECK_MSG(version == 1 || version == kSnapshotVersion,
                       "unsupported snapshot version: " + path);
   std::memcpy(&snapshot.last_seq, contents.data() + off,
               sizeof snapshot.last_seq);
   off += sizeof snapshot.last_seq;
   std::memcpy(&count, contents.data() + off, sizeof count);
   off += sizeof count;
+  if (version >= 2) {
+    std::uint64_t ref_length = 0;
+    FORUMCAST_CHECK_MSG(contents.size() - off >= sizeof ref_length,
+                        "truncated snapshot model ref: " + path);
+    std::memcpy(&ref_length, contents.data() + off, sizeof ref_length);
+    off += sizeof ref_length;
+    FORUMCAST_CHECK_MSG(contents.size() - off >= ref_length,
+                        "truncated snapshot model ref: " + path);
+    snapshot.model_ref.assign(contents.data() + off, ref_length);
+    off += ref_length;
+  }
 
   std::string_view cursor(contents.data() + off, contents.size() - off);
   snapshot.events.reserve(count);
@@ -181,6 +203,7 @@ RecoveredLog recover_log(const std::string& dir) {
   recovered.events = snapshot.events;
   recovered.from_snapshot = snapshot.events.size();
   recovered.last_seq = snapshot.last_seq;
+  recovered.model_ref = snapshot.model_ref;
 
   ReplayResult wal = replay_wal(wal_path(dir));
   recovered.truncated_tail = wal.truncated_tail;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stream/event.hpp"
@@ -61,14 +62,19 @@ struct ReplayResult {
 ReplayResult replay_wal(const std::string& path);
 
 /// Atomically (write temp + rename) writes a snapshot covering `events`,
-/// whose greatest sequence number is `last_seq`.
+/// whose greatest sequence number is `last_seq`. `model_ref` optionally
+/// names the model bundle (a file name relative to the WAL directory) the
+/// event log applies on top of, so recovery can restore models + events
+/// from one directory; empty means "no bundle" (format v1 compatible).
 void write_snapshot(const std::string& path, std::span<const ForumEvent> events,
-                    std::uint64_t last_seq);
+                    std::uint64_t last_seq, std::string_view model_ref = {});
 
 struct SnapshotData {
   bool present = false;
   std::uint64_t last_seq = 0;
   std::vector<ForumEvent> events;
+  /// Model bundle reference (empty for v1 snapshots or none recorded).
+  std::string model_ref;
 };
 
 /// Reads a snapshot; `present` is false for a missing file. Throws
@@ -84,11 +90,19 @@ struct RecoveredLog {
   std::size_t from_snapshot = 0;     ///< leading events that came compacted
   bool truncated_tail = false;       ///< WAL ended in a torn record
   std::size_t wal_valid_bytes = 0;   ///< valid prefix length of wal.bin
+  std::string model_ref;             ///< snapshot's model bundle ref, if any
 };
 
 /// Standard file names inside a --wal-dir.
 std::string wal_path(const std::string& dir);
 std::string snapshot_path(const std::string& dir);
+/// The model bundle LiveState writes next to the log, so one directory
+/// restores both the fitted models and the streamed events.
+std::string model_bundle_path(const std::string& dir);
+
+/// Atomically (write temp + fsync + rename) writes `contents` to `path`.
+/// Shared by snapshots and the model bundle.
+void write_file_atomic(const std::string& path, std::string_view contents);
 
 RecoveredLog recover_log(const std::string& dir);
 

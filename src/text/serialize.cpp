@@ -1,0 +1,41 @@
+#include "text/serialize.hpp"
+
+#include "util/check.hpp"
+
+namespace forumcast::text {
+
+void encode_vocabulary(const Vocabulary& vocabulary, artifact::Encoder& enc) {
+  enc.u64(vocabulary.size());
+  for (const std::string& token : vocabulary.tokens()) enc.str(token);
+}
+
+Vocabulary decode_vocabulary(artifact::Decoder& dec) {
+  const auto count = dec.u64("vocabulary size");
+  Vocabulary vocabulary;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string token = dec.str("vocabulary token");
+    const TokenId id = vocabulary.add(token);
+    FORUMCAST_CHECK_MSG(id == i, "vocabulary token '"
+                                     << token << "' is a duplicate (id " << id
+                                     << " at position " << i << ")");
+  }
+  return vocabulary;
+}
+
+void encode_tokenizer_options(const TokenizerOptions& options,
+                              artifact::Encoder& enc) {
+  enc.u64(options.min_token_length);
+  enc.boolean(options.drop_numbers);
+  enc.boolean(options.drop_stopwords);
+}
+
+TokenizerOptions decode_tokenizer_options(artifact::Decoder& dec) {
+  TokenizerOptions options;
+  options.min_token_length =
+      static_cast<std::size_t>(dec.u64("tokenizer min token length"));
+  options.drop_numbers = dec.boolean("tokenizer drop numbers");
+  options.drop_stopwords = dec.boolean("tokenizer drop stopwords");
+  return options;
+}
+
+}  // namespace forumcast::text

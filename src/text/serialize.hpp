@@ -1,0 +1,22 @@
+// Artifact codecs for the text layer: vocabulary and tokenizer options.
+//
+// The vocabulary's token→id assignment must survive a save/load round trip
+// exactly — topic-word tables and fold-in inference index by TokenId, so a
+// permuted vocabulary would silently permute every topic. Tokens are stored
+// in id order and re-interned in order on decode, reproducing identical ids.
+#pragma once
+
+#include "artifact/artifact.hpp"
+#include "text/tokenizer.hpp"
+#include "text/vocabulary.hpp"
+
+namespace forumcast::text {
+
+void encode_vocabulary(const Vocabulary& vocabulary, artifact::Encoder& enc);
+Vocabulary decode_vocabulary(artifact::Decoder& dec);
+
+void encode_tokenizer_options(const TokenizerOptions& options,
+                              artifact::Encoder& enc);
+TokenizerOptions decode_tokenizer_options(artifact::Decoder& dec);
+
+}  // namespace forumcast::text

@@ -27,6 +27,8 @@ class Tokenizer {
   /// True if the lowercase token is in the stopword list.
   static bool is_stopword(std::string_view token);
 
+  const TokenizerOptions& options() const { return options_; }
+
  private:
   TokenizerOptions options_;
 };

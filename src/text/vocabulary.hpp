@@ -32,6 +32,10 @@ class Vocabulary {
   /// Encodes without interning; unknown tokens are dropped.
   std::vector<TokenId> encode_existing(std::span<const std::string> tokens) const;
 
+  /// All interned tokens in id order (serialization: re-adding them in order
+  /// into an empty vocabulary reproduces the exact same id assignment).
+  std::span<const std::string> tokens() const { return tokens_; }
+
  private:
   std::unordered_map<std::string, TokenId> index_;
   std::vector<std::string> tokens_;

@@ -311,4 +311,67 @@ double Lda::corpus_log_likelihood() const {
   return ll;
 }
 
+void Lda::encode(artifact::Encoder& enc) const {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot encode an unfitted LDA model");
+  enc.u64(config_.num_topics);
+  enc.f64(config_.alpha, "lda alpha");
+  enc.f64(config_.beta, "lda beta");
+  enc.u64(config_.iterations);
+  enc.u64(config_.seed);
+  enc.u64(config_.threads);
+  enc.u64(vocab_size_);
+  enc.u64(total_tokens_);
+  enc.u64(doc_topic_counts_.size());
+  for (const auto& doc_counts : doc_topic_counts_) enc.counts(doc_counts);
+  enc.counts(topic_word_counts_);
+  enc.counts(topic_totals_);
+}
+
+Lda Lda::decode(artifact::Decoder& dec) {
+  LdaConfig config;
+  config.num_topics = static_cast<std::size_t>(dec.u64("lda num topics"));
+  FORUMCAST_CHECK_MSG(config.num_topics >= 1, "lda num topics must be >= 1");
+  config.alpha = dec.f64("lda alpha");
+  config.beta = dec.f64("lda beta");
+  FORUMCAST_CHECK_MSG(config.alpha > 0.0 && config.beta > 0.0,
+                      "lda priors must be positive: alpha="
+                          << config.alpha << " beta=" << config.beta);
+  config.iterations = static_cast<std::size_t>(dec.u64("lda iterations"));
+  config.seed = dec.u64("lda seed");
+  config.threads = static_cast<std::size_t>(dec.u64("lda threads"));
+
+  Lda model(config);
+  model.vocab_size_ = static_cast<std::size_t>(dec.u64("lda vocab size"));
+  model.total_tokens_ = static_cast<std::size_t>(dec.u64("lda total tokens"));
+  const auto num_docs = dec.u64("lda document count");
+  model.doc_topic_counts_.reserve(static_cast<std::size_t>(num_docs));
+  for (std::uint64_t d = 0; d < num_docs; ++d) {
+    auto doc_counts = dec.counts("lda doc topic counts");
+    FORUMCAST_CHECK_MSG(doc_counts.size() == config.num_topics,
+                        "lda doc topic counts row has "
+                            << doc_counts.size() << " topics, expected "
+                            << config.num_topics);
+    model.doc_topic_counts_.push_back(std::move(doc_counts));
+  }
+  model.topic_word_counts_ = dec.counts("lda topic word counts");
+  FORUMCAST_CHECK_MSG(
+      model.topic_word_counts_.size() ==
+          config.num_topics * model.vocab_size_,
+      "lda topic word table has " << model.topic_word_counts_.size()
+                                  << " entries, expected "
+                                  << config.num_topics * model.vocab_size_);
+  model.topic_totals_ = dec.counts("lda topic totals");
+  FORUMCAST_CHECK_MSG(model.topic_totals_.size() == config.num_topics,
+                      "lda topic totals has " << model.topic_totals_.size()
+                                              << " entries, expected "
+                                              << config.num_topics);
+  std::size_t total = 0;
+  for (const std::size_t count : model.topic_totals_) total += count;
+  FORUMCAST_CHECK_MSG(total == model.total_tokens_,
+                      "lda topic totals sum to " << total << ", expected "
+                                                 << model.total_tokens_);
+  model.fitted_ = true;
+  return model;
+}
+
 }  // namespace forumcast::topics

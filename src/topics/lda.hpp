@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "artifact/artifact.hpp"
 #include "text/vocabulary.hpp"
 
 namespace forumcast::topics {
@@ -37,6 +38,7 @@ class Lda {
            std::size_t vocab_size);
 
   std::size_t num_topics() const { return config_.num_topics; }
+  const LdaConfig& config() const { return config_; }
   std::size_t num_documents() const { return doc_topic_counts_.size(); }
   std::size_t vocab_size() const { return vocab_size_; }
   bool fitted() const { return fitted_; }
@@ -66,6 +68,14 @@ class Lda {
   std::span<const std::size_t> topic_word_counts() const {
     return topic_word_counts_;
   }
+
+  /// Serializes the fitted sampler end state (config + Gibbs count tables)
+  /// into a model-bundle section body. decode() reverses it; document_topics
+  /// and fold-in infer() on the decoded model are bit-identical to the
+  /// encoded one (the per-topic denominators are recomputed from
+  /// topic_totals_, which is exactly how fit() derives them).
+  void encode(artifact::Encoder& enc) const;
+  static Lda decode(artifact::Decoder& dec);
 
  private:
   LdaConfig config_;

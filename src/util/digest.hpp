@@ -1,0 +1,51 @@
+// FNV-1a streaming digest over raw bits.
+//
+// The bit-parity currency of the codebase: the streaming layer hashes its
+// observable feature state with it (replay equivalence, crash recovery), and
+// the artifact layer hashes prediction outputs with it (a loaded bundle must
+// predict bit-identically to the pipeline that saved it). Doubles are hashed
+// by their IEEE bit patterns, so equal digests mean bit-equal state — not
+// merely approximately-equal state.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace forumcast::util {
+
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= kPrime;
+    }
+  }
+
+  void u64(std::uint64_t value) { bytes(&value, sizeof(value)); }
+
+  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+
+  /// Length-prefixed, so [1.0],[2.0] and [1.0,2.0],[] digest differently.
+  void f64s(std::span<const double> values) {
+    u64(values.size());
+    for (const double v : values) f64(v);
+  }
+
+  void str(std::string_view value) {
+    u64(value.size());
+    bytes(value.data(), value.size());
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t hash_ = kOffset;
+};
+
+}  // namespace forumcast::util

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -9,6 +13,43 @@
 
 namespace forumcast::ml {
 namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Doubles a shortest-round-trip text writer or raw-bits binary codec is
+/// most likely to mangle: signed zero, denormals, max precision.
+std::vector<double> nasty_doubles() {
+  return {
+      -0.0,
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      0.1,
+      1.0 / 3.0,
+      std::nextafter(1.0, 2.0),
+  };
+}
+
+/// Splits serialized text on whitespace, exactly like the loader's `>>`.
+std::vector<std::string> tokenize(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string join_prefix(const std::vector<std::string>& tokens,
+                        std::size_t count) {
+  std::string out;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
 
 TEST(Serialize, MlpRoundTripPreservesPredictions) {
   Mlp original(4,
@@ -106,6 +147,246 @@ TEST(Serialize, FromParametersValidation) {
   EXPECT_THROW(LogisticRegression::from_parameters({}, 0.0), util::CheckError);
   const auto model = LogisticRegression::from_parameters({1.0}, 0.0);
   EXPECT_DOUBLE_EQ(model.predict_probability(std::vector<double>{0.0}), 0.5);
+}
+
+TEST(Serialize, TextWorstCaseDoublesRoundTripBitExactly) {
+  // The to_chars shortest-round-trip writer must reproduce the exact bits,
+  // including the sign of -0.0 and full denormal precision.
+  const std::vector<double> weights = nasty_doubles();
+  const auto original = LogisticRegression::from_parameters(
+      weights, std::numeric_limits<double>::denorm_min());
+  std::stringstream buffer;
+  save_logistic(original, buffer);
+  const auto loaded = load_logistic(buffer);
+  ASSERT_EQ(loaded.weights().size(), weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(bits(loaded.weights()[i]), bits(weights[i])) << "weight " << i;
+  }
+  EXPECT_EQ(bits(loaded.bias()), bits(original.bias()));
+  EXPECT_TRUE(std::signbit(loaded.weights()[0]));
+}
+
+TEST(Serialize, TextLoadRejectsNonFiniteNamingField) {
+  std::stringstream bad_bias(
+      "forumcast-logistic 1\ndim 1\nbias nan\n1.0\n");
+  try {
+    load_logistic(bad_bias);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("logistic bias"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+  }
+  std::stringstream bad_weight(
+      "forumcast-logistic 1\ndim 2\nbias 0.5\n1.0 inf\n");
+  EXPECT_THROW(load_logistic(bad_weight), util::CheckError);
+  std::stringstream bad_mean(
+      "forumcast-scaler 1\ndim 1\n-inf\n1.0\n");
+  EXPECT_THROW(load_scaler(bad_mean), util::CheckError);
+}
+
+TEST(Serialize, MlpTextTruncatedAtEveryTokenBoundary) {
+  Mlp model(3, {{4, Activation::ReLU}, {1, Activation::Identity}}, 11);
+  std::stringstream buffer;
+  save_mlp(model, buffer);
+  const auto tokens = tokenize(buffer.str());
+  ASSERT_GT(tokens.size(), 5u);
+  for (std::size_t count = 0; count < tokens.size(); ++count) {
+    std::stringstream truncated(join_prefix(tokens, count));
+    EXPECT_THROW(load_mlp(truncated), util::CheckError)
+        << "prefix of " << count << " tokens loaded";
+  }
+  std::stringstream whole(join_prefix(tokens, tokens.size()));
+  EXPECT_NO_THROW(load_mlp(whole));
+}
+
+TEST(Serialize, ScalerAndLogisticTextTruncatedAtEveryTokenBoundary) {
+  const auto scaler = StandardScaler::from_moments({1.0, -2.0}, {0.5, 4.0});
+  std::stringstream scaler_buffer;
+  save_scaler(scaler, scaler_buffer);
+  const auto scaler_tokens = tokenize(scaler_buffer.str());
+  for (std::size_t count = 0; count < scaler_tokens.size(); ++count) {
+    std::stringstream truncated(join_prefix(scaler_tokens, count));
+    EXPECT_THROW(load_scaler(truncated), util::CheckError)
+        << "prefix of " << count << " tokens loaded";
+  }
+
+  const auto logistic =
+      LogisticRegression::from_parameters({0.25, -0.75}, 0.125);
+  std::stringstream logistic_buffer;
+  save_logistic(logistic, logistic_buffer);
+  const auto logistic_tokens = tokenize(logistic_buffer.str());
+  for (std::size_t count = 0; count < logistic_tokens.size(); ++count) {
+    std::stringstream truncated(join_prefix(logistic_tokens, count));
+    EXPECT_THROW(load_logistic(truncated), util::CheckError)
+        << "prefix of " << count << " tokens loaded";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary artifact codecs: every decode must be bit-identical to the encoded
+// model, and every truncated payload must throw.
+
+TEST(Serialize, BinaryScalerRoundTripBitExact) {
+  const auto original = StandardScaler::from_moments(
+      {std::numeric_limits<double>::denorm_min(), -0.0, 0.1},
+      {std::numeric_limits<double>::min(), 4.0, 1.0 / 3.0});
+  artifact::Encoder enc;
+  encode_scaler(original, enc);
+  artifact::Decoder dec(enc.bytes(), "scaler");
+  const auto loaded = decode_scaler(dec);
+  dec.finish();
+  const std::vector<double> x = {1e-300, 2.0, -5.5};
+  const auto a = original.transform(x);
+  const auto b = loaded.transform(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(bits(a[i]), bits(b[i]));
+}
+
+TEST(Serialize, BinaryLogisticRoundTripBitExact) {
+  const auto original =
+      LogisticRegression::from_parameters(nasty_doubles(), -0.0);
+  artifact::Encoder enc;
+  encode_logistic(original, enc);
+  artifact::Decoder dec(enc.bytes(), "logistic");
+  const auto loaded = decode_logistic(dec);
+  dec.finish();
+  ASSERT_EQ(loaded.weights().size(), original.weights().size());
+  for (std::size_t i = 0; i < original.weights().size(); ++i) {
+    EXPECT_EQ(bits(loaded.weights()[i]), bits(original.weights()[i]));
+  }
+  EXPECT_TRUE(std::signbit(loaded.bias()));
+}
+
+TEST(Serialize, BinaryMlpRoundTripBitExact) {
+  Mlp original(4,
+               {{8, Activation::Tanh},
+                {5, Activation::Softplus},
+                {2, Activation::Identity}},
+               123);
+  artifact::Encoder enc;
+  encode_mlp(original, enc);
+  artifact::Decoder dec(enc.bytes(), "mlp");
+  const Mlp loaded = decode_mlp(dec);
+  dec.finish();
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(4);
+    for (double& v : x) v = rng.normal();
+    const auto a = original.forward(x);
+    const auto b = loaded.forward(x);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(bits(a[i]), bits(b[i]));
+    }
+  }
+}
+
+TEST(Serialize, BinaryPoissonRoundTripBitExact) {
+  const auto original = PoissonRegression::from_parameters(
+      {0.5, -0.25, 0.1}, 0.125, 3.5);
+  artifact::Encoder enc;
+  encode_poisson(original, enc);
+  artifact::Decoder dec(enc.bytes(), "poisson");
+  const auto loaded = decode_poisson(dec);
+  dec.finish();
+  const std::vector<double> x = {1.0, -2.0, 0.5};
+  EXPECT_EQ(bits(loaded.predict_mean(x)), bits(original.predict_mean(x)));
+  EXPECT_EQ(bits(loaded.eta_ceiling()), bits(original.eta_ceiling()));
+}
+
+TEST(Serialize, BinaryMatrixFactorizationRoundTripBitExact) {
+  MatrixFactorizationConfig config;
+  config.latent_dim = 2;
+  const auto original = MatrixFactorization::from_state(
+      config, 0.75, {0.1, -0.2}, {0.3, -0.4, 0.5},
+      {0.11, 0.12, 0.21, 0.22}, {1.1, 1.2, 2.1, 2.2, 3.1, 3.2});
+  artifact::Encoder enc;
+  encode_matrix_factorization(original, enc);
+  artifact::Decoder dec(enc.bytes(), "mf");
+  const auto loaded = decode_matrix_factorization(dec);
+  dec.finish();
+  for (std::size_t u = 0; u < 2; ++u) {
+    for (std::size_t q = 0; q < 3; ++q) {
+      EXPECT_EQ(bits(loaded.predict(u, q)), bits(original.predict(u, q)))
+          << "(" << u << ", " << q << ")";
+    }
+  }
+  // Out-of-range ids fall back to the global mean identically.
+  EXPECT_EQ(bits(loaded.predict(9, 9)), bits(original.predict(9, 9)));
+}
+
+TEST(Serialize, BinarySparfaRoundTripBitExact) {
+  SparfaConfig config;
+  config.latent_dim = 2;
+  const auto original = Sparfa::from_state(
+      config, -0.5, {0.0, 0.7, 0.3, 0.0}, {0.4, -0.6, 0.2, 0.9},
+      {0.05, -0.15});
+  artifact::Encoder enc;
+  encode_sparfa(original, enc);
+  artifact::Decoder dec(enc.bytes(), "sparfa");
+  const auto loaded = decode_sparfa(dec);
+  dec.finish();
+  for (std::size_t u = 0; u < 2; ++u) {
+    for (std::size_t q = 0; q < 2; ++q) {
+      EXPECT_EQ(bits(loaded.predict_probability(u, q)),
+                bits(original.predict_probability(u, q)))
+          << "(" << u << ", " << q << ")";
+    }
+  }
+}
+
+TEST(Serialize, BinaryAdamRoundTripResumesIdentically) {
+  AdamConfig config;
+  config.learning_rate = 0.01;
+  config.weight_decay = 1e-4;
+  Adam original(3, config);
+  std::vector<double> params_a = {1.0, -2.0, 0.5};
+  const std::vector<double> grads = {0.3, -0.1, 0.7};
+  original.step(params_a, grads);
+  original.step(params_a, grads);
+
+  artifact::Encoder enc;
+  encode_adam(original, enc);
+  artifact::Decoder dec(enc.bytes(), "adam");
+  Adam loaded = decode_adam(dec);
+  dec.finish();
+  EXPECT_EQ(loaded.steps_taken(), original.steps_taken());
+
+  // A resumed fit must take the exact step the uninterrupted fit would.
+  std::vector<double> params_b = params_a;
+  original.step(params_a, grads);
+  loaded.step(params_b, grads);
+  for (std::size_t i = 0; i < params_a.size(); ++i) {
+    EXPECT_EQ(bits(params_a[i]), bits(params_b[i])) << "param " << i;
+  }
+}
+
+TEST(Serialize, BinaryEncodersRejectUnfittedModels) {
+  artifact::Encoder enc;
+  EXPECT_THROW(encode_scaler(StandardScaler{}, enc), util::CheckError);
+  EXPECT_THROW(encode_logistic(LogisticRegression{}, enc), util::CheckError);
+  EXPECT_THROW(encode_poisson(PoissonRegression{}, enc), util::CheckError);
+  EXPECT_THROW(encode_matrix_factorization(MatrixFactorization{}, enc),
+               util::CheckError);
+  EXPECT_THROW(encode_sparfa(Sparfa{}, enc), util::CheckError);
+}
+
+TEST(Serialize, BinaryDecodeRejectsTruncationAtEveryByte) {
+  Mlp model(2, {{3, Activation::ReLU}, {1, Activation::Identity}}, 5);
+  artifact::Encoder enc;
+  encode_mlp(model, enc);
+  const std::string whole(enc.bytes());
+  for (std::size_t length = 0; length < whole.size(); ++length) {
+    artifact::Decoder dec(whole.substr(0, length), "mlp");
+    EXPECT_THROW(
+        {
+          decode_mlp(dec);
+          dec.finish();
+        },
+        util::CheckError)
+        << "prefix of " << length << " bytes decoded";
+  }
 }
 
 }  // namespace

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <unistd.h>
 
 #include <filesystem>
@@ -311,6 +313,95 @@ TEST(StreamLive, KillAndRestoreReplaysWalToSameDigest) {
     EXPECT_EQ(restored.last_seq(), seq_before + 1);
     EXPECT_EQ(restored.digest(), digest_with_extra);
   }
+}
+
+TEST(StreamLive, ModelBundleRestoresServingWithoutRefit) {
+  // Full cold-start recovery: wal_dir alone (model bundle + snapshot + WAL)
+  // must reconstruct the pre-crash serving state in a process that never
+  // fits — predictions bit-equal to the ones served before the crash.
+  const std::string dir = fresh_dir("live_bundle");
+  const forum::QuestionId probe = 5;
+  std::uint64_t digest_before = 0;
+  std::vector<core::Prediction> before;
+  {
+    LiveCase c;
+    LiveStateConfig config;
+    config.wal_dir = dir;
+    config.snapshot_every = 40;
+    LiveState live(c.pipeline, c.base, config);
+    EXPECT_EQ(live.model_ref(), "model.fcm");
+    ASSERT_TRUE(std::filesystem::exists(model_bundle_path(dir)));
+    ingest_in_chunks(live, c.events, 23);
+    digest_before = live.digest();
+    for (forum::UserId u : all_users(c.base)) {
+      before.push_back(live.predict(u, probe));
+    }
+  }  // "crash"
+
+  {
+    // Fresh process: rebuild only the base dataset (deterministic), then
+    // restore the model from the bundle instead of refitting.
+    forum::GeneratorConfig gen;
+    gen.num_users = 120;
+    gen.num_questions = 130;
+    gen.seed = 4111;
+    const auto full = forum::generate_forum(gen).dataset.preprocessed();
+    auto split = split_events_after(full, kCutoffHours);
+    forum::Dataset base = std::move(split.base);
+
+    std::ifstream in(model_bundle_path(dir), std::ios::binary);
+    ASSERT_TRUE(in.good());
+    core::ForecastPipeline pipeline = core::ForecastPipeline::load(in, base);
+    ASSERT_TRUE(pipeline.fitted());
+
+    LiveState restored(pipeline, base, {.wal_dir = dir});
+    EXPECT_EQ(restored.digest(), digest_before);
+    EXPECT_FALSE(restored.recovered_truncated_tail());
+    const auto users = all_users(base);
+    ASSERT_EQ(users.size(), before.size());
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      const core::Prediction p = restored.predict(users[i], probe);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(p.answer_probability),
+                std::bit_cast<std::uint64_t>(before[i].answer_probability))
+          << "user " << users[i];
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(p.votes),
+                std::bit_cast<std::uint64_t>(before[i].votes))
+          << "user " << users[i];
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(p.delay_hours),
+                std::bit_cast<std::uint64_t>(before[i].delay_hours))
+          << "user " << users[i];
+    }
+  }
+}
+
+TEST(StreamLive, SnapshotsReferenceTheModelBundle) {
+  const std::string dir = fresh_dir("live_snapshot_ref");
+  {
+    LiveCase c;
+    LiveStateConfig config;
+    config.wal_dir = dir;
+    LiveState live(c.pipeline, c.base, config);
+    live.ingest(std::span<const ForumEvent>(c.events).first(5));
+    live.snapshot_now();
+  }
+  const SnapshotData snapshot = read_snapshot(snapshot_path(dir));
+  ASSERT_TRUE(snapshot.present);
+  EXPECT_EQ(snapshot.model_ref, "model.fcm");
+
+  // Opting out leaves no bundle and no reference.
+  const std::string bare = fresh_dir("live_no_bundle");
+  {
+    LiveCase c;
+    LiveStateConfig config;
+    config.wal_dir = bare;
+    config.save_model_bundle = false;
+    LiveState live(c.pipeline, c.base, config);
+    EXPECT_EQ(live.model_ref(), "");
+    live.ingest(std::span<const ForumEvent>(c.events).first(5));
+    live.snapshot_now();
+  }
+  EXPECT_FALSE(std::filesystem::exists(model_bundle_path(bare)));
+  EXPECT_EQ(read_snapshot(snapshot_path(bare)).model_ref, "");
 }
 
 TEST(StreamLive, RejectsInvalidEventsButKeepsThePrefix) {

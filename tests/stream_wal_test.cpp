@@ -325,6 +325,67 @@ TEST(Snapshot, MalformedFileThrows) {
   EXPECT_THROW(read_snapshot(snapshot_path(dir)), util::CheckError);
 }
 
+TEST(Snapshot, ModelRefRoundTrips) {
+  const std::string dir = fresh_dir("snap_model_ref");
+  const auto events = sample_events();
+  write_snapshot(snapshot_path(dir), events, 5, "model.fcm");
+  const SnapshotData snapshot = read_snapshot(snapshot_path(dir));
+  EXPECT_TRUE(snapshot.present);
+  EXPECT_EQ(snapshot.model_ref, "model.fcm");
+  ASSERT_EQ(snapshot.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    expect_events_equal(snapshot.events[i], events[i]);
+  }
+
+  // Default: no reference.
+  write_snapshot(snapshot_path(dir), events, 5);
+  EXPECT_EQ(read_snapshot(snapshot_path(dir)).model_ref, "");
+}
+
+TEST(Snapshot, ReadsVersion1FilesWithoutModelRef) {
+  // Hand-craft the v1 layout (header + records, no model-ref field): logs
+  // written before the bundle reference existed must keep recovering.
+  const std::string dir = fresh_dir("snap_v1");
+  const auto events = sample_events();
+  std::string blob = "FCSN";
+  const std::uint32_t version = 1;
+  const std::uint64_t last_seq = 5;
+  const std::uint64_t count = events.size();
+  blob.append(reinterpret_cast<const char*>(&version), sizeof version);
+  blob.append(reinterpret_cast<const char*>(&last_seq), sizeof last_seq);
+  blob.append(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const ForumEvent& event : events) append_event_record(blob, event);
+  dump(snapshot_path(dir), blob);
+
+  const SnapshotData snapshot = read_snapshot(snapshot_path(dir));
+  EXPECT_TRUE(snapshot.present);
+  EXPECT_EQ(snapshot.last_seq, 5u);
+  EXPECT_EQ(snapshot.model_ref, "");
+  ASSERT_EQ(snapshot.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    expect_events_equal(snapshot.events[i], events[i]);
+  }
+}
+
+TEST(Snapshot, TruncatedModelRefThrows) {
+  const std::string dir = fresh_dir("snap_ref_trunc");
+  write_snapshot(snapshot_path(dir), sample_events(), 5, "model.fcm");
+  const std::string whole = slurp(snapshot_path(dir));
+  // Cut inside the model-ref bytes (header is 28 bytes, then the ref).
+  dump(snapshot_path(dir), whole.substr(0, 30));
+  EXPECT_THROW(read_snapshot(snapshot_path(dir)), util::CheckError);
+}
+
+TEST(WriteFileAtomic, ReplacesContentsAndLeavesNoTemp) {
+  const std::string dir = fresh_dir("atomic_write");
+  const std::string path = dir + "/file.bin";
+  write_file_atomic(path, "first");
+  EXPECT_EQ(slurp(path), "first");
+  write_file_atomic(path, "second, longer contents");
+  EXPECT_EQ(slurp(path), "second, longer contents");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
 TEST(RecoverLog, MergesSnapshotWithNewerWalRecords) {
   const std::string dir = fresh_dir("recover_merge");
   std::vector<ForumEvent> events;
@@ -337,8 +398,9 @@ TEST(RecoverLog, MergesSnapshotWithNewerWalRecords) {
   }
   // Snapshot compacts the first 5; WAL still holds all 8.
   write_snapshot(snapshot_path(dir),
-                 std::span<const ForumEvent>(events).first(5), 5);
+                 std::span<const ForumEvent>(events).first(5), 5, "model.fcm");
   const RecoveredLog recovered = recover_log(dir);
+  EXPECT_EQ(recovered.model_ref, "model.fcm");
   EXPECT_EQ(recovered.from_snapshot, 5u);
   EXPECT_EQ(recovered.last_seq, 8u);
   ASSERT_EQ(recovered.events.size(), 8u);

@@ -23,11 +23,24 @@
 //       makes ingestion durable (and recovers any previous log found
 //       there); --snapshot-every N compacts the log periodically.
 //
+//   forumcast fit --data posts.csv --model-out model.fcm
+//       Fit the pipeline and save the whole fitted state (extractor, topic
+//       model, graphs, all three predictors) as one versioned model bundle.
+//
+//   forumcast serve --data posts.csv --model-in model.fcm [--question Q]
+//       Cold-start serving: load the bundle (zero fit stages) and score.
+//       Prints a prediction digest — bit-equal to the fit process's digest.
+//
+// predict and route also accept --model-in (serve from a bundle instead of
+// fitting) and --model-out (save the fitted pipeline after fitting).
+//
 // All subcommands accept --seed for reproducibility, plus:
 //   --trace-out FILE     record a Chrome trace (chrome://tracing / Perfetto)
 //                        of the run and write it to FILE
 //   --metrics-out FILE   dump the metrics registry snapshot as JSON to FILE
 #include <algorithm>
+#include <bit>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -47,6 +60,7 @@
 #include "stream/live_state.hpp"
 #include "stream/split.hpp"
 #include "util/check.hpp"
+#include "util/digest.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -114,6 +128,96 @@ core::ForecastPipeline fit_pipeline(const forum::Dataset& dataset,
             << history_days << ")...\n";
   pipeline.fit(dataset, history);
   return pipeline;
+}
+
+void save_bundle(const core::ForecastPipeline& pipeline,
+                 const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  FORUMCAST_CHECK_MSG(out.good(), "cannot write model bundle: " << path);
+  pipeline.save(out);
+  out.flush();
+  FORUMCAST_CHECK_MSG(out.good(), "failed writing model bundle: " << path);
+  std::cout << "wrote model bundle " << path << " ("
+            << std::filesystem::file_size(path) << " bytes)\n";
+}
+
+core::ForecastPipeline load_bundle(const forum::Dataset& dataset,
+                                   const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FORUMCAST_CHECK_MSG(in.good(), "cannot open model bundle: " << path);
+  auto pipeline = core::ForecastPipeline::load(in, dataset);
+  std::cout << "loaded model bundle " << path << " (generation "
+            << pipeline.generation() << ")\n";
+  return pipeline;
+}
+
+/// --model-in → load the bundle (zero fit stages); otherwise fit. With
+/// --model-out the resulting pipeline is saved afterwards.
+core::ForecastPipeline obtain_pipeline(const forum::Dataset& dataset,
+                                       const Args& args) {
+  const std::string model_in = args.get("model-in", "");
+  core::ForecastPipeline pipeline = model_in.empty()
+                                        ? fit_pipeline(dataset, args)
+                                        : load_bundle(dataset, model_in);
+  const std::string model_out = args.get("model-out", "");
+  if (!model_out.empty()) save_bundle(pipeline, model_out);
+  return pipeline;
+}
+
+/// Deterministic probe over both serving paths: three questions (first,
+/// middle, last) × up to 128 users scored through the batched engine, plus
+/// the scalar reference path for the leading users of each question —
+/// checked bit-equal against the batch result pair by pair. Equal digests
+/// across processes mean the loaded bundle predicts bit-identically to the
+/// pipeline that saved it.
+std::uint64_t prediction_digest(const core::ForecastPipeline& pipeline) {
+  const forum::Dataset& dataset = pipeline.dataset();
+  const std::size_t num_questions = dataset.num_questions();
+  const serve::BatchScorer scorer(pipeline, serve::BatchScorerConfig{});
+
+  std::vector<forum::QuestionId> probes;
+  for (const std::size_t q :
+       {std::size_t{0}, num_questions / 2, num_questions - 1}) {
+    const auto id = static_cast<forum::QuestionId>(q);
+    if (std::find(probes.begin(), probes.end(), id) == probes.end()) {
+      probes.push_back(id);
+    }
+  }
+  std::vector<forum::UserId> candidates;
+  const std::size_t probe_users = std::min<std::size_t>(dataset.num_users(), 128);
+  for (forum::UserId u = 0; u < probe_users; ++u) candidates.push_back(u);
+
+  const auto bits = [](double value) {
+    return std::bit_cast<std::uint64_t>(value);
+  };
+  util::Fnv1a digest;
+  for (const forum::QuestionId q : probes) {
+    const auto batch = scorer.score(q, candidates);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const core::Prediction& p = batch[i];
+      digest.f64(p.answer_probability);
+      digest.f64(p.votes);
+      digest.f64(p.delay_hours);
+      if (i < 16) {
+        const core::Prediction scalar = pipeline.predict(candidates[i], q);
+        FORUMCAST_CHECK_MSG(
+            bits(scalar.answer_probability) == bits(p.answer_probability) &&
+                bits(scalar.votes) == bits(p.votes) &&
+                bits(scalar.delay_hours) == bits(p.delay_hours),
+            "scalar/batch prediction mismatch at user "
+                << candidates[i] << " question " << q);
+        digest.f64(scalar.answer_probability);
+        digest.f64(scalar.votes);
+        digest.f64(scalar.delay_hours);
+      }
+    }
+  }
+  return digest.value();
+}
+
+void print_prediction_digest(const core::ForecastPipeline& pipeline) {
+  std::cout << "prediction digest: " << std::hex << prediction_digest(pipeline)
+            << std::dec << "\n";
 }
 
 serve::BatchScorerConfig scorer_config(const Args& args) {
@@ -195,22 +299,37 @@ int cmd_ingest(const Args& args) {
   std::cout << "loaded " << dataset.num_questions() << " questions, "
             << dataset.num_users() << " users\n";
 
-  core::PipelineConfig config;
-  config.extractor.lda.iterations =
-      static_cast<std::size_t>(args.get_int("lda-iterations", 50));
-  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
-  config.fit_threads =
-      static_cast<std::size_t>(args.get_int("fit-threads", 1));
-  core::ForecastPipeline pipeline(config);
-  std::vector<forum::QuestionId> window(dataset.num_questions());
-  for (std::size_t i = 0; i < window.size(); ++i) {
-    window[i] = static_cast<forum::QuestionId>(i);
+  // Bundle-aware recovery: an explicit --model-in wins; otherwise a bundle
+  // a previous run left in the WAL directory restores the fit-time models
+  // and the WAL replay reapplies the streamed events on top. Only fitting
+  // from scratch when neither exists.
+  std::string model_in = args.get("model-in", "");
+  const std::string wal_dir = args.get("wal-dir", "");
+  if (model_in.empty() && !wal_dir.empty() &&
+      std::filesystem::exists(stream::model_bundle_path(wal_dir))) {
+    model_in = stream::model_bundle_path(wal_dir);
   }
-  std::cout << "fitting on " << window.size() << " threads...\n";
-  pipeline.fit(dataset, window);
+  core::ForecastPipeline pipeline;
+  if (!model_in.empty()) {
+    pipeline = load_bundle(dataset, model_in);
+  } else {
+    core::PipelineConfig config;
+    config.extractor.lda.iterations =
+        static_cast<std::size_t>(args.get_int("lda-iterations", 50));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+    config.fit_threads =
+        static_cast<std::size_t>(args.get_int("fit-threads", 1));
+    pipeline = core::ForecastPipeline(config);
+    std::vector<forum::QuestionId> window(dataset.num_questions());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      window[i] = static_cast<forum::QuestionId>(i);
+    }
+    std::cout << "fitting on " << window.size() << " threads...\n";
+    pipeline.fit(dataset, window);
+  }
 
   stream::LiveStateConfig live_config;
-  live_config.wal_dir = args.get("wal-dir", "");
+  live_config.wal_dir = wal_dir;
   live_config.snapshot_every =
       static_cast<std::size_t>(args.get_int("snapshot-every", 0));
   stream::LiveState live(pipeline, dataset, live_config);
@@ -300,16 +419,13 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
-int cmd_predict(const Args& args) {
-  const auto dataset = load_data(args);
-  const auto question =
-      static_cast<forum::QuestionId>(args.get_int("question", 0));
-  FORUMCAST_CHECK_MSG(question < dataset.num_questions(),
-                      "question " << question << " out of range");
-  const auto pipeline = fit_pipeline(dataset, args);
+// Scores `question` against every candidate through the batched serving
+// engine and prints the top-K table. Shared by predict and serve.
+void print_top_candidates(const forum::Dataset& dataset,
+                          const core::ForecastPipeline& pipeline,
+                          const Args& args, forum::QuestionId question) {
   const auto top_k = static_cast<std::size_t>(args.get_int("top", 10));
 
-  // Score every candidate through the batched serving engine.
   std::vector<forum::UserId> candidates;
   candidates.reserve(dataset.num_users());
   for (forum::UserId u = 0; u < dataset.num_users(); ++u) {
@@ -346,12 +462,48 @@ int cmd_predict(const Args& args) {
   }
   table.print(std::cout);
   print_cache_stats(scorer);
+}
+
+int cmd_predict(const Args& args) {
+  const auto dataset = load_data(args);
+  const auto question =
+      static_cast<forum::QuestionId>(args.get_int("question", 0));
+  FORUMCAST_CHECK_MSG(question < dataset.num_questions(),
+                      "question " << question << " out of range");
+  const auto pipeline = obtain_pipeline(dataset, args);
+  print_top_candidates(dataset, pipeline, args, question);
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  const auto dataset = load_data(args);
+  const auto pipeline = fit_pipeline(dataset, args);
+  save_bundle(pipeline, args.require("model-out"));
+  print_prediction_digest(pipeline);
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  const auto dataset = load_data(args);
+  // Cold start: the bundle restores every fit product, so no fit stage runs
+  // (the metrics snapshot carries no pipeline.fit.* histograms — the smoke
+  // test asserts exactly that).
+  const auto pipeline = load_bundle(dataset, args.require("model-in"));
+  print_prediction_digest(pipeline);
+  const long question = args.get_int("question", -1);
+  if (question >= 0) {
+    FORUMCAST_CHECK_MSG(
+        static_cast<std::size_t>(question) < dataset.num_questions(),
+        "question " << question << " out of range");
+    print_top_candidates(dataset, pipeline, args,
+                         static_cast<forum::QuestionId>(question));
+  }
   return 0;
 }
 
 int cmd_route(const Args& args) {
   const auto dataset = load_data(args);
-  const auto pipeline = fit_pipeline(dataset, args);
+  const auto pipeline = obtain_pipeline(dataset, args);
   const int history_days = static_cast<int>(args.get_int("history-days", 25));
   const int last_day =
       static_cast<int>(dataset.last_post_time() / 24.0) + 1;
@@ -442,22 +594,33 @@ int cmd_evaluate(const Args& args) {
 }
 
 void usage() {
-  std::cout << "usage: forumcast <generate|stats|predict|route|evaluate|ingest> [--flag value ...]\n"
+  std::cout << "usage: forumcast <generate|stats|fit|serve|predict|route|evaluate|ingest> [--flag value ...]\n"
                "  generate --questions N --users N --seed S --out posts.csv\n"
                "           [--events-out events.jsonl --events-after-day D]\n"
                "           split: base CSV holds days 1-D, later activity\n"
                "           becomes a JSONL event stream for `ingest`\n"
                "  stats    --data posts.csv\n"
+               "  fit      --data posts.csv --model-out model.fcm [--history-days D]\n"
+               "           fit, save the whole pipeline as a versioned bundle,\n"
+               "           and print a prediction digest\n"
+               "  serve    --data posts.csv --model-in model.fcm [--question Q --top K]\n"
+               "           cold-start from the bundle (zero fit stages); the\n"
+               "           digest is bit-equal to the fit process's\n"
                "  predict  --data posts.csv --question Q [--history-days D] [--top K]\n"
                "  route    --data posts.csv [--history-days D] [--lambda L] [--epsilon E]\n"
                "  evaluate --data posts.csv [--folds F] [--repeats R]\n"
                "  ingest   --data base.csv --ingest events.jsonl [--chunk N]\n"
                "           [--wal-dir DIR] [--snapshot-every N]\n"
                "           [--question Q --top K]  score after ingesting\n"
-               "serving (predict, route):\n"
+               "model bundles (predict, route, ingest):\n"
+               "  --model-in FILE      load the fitted pipeline from a bundle\n"
+               "                       instead of fitting (ingest also picks up\n"
+               "                       a bundle found in --wal-dir automatically)\n"
+               "  --model-out FILE     save the fitted pipeline after fitting\n"
+               "serving (predict, route, serve):\n"
                "  --batch-size N       rows per batched-scoring block (default 256);\n"
                "                       cache hit/miss counters land in --metrics-out\n"
-               "training (predict, route, ingest):\n"
+               "training (fit, predict, route, ingest):\n"
                "  --fit-threads N      training parallelism for every fit stage\n"
                "                       (0 = all cores). 1 (default) is bit-equal\n"
                "                       to previous releases; N>1 only changes the\n"
@@ -527,6 +690,8 @@ int main(int argc, char** argv) {
     int rc = 2;
     if (command == "generate") rc = cmd_generate(args);
     else if (command == "stats") rc = cmd_stats(args);
+    else if (command == "fit") rc = cmd_fit(args);
+    else if (command == "serve") rc = cmd_serve(args);
     else if (command == "predict") rc = cmd_predict(args);
     else if (command == "route") rc = cmd_route(args);
     else if (command == "evaluate") rc = cmd_evaluate(args);

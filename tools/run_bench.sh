@@ -2,9 +2,10 @@
 # CI bench runner + regression guard.
 #
 # Runs the serving-layer benchmark (batch vs scalar scoring), the substrate
-# microbenches, the streaming-ingestion benchmark, and the training-path
-# benchmark in google-benchmark JSON mode, writes BENCH_serve.json /
-# BENCH_micro.json / BENCH_stream.json / BENCH_fit.json into --out-dir, and
+# microbenches, the streaming-ingestion benchmark, the training-path
+# benchmark, and the model-artifact save/load benchmark in google-benchmark
+# JSON mode, writes BENCH_serve.json / BENCH_micro.json / BENCH_stream.json /
+# BENCH_fit.json / BENCH_artifact.json into --out-dir, and
 # fails if batched scoring at 256 candidates is not at least
 # BENCH_MIN_SPEEDUP times faster (pairs/sec) than the scalar path, or if
 # pipeline fitting at 8 fit-threads is not at least BENCH_FIT_MIN_SPEEDUP
@@ -92,12 +93,14 @@ SERVE_BIN="$BUILD_DIR/bench/serve"
 MICRO_BIN="$BUILD_DIR/bench/micro"
 STREAM_BIN="$BUILD_DIR/bench/stream"
 FIT_BIN="$BUILD_DIR/bench/fit"
+ARTIFACT_BIN="$BUILD_DIR/bench/artifact"
 SERVE_JSON="$OUT_DIR/BENCH_serve.json"
 MICRO_JSON="$OUT_DIR/BENCH_micro.json"
 STREAM_JSON="$OUT_DIR/BENCH_stream.json"
 FIT_JSON="$OUT_DIR/BENCH_fit.json"
+ARTIFACT_JSON="$OUT_DIR/BENCH_artifact.json"
 
-for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN" "$FIT_BIN"; do
+for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN" "$FIT_BIN" "$ARTIFACT_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (configure with default options first)" >&2
     exit 2
@@ -117,6 +120,33 @@ echo "== bench/stream -> $STREAM_JSON"
 
 echo "== bench/fit -> $FIT_JSON"
 "$FIT_BIN" --benchmark_out="$FIT_JSON" --benchmark_out_format=json
+
+echo "== bench/artifact -> $ARTIFACT_JSON"
+"$ARTIFACT_BIN" --benchmark_out="$ARTIFACT_JSON" --benchmark_out_format=json
+
+echo "== model bundle: save/load latency and size"
+python3 - "$ARTIFACT_JSON" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+
+benches = {
+    bench["name"]: bench
+    for bench in report["benchmarks"]
+    if bench.get("run_type") != "aggregate"
+}
+for name in ("BM_BundleSave", "BM_BundleLoad"):
+    bench = benches.get(name)
+    if bench is None:
+        sys.exit(f"missing {name} results in {sys.argv[1]}")
+    ms = bench.get("real_time", 0.0)
+    size = bench.get("bundle_bytes", 0.0)
+    print(f"{name}: {ms:,.2f} ms, bundle {size / 1024.0:,.0f} KiB")
+    if ms <= 0.0 or size <= 0.0:
+        sys.exit(f"bench regression: {name} reported no time or an empty bundle")
+PY
 
 echo "== streaming ingestion: events/sec"
 python3 - "$STREAM_JSON" <<'PY'
