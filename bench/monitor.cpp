@@ -1,0 +1,158 @@
+// Monitoring overhead on the serve-while-ingesting steady state.
+//
+// BM_IngestScoreBaseline and BM_IngestScoreMonitored run the identical
+// loop — ingest a chunk, rescore the candidate set through an attached
+// BatchScorer — with the only difference being a QualityMonitor wired into
+// both the scorer (prediction ledger + latency histogram per batch) and the
+// LiveState (label-join per answer/vote, event-time SLO evaluation). The
+// acceptance budget is monitored throughput >= 95% of baseline;
+// tools/run_bench.sh publishes the pair as BENCH_monitor.json and enforces
+// the ratio.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "forum/generator.hpp"
+#include "obs/monitor/monitor.hpp"
+#include "serve/batch_scorer.hpp"
+#include "stream/live_state.hpp"
+#include "stream/split.hpp"
+
+namespace {
+
+using namespace forumcast;
+
+struct MonitorFixture {
+  forum::Dataset base;
+  std::vector<stream::ForumEvent> events;
+  core::PipelineConfig config;
+
+  static MonitorFixture& instance() {
+    static MonitorFixture fixture;
+    return fixture;
+  }
+
+ private:
+  MonitorFixture() {
+    forum::GeneratorConfig generator;
+    generator.num_users = 300;
+    generator.num_questions = 800;
+    generator.mean_extra_answers = 1.5;
+    generator.seed = 77;
+    const auto full = forum::generate_forum(generator).dataset.preprocessed();
+    auto split = stream::split_events_after(full, 18.0 * 24.0);
+    base = std::move(split.base);
+    events = std::move(split.events);
+
+    config.extractor.lda.iterations = 10;
+    config.answer.logistic.epochs = 20;
+    config.vote.epochs = 10;
+    config.timing.epochs = 4;
+    config.survival_samples_per_thread = 3;
+    config.timing.learn_omega = false;
+    config.timing.f_hidden = {20, 10};
+  }
+};
+
+struct LiveRun {
+  forum::Dataset dataset;
+  core::ForecastPipeline pipeline;
+  stream::LiveState live;
+  std::size_t cursor = 0;
+
+  explicit LiveRun(const MonitorFixture& fixture)
+      : dataset(fixture.base),
+        pipeline(fixture.config),
+        live((fit(), pipeline), dataset) {}
+
+ private:
+  void fit() {
+    std::vector<forum::QuestionId> window(dataset.num_questions());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      window[i] = static_cast<forum::QuestionId>(i);
+    }
+    pipeline.fit(dataset, window);
+  }
+};
+
+// The shared loop body; `monitored` decides whether a QualityMonitor rides
+// along. Both variants pay the same ingest + rescore work.
+void run_ingest_score(benchmark::State& state, bool monitored) {
+  auto& fixture = MonitorFixture::instance();
+  constexpr std::size_t kChunk = 64;
+  const std::span<const stream::ForumEvent> events(fixture.events);
+  std::vector<forum::UserId> users(fixture.base.num_users());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    users[i] = static_cast<forum::UserId>(i);
+  }
+  const auto question =
+      static_cast<forum::QuestionId>(fixture.base.num_questions() / 2);
+
+  std::unique_ptr<LiveRun> run;
+  std::unique_ptr<serve::BatchScorer> scorer;
+  std::unique_ptr<obs::monitor::QualityMonitor> monitor;
+  auto fresh = [&] {
+    run = std::make_unique<LiveRun>(fixture);
+    scorer = std::make_unique<serve::BatchScorer>(run->pipeline);
+    run->live.attach(scorer.get());
+    if (monitored) {
+      obs::monitor::MonitorConfig config;
+      config.drift_sample_every = 4;
+      monitor = std::make_unique<obs::monitor::QualityMonitor>(config);
+      monitor->set_baseline(run->pipeline.feature_baseline());
+      monitor->set_feature_fn(
+          [pipeline = &run->pipeline](forum::UserId u, forum::QuestionId q) {
+            return pipeline->extractor().features(u, q);
+          });
+      scorer->set_monitor(monitor.get());
+      run->live.attach_monitor(monitor.get());
+    }
+    run->live.score(*scorer, question, users);  // warm before timing
+  };
+
+  fresh();
+  std::int64_t ingested = 0;
+  for (auto _ : state) {
+    if (run->cursor + kChunk > events.size()) {
+      state.PauseTiming();
+      fresh();
+      state.ResumeTiming();
+    }
+    run->live.ingest(events.subspan(run->cursor, kChunk));
+    run->cursor += kChunk;
+    ingested += static_cast<std::int64_t>(kChunk);
+    benchmark::DoNotOptimize(run->live.score(*scorer, question, users));
+    // Also rescore the newest streamed question — the serving pattern that
+    // gives answers arriving in later chunks a ledger entry to join against.
+    const auto newest =
+        static_cast<forum::QuestionId>(run->dataset.num_questions() - 1);
+    benchmark::DoNotOptimize(run->live.score(*scorer, newest, users));
+  }
+  state.SetItemsProcessed(ingested);
+  if (monitored) {
+    // Keep the loop honest: the monitor must actually have seen traffic.
+    const auto report = monitor->evaluate_now(1e9);
+    state.counters["predictions_recorded"] =
+        static_cast<double>(report.predictions_recorded);
+    state.counters["outcomes_joined"] =
+        static_cast<double>(report.outcomes_joined);
+  }
+}
+
+void BM_IngestScoreBaseline(benchmark::State& state) {
+  run_ingest_score(state, /*monitored=*/false);
+}
+BENCHMARK(BM_IngestScoreBaseline)->Iterations(24)->Unit(benchmark::kMillisecond);
+
+void BM_IngestScoreMonitored(benchmark::State& state) {
+  run_ingest_score(state, /*monitored=*/true);
+}
+BENCHMARK(BM_IngestScoreMonitored)->Iterations(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

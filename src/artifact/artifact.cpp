@@ -48,6 +48,7 @@ const char* section_kind_name(SectionKind kind) {
     case SectionKind::kVotePredictor: return "vote_predictor";
     case SectionKind::kTimingPredictor: return "timing_predictor";
     case SectionKind::kModel: return "model";
+    case SectionKind::kFeatureBaseline: return "feature_baseline";
     case SectionKind::kEnd: return "end";
   }
   return "unknown";
@@ -298,6 +299,12 @@ BundleReader::BundleReader(std::istream& in) : in_(in) {
 
 SectionKind BundleReader::next_section(std::string& payload,
                                        SectionKind expected) {
+  if (pushback_) {
+    const SectionKind kind = pushback_->first;
+    payload = std::move(pushback_->second);
+    pushback_.reset();
+    return kind;
+  }
   const char* expected_name = section_kind_name(expected);
   std::uint32_t length = read_u32(in_, "section length");
   std::uint32_t stored_crc = read_u32(in_, "section checksum");
@@ -329,6 +336,17 @@ Decoder BundleReader::expect(SectionKind kind) {
                       "model bundle: expected section '"
                           << section_kind_name(kind) << "' but found '"
                           << section_kind_name(actual) << "'");
+  return Decoder(std::move(payload), section_kind_name(kind));
+}
+
+std::optional<Decoder> BundleReader::try_expect(SectionKind kind) {
+  FORUMCAST_CHECK_MSG(!done_, "model bundle: read past the end marker");
+  std::string payload;
+  const SectionKind actual = next_section(payload, kind);
+  if (actual != kind) {
+    pushback_.emplace(actual, std::move(payload));
+    return std::nullopt;
+  }
   return Decoder(std::move(payload), section_kind_name(kind));
 }
 

@@ -26,9 +26,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace forumcast::artifact {
@@ -48,6 +50,7 @@ enum class SectionKind : std::uint32_t {
   kVotePredictor = 4,      ///< core::VotePredictor
   kTimingPredictor = 5,    ///< core::TimingPredictor
   kModel = 6,              ///< a standalone ml:: model blob
+  kFeatureBaseline = 7,    ///< features::FeatureBaseline (drift reference)
   kEnd = 0xffffffffu,      ///< end-of-bundle marker (empty body)
 };
 
@@ -146,14 +149,25 @@ class BundleReader {
   explicit BundleReader(std::istream& in);
 
   Decoder expect(SectionKind kind);
+
+  /// Like expect(), but when the next section has a *different* kind it is
+  /// pushed back (one section deep) and std::nullopt is returned, leaving
+  /// that section for the following expect()/finish() call. This is how
+  /// loaders treat a newly appended SectionKind as optional: bundles written
+  /// before the kind existed keep loading, with the caller substituting a
+  /// default. CRC/truncation errors still throw.
+  std::optional<Decoder> try_expect(SectionKind kind);
+
   void finish();
 
  private:
   /// Reads the next framed record; returns its kind and fills `payload`.
+  /// Consumes the pushback slot first when try_expect() declined a section.
   SectionKind next_section(std::string& payload, SectionKind expected);
 
   std::istream& in_;
   bool done_ = false;
+  std::optional<std::pair<SectionKind, std::string>> pushback_;
 };
 
 }  // namespace forumcast::artifact

@@ -146,6 +146,11 @@ void ForecastPipeline::fit(const forum::Dataset& dataset,
       answer_labels.push_back(0);
     }
   }
+  // Drift reference: the histogram of the very matrix the answer classifier
+  // trains on. Captured before fit() consumes the rows so serving-time PSI
+  // compares against exactly what the model saw.
+  baseline_ = features::FeatureBaseline::from_rows(answer_rows);
+
   answer_ = AnswerPredictor(config_.answer);
   stage_timer.reset();
   answer_.fit(answer_rows, answer_labels);
@@ -190,6 +195,7 @@ Prediction ForecastPipeline::predict(forum::UserId u, forum::QuestionId q) const
   prediction.answer_probability = answer_.predict_probability(x);
   prediction.votes = vote_.predict(x);
   prediction.delay_hours = timing_.predict_delay(x, question_open_duration(q));
+  if (prediction_observer_) prediction_observer_(u, q, prediction);
   return prediction;
 }
 
@@ -245,6 +251,12 @@ void ForecastPipeline::save(std::ostream& out) const {
   artifact::Encoder timing;
   timing_.encode(timing);
   writer.section(artifact::SectionKind::kTimingPredictor, timing);
+
+  if (!baseline_.empty()) {
+    artifact::Encoder baseline;
+    baseline_.encode(baseline);
+    writer.section(artifact::SectionKind::kFeatureBaseline, baseline);
+  }
 
   writer.finish();
   FORUMCAST_COUNTER_ADD("pipeline.bundle_saves", 1);
@@ -303,6 +315,14 @@ ForecastPipeline ForecastPipeline::load(std::istream& in,
   auto timing = reader.expect(artifact::SectionKind::kTimingPredictor);
   pipeline.timing_ = TimingPredictor::decode(timing);
   timing.finish();
+
+  // Optional trailer: bundles written before the drift baseline existed end
+  // right after the timing predictor. Loading them leaves the baseline
+  // empty, and the monitor reports "no baseline" instead of fake PSI.
+  if (auto baseline = reader.try_expect(artifact::SectionKind::kFeatureBaseline)) {
+    pipeline.baseline_ = features::FeatureBaseline::decode(*baseline);
+    baseline->finish();
+  }
 
   reader.finish();
   FORUMCAST_COUNTER_ADD("pipeline.bundle_loads", 1);

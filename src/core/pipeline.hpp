@@ -19,6 +19,7 @@
 #include "core/timing_predictor.hpp"
 #include "core/vote_predictor.hpp"
 #include "eval/sampling.hpp"
+#include "features/baseline.hpp"
 #include "features/extractor.hpp"
 #include "forum/dataset.hpp"
 
@@ -55,6 +56,13 @@ struct Prediction {
 /// Callable producing x_{u,q}; lets callers swap in per-window extractors.
 using FeatureFn =
     std::function<std::vector<double>(forum::UserId, forum::QuestionId)>;
+
+/// Observer invoked after every scalar predict() with the scored pair and
+/// the resulting Prediction. This is the model-quality monitoring hook: the
+/// monitor (obs/monitor) registers itself here to ledger scalar-path
+/// predictions without core depending on the monitoring layer.
+using PredictionObserver = std::function<void(
+    forum::UserId, forum::QuestionId, const Prediction&)>;
 
 /// Callable scoring one question against many candidate users at once,
 /// returning one Prediction per candidate in order. The serving layer
@@ -103,6 +111,21 @@ class ForecastPipeline {
   const VotePredictor& vote_predictor() const { return vote_; }
   const TimingPredictor& timing_predictor() const { return timing_; }
 
+  /// Fit-time feature-distribution histograms, captured over the answer
+  /// classifier's training matrix and persisted with the bundle. Empty when
+  /// the pipeline was loaded from a bundle written before the baseline
+  /// section existed (drift detection then reports no data, never garbage).
+  const features::FeatureBaseline& feature_baseline() const {
+    return baseline_;
+  }
+
+  /// Installs (or clears, with nullptr) the scalar-path prediction observer.
+  /// Not synchronized against concurrent predict() calls — install before
+  /// serving starts, the same discipline BatchScorer::swap_model documents.
+  void set_prediction_observer(PredictionObserver observer) {
+    prediction_observer_ = std::move(observer);
+  }
+
   /// The dataset of the last fit(). Requires fit().
   const forum::Dataset& dataset() const;
 
@@ -133,6 +156,8 @@ class ForecastPipeline {
   AnswerPredictor answer_;
   VotePredictor vote_;
   TimingPredictor timing_;
+  features::FeatureBaseline baseline_;
+  PredictionObserver prediction_observer_;
   double last_post_time_ = 0.0;
   std::uint64_t generation_ = 0;
 };

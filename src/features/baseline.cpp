@@ -1,0 +1,91 @@
+#include "features/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "artifact/artifact.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::features {
+
+namespace {
+// Body format version inside the bundle section, mirroring the extractor
+// codec: lets the histogram inventory evolve without a bundle version bump.
+constexpr std::uint32_t kBaselineFormat = 1;
+}  // namespace
+
+FeatureBaseline FeatureBaseline::from_rows(
+    const std::vector<std::vector<double>>& rows) {
+  FeatureBaseline baseline;
+  if (rows.empty()) return baseline;
+  const std::size_t dimension = rows.front().size();
+  baseline.features_.resize(dimension);
+  baseline.sample_count_ = rows.size();
+
+  for (std::size_t f = 0; f < dimension; ++f) {
+    FeatureHistogram& hist = baseline.features_[f];
+    hist.min = rows.front()[f];
+    hist.max = rows.front()[f];
+    for (const auto& row : rows) {
+      FORUMCAST_CHECK_MSG(row.size() == dimension,
+                          "FeatureBaseline: ragged feature matrix (row has "
+                              << row.size() << " columns, expected "
+                              << dimension << ")");
+      hist.min = std::min(hist.min, row[f]);
+      hist.max = std::max(hist.max, row[f]);
+    }
+    hist.counts.assign(kBins, 0);
+  }
+  for (const auto& row : rows) {
+    for (std::size_t f = 0; f < dimension; ++f) {
+      ++baseline.features_[f].counts[baseline.bin(f, row[f])];
+    }
+  }
+  return baseline;
+}
+
+std::size_t FeatureBaseline::bin(std::size_t index, double value) const {
+  const FeatureHistogram& hist = features_[index];
+  const double width = hist.max - hist.min;
+  if (!(width > 0.0)) return 0;  // constant column: everything is bin 0
+  const double position = (value - hist.min) / width * kBins;
+  if (position <= 0.0) return 0;
+  const auto bin = static_cast<std::size_t>(position);
+  return std::min(bin, kBins - 1);
+}
+
+void FeatureBaseline::encode(artifact::Encoder& enc) const {
+  enc.u32(kBaselineFormat);
+  enc.u64(sample_count_);
+  enc.u64(features_.size());
+  for (const FeatureHistogram& hist : features_) {
+    enc.f64(hist.min, "baseline bin min");
+    enc.f64(hist.max, "baseline bin max");
+    enc.u64s(hist.counts);
+  }
+}
+
+FeatureBaseline FeatureBaseline::decode(artifact::Decoder& dec) {
+  const std::uint32_t format = dec.u32("baseline format");
+  FORUMCAST_CHECK_MSG(format == kBaselineFormat,
+                      "model bundle: unsupported feature-baseline format "
+                          << format);
+  FeatureBaseline baseline;
+  baseline.sample_count_ = dec.u64("baseline sample count");
+  const std::uint64_t dimension = dec.u64("baseline dimension");
+  baseline.features_.resize(static_cast<std::size_t>(dimension));
+  for (FeatureHistogram& hist : baseline.features_) {
+    hist.min = dec.f64("baseline bin min");
+    hist.max = dec.f64("baseline bin max");
+    hist.counts = dec.u64s("baseline bin counts");
+    FORUMCAST_CHECK_MSG(hist.counts.size() == kBins,
+                        "model bundle: feature-baseline histogram has "
+                            << hist.counts.size() << " bins, expected "
+                            << kBins);
+    FORUMCAST_CHECK_MSG(hist.max >= hist.min,
+                        "model bundle: feature-baseline bin range inverted");
+  }
+  return baseline;
+}
+
+}  // namespace forumcast::features

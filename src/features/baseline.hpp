@@ -1,0 +1,65 @@
+// Fit-time feature-distribution baseline: the reference the drift detector
+// compares serving-time feature vectors against.
+//
+// ForecastPipeline::fit captures one FeatureBaseline over the answer-
+// classifier training matrix (positives + sampled negatives — the closest
+// fit-time proxy for the (u, q) pairs the model will score live) and
+// persists it as its own bundle section, so a loaded model carries its own
+// drift reference. Each feature column gets an equal-width histogram over
+// the observed [min, max]; PSI against live traffic is computed downstream
+// (obs/monitor) from the bin counts, keeping this layer dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace forumcast::artifact {
+class Encoder;
+class Decoder;
+}  // namespace forumcast::artifact
+
+namespace forumcast::features {
+
+class FeatureBaseline {
+ public:
+  /// Equal-width bins per feature. 10 is the conventional PSI resolution:
+  /// coarse enough that fit-time counts per bin stay meaningful on small
+  /// training sets, fine enough to see a mean shift of half a bin width.
+  static constexpr std::size_t kBins = 10;
+
+  struct FeatureHistogram {
+    double min = 0.0;           ///< observed fit-time minimum
+    double max = 0.0;           ///< observed fit-time maximum
+    std::vector<std::uint64_t> counts;  ///< kBins entries
+  };
+
+  FeatureBaseline() = default;
+
+  /// Builds per-column histograms over `rows`; every row must have the same
+  /// dimension. A constant column (min == max) puts all mass in bin 0 and
+  /// bins every live value there too, so it contributes zero PSI until the
+  /// live values actually move.
+  static FeatureBaseline from_rows(const std::vector<std::vector<double>>& rows);
+
+  bool empty() const { return features_.empty(); }
+  std::size_t dimension() const { return features_.size(); }
+  std::uint64_t sample_count() const { return sample_count_; }
+  const FeatureHistogram& feature(std::size_t index) const {
+    return features_[index];
+  }
+
+  /// Bin index for a live value under feature `index`'s fit-time edges;
+  /// values outside [min, max] clamp into the first/last bin, which is
+  /// exactly where out-of-range drift should pile up.
+  std::size_t bin(std::size_t index, double value) const;
+
+  void encode(artifact::Encoder& enc) const;
+  static FeatureBaseline decode(artifact::Decoder& dec);
+
+ private:
+  std::vector<FeatureHistogram> features_;
+  std::uint64_t sample_count_ = 0;
+};
+
+}  // namespace forumcast::features

@@ -1,9 +1,15 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <functional>
 #include <stdexcept>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "obs/json.hpp"
 
@@ -18,6 +24,84 @@ std::size_t thread_shard_index() {
   static thread_local const std::size_t index =
       std::hash<std::thread::id>{}(std::this_thread::get_id());
   return index;
+}
+
+std::chrono::steady_clock::time_point process_epoch() {
+  // Pinned the first time any registry is constructed — for the global
+  // registry that is effectively process start, which is what dashboards
+  // want from an uptime gauge.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+double process_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_epoch())
+      .count();
+}
+
+double process_max_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss);  // bytes on Darwin
+#else
+    return static_cast<double>(usage.ru_maxrss) * 1024.0;  // KiB on Linux
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+// Prometheus metric names are `[a-zA-Z_:][a-zA-Z0-9_:]*`; this codebase also
+// uses dotted names throughout (test expectations depend on them surviving
+// exposition verbatim), so `.` is kept and everything else outside the spec
+// charset collapses to `_`. This guarantees a hostile registration can never
+// smuggle a space, quote, or newline into the line-oriented text format.
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':' || c == '.';
+    if (!ok) c = '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+// HELP text escaping per the exposition-format spec: backslash and newline.
+void append_escaped_help(std::string& out, const std::string& help) {
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+// Label-value escaping: backslash, double-quote, and newline.
+void append_escaped_label_value(std::string& out, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+void append_help_line(std::string& out,
+                      const std::map<std::string, std::string>& help,
+                      const std::string& raw_name,
+                      const std::string& exposition_name) {
+  const auto it = help.find(raw_name);
+  if (it == help.end()) return;
+  out += "# HELP " + exposition_name + " ";
+  append_escaped_help(out, it->second);
+  out.push_back('\n');
 }
 
 }  // namespace
@@ -61,6 +145,40 @@ Histogram::Snapshot Histogram::snapshot() const {
   return snap;
 }
 
+double Histogram::Snapshot::quantile(double q) const {
+  if (total_count == 0 || upper_bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total_count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Rank lands in bucket b. The overflow bucket has no finite upper edge,
+    // so the best honest answer is the last finite bound (Prometheus
+    // histogram_quantile does the same clamp).
+    if (b >= upper_bounds.size()) return upper_bounds.back();
+    const double upper = upper_bounds[b];
+    // Prometheus convention: the first bucket interpolates from 0 when its
+    // bound is positive (latency-shaped data); a non-positive first bound
+    // has no usable lower edge, so return the bound itself.
+    double lower;
+    if (b == 0) {
+      if (upper <= 0.0) return upper;
+      lower = 0.0;
+    } else {
+      lower = upper_bounds[b - 1];
+    }
+    const std::uint64_t below = cumulative - counts[b];
+    double fraction =
+        counts[b] > 0
+            ? (rank - static_cast<double>(below)) / static_cast<double>(counts[b])
+            : 1.0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    return lower + (upper - lower) * fraction;
+  }
+  return upper_bounds.back();
+}
+
 void Histogram::reset() noexcept {
   for (Shard& shard : shards_) {
     for (auto& count : shard.counts) count.store(0, std::memory_order_relaxed);
@@ -71,6 +189,21 @@ void Histogram::reset() noexcept {
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // immortal
   return *registry;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  process_epoch();  // pin the uptime epoch at construction
+  gauges_["process.uptime_seconds"] = std::make_unique<Gauge>();
+  gauges_["process.max_rss_bytes"] = std::make_unique<Gauge>();
+  helps_["process.uptime_seconds"] =
+      "Seconds since the metrics registry was created (steady clock).";
+  helps_["process.max_rss_bytes"] =
+      "Peak resident set size of the process in bytes, from getrusage.";
+}
+
+void MetricsRegistry::set_help(const std::string& name, std::string help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  helps_[name] = std::move(help);
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -96,8 +229,20 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  // Refresh the process self-metrics first so every snapshot is
+  // self-contained; the syscall happens outside the registry lock.
+  const double uptime = process_uptime_seconds();
+  const double max_rss = process_max_rss_bytes();
+
   Snapshot snap;
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = gauges_.find("process.uptime_seconds"); it != gauges_.end()) {
+    it->second->set(uptime);
+  }
+  if (auto it = gauges_.find("process.max_rss_bytes"); it != gauges_.end()) {
+    it->second->set(max_rss);
+  }
+  snap.help = helps_;
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace_back(name, counter->value());
   }
@@ -166,27 +311,34 @@ std::string MetricsRegistry::Snapshot::to_text() const {
   std::string out;
   char buffer[64];
   for (const auto& [name, value] : counters) {
-    out += name + " " + std::to_string(value) + "\n";
+    const std::string exposed = sanitize_metric_name(name);
+    append_help_line(out, help, name, exposed);
+    out += exposed + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : gauges) {
+    const std::string exposed = sanitize_metric_name(name);
+    append_help_line(out, help, name, exposed);
     std::snprintf(buffer, sizeof buffer, "%.12g", value);
-    out += name + " " + buffer + "\n";
+    out += exposed + " " + buffer + "\n";
   }
   for (const auto& [name, hist] : histograms) {
+    const std::string exposed = sanitize_metric_name(name);
+    append_help_line(out, help, name, exposed);
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < hist.counts.size(); ++b) {
       cumulative += hist.counts[b];
+      out += exposed + "_bucket{le=\"";
       if (b < hist.upper_bounds.size()) {
         std::snprintf(buffer, sizeof buffer, "%.12g", hist.upper_bounds[b]);
-        out += name + "_bucket{le=\"" + buffer + "\"} ";
+        append_escaped_label_value(out, buffer);
       } else {
-        out += name + "_bucket{le=\"+Inf\"} ";
+        out += "+Inf";
       }
-      out += std::to_string(cumulative) + "\n";
+      out += "\"} " + std::to_string(cumulative) + "\n";
     }
     std::snprintf(buffer, sizeof buffer, "%.12g", hist.sum);
-    out += name + "_sum " + buffer + "\n";
-    out += name + "_count " + std::to_string(hist.total_count) + "\n";
+    out += exposed + "_sum " + buffer + "\n";
+    out += exposed + "_count " + std::to_string(hist.total_count) + "\n";
   }
   return out;
 }

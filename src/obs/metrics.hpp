@@ -66,8 +66,20 @@ class Histogram {
     std::vector<std::uint64_t> counts;   ///< upper_bounds.size() + 1 entries
     std::uint64_t total_count = 0;
     double sum = 0.0;
+
+    /// Prometheus-style histogram_quantile: find the bucket holding the
+    /// q-th observation (q in [0, 1]) and interpolate linearly inside it.
+    /// The first bucket interpolates from 0 when its bound is positive
+    /// (the Prometheus convention for latency-shaped data); a rank landing
+    /// in the +inf overflow bucket is clamped to the last finite bound.
+    /// Returns 0 for an empty histogram.
+    double quantile(double q) const;
   };
   Snapshot snapshot() const;
+
+  /// Convenience: snapshot().quantile(q) — merges the shards, so prefer the
+  /// Snapshot form when reading several quantiles of one histogram.
+  double quantile(double q) const { return snapshot().quantile(q); }
 
   const std::vector<double>& upper_bounds() const { return bounds_; }
   void reset() noexcept;
@@ -88,21 +100,38 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& global();
 
+  /// Pre-registers the process self-metrics (`process.uptime_seconds`,
+  /// `process.max_rss_bytes`) so every snapshot carries them.
+  MetricsRegistry();
+
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   /// `upper_bounds` is consulted only when `name` is first registered.
   Histogram& histogram(const std::string& name,
                        std::vector<double> upper_bounds);
 
+  /// Attaches exposition help text to a metric name. Emitted as a `# HELP`
+  /// line by Snapshot::to_text() with `\` and newlines escaped per the
+  /// Prometheus exposition-format spec.
+  void set_help(const std::string& name, std::string help);
+
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, double>> gauges;
     std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+    std::map<std::string, std::string> help;
 
     std::string to_json() const;
-    /// Prometheus-style text exposition (`name value`, `name_bucket{le=..}`).
+    /// Prometheus-style text exposition (`name value`, `name_bucket{le=..}`,
+    /// `# HELP` lines where help text was registered). Metric names are
+    /// sanitized to the spec's charset (plus the `.` this codebase uses)
+    /// and HELP strings / label values are backslash-escaped, so a hostile
+    /// metric name can never break the line-oriented framing.
     std::string to_text() const;
   };
+  /// Also refreshes the process self-metrics (`process.uptime_seconds`,
+  /// `process.max_rss_bytes` via getrusage) so every snapshot is
+  /// self-contained for dashboards.
   Snapshot snapshot() const;
 
   /// Zeroes every registered metric (registrations survive). Test/bench use.
@@ -113,6 +142,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> helps_;
 };
 
 }  // namespace forumcast::obs

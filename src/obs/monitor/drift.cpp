@@ -1,0 +1,87 @@
+#include "obs/monitor/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace forumcast::obs::monitor {
+
+void DriftDetector::set_baseline(features::FeatureBaseline baseline) {
+  baseline_ = std::move(baseline);
+  live_.assign(baseline_.dimension() * features::FeatureBaseline::kBins, 0);
+  samples_ = 0;
+}
+
+void DriftDetector::observe(std::span<const double> row) {
+  if (baseline_.empty()) return;
+  FORUMCAST_CHECK_MSG(row.size() == baseline_.dimension(),
+                      "DriftDetector: feature vector has "
+                          << row.size() << " columns, baseline expects "
+                          << baseline_.dimension());
+  constexpr std::size_t kBins = features::FeatureBaseline::kBins;
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    ++live_[f * kBins + baseline_.bin(f, row[f])];
+  }
+  ++samples_;
+}
+
+double DriftDetector::psi_between(std::span<const std::uint64_t> expected,
+                                  std::span<const std::uint64_t> actual) {
+  FORUMCAST_CHECK(expected.size() == actual.size() && !expected.empty());
+  std::uint64_t expected_total = 0, actual_total = 0;
+  for (const std::uint64_t c : expected) expected_total += c;
+  for (const std::uint64_t c : actual) actual_total += c;
+  if (expected_total == 0 || actual_total == 0) return 0.0;
+
+  // ε-smoothing keeps ln(p/q) finite when a bin is empty on one side; 1e-4
+  // caps a fully-vacated bin's contribution around (p)·ln(p/1e-4) instead
+  // of infinity, matching standard PSI practice.
+  constexpr double kEpsilon = 1e-4;
+  double psi = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const double p = std::max(
+        static_cast<double>(expected[i]) / static_cast<double>(expected_total),
+        kEpsilon);
+    const double q = std::max(
+        static_cast<double>(actual[i]) / static_cast<double>(actual_total),
+        kEpsilon);
+    psi += (p - q) * std::log(p / q);
+  }
+  return psi;
+}
+
+std::optional<double> DriftDetector::psi(std::size_t column) const {
+  if (baseline_.empty() || samples_ < min_samples_) return std::nullopt;
+  constexpr std::size_t kBins = features::FeatureBaseline::kBins;
+  const auto& hist = baseline_.feature(column);
+  return psi_between(hist.counts,
+                     std::span<const std::uint64_t>(
+                         live_.data() + column * kBins, kBins));
+}
+
+std::optional<double> DriftDetector::psi_max() const {
+  if (baseline_.empty() || samples_ < min_samples_) return std::nullopt;
+  double max_psi = 0.0;
+  for (std::size_t f = 0; f < baseline_.dimension(); ++f) {
+    max_psi = std::max(max_psi, *psi(f));
+  }
+  return max_psi;
+}
+
+std::vector<double> DriftDetector::per_column_psi() const {
+  std::vector<double> out;
+  if (baseline_.empty() || samples_ < min_samples_) return out;
+  out.reserve(baseline_.dimension());
+  for (std::size_t f = 0; f < baseline_.dimension(); ++f) {
+    out.push_back(*psi(f));
+  }
+  return out;
+}
+
+void DriftDetector::reset_window() {
+  std::fill(live_.begin(), live_.end(), 0);
+  samples_ = 0;
+}
+
+}  // namespace forumcast::obs::monitor

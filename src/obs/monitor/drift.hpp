@@ -1,0 +1,70 @@
+// Feature drift detection: PSI of serving-time feature vectors against the
+// fit-time FeatureBaseline persisted in the model bundle.
+//
+// PSI (population stability index) per feature column:
+//   PSI = Σ_bins (p_i − q_i) · ln(p_i / q_i)
+// where p is the fit-time bin distribution and q the serving-time one, both
+// ε-smoothed so an empty bin contributes a large-but-finite term instead of
+// infinity. The classic reading: PSI < 0.1 stable, 0.1–0.25 moderate shift,
+// > 0.25 the model needs a refit — which is where the default SLO threshold
+// comes from.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "features/baseline.hpp"
+
+namespace forumcast::obs::monitor {
+
+class DriftDetector {
+ public:
+  /// `min_samples`: serving-side observations required before any PSI is
+  /// reported — below that the live histogram is noise, not a distribution.
+  explicit DriftDetector(std::size_t min_samples = 50)
+      : min_samples_(min_samples) {}
+
+  /// Installs the fit-time reference and clears the live window. Called on
+  /// attach and again after every hot swap (the new model carries its own
+  /// baseline).
+  void set_baseline(features::FeatureBaseline baseline);
+  bool has_baseline() const { return !baseline_.empty(); }
+  const features::FeatureBaseline& baseline() const { return baseline_; }
+
+  /// Folds one serving-time feature vector into the live histograms. The
+  /// row dimension must match the baseline's.
+  void observe(std::span<const double> row);
+
+  std::uint64_t samples() const { return samples_; }
+
+  /// PSI for one feature column; nullopt without a baseline or below
+  /// min_samples.
+  std::optional<double> psi(std::size_t column) const;
+
+  /// Max PSI across all columns — the drift headline the SLO watches.
+  std::optional<double> psi_max() const;
+
+  /// Per-column PSI vector (empty under the same conditions psi() is null).
+  std::vector<double> per_column_psi() const;
+
+  /// Drops the live window, keeping the baseline: called after a refit so
+  /// pre-swap traffic doesn't indict the new model.
+  void reset_window();
+
+  /// Smoothed PSI between two count histograms of equal size (exposed for
+  /// tests).
+  static double psi_between(std::span<const std::uint64_t> expected,
+                            std::span<const std::uint64_t> actual);
+
+ private:
+  std::size_t min_samples_;
+  features::FeatureBaseline baseline_;
+  /// live_[column * kBins + bin]
+  std::vector<std::uint64_t> live_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace forumcast::obs::monitor

@@ -1,0 +1,74 @@
+#include "obs/monitor/ledger.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace forumcast::obs::monitor {
+
+PredictionLedger::PredictionLedger(std::size_t capacity) {
+  FORUMCAST_CHECK_MSG(capacity > 0, "PredictionLedger capacity must be > 0");
+  ring_.resize(capacity);
+}
+
+void PredictionLedger::record(const LedgerEntry& entry) {
+  Slot& slot = ring_[head_];
+  if (slot.live) {
+    ++evicted_;
+    --live_;
+  }
+  ++recorded_;
+  slot.entry = entry;
+  slot.stamp = recorded_;
+  slot.live = true;
+  ++live_;
+  by_question_[entry.question].emplace_back(head_, recorded_);
+  ++indexed_;
+  head_ = (head_ + 1) % ring_.size();
+  if (indexed_ > 2 * ring_.size()) compact_index();
+}
+
+PredictionLedger::Resolution PredictionLedger::resolve_question(
+    forum::QuestionId question, forum::UserId answerer) {
+  Resolution resolution;
+  const auto it = by_question_.find(question);
+  if (it == by_question_.end()) return resolution;
+
+  // Most recent entry per user wins; stamps are monotone, so iterating in
+  // record order and overwriting keeps the freshest claim.
+  std::unordered_map<forum::UserId, LedgerEntry> latest;
+  for (const auto& [index, stamp] : it->second) {
+    Slot& slot = ring_[index];
+    if (!slot.live || slot.stamp != stamp) continue;  // recycled slot
+    latest[slot.entry.user] = slot.entry;
+    slot.live = false;
+    --live_;
+  }
+  indexed_ -= it->second.size();
+  by_question_.erase(it);
+
+  resolution.entries.reserve(latest.size());
+  for (auto& [user, entry] : latest) {
+    if (user == answerer) {
+      resolution.positive_index =
+          static_cast<std::ptrdiff_t>(resolution.entries.size());
+    }
+    resolution.entries.push_back(std::move(entry));
+  }
+  return resolution;
+}
+
+void PredictionLedger::compact_index() {
+  for (auto it = by_question_.begin(); it != by_question_.end();) {
+    auto& pairs = it->second;
+    std::erase_if(pairs, [this](const std::pair<std::size_t, std::uint64_t>& p) {
+      const Slot& slot = ring_[p.first];
+      return !slot.live || slot.stamp != p.second;
+    });
+    it = pairs.empty() ? by_question_.erase(it) : std::next(it);
+  }
+  indexed_ = 0;
+  for (const auto& [q, pairs] : by_question_) indexed_ += pairs.size();
+}
+
+}  // namespace forumcast::obs::monitor

@@ -1,0 +1,66 @@
+#include "obs/monitor/slo.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace forumcast::obs::monitor {
+
+const char* slo_state_name(SloState state) {
+  switch (state) {
+    case SloState::kOk: return "ok";
+    case SloState::kWarn: return "warn";
+    case SloState::kBreach: return "breach";
+  }
+  return "unknown";
+}
+
+void SloEngine::add_rule(SloRule rule) {
+  FORUMCAST_CHECK_MSG(!rule.name.empty() && !rule.metric.empty(),
+                      "SloRule needs a name and a metric key");
+  FORUMCAST_CHECK_MSG(rule.breach_after >= 1,
+                      "SloRule breach_after must be >= 1");
+  FORUMCAST_CHECK_MSG(find(rule.name) == nullptr,
+                      "duplicate SLO rule '" << rule.name << "'");
+  SloStatus status;
+  status.rule = std::move(rule);
+  statuses_.push_back(std::move(status));
+}
+
+void SloEngine::evaluate(const std::map<std::string, double>& values) {
+  ++evaluations_;
+  for (SloStatus& status : statuses_) {
+    const auto it = values.find(status.rule.metric);
+    if (it == values.end()) continue;  // metric still warming up
+    status.last_value = it->second;
+    const bool ok = status.rule.lower_bound
+                        ? it->second >= status.rule.threshold
+                        : it->second <= status.rule.threshold;
+    if (ok) {
+      status.consecutive_violations = 0;
+      status.state = SloState::kOk;
+    } else {
+      ++status.consecutive_violations;
+      status.state = status.consecutive_violations >= status.rule.breach_after
+                         ? SloState::kBreach
+                         : SloState::kWarn;
+    }
+  }
+}
+
+const SloStatus* SloEngine::find(const std::string& name) const {
+  const auto it = std::find_if(
+      statuses_.begin(), statuses_.end(),
+      [&name](const SloStatus& status) { return status.rule.name == name; });
+  return it == statuses_.end() ? nullptr : &*it;
+}
+
+bool SloEngine::refit_recommended() const {
+  return std::any_of(statuses_.begin(), statuses_.end(),
+                     [](const SloStatus& status) {
+                       return status.rule.refit_trigger &&
+                              status.state == SloState::kBreach;
+                     });
+}
+
+}  // namespace forumcast::obs::monitor

@@ -1,0 +1,66 @@
+// Declarative SLO rules with burn-rate state.
+//
+// A rule binds a metric key (as produced by the monitor's evaluation pass)
+// to a threshold and direction. Each evaluation tick compares the current
+// value and advances a consecutive-violation counter — one bad tick is a
+// warn (could be noise in a small window), `breach_after` consecutive bad
+// ticks is a breach (the window has genuinely moved). A passing tick resets
+// to ok, and a tick where the metric has no value yet (label-join still
+// warming up) leaves the state untouched rather than crying wolf.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace forumcast::obs::monitor {
+
+enum class SloState { kOk = 0, kWarn = 1, kBreach = 2 };
+
+const char* slo_state_name(SloState state);
+
+struct SloRule {
+  std::string name;    ///< e.g. "auc_min"
+  std::string metric;  ///< key into the evaluation's value map, e.g. "auc"
+  /// true: value must be >= threshold (quality floors like AUC);
+  /// false: value must be <= threshold (ceilings like PSI, latency).
+  bool lower_bound = true;
+  double threshold = 0.0;
+  /// Consecutive violating evaluations before warn escalates to breach.
+  int breach_after = 3;
+  /// Breaching this rule recommends a refit (model-quality rules), as
+  /// opposed to e.g. latency rules which indict the serving stack instead.
+  bool refit_trigger = false;
+};
+
+struct SloStatus {
+  SloRule rule;
+  SloState state = SloState::kOk;
+  int consecutive_violations = 0;
+  std::optional<double> last_value;  ///< metric value at the last evaluation
+};
+
+class SloEngine {
+ public:
+  void add_rule(SloRule rule);
+
+  /// One evaluation tick over the current metric values. Missing keys leave
+  /// that rule's state unchanged.
+  void evaluate(const std::map<std::string, double>& values);
+
+  const std::vector<SloStatus>& statuses() const { return statuses_; }
+  const SloStatus* find(const std::string& name) const;
+
+  /// Any refit_trigger rule currently in breach.
+  bool refit_recommended() const;
+
+  std::size_t evaluations() const { return evaluations_; }
+
+ private:
+  std::vector<SloStatus> statuses_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace forumcast::obs::monitor

@@ -4,7 +4,10 @@
 #include <memory>
 #include <mutex>
 
+#include <chrono>
+
 #include "ml/matrix.hpp"
+#include "obs/monitor/monitor.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -36,8 +39,11 @@ std::vector<core::Prediction> BatchScorer::score(
   if (users.empty()) return predictions;
 
   FORUMCAST_SPAN_NAMED(span, "serve.batch_score");
+  const auto score_start = std::chrono::steady_clock::now();
 
   std::size_t num_blocks = 0;
+  std::uint64_t ledger_token = 0;
+  obs::monitor::QualityMonitor* monitor = nullptr;
   for (;;) {
     // Fill phase (writer side): snapshot the served model, bind the cache to
     // its (swap epoch, generation) token, and materialize any missing
@@ -56,6 +62,8 @@ std::vector<core::Prediction> BatchScorer::score(
                   sync_token(epoch, pipeline->generation()));
       cache_.warm_users(users);
       block = cache_.question_block(question);
+      ledger_token = sync_token(epoch, pipeline->generation());
+      monitor = monitor_;  // snapshot under the lock (set_monitor races)
     }
 
     const double open_duration = pipeline->question_open_duration(question);
@@ -106,6 +114,13 @@ std::vector<core::Prediction> BatchScorer::score(
 
   FORUMCAST_COUNTER_ADD("serve.pairs_scored", users.size());
   FORUMCAST_COUNTER_ADD("serve.batches", 1);
+  if (monitor != nullptr) {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - score_start)
+                          .count();
+    monitor->record_batch(question, users, predictions, ledger_token);
+    monitor->observe_score_latency(ms, users.size());
+  }
   if (span.active()) {
     span.arg("pairs", static_cast<double>(users.size()));
     span.arg("blocks", static_cast<double>(num_blocks));
@@ -129,10 +144,25 @@ void BatchScorer::swap_model(
     std::shared_ptr<const core::ForecastPipeline> next) {
   FORUMCAST_CHECK_MSG(next != nullptr && next->fitted(),
                       "swap_model requires a fitted pipeline");
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  pipeline_ = std::move(next);
-  ++swap_epoch_;
+  obs::monitor::QualityMonitor* monitor = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    pipeline_ = std::move(next);
+    ++swap_epoch_;
+    monitor = monitor_;
+    if (monitor != nullptr) next = pipeline_;  // keep alive for the baseline
+  }
   FORUMCAST_COUNTER_ADD("serve.model_swaps", 1);
+  // Outside the scorer lock (monitor → scorer calls don't exist, but there
+  // is no reason to serialize serving behind a baseline copy either): the
+  // incoming model's fit-time baseline becomes the drift reference and the
+  // old model's live drift window is dropped.
+  if (monitor != nullptr) monitor->on_model_swap(next->feature_baseline());
+}
+
+void BatchScorer::set_monitor(obs::monitor::QualityMonitor* monitor) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  monitor_ = monitor;
 }
 
 std::uint64_t BatchScorer::swap_epoch() const {

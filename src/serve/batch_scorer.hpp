@@ -24,6 +24,10 @@
 #include "core/pipeline.hpp"
 #include "serve/feature_cache.hpp"
 
+namespace forumcast::obs::monitor {
+class QualityMonitor;
+}  // namespace forumcast::obs::monitor
+
 namespace forumcast::serve {
 
 struct BatchScorerConfig {
@@ -81,6 +85,13 @@ class BatchScorer {
   /// The currently served model.
   std::shared_ptr<const core::ForecastPipeline> pipeline() const;
 
+  /// Attaches the model-quality monitor: every score() call is ledgered
+  /// (question, users, predictions, serving sync token) and its wall time
+  /// observed, and swap_model() hands the monitor the incoming model's
+  /// fit-time feature baseline. Install before serving starts (same
+  /// discipline as attach()/detach() on LiveState); nullptr detaches.
+  void set_monitor(obs::monitor::QualityMonitor* monitor);
+
   FeatureCacheStats cache_stats() const;
   const BatchScorerConfig& config() const { return config_; }
 
@@ -97,6 +108,7 @@ class BatchScorer {
   mutable std::shared_mutex mutex_;
   mutable FeatureCache cache_;
   std::uint64_t swap_epoch_ = 0;
+  obs::monitor::QualityMonitor* monitor_ = nullptr;
 };
 
 }  // namespace forumcast::serve

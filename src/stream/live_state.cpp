@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "features/extractor.hpp"
+#include "obs/monitor/monitor.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/digest.hpp"
@@ -137,6 +138,9 @@ std::size_t LiveState::apply_locked(ForumEvent event, bool durable) {
       // rows repatched via the `users` category. Surviving blocks grow their
       // similarity tables inside FeatureCache::invalidate.
       dirty_.mark_user(event.user);
+      if (monitor_ != nullptr) {
+        monitor_->observe_question(q, event.timestamp_hours);
+      }
       FORUMCAST_COUNTER_ADD("stream.events.question", 1);
       break;
     }
@@ -154,6 +158,15 @@ std::size_t LiveState::apply_locked(ForumEvent event, bool durable) {
       dirty_.mark_user(event.user);
       dirty_.mark_question(event.question);
       if (edges_added) dirty_.mark_all();
+      if (monitor_ != nullptr) {
+        // Realized response delay = answer time − the question's post time,
+        // the quantity the timing model predicts (paper Sec. III-B).
+        const double delay =
+            event.timestamp_hours -
+            dataset_.thread(event.question).question.timestamp_hours;
+        monitor_->observe_answer(event.question, event.user, delay,
+                                 event.timestamp_hours);
+      }
       FORUMCAST_COUNTER_ADD("stream.events.answer", 1);
       break;
     }
@@ -175,6 +188,17 @@ std::size_t LiveState::apply_locked(ForumEvent event, bool durable) {
             event.vote_delta);
         // v_u and the creator's answered_votes feed its rows everywhere.
         dirty_.mark_user(creator);
+        if (monitor_ != nullptr) {
+          // Re-sample the RMSE join against the answer's *running total*:
+          // the predicted score targets the net votes the answer settles at,
+          // so each vote refreshes the realized side.
+          const double net = static_cast<double>(
+              dataset_.thread(event.question)
+                  .answers[static_cast<std::size_t>(event.answer_index)]
+                  .net_votes);
+          monitor_->observe_vote(event.question, creator, net,
+                                 event.timestamp_hours);
+        }
       }
       FORUMCAST_COUNTER_ADD("stream.events.vote", 1);
       break;
@@ -225,6 +249,11 @@ void LiveState::finish_batch_locked(double global_median_before) {
       scorer->invalidate(invalidation);
     }
   }
+  // Event time, not wall time, drives SLO evaluation — replayed history and
+  // live traffic behave identically. Our writer lock and the scorer path's
+  // reader lock are mutually exclusive, so monitor calls can't interleave
+  // with record_batch() from the same LiveState's traffic.
+  if (monitor_ != nullptr) monitor_->maybe_evaluate(last_event_time_);
   maybe_snapshot_locked();
 }
 
@@ -255,6 +284,11 @@ void LiveState::attach(serve::BatchScorer* scorer) {
 void LiveState::detach(serve::BatchScorer* scorer) {
   auto lock = writer_lock();
   std::erase(scorers_, scorer);
+}
+
+void LiveState::attach_monitor(obs::monitor::QualityMonitor* monitor) {
+  auto lock = writer_lock();
+  monitor_ = monitor;
 }
 
 core::Prediction LiveState::predict(forum::UserId u,

@@ -42,6 +42,10 @@
 #include "stream/event.hpp"
 #include "stream/wal.hpp"
 
+namespace forumcast::obs::monitor {
+class QualityMonitor;
+}  // namespace forumcast::obs::monitor
+
 namespace forumcast::stream {
 
 struct LiveStateConfig {
@@ -86,6 +90,15 @@ class LiveState {
   /// lock is what keeps assembly off half-applied batches.
   void attach(serve::BatchScorer* scorer);
   void detach(serve::BatchScorer* scorer);
+
+  /// Registers the model-quality monitor: every applied event becomes a
+  /// typed outcome fact — NewAnswer resolves the question's ledgered
+  /// predictions (with the realized first-answer delay), Vote feeds the
+  /// vote-RMSE join — and the end of each ingest batch drives the monitor's
+  /// event-time SLO timer. Attached after construction, so WAL recovery
+  /// replay is never observed (those outcomes predate the ledger). The
+  /// monitor must outlive the LiveState or be detached (nullptr detaches).
+  void attach_monitor(obs::monitor::QualityMonitor* monitor);
 
   /// pipeline.predict(u, q) under the reader lock.
   core::Prediction predict(forum::UserId u, forum::QuestionId q) const;
@@ -142,6 +155,7 @@ class LiveState {
   mutable std::atomic<int> writers_waiting_{0};
   DirtySet dirty_;
   std::vector<serve::BatchScorer*> scorers_;
+  obs::monitor::QualityMonitor* monitor_ = nullptr;
 
   std::vector<ForumEvent> applied_;  ///< the durable log, seq-stamped
   std::string model_ref_;            ///< bundle file name snapshots reference

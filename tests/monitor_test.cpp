@@ -1,0 +1,310 @@
+// Model-quality monitor: prediction ledger, SLO state machine, rolling
+// quality estimators, and the end-to-end synthetic-drift breach.
+//
+// The ledger / SLO / quality components are OBS-independent and tested
+// unconditionally; the QualityMonitor end-to-end tests exercise the glue
+// that compiles to no-ops under FORUMCAST_OBS=OFF, so they are gated.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "features/baseline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor/ledger.hpp"
+#include "obs/monitor/monitor.hpp"
+#include "obs/monitor/quality.hpp"
+#include "obs/monitor/slo.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::obs::monitor {
+namespace {
+
+LedgerEntry entry(forum::QuestionId q, forum::UserId u, double probability) {
+  LedgerEntry e;
+  e.question = q;
+  e.user = u;
+  e.answer_probability = probability;
+  e.votes = 2.0;
+  e.delay_hours = 6.0;
+  return e;
+}
+
+TEST(PredictionLedger, ResolvesFirstAnswerWithPositiveIndex) {
+  PredictionLedger ledger(16);
+  ledger.record(entry(5, 1, 0.2));
+  ledger.record(entry(5, 2, 0.9));
+  ledger.record(entry(5, 3, 0.1));
+  ledger.record(entry(6, 4, 0.5));  // different question, must stay pending
+  EXPECT_EQ(ledger.pending(), 4u);
+
+  const auto resolution = ledger.resolve_question(5, 2);
+  ASSERT_EQ(resolution.entries.size(), 3u);
+  ASSERT_GE(resolution.positive_index, 0);
+  EXPECT_EQ(resolution.entries[static_cast<std::size_t>(
+                                   resolution.positive_index)]
+                .user,
+            2u);
+  EXPECT_EQ(ledger.pending(), 1u);
+
+  // The join consumes: a second answer to the same question finds nothing.
+  EXPECT_TRUE(ledger.resolve_question(5, 3).entries.empty());
+}
+
+TEST(PredictionLedger, UnknownAnswererYieldsAllNegatives) {
+  PredictionLedger ledger(8);
+  ledger.record(entry(1, 10, 0.3));
+  ledger.record(entry(1, 11, 0.4));
+  const auto resolution = ledger.resolve_question(1, 99);
+  EXPECT_EQ(resolution.entries.size(), 2u);
+  EXPECT_EQ(resolution.positive_index, -1);
+}
+
+TEST(PredictionLedger, KeepsFreshestEntryPerUser) {
+  PredictionLedger ledger(16);
+  ledger.record(entry(3, 7, 0.1));
+  ledger.record(entry(3, 7, 0.8));  // periodic re-score of the same pair
+  const auto resolution = ledger.resolve_question(3, 7);
+  ASSERT_EQ(resolution.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(resolution.entries[0].answer_probability, 0.8);
+}
+
+TEST(PredictionLedger, EvictsOldestWhenFull) {
+  PredictionLedger ledger(4);
+  for (forum::QuestionId q = 0; q < 6; ++q) ledger.record(entry(q, q, 0.5));
+  EXPECT_EQ(ledger.recorded(), 6u);
+  EXPECT_EQ(ledger.evicted(), 2u);
+  EXPECT_EQ(ledger.pending(), 4u);
+  // Questions 0 and 1 were recycled; their outcomes can no longer join.
+  EXPECT_TRUE(ledger.resolve_question(0, 0).entries.empty());
+  EXPECT_FALSE(ledger.resolve_question(5, 5).entries.empty());
+}
+
+TEST(SloEngine, WarnsThenBreachesThenRecovers) {
+  SloEngine engine;
+  engine.add_rule({.name = "auc_min",
+                   .metric = "auc",
+                   .lower_bound = true,
+                   .threshold = 0.8,
+                   .breach_after = 3,
+                   .refit_trigger = true});
+
+  engine.evaluate({{"auc", 0.7}});
+  EXPECT_EQ(engine.find("auc_min")->state, SloState::kWarn);
+  EXPECT_FALSE(engine.refit_recommended());
+
+  engine.evaluate({{"auc", 0.7}});
+  EXPECT_EQ(engine.find("auc_min")->state, SloState::kWarn);
+  engine.evaluate({{"auc", 0.7}});
+  EXPECT_EQ(engine.find("auc_min")->state, SloState::kBreach);
+  EXPECT_TRUE(engine.refit_recommended());
+
+  engine.evaluate({{"auc", 0.95}});
+  EXPECT_EQ(engine.find("auc_min")->state, SloState::kOk);
+  EXPECT_EQ(engine.find("auc_min")->consecutive_violations, 0);
+  EXPECT_FALSE(engine.refit_recommended());
+}
+
+TEST(SloEngine, MissingMetricLeavesStateUntouched) {
+  SloEngine engine;
+  engine.add_rule({.name = "psi_max",
+                   .metric = "psi_max",
+                   .lower_bound = false,
+                   .threshold = 0.25,
+                   .breach_after = 2});
+  engine.evaluate({{"psi_max", 0.9}});
+  ASSERT_EQ(engine.find("psi_max")->state, SloState::kWarn);
+  // Label-join still warming up: no value this tick, no state change.
+  engine.evaluate({});
+  EXPECT_EQ(engine.find("psi_max")->state, SloState::kWarn);
+  EXPECT_EQ(engine.find("psi_max")->consecutive_violations, 1);
+}
+
+TEST(SloEngine, NonRefitRuleBreachDoesNotRecommendRefit) {
+  SloEngine engine;
+  engine.add_rule({.name = "p99",
+                   .metric = "latency",
+                   .lower_bound = false,
+                   .threshold = 5.0,
+                   .breach_after = 1,
+                   .refit_trigger = false});
+  engine.evaluate({{"latency", 50.0}});
+  EXPECT_EQ(engine.find("p99")->state, SloState::kBreach);
+  EXPECT_FALSE(engine.refit_recommended());
+}
+
+TEST(RollingWindow, BoundedMeanAndRootMean) {
+  RollingWindow window(2);
+  EXPECT_FALSE(window.mean().has_value());
+  window.add(1.0);
+  window.add(4.0);
+  window.add(16.0);  // evicts the 1.0
+  ASSERT_TRUE(window.mean().has_value());
+  EXPECT_DOUBLE_EQ(*window.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(*window.root_mean(), std::sqrt(10.0));
+}
+
+TEST(CalibrationHistogram, EceSeparatesCalibratedFromOverconfident) {
+  CalibrationHistogram calibrated;
+  for (int i = 0; i < 200; ++i) calibrated.add(0.55, i % 2);  // 50% realized
+  ASSERT_TRUE(calibrated.ece().has_value());
+  EXPECT_LT(*calibrated.ece(), 0.1);
+
+  CalibrationHistogram overconfident;
+  for (int i = 0; i < 200; ++i) overconfident.add(0.95, 0);
+  EXPECT_GT(*overconfident.ece(), 0.8);
+}
+
+TEST(TimingLogLikelihood, PeaksNearRealizedDelay) {
+  const double realized = 8.0;
+  const double matched = timing_log_likelihood(8.0, realized);
+  EXPECT_GT(matched, timing_log_likelihood(32.0, realized));
+  EXPECT_GT(matched, timing_log_likelihood(2.0, realized));
+  // Degenerate prediction must stay finite (rate is clamped).
+  EXPECT_TRUE(std::isfinite(timing_log_likelihood(0.0, realized)));
+}
+
+#if FORUMCAST_OBS_ENABLED
+
+// Shared synthetic setup: a 20-dim feature space (18 scalars + 2 topic
+// columns, the smallest layout the per-feature PSI naming accepts), a
+// uniform fit-time baseline, and a feature function whose shift is the knob
+// the drift tests turn.
+features::FeatureBaseline uniform_baseline(std::size_t dim, std::size_t rows,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> matrix(rows, std::vector<double>(dim));
+  for (auto& row : matrix) {
+    for (auto& value : row) value = rng.uniform();
+  }
+  return features::FeatureBaseline::from_rows(matrix);
+}
+
+core::FeatureFn shifted_features(std::size_t dim, double shift) {
+  return [dim, shift](forum::UserId u, forum::QuestionId q) {
+    // Deterministic pseudo-random row per (u, q), mean-shifted by `shift`.
+    util::Rng rng(0x5eedULL ^ (static_cast<std::uint64_t>(q) << 20) ^ u);
+    std::vector<double> row(dim);
+    for (auto& value : row) value = rng.uniform() + shift;
+    return row;
+  };
+}
+
+// Drives one "round" of traffic: questions get scored for 10 candidates
+// (the eventual answerer predicted high, everyone else low) and then
+// answered, so the label-join produces a clean AUC while drift accumulates
+// through the feature function.
+void run_round(QualityMonitor& monitor, forum::QuestionId first_question,
+               int questions, double start_hours) {
+  for (int i = 0; i < questions; ++i) {
+    const auto q = static_cast<forum::QuestionId>(first_question + i);
+    const forum::UserId answerer = q % 10;
+    std::vector<forum::UserId> users;
+    std::vector<core::Prediction> predictions;
+    for (forum::UserId u = 0; u < 10; ++u) {
+      users.push_back(u);
+      predictions.push_back({u == answerer ? 0.9 : 0.1, 2.0, 6.0});
+    }
+    monitor.record_batch(q, users, predictions, /*model_epoch=*/1);
+    monitor.observe_answer(q, answerer, /*realized_delay_hours=*/6.0,
+                           start_hours + 0.01 * i);
+  }
+}
+
+TEST(QualityMonitor, SyntheticDriftFlipsSloToBreachAndRecommendsRefit) {
+  constexpr std::size_t kDim = 20;
+  MonitorConfig config;
+  config.drift_sample_every = 1;
+  config.drift_min_samples = 50;
+  config.slo_breach_after = 3;
+  QualityMonitor monitor(config);
+  monitor.set_baseline(uniform_baseline(kDim, 400, 42));
+  monitor.set_feature_fn(shifted_features(kDim, /*shift=*/2.0));
+
+  // Round 1: drifted traffic. One bad evaluation = warn, not breach.
+  run_round(monitor, 0, 30, 1.0);
+  MonitorReport report = monitor.evaluate_now(2.0);
+  ASSERT_TRUE(report.psi_max.has_value());
+  EXPECT_GT(*report.psi_max, 0.25);
+  ASSERT_TRUE(report.auc.has_value());
+  EXPECT_GT(*report.auc, 0.9);  // the model itself is fine — only drift trips
+  ASSERT_NE(monitor.last_report().slos.size(), 0u);
+  const auto find_slo = [](const MonitorReport& r, const std::string& name) {
+    for (const SloStatus& status : r.slos) {
+      if (status.rule.name == name) return status;
+    }
+    ADD_FAILURE() << "missing SLO " << name;
+    return SloStatus{};
+  };
+  EXPECT_EQ(find_slo(report, "psi_max").state, SloState::kWarn);
+  EXPECT_EQ(find_slo(report, "auc_min").state, SloState::kOk);
+  EXPECT_FALSE(report.refit_recommended);
+
+  // Rounds 2-3: the drift persists → consecutive violations → breach.
+  run_round(monitor, 30, 30, 3.0);
+  report = monitor.evaluate_now(4.0);
+  EXPECT_EQ(find_slo(report, "psi_max").state, SloState::kWarn);
+  run_round(monitor, 60, 30, 5.0);
+  report = monitor.evaluate_now(6.0);
+  EXPECT_EQ(find_slo(report, "psi_max").state, SloState::kBreach);
+  EXPECT_TRUE(report.refit_recommended);
+
+  // Per-feature attribution is present and named.
+  ASSERT_FALSE(report.feature_psi.empty());
+  EXPECT_EQ(report.feature_psi.front().first, "a_u");
+
+  // The breach is exported for scrapers: refit gauge raised.
+  double refit_gauge = -1.0;
+  for (const auto& [name, value] :
+       MetricsRegistry::global().snapshot().gauges) {
+    if (name == "monitor.refit_recommended") refit_gauge = value;
+  }
+  EXPECT_DOUBLE_EQ(refit_gauge, 1.0);
+}
+
+TEST(QualityMonitor, StableTrafficKeepsSloOk) {
+  constexpr std::size_t kDim = 20;
+  MonitorConfig config;
+  config.drift_sample_every = 1;
+  QualityMonitor monitor(config);
+  monitor.set_baseline(uniform_baseline(kDim, 400, 42));
+  monitor.set_feature_fn(shifted_features(kDim, /*shift=*/0.0));
+
+  for (int round = 0; round < 3; ++round) {
+    run_round(monitor, round * 30, 30, 1.0 + 2.0 * round);
+    const MonitorReport report = monitor.evaluate_now(2.0 + 2.0 * round);
+    ASSERT_TRUE(report.psi_max.has_value());
+    EXPECT_LT(*report.psi_max, 0.25);
+    EXPECT_FALSE(report.refit_recommended);
+  }
+}
+
+TEST(QualityMonitor, MaybeEvaluateGatesOnEventTime) {
+  QualityMonitor monitor;
+  EXPECT_FALSE(monitor.maybe_evaluate(10.0));  // arms the interval
+  EXPECT_FALSE(monitor.maybe_evaluate(10.5));
+  EXPECT_TRUE(monitor.maybe_evaluate(11.5));
+  EXPECT_EQ(monitor.last_report().evaluations, 1u);
+  // Event time only moves forward; a replayed stale timestamp can't rewind
+  // the clock into re-evaluating.
+  EXPECT_FALSE(monitor.maybe_evaluate(11.6));
+}
+
+TEST(QualityMonitor, VoteOutcomesFeedRmse) {
+  QualityMonitor monitor;
+  const std::vector<forum::UserId> users{3};
+  const std::vector<core::Prediction> predictions{{0.9, 5.0, 2.0}};
+  monitor.record_batch(7, users, predictions, 1);
+  monitor.observe_answer(7, 3, 2.0, 1.0);  // resolves user 3 as positive
+  monitor.observe_vote(7, 3, /*net_votes=*/2.0, 1.5);
+  const MonitorReport report = monitor.evaluate_now(2.5);
+  ASSERT_TRUE(report.vote_rmse.has_value());
+  EXPECT_DOUBLE_EQ(*report.vote_rmse, 3.0);  // |5 predicted − 2 realized|
+  ASSERT_TRUE(report.timing_loglik.has_value());
+}
+
+#endif  // FORUMCAST_OBS_ENABLED
+
+}  // namespace
+}  // namespace forumcast::obs::monitor

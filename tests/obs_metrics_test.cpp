@@ -143,6 +143,102 @@ TEST(MetricsRegistryTest, TextExpositionHasCumulativeBuckets) {
       << text;
 }
 
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram histogram({10.0, 20.0, 40.0});
+  // 10 observations in (10, 20]: ranks 1..10 all land in the second bucket.
+  for (int i = 0; i < 10; ++i) histogram.observe(15.0);
+  const auto snapshot = histogram.snapshot();
+  // Median rank = 5 of 10 -> halfway through the (10, 20] bucket.
+  EXPECT_NEAR(snapshot.quantile(0.5), 15.0, 1e-9);
+  EXPECT_NEAR(snapshot.quantile(1.0), 20.0, 1e-9);
+  // Convenience form on the live histogram agrees.
+  EXPECT_NEAR(histogram.quantile(0.5), 15.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantileSpansMultipleBuckets) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  // 2 in first bucket, 6 in second, 2 in third => p50 rank 5 is the 3rd of
+  // 6 observations inside (1, 2]: 1 + (5-2)/6 * 1 = 1.5.
+  histogram.observe(0.5);
+  histogram.observe(0.5);
+  for (int i = 0; i < 6; ++i) histogram.observe(1.5);
+  histogram.observe(3.0);
+  histogram.observe(3.0);
+  EXPECT_NEAR(histogram.quantile(0.5), 1.5, 1e-9);
+  // p90 rank = 9 -> 1st of 2 in (2, 4]: 2 + (9-8)/2 * 2 = 3.
+  EXPECT_NEAR(histogram.quantile(0.9), 3.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantileFirstBucketInterpolatesFromZero) {
+  Histogram histogram({8.0, 16.0});
+  for (int i = 0; i < 4; ++i) histogram.observe(1.0);
+  // All mass in the first bucket: p50 = 0 + (2/4) * 8 = 4 (Prometheus
+  // convention, not the empirical median).
+  EXPECT_NEAR(histogram.quantile(0.5), 4.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantileClampsOverflowToLastFiniteBound) {
+  Histogram histogram({1.0, 5.0});
+  histogram.observe(100.0);
+  histogram.observe(200.0);
+  EXPECT_NEAR(histogram.quantile(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(histogram.quantile(0.99), 5.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram histogram({1.0, 2.0});
+  EXPECT_EQ(histogram.quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesProcessSelfMetrics) {
+  MetricsRegistry registry;  // fresh registry: self-metrics are pre-registered
+  const auto snap = registry.snapshot();
+  double uptime = -1.0, rss = -1.0;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "process.uptime_seconds") uptime = value;
+    if (name == "process.max_rss_bytes") rss = value;
+  }
+  EXPECT_GE(uptime, 0.0);
+  // Any live process has touched more than a page of memory.
+  EXPECT_GT(rss, 4096.0);
+  // Refreshed at snapshot time: uptime is monotone across snapshots.
+  const auto later = registry.snapshot();
+  for (const auto& [name, value] : later.gauges) {
+    if (name == "process.uptime_seconds") EXPECT_GE(value, uptime);
+  }
+}
+
+TEST(MetricsRegistryTest, TextExpositionEmitsEscapedHelp) {
+  MetricsRegistry registry;
+  registry.counter("test.help.counter").add(1);
+  registry.set_help("test.help.counter",
+                    "line one\nback\\slash and \"quotes\"");
+  const std::string text = registry.snapshot().to_text();
+  // Newlines and backslashes are escaped so the HELP line stays one line;
+  // quotes are legal in HELP text and pass through.
+  EXPECT_NE(text.find("# HELP test.help.counter "
+                      "line one\\nback\\\\slash and \"quotes\""),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, TextExpositionSanitizesHostileMetricNames) {
+  MetricsRegistry registry;
+  // A metric name with spaces, quotes, and a newline must not be able to
+  // forge extra exposition lines or break the framing.
+  registry.counter("evil name\"} 99\ninjected_metric 1").add(3);
+  registry.gauge("spaced gauge").set(2.0);
+  const std::string text = registry.snapshot().to_text();
+  EXPECT_NE(text.find("evil_name___99_injected_metric_1 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spaced_gauge 2"), std::string::npos) << text;
+  EXPECT_EQ(text.find("injected_metric 1\n"), std::string::npos) << text;
+  // Dotted names used across this codebase survive verbatim.
+  registry.counter("dotted.name.ok").add(1);
+  EXPECT_NE(registry.snapshot().to_text().find("dotted.name.ok 1"),
+            std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsRegistrations) {
   auto& registry = MetricsRegistry::global();
   registry.counter("test.reset.counter").add(5);

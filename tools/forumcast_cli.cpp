@@ -54,6 +54,7 @@
 #include "eval/metrics.hpp"
 #include "forum/generator.hpp"
 #include "forum/io.hpp"
+#include "obs/monitor/monitor.hpp"
 #include "obs/obs.hpp"
 #include "serve/batch_scorer.hpp"
 #include "stream/event_json.hpp"
@@ -271,12 +272,57 @@ int cmd_generate(const Args& args) {
       base_users = std::max(base_users, answer.creator + 1);
     }
   }
+  // Unseen-author events are dropped — but the split pre-assigned contiguous
+  // question ids and answer indices assuming every event replays, so a
+  // dropped NewQuestion/NewAnswer also invalidates its id/index and every
+  // event referencing it. One ordered pass (causality holds: a question
+  // precedes its answers, an answer precedes its votes) drops the dependents
+  // and renumbers the survivors to match what LiveState will assign.
   const std::size_t before = split.events.size();
-  std::erase_if(split.events, [&](const stream::ForumEvent& event) {
-    return (event.type == stream::EventType::kNewQuestion ||
-            event.type == stream::EventType::kNewAnswer) &&
-           event.user >= base_users;
-  });
+  const auto base_count =
+      static_cast<forum::QuestionId>(split.base.num_questions());
+  std::map<forum::QuestionId, forum::QuestionId> question_remap;
+  std::map<forum::QuestionId, std::vector<std::int32_t>> dropped_answers;
+  forum::QuestionId next_question = base_count;
+  std::vector<stream::ForumEvent> kept;
+  kept.reserve(split.events.size());
+  for (stream::ForumEvent& event : split.events) {
+    const bool unseen_author =
+        (event.type == stream::EventType::kNewQuestion ||
+         event.type == stream::EventType::kNewAnswer) &&
+        event.user >= base_users;
+    if (event.type == stream::EventType::kNewQuestion) {
+      if (unseen_author) continue;  // id never maps; dependents drop below
+      question_remap[event.question] = next_question;
+      event.question = next_question++;
+      kept.push_back(std::move(event));
+      continue;
+    }
+    if (event.question >= base_count) {
+      const auto it = question_remap.find(event.question);
+      if (it == question_remap.end()) continue;  // question was dropped
+      event.question = it->second;
+    }
+    auto& dropped = dropped_answers[event.question];
+    if (event.type == stream::EventType::kNewAnswer) {
+      if (unseen_author) {
+        dropped.push_back(event.answer_index);
+        continue;
+      }
+      event.answer_index -= static_cast<std::int32_t>(dropped.size());
+    } else if (event.answer_index >= 0) {  // vote on a specific answer
+      std::int32_t shift = 0;
+      bool target_dropped = false;
+      for (const std::int32_t index : dropped) {
+        if (index == event.answer_index) target_dropped = true;
+        if (index < event.answer_index) ++shift;
+      }
+      if (target_dropped) continue;
+      event.answer_index -= shift;
+    }
+    kept.push_back(std::move(event));
+  }
+  split.events = std::move(kept);
   if (split.events.size() != before) {
     std::cerr << "note: dropped " << before - split.events.size()
               << " events from users unseen before day " << cutoff_day << "\n";
@@ -343,6 +389,52 @@ int cmd_ingest(const Args& args) {
   serve::BatchScorer scorer(pipeline, scorer_config(args));
   live.attach(&scorer);
 
+  // --monitor 1: live model-quality monitoring. Every scored batch lands in
+  // the prediction ledger; streamed answers and votes join back against it;
+  // serving-time features are checked for drift against the fit-time
+  // baseline; SLOs run on event time. Ledger entries only exist for scored
+  // questions, so recent base questions are warm-scored up front and each
+  // newly arrived question right after its chunk — answers streaming in
+  // later then find predictions to resolve.
+  const bool monitoring = args.get_int("monitor", 0) != 0;
+  std::optional<obs::monitor::QualityMonitor> monitor;
+  std::vector<forum::UserId> candidates_all;
+  std::size_t warm_mark = dataset.num_questions();
+  double last_event_time = dataset.last_post_time();
+  if (monitoring) {
+    obs::monitor::MonitorConfig monitor_config;
+    monitor_config.slo_auc_min =
+        args.get_double("slo-auc", monitor_config.slo_auc_min);
+    monitor_config.slo_psi_max =
+        args.get_double("slo-psi", monitor_config.slo_psi_max);
+    monitor_config.slo_p99_latency_ms =
+        args.get_double("slo-p99", monitor_config.slo_p99_latency_ms);
+    monitor.emplace(monitor_config);
+    monitor->set_baseline(pipeline.feature_baseline());
+    monitor->set_feature_fn([&pipeline](forum::UserId u, forum::QuestionId q) {
+      return pipeline.extractor().features(u, q);
+    });
+    pipeline.set_prediction_observer(
+        [&pipeline, &monitor](forum::UserId u, forum::QuestionId q,
+                              const core::Prediction& p) {
+          monitor->record(u, q, p, pipeline.generation());
+        });
+    scorer.set_monitor(&*monitor);
+    live.attach_monitor(&*monitor);
+
+    candidates_all.reserve(dataset.num_users());
+    for (forum::UserId u = 0; u < dataset.num_users(); ++u) {
+      candidates_all.push_back(u);
+    }
+    const auto warm = static_cast<std::size_t>(
+        std::max<long>(0, args.get_int("monitor-warm", 64)));
+    const std::size_t first =
+        warm_mark > warm ? warm_mark - warm : std::size_t{0};
+    for (std::size_t q = first; q < warm_mark; ++q) {
+      live.score(scorer, static_cast<forum::QuestionId>(q), candidates_all);
+    }
+  }
+
   const std::string events_path = args.get("ingest", "");
   if (!events_path.empty()) {
     const auto events = stream::load_events_jsonl(events_path);
@@ -354,7 +446,15 @@ int cmd_ingest(const Args& args) {
       const std::size_t n = std::min(chunk, events.size() - begin);
       applied += live.ingest(
           std::span<const stream::ForumEvent>(events).subspan(begin, n));
+      if (monitor) {
+        // Ledger the chunk's new arrivals so later answers can join.
+        for (; warm_mark < dataset.num_questions(); ++warm_mark) {
+          live.score(scorer, static_cast<forum::QuestionId>(warm_mark),
+                     candidates_all);
+        }
+      }
     }
+    if (!events.empty()) last_event_time = events.back().timestamp_hours;
     std::cout << "ingested " << applied << " events (seq "
               << live.last_seq() << "), " << dataset.num_questions()
               << " questions live\n";
@@ -396,6 +496,13 @@ int cmd_ingest(const Args& args) {
                      util::Table::num(p.delay_hours, 2)});
     }
     table.print(std::cout);
+  }
+  if (monitor) {
+    const auto report = monitor->evaluate_now(last_event_time);
+    std::cout << report.to_string();
+    live.attach_monitor(nullptr);
+    scorer.set_monitor(nullptr);
+    pipeline.set_prediction_observer(nullptr);
   }
   print_cache_stats(scorer);
   live.detach(&scorer);
@@ -612,6 +719,18 @@ void usage() {
                "  ingest   --data base.csv --ingest events.jsonl [--chunk N]\n"
                "           [--wal-dir DIR] [--snapshot-every N]\n"
                "           [--question Q --top K]  score after ingesting\n"
+               "monitoring (ingest):\n"
+               "  --monitor 1          ledger every scored batch, join streamed\n"
+               "                       answers/votes back as labels (rolling AUC,\n"
+               "                       vote RMSE, timing log-likelihood, ECE),\n"
+               "                       track per-feature PSI vs the fit-time\n"
+               "                       baseline, evaluate SLOs on event time,\n"
+               "                       and print the monitor report\n"
+               "  --monitor-warm N     recent base questions warm-scored into the\n"
+               "                       ledger before ingesting (default 64)\n"
+               "  --slo-auc X          rolling-AUC floor (default 0.80)\n"
+               "  --slo-psi X          per-feature PSI ceiling (default 0.25)\n"
+               "  --slo-p99 X          p99 score() latency ceiling, ms (default 5)\n"
                "model bundles (predict, route, ingest):\n"
                "  --model-in FILE      load the fitted pipeline from a bundle\n"
                "                       instead of fitting (ingest also picks up\n"

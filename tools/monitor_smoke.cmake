@@ -1,0 +1,107 @@
+# End-to-end smoke test for live model-quality monitoring
+# (ctest: tools.monitor_smoke).
+#
+# Generates a synthetic forum split into a base CSV + post-cutoff event
+# stream, runs `forumcast ingest --monitor 1`, and validates that
+#   - the printed MonitorReport contains the rolling quality metrics and the
+#     SLO table, and
+#   - the metrics snapshot carries the monitor gauges (AUC, vote RMSE,
+#     timing log-likelihood, per-feature PSI, SLO states, the refit gauge)
+#     with the label-join having actually resolved outcomes.
+#
+# Invoked as:
+#   cmake -DFORUMCAST_CLI=<path> -DWORK_DIR=<dir> -P monitor_smoke.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+if(NOT FORUMCAST_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DFORUMCAST_CLI=... -DWORK_DIR=... -P monitor_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(base "${WORK_DIR}/base.csv")
+set(events "${WORK_DIR}/events.jsonl")
+set(metrics "${WORK_DIR}/metrics.json")
+
+execute_process(
+  COMMAND "${FORUMCAST_CLI}" generate
+          --questions 250 --users 180 --seed 7 --out "${base}"
+          --events-out "${events}" --events-after-day 20
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forumcast generate failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND "${FORUMCAST_CLI}" ingest
+          --data "${base}" --ingest "${events}" --chunk 64
+          --monitor 1 --monitor-warm 48
+          --lda-iterations 8 --seed 7
+          --metrics-out "${metrics}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE report)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forumcast ingest --monitor failed (rc=${rc})")
+endif()
+
+# --- The printed MonitorReport covers quality, drift, and SLOs. ---
+foreach(line
+    "model-quality monitor"
+    "rolling AUC:"
+    "vote RMSE:"
+    "timing log-likelihood:"
+    "calibration ECE:"
+    "feature drift"
+    "SLOs:"
+    "auc_min"
+    "psi_max"
+    "p99_score_latency_ms"
+    "refit recommended:")
+  string(FIND "${report}" "${line}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "monitor report is missing '${line}'\n---\n${report}")
+  endif()
+endforeach()
+
+# --- Metrics snapshot: monitor gauges present and the join productive. ---
+file(READ "${metrics}" metrics_json)
+foreach(gauge
+    monitor.auc
+    monitor.vote_rmse
+    monitor.timing_loglik
+    monitor.calibration_ece
+    monitor.psi_max
+    monitor.psi.a_u
+    monitor.psi.r_u
+    monitor.slo.auc_min
+    monitor.slo.psi_max
+    monitor.slo.p99_score_latency_ms
+    monitor.refit_recommended
+    monitor.p99_score_latency_ms)
+  string(JSON value ERROR_VARIABLE err
+         GET "${metrics_json}" gauges "${gauge}")
+  if(err)
+    message(FATAL_ERROR "metrics snapshot is missing gauge '${gauge}': ${err}")
+  endif()
+endforeach()
+
+foreach(gauge monitor.predictions_recorded monitor.outcomes_joined)
+  string(JSON value ERROR_VARIABLE err
+         GET "${metrics_json}" gauges "${gauge}")
+  if(err)
+    message(FATAL_ERROR "metrics snapshot is missing gauge '${gauge}': ${err}")
+  endif()
+  if(value LESS 1)
+    message(FATAL_ERROR "gauge '${gauge}' is ${value}, expected >= 1 — the "
+                        "label-join never resolved an outcome")
+  endif()
+endforeach()
+
+# AUC is a probability; a value outside [0, 1] means the join mislabeled.
+string(JSON auc GET "${metrics_json}" gauges "monitor.auc")
+if(auc LESS 0 OR auc GREATER 1)
+  message(FATAL_ERROR "monitor.auc = ${auc}, expected within [0, 1]")
+endif()
+
+message(STATUS "monitor smoke test passed: auc=${auc}")

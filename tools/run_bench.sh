@@ -5,7 +5,7 @@
 # microbenches, the streaming-ingestion benchmark, the training-path
 # benchmark, and the model-artifact save/load benchmark in google-benchmark
 # JSON mode, writes BENCH_serve.json / BENCH_micro.json / BENCH_stream.json /
-# BENCH_fit.json / BENCH_artifact.json into --out-dir, and
+# BENCH_fit.json / BENCH_artifact.json / BENCH_monitor.json into --out-dir, and
 # fails if batched scoring at 256 candidates is not at least
 # BENCH_MIN_SPEEDUP times faster (pairs/sec) than the scalar path, or if
 # pipeline fitting at 8 fit-threads is not at least BENCH_FIT_MIN_SPEEDUP
@@ -30,6 +30,11 @@
 #        BENCH_FIT_MIN_SPEEDUP  minimum fit-threads=8 / fit-threads=1
 #                           pipeline-fit ratio, same format and default; the
 #                           acceptance bar is 2.5 on quiet hardware.
+#        BENCH_MONITOR_MIN_RATIO  minimum monitored / baseline ingest
+#                           events/sec ratio, same format. Unset -> 0.5
+#                           (conservative for shared runners); the acceptance
+#                           bar is 0.95 — monitoring overhead under 5% — on
+#                           quiet hardware.
 set -euo pipefail
 
 BUILD_DIR=build
@@ -67,6 +72,17 @@ else
   exit 2
 fi
 
+if [[ -z "${BENCH_MONITOR_MIN_RATIO+x}" ]]; then
+  MONITOR_MIN_RATIO="0.5"
+elif [[ "$BENCH_MONITOR_MIN_RATIO" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
+  MONITOR_MIN_RATIO="$BENCH_MONITOR_MIN_RATIO"
+else
+  echo "error: BENCH_MONITOR_MIN_RATIO must be a non-negative decimal number" \
+       "(e.g. 0.95); got '${BENCH_MONITOR_MIN_RATIO}'" >&2
+  echo "hint: unset it to use the default of 0.5" >&2
+  exit 2
+fi
+
 # Refuse to emit BENCH files from an unoptimized build: a Debug or
 # non-native binary runs the same code an order of magnitude slower, and a
 # committed baseline measured that way would flag every healthy Release run
@@ -94,13 +110,16 @@ MICRO_BIN="$BUILD_DIR/bench/micro"
 STREAM_BIN="$BUILD_DIR/bench/stream"
 FIT_BIN="$BUILD_DIR/bench/fit"
 ARTIFACT_BIN="$BUILD_DIR/bench/artifact"
+MONITOR_BIN="$BUILD_DIR/bench/monitor"
 SERVE_JSON="$OUT_DIR/BENCH_serve.json"
 MICRO_JSON="$OUT_DIR/BENCH_micro.json"
 STREAM_JSON="$OUT_DIR/BENCH_stream.json"
 FIT_JSON="$OUT_DIR/BENCH_fit.json"
 ARTIFACT_JSON="$OUT_DIR/BENCH_artifact.json"
+MONITOR_JSON="$OUT_DIR/BENCH_monitor.json"
 
-for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN" "$FIT_BIN" "$ARTIFACT_BIN"; do
+for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN" "$FIT_BIN" "$ARTIFACT_BIN" \
+           "$MONITOR_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (configure with default options first)" >&2
     exit 2
@@ -123,6 +142,9 @@ echo "== bench/fit -> $FIT_JSON"
 
 echo "== bench/artifact -> $ARTIFACT_JSON"
 "$ARTIFACT_BIN" --benchmark_out="$ARTIFACT_JSON" --benchmark_out_format=json
+
+echo "== bench/monitor -> $MONITOR_JSON"
+"$MONITOR_BIN" --benchmark_out="$MONITOR_JSON" --benchmark_out_format=json
 
 echo "== model bundle: save/load latency and size"
 python3 - "$ARTIFACT_JSON" <<'PY'
@@ -196,6 +218,44 @@ print(f"speedup: {speedup:.2f}x (required >= {min_speedup:.2f}x)")
 if speedup < min_speedup:
     sys.exit(f"bench regression: batch/scalar speedup {speedup:.2f}x "
              f"below required {min_speedup:.2f}x")
+PY
+
+echo "== regression guard: monitoring overhead on ingest+score throughput"
+python3 - "$MONITOR_JSON" "$MONITOR_MIN_RATIO" <<'PY'
+import json
+import sys
+
+path, min_ratio = sys.argv[1], float(sys.argv[2])
+with open(path) as fh:
+    report = json.load(fh)
+
+rates = {}
+joined = 0.0
+for bench in report["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    # Pinned-iteration benches report as "BM_Name/iterations:N".
+    name = bench["name"].split("/")[0]
+    rates[name] = bench.get("items_per_second", 0.0)
+    if name == "BM_IngestScoreMonitored":
+        joined = bench.get("outcomes_joined", 0.0)
+
+baseline = rates.get("BM_IngestScoreBaseline")
+monitored = rates.get("BM_IngestScoreMonitored")
+if not baseline or not monitored:
+    sys.exit(f"missing BM_IngestScoreBaseline or BM_IngestScoreMonitored in {path}")
+if joined <= 0.0:
+    sys.exit("bench invalid: the monitored run joined no outcomes — the "
+             "monitor was not actually in the loop")
+
+ratio = monitored / baseline
+print(f"baseline:  {baseline:,.0f} events/sec")
+print(f"monitored: {monitored:,.0f} events/sec ({joined:,.0f} outcomes joined)")
+print(f"ratio: {ratio:.3f} (required >= {min_ratio:.2f}; overhead "
+      f"{100.0 * (1.0 - ratio):.1f}%)")
+if ratio < min_ratio:
+    sys.exit(f"bench regression: monitored/baseline throughput {ratio:.3f} "
+             f"below required {min_ratio:.2f}")
 PY
 
 echo "== regression guard: pipeline fit at 8 vs 1 fit-threads"
