@@ -1,0 +1,305 @@
+#include "net/batcher.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "core/recommender.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::net {
+
+namespace {
+
+std::string encode_error(std::uint64_t request_id, ErrorCode code,
+                         std::string detail) {
+  Message response;
+  response.kind = MessageKind::kErrorResponse;
+  response.request_id = request_id;
+  response.error = code;
+  response.text = std::move(detail);
+  std::string frame;
+  append_frame(frame, response);
+  return frame;
+}
+
+#if FORUMCAST_OBS_ENABLED
+/// The per-request latency histogram, shared with the observe macro below
+/// (same name → same registration; bounds are consulted on first use only).
+obs::Histogram& request_latency_histogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram(
+          "net.request_ms", {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+                             50.0, 100.0, 250.0});
+  return histogram;
+}
+#endif
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(serve::BatchScorer& scorer,
+                           const forum::Dataset& dataset, BatcherConfig config,
+                           CompletionFn on_complete)
+    : scorer_(scorer),
+      dataset_(dataset),
+      config_(config),
+      on_complete_(std::move(on_complete)) {
+  FORUMCAST_CHECK(config_.max_batch_requests >= 1);
+  FORUMCAST_CHECK(config_.max_queue >= 1);
+  FORUMCAST_CHECK(config_.max_delay_ms >= 0.0);
+  const std::size_t threads = std::max<std::size_t>(1, config_.threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+MicroBatcher::~MicroBatcher() { stop(); }
+
+bool MicroBatcher::try_submit(Item item) {
+  item.enqueued = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= config_.max_queue) return false;
+    queue_.push_back(std::move(item));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::size_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void MicroBatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void MicroBatcher::worker_loop() {
+  const auto max_delay = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(config_.max_delay_ms));
+  for (;;) {
+    std::vector<Item> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      // Micro-batching: hold the batch open until it fills or the oldest
+      // request has waited max_delay. When stopping, drain immediately —
+      // nothing new is coming.
+      const auto deadline = queue_.front().enqueued + max_delay;
+      ready_.wait_until(lock, deadline, [this] {
+        return stopping_ || queue_.size() >= config_.max_batch_requests;
+      });
+      if (queue_.empty()) return;
+      const std::size_t take =
+          std::min(queue_.size(), config_.max_batch_requests);
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.begin() +
+                                           static_cast<std::ptrdiff_t>(take)));
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    process(std::move(batch));
+  }
+}
+
+void MicroBatcher::process(std::vector<Item> batch) {
+  FORUMCAST_HISTOGRAM_OBSERVE("net.batch_fill", batch.size(), 1, 2, 4, 8, 16,
+                              32, 64, 128, 256);
+  // Group score requests by question — everything pending for one question
+  // shares its cached question block and one BatchScorer pass. Other kinds
+  // are handled per item.
+  std::map<forum::QuestionId, std::vector<Item*>> score_groups;
+  for (Item& item : batch) {
+    if (item.request.kind == MessageKind::kScoreRequest) {
+      score_groups[item.request.question].push_back(&item);
+    }
+  }
+  for (auto& [question, group] : score_groups) {
+    score_group(question, group);
+  }
+  for (Item& item : batch) {
+    switch (item.request.kind) {
+      case MessageKind::kScoreRequest:
+        break;  // answered by score_group above
+      case MessageKind::kRouteRequest:
+        on_complete_(item.conn_id, handle_route(item));
+        break;
+      case MessageKind::kSwapRequest:
+        on_complete_(item.conn_id, handle_swap(item));
+        break;
+      default:
+        on_complete_(item.conn_id,
+                     encode_error(item.request.request_id,
+                                  ErrorCode::kUnknownKind,
+                                  "kind not handled by the batcher"));
+        break;
+    }
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - item.enqueued)
+            .count();
+    FORUMCAST_HISTOGRAM_OBSERVE("net.request_ms", waited_ms, 0.05, 0.1, 0.25,
+                                0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+                                250.0);
+  }
+#if FORUMCAST_OBS_ENABLED
+  // SLO view: admission-to-completion latency quantiles, refreshed per
+  // batch so dashboards and health probes read a current value.
+  const obs::Histogram::Snapshot latency = request_latency_histogram().snapshot();
+  FORUMCAST_GAUGE_SET("net.request_p50_ms", latency.quantile(0.5));
+  FORUMCAST_GAUGE_SET("net.request_p99_ms", latency.quantile(0.99));
+#endif
+}
+
+void MicroBatcher::score_group(forum::QuestionId question,
+                               std::vector<Item*>& group) {
+  // Validate per request; invalid ones answer kBadRequest and drop out of
+  // the coalesced batch.
+  std::vector<Item*> valid;
+  valid.reserve(group.size());
+  for (Item* item : group) {
+    const Message& request = item->request;
+    std::string problem;
+    if (request.question >= dataset_.num_questions()) {
+      problem = "question out of range";
+    } else if (request.users.empty()) {
+      problem = "empty candidate set";
+    } else {
+      for (const forum::UserId u : request.users) {
+        if (u >= dataset_.num_users()) {
+          problem = "user out of range";
+          break;
+        }
+      }
+    }
+    if (!problem.empty()) {
+      FORUMCAST_COUNTER_ADD("net.bad_requests", 1);
+      on_complete_(item->conn_id,
+                   encode_error(request.request_id, ErrorCode::kBadRequest,
+                                std::move(problem)));
+    } else {
+      valid.push_back(item);
+    }
+  }
+  if (valid.empty()) return;
+
+  std::size_t total = 0;
+  for (const Item* item : valid) total += item->request.users.size();
+  std::vector<forum::UserId> users;
+  users.reserve(total);
+  for (const Item* item : valid) {
+    users.insert(users.end(), item->request.users.begin(),
+                 item->request.users.end());
+  }
+
+  try {
+    const std::vector<core::Prediction> predictions =
+        scorer_.score(question, users);
+    FORUMCAST_COUNTER_ADD("net.score_batches", 1);
+    FORUMCAST_COUNTER_ADD("net.requests_scored", valid.size());
+    FORUMCAST_COUNTER_ADD("net.pairs_scored", predictions.size());
+    std::size_t offset = 0;
+    for (const Item* item : valid) {
+      Message response;
+      response.kind = MessageKind::kScoreResponse;
+      response.request_id = item->request.request_id;
+      response.predictions.assign(
+          predictions.begin() + static_cast<std::ptrdiff_t>(offset),
+          predictions.begin() +
+              static_cast<std::ptrdiff_t>(offset + item->request.users.size()));
+      offset += item->request.users.size();
+      std::string frame;
+      append_frame(frame, response);
+      on_complete_(item->conn_id, std::move(frame));
+    }
+  } catch (const std::exception& error) {
+    for (const Item* item : valid) {
+      on_complete_(item->conn_id,
+                   encode_error(item->request.request_id, ErrorCode::kInternal,
+                                error.what()));
+    }
+  }
+}
+
+std::string MicroBatcher::handle_route(const Item& item) {
+  const Message& request = item.request;
+  if (request.question >= dataset_.num_questions() || request.users.empty()) {
+    FORUMCAST_COUNTER_ADD("net.bad_requests", 1);
+    return encode_error(request.request_id, ErrorCode::kBadRequest,
+                        "question out of range or empty candidate set");
+  }
+  for (const forum::UserId u : request.users) {
+    if (u >= dataset_.num_users()) {
+      FORUMCAST_COUNTER_ADD("net.bad_requests", 1);
+      return encode_error(request.request_id, ErrorCode::kBadRequest,
+                          "user out of range");
+    }
+  }
+  try {
+    // Snapshot the served model: a concurrent hot swap must not invalidate
+    // the pipeline the recommender references mid-solve.
+    const std::shared_ptr<const core::ForecastPipeline> pipeline =
+        scorer_.pipeline();
+    const core::Recommender recommender(*pipeline, scorer_.predict_fn());
+    const core::RecommendationResult result =
+        recommender.recommend(request.question, request.users);
+    Message response;
+    response.kind = MessageKind::kRouteResponse;
+    response.request_id = request.request_id;
+    response.feasible = result.feasible;
+    const std::size_t keep =
+        request.top_k == 0
+            ? result.ranking.size()
+            : std::min<std::size_t>(request.top_k, result.ranking.size());
+    response.routes.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      const core::Recommendation& pick = result.ranking[i];
+      response.routes.push_back({pick.user, pick.probability, pick.prediction});
+    }
+    FORUMCAST_COUNTER_ADD("net.requests_routed", 1);
+    std::string frame;
+    append_frame(frame, response);
+    return frame;
+  } catch (const std::exception& error) {
+    return encode_error(request.request_id, ErrorCode::kInternal, error.what());
+  }
+}
+
+std::string MicroBatcher::handle_swap(const Item& item) {
+  const Message& request = item.request;
+  try {
+    std::ifstream in(request.text, std::ios::binary);
+    FORUMCAST_CHECK_MSG(in.good(),
+                        "cannot open model bundle: " << request.text);
+    auto next = std::make_shared<core::ForecastPipeline>(
+        core::ForecastPipeline::load(in, dataset_));
+    scorer_.swap_model(std::move(next));
+    FORUMCAST_COUNTER_ADD("net.model_swaps", 1);
+    Message response;
+    response.kind = MessageKind::kSwapResponse;
+    response.request_id = request.request_id;
+    response.generation = scorer_.pipeline()->generation();
+    response.swap_epoch = scorer_.swap_epoch();
+    std::string frame;
+    append_frame(frame, response);
+    return frame;
+  } catch (const std::exception& error) {
+    return encode_error(request.request_id, ErrorCode::kInternal, error.what());
+  }
+}
+
+}  // namespace forumcast::net

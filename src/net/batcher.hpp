@@ -1,0 +1,111 @@
+// Async micro-batcher: coalesces concurrent wire requests into
+// serve::BatchScorer batches.
+//
+// The serving daemon's throughput story: single-pair scoring costs a full
+// feature assembly + three scalar model forwards, while BatchScorer
+// amortizes both across a block of rows. Wire requests arrive a few
+// candidates at a time, so the batcher holds each request for at most
+// `max_delay_ms`, groups everything pending for the same question into one
+// score() call (the cached question block and the GEMM tiles are shared),
+// and answers every request from its slice of the batch. Scores are
+// bit-identical to an unbatched call — coalescing, like batching itself,
+// is purely an execution-layout change.
+//
+// Admission control: the queue is bounded. try_submit() refuses (the
+// caller answers with a typed kQueueFull error frame) instead of letting
+// the queue — and every queued request's latency — grow without bound.
+//
+// Threading: submissions come from the server's event loop; `threads`
+// workers drain the queue; completions are handed back through the
+// CompletionFn (which must be thread-safe — the server's implementation
+// pushes to a locked list and wakes the event loop via eventfd).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "forum/dataset.hpp"
+#include "net/protocol.hpp"
+#include "serve/batch_scorer.hpp"
+
+namespace forumcast::net {
+
+struct BatcherConfig {
+  /// Most requests drained per wake. Bounds the rows one score() pass
+  /// assembles and the tail latency a drain adds to its last request.
+  std::size_t max_batch_requests = 256;
+  /// Longest a request may wait for company before the batch is forced out.
+  /// The admission-to-completion p99 stays within this bound plus one
+  /// batch's scoring time whenever the queue is admitting.
+  double max_delay_ms = 1.0;
+  /// Admission bound on queued requests; try_submit() refuses beyond it.
+  std::size_t max_queue = 4096;
+  /// Scoring worker threads.
+  std::size_t threads = 1;
+};
+
+class MicroBatcher {
+ public:
+  /// One queued request: the decoded message plus its connection identity
+  /// and admission timestamp (for the net.request_ms histogram).
+  struct Item {
+    std::uint64_t conn_id = 0;
+    Message request;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  /// Called (from a worker thread) with the encoded response frame for
+  /// `conn_id`. Must be thread-safe.
+  using CompletionFn =
+      std::function<void(std::uint64_t conn_id, std::string frame)>;
+
+  /// The scorer and dataset must outlive the batcher. `dataset` is needed
+  /// by kSwapRequest handling: a bundle can only be loaded against the
+  /// dataset it was fitted on.
+  MicroBatcher(serve::BatchScorer& scorer, const forum::Dataset& dataset,
+               BatcherConfig config, CompletionFn on_complete);
+  ~MicroBatcher();
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Admits `item` unless the queue is full (returns false — the caller
+  /// owes the client a kQueueFull error) or the batcher is stopping
+  /// (false as well; the caller answers kShuttingDown).
+  bool try_submit(Item item);
+
+  /// Requests admitted but not yet drained into a batch. Exported as the
+  /// net.queue_depth gauge and in health responses.
+  std::size_t queue_depth() const;
+
+  /// Stops admitting, drains everything already admitted (every queued
+  /// request still gets its response — this is what "hot swap and shutdown
+  /// drop zero in-flight requests" rests on), then joins the workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  void worker_loop();
+  void process(std::vector<Item> batch);
+  void score_group(forum::QuestionId question, std::vector<Item*>& group);
+  std::string handle_route(const Item& item);
+  std::string handle_swap(const Item& item);
+
+  serve::BatchScorer& scorer_;
+  const forum::Dataset& dataset_;
+  BatcherConfig config_;
+  CompletionFn on_complete_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<Item> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace forumcast::net

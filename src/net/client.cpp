@@ -1,0 +1,184 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace forumcast::net {
+
+Client::Client(std::uint16_t port, const std::string& host) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FORUMCAST_CHECK_MSG(fd_ >= 0, "socket(): " << std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  FORUMCAST_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                      "bad host address: " << host);
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    FORUMCAST_CHECK_MSG(false, "connect to " << host << ":" << port << ": "
+                                             << std::strerror(saved));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_raw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FORUMCAST_CHECK_MSG(false, "send(): " << std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Client::try_read_frame(Message& out) {
+  for (;;) {
+    const DecodeFrameResult decoded = decode_frame(read_buffer_);
+    FORUMCAST_CHECK_MSG(!decoded.corrupt, "corrupt frame from server");
+    if (decoded.bytes_consumed > 0) {
+      out = decoded.message;
+      read_buffer_.erase(0, decoded.bytes_consumed);
+      return true;
+    }
+    char chunk[16384];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    FORUMCAST_CHECK_MSG(n >= 0, "recv(): " << std::strerror(errno));
+    if (n == 0) {
+      // Clean EOF between frames is an observable close; EOF inside a
+      // frame means the server died mid-response.
+      FORUMCAST_CHECK_MSG(read_buffer_.empty(),
+                          "connection closed mid-frame by server");
+      return false;
+    }
+    read_buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Message Client::read_frame() {
+  Message out;
+  FORUMCAST_CHECK_MSG(try_read_frame(out), "connection closed by server");
+  return out;
+}
+
+Message Client::wait_for(std::uint64_t request_id) {
+  for (;;) {
+    Message response = read_frame();
+    // A malformed-frame error carries request_id 0 (the server could not
+    // parse an id); surface it regardless of what we are waiting for.
+    if (response.request_id == request_id ||
+        (response.kind == MessageKind::kErrorResponse &&
+         response.request_id == 0)) {
+      return response;
+    }
+  }
+}
+
+Message Client::call(Message request) {
+  if (request.request_id == 0) request.request_id = next_request_id_++;
+  std::string frame;
+  append_frame(frame, request);
+  send_raw(frame);
+  return wait_for(request.request_id);
+}
+
+std::vector<core::Prediction> Client::score(
+    forum::QuestionId question, std::span<const forum::UserId> users) {
+  Message request;
+  request.kind = MessageKind::kScoreRequest;
+  request.question = question;
+  request.users.assign(users.begin(), users.end());
+  Message response = call(std::move(request));
+  if (response.kind == MessageKind::kErrorResponse) {
+    throw RpcError(response.error, response.text);
+  }
+  FORUMCAST_CHECK(response.kind == MessageKind::kScoreResponse);
+  FORUMCAST_CHECK(response.predictions.size() == users.size());
+  return std::move(response.predictions);
+}
+
+Message Client::route(forum::QuestionId question, std::uint32_t top_k,
+                      std::span<const forum::UserId> users) {
+  Message request;
+  request.kind = MessageKind::kRouteRequest;
+  request.question = question;
+  request.top_k = top_k;
+  request.users.assign(users.begin(), users.end());
+  Message response = call(std::move(request));
+  if (response.kind == MessageKind::kErrorResponse) {
+    throw RpcError(response.error, response.text);
+  }
+  FORUMCAST_CHECK(response.kind == MessageKind::kRouteResponse);
+  return response;
+}
+
+HealthInfo Client::health() {
+  Message request;
+  request.kind = MessageKind::kHealthRequest;
+  Message response = call(std::move(request));
+  if (response.kind == MessageKind::kErrorResponse) {
+    throw RpcError(response.error, response.text);
+  }
+  FORUMCAST_CHECK(response.kind == MessageKind::kHealthResponse);
+  return response.health;
+}
+
+std::string Client::metrics_json() {
+  Message request;
+  request.kind = MessageKind::kMetricsRequest;
+  Message response = call(std::move(request));
+  if (response.kind == MessageKind::kErrorResponse) {
+    throw RpcError(response.error, response.text);
+  }
+  FORUMCAST_CHECK(response.kind == MessageKind::kMetricsResponse);
+  return std::move(response.text);
+}
+
+Message Client::swap_model(const std::string& bundle_path) {
+  Message request;
+  request.kind = MessageKind::kSwapRequest;
+  request.text = bundle_path;
+  Message response = call(std::move(request));
+  if (response.kind == MessageKind::kErrorResponse) {
+    throw RpcError(response.error, response.text);
+  }
+  FORUMCAST_CHECK(response.kind == MessageKind::kSwapResponse);
+  return response;
+}
+
+void Client::shutdown_server() {
+  Message request;
+  request.kind = MessageKind::kShutdownRequest;
+  Message response = call(std::move(request));
+  if (response.kind == MessageKind::kErrorResponse) {
+    throw RpcError(response.error, response.text);
+  }
+  FORUMCAST_CHECK(response.kind == MessageKind::kShutdownResponse);
+}
+
+}  // namespace forumcast::net

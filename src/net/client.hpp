@@ -1,0 +1,90 @@
+// Blocking client for the forumcast serving daemon.
+//
+// One TCP connection, synchronous request/response. This is the reference
+// consumer of the wire protocol: the smoke test's digest-parity check, the
+// net test suites, and the bench/net load generator all speak through it
+// (the load generator drives many connections from one thread via the raw
+// fd + poll, but frames still encode/decode here).
+//
+// Error handling: a typed error frame from the server (queue full, bad
+// request, …) throws RpcError carrying the code; transport failures
+// (refused connection, mid-frame EOF, a corrupt frame from the server)
+// throw util::CheckError.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "net/protocol.hpp"
+
+namespace forumcast::net {
+
+/// A typed error frame, rethrown client-side.
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(ErrorCode code, const std::string& detail)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " + detail),
+        code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class Client {
+ public:
+  /// Connects (blocking) to the daemon on `host`:`port`.
+  explicit Client(std::uint16_t port, const std::string& host = "127.0.0.1");
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends `request` (request_id assigned if 0) and blocks for the
+  /// response with the matching id. Returns error frames as messages —
+  /// the typed wrappers below throw RpcError instead.
+  Message call(Message request);
+
+  /// Scores one question × N candidates. Bit-identical to the in-process
+  /// serve::BatchScorer::score on the serving side.
+  std::vector<core::Prediction> score(forum::QuestionId question,
+                                      std::span<const forum::UserId> users);
+
+  /// Routes via the eq. (2) LP over `users`; top_k == 0 returns the full
+  /// positive-probability ranking.
+  Message route(forum::QuestionId question, std::uint32_t top_k,
+                std::span<const forum::UserId> users);
+
+  HealthInfo health();
+  std::string metrics_json();
+
+  /// Hot-swaps the served model from a bundle file readable by the server
+  /// process. Returns the post-swap (generation, swap_epoch).
+  Message swap_model(const std::string& bundle_path);
+
+  /// Graceful drain: the server answers, finishes in-flight work, and
+  /// exits its run() loop.
+  void shutdown_server();
+
+  /// Raw transport access for protocol-abuse tests (torn frames, garbage).
+  int fd() const { return fd_; }
+  void send_raw(std::string_view bytes);
+  /// Reads until one full frame decodes. Throws on EOF/corrupt stream.
+  Message read_frame();
+  /// Like read_frame(), but a clean EOF before any byte of a frame returns
+  /// false (used to observe the server closing after a malformed frame).
+  bool try_read_frame(Message& out);
+
+ private:
+  Message wait_for(std::uint64_t request_id);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::string read_buffer_;
+};
+
+}  // namespace forumcast::net

@@ -1,0 +1,266 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+#include <type_traits>
+
+#include "artifact/artifact.hpp"
+
+namespace forumcast::net {
+
+namespace {
+
+template <typename T>
+void append_raw(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));  // x86-64/aarch64: little-endian
+}
+
+template <typename T>
+bool read_raw(std::string_view& data, T& value) {
+  if (data.size() < sizeof(T)) return false;
+  std::memcpy(&value, data.data(), sizeof(T));
+  data.remove_prefix(sizeof(T));
+  return true;
+}
+
+void append_string(std::string& out, std::string_view value) {
+  append_raw(out, static_cast<std::uint32_t>(value.size()));
+  out.append(value);
+}
+
+bool read_string(std::string_view& data, std::string& value) {
+  std::uint32_t length = 0;
+  if (!read_raw(data, length) || data.size() < length) return false;
+  value.assign(data.data(), length);
+  data.remove_prefix(length);
+  return true;
+}
+
+void append_prediction(std::string& out, const core::Prediction& p) {
+  append_raw(out, p.answer_probability);
+  append_raw(out, p.votes);
+  append_raw(out, p.delay_hours);
+}
+
+bool read_prediction(std::string_view& data, core::Prediction& p) {
+  return read_raw(data, p.answer_probability) && read_raw(data, p.votes) &&
+         read_raw(data, p.delay_hours);
+}
+
+std::string encode_payload(const Message& m) {
+  std::string payload;
+  append_raw(payload, static_cast<std::uint8_t>(m.kind));
+  append_raw(payload, m.request_id);
+  switch (m.kind) {
+    case MessageKind::kScoreRequest:
+    case MessageKind::kRouteRequest:
+      append_raw(payload, m.question);
+      if (m.kind == MessageKind::kRouteRequest) append_raw(payload, m.top_k);
+      append_raw(payload, static_cast<std::uint32_t>(m.users.size()));
+      for (const forum::UserId u : m.users) append_raw(payload, u);
+      break;
+    case MessageKind::kHealthRequest:
+    case MessageKind::kMetricsRequest:
+    case MessageKind::kShutdownRequest:
+    case MessageKind::kShutdownResponse:
+      break;
+    case MessageKind::kSwapRequest:
+      append_string(payload, m.text);
+      break;
+    case MessageKind::kScoreResponse:
+      append_raw(payload, static_cast<std::uint32_t>(m.predictions.size()));
+      for (const core::Prediction& p : m.predictions) {
+        append_prediction(payload, p);
+      }
+      break;
+    case MessageKind::kRouteResponse:
+      append_raw(payload, static_cast<std::uint8_t>(m.feasible ? 1 : 0));
+      append_raw(payload, static_cast<std::uint32_t>(m.routes.size()));
+      for (const RouteEntry& r : m.routes) {
+        append_raw(payload, r.user);
+        append_raw(payload, r.probability);
+        append_prediction(payload, r.prediction);
+      }
+      break;
+    case MessageKind::kHealthResponse:
+      append_raw(payload, m.health.num_questions);
+      append_raw(payload, m.health.num_users);
+      append_raw(payload, m.health.model_generation);
+      append_raw(payload, m.health.swap_epoch);
+      append_raw(payload, m.health.queue_depth);
+      break;
+    case MessageKind::kMetricsResponse:
+      append_string(payload, m.text);
+      break;
+    case MessageKind::kSwapResponse:
+      append_raw(payload, m.generation);
+      append_raw(payload, m.swap_epoch);
+      break;
+    case MessageKind::kErrorResponse:
+      append_raw(payload, static_cast<std::uint16_t>(m.error));
+      append_string(payload, m.text);
+      break;
+  }
+  return payload;
+}
+
+/// Strict decode: every field must be present and the payload must hold
+/// nothing beyond them (trailing bytes behind a valid CRC are still a
+/// malformed message — a frame means exactly one message).
+bool decode_payload(std::string_view payload, Message& m) {
+  std::uint8_t kind = 0;
+  if (!read_raw(payload, kind) || !read_raw(payload, m.request_id)) {
+    return false;
+  }
+  switch (kind) {
+    case static_cast<std::uint8_t>(MessageKind::kScoreRequest):
+    case static_cast<std::uint8_t>(MessageKind::kRouteRequest): {
+      m.kind = static_cast<MessageKind>(kind);
+      if (!read_raw(payload, m.question)) return false;
+      if (m.kind == MessageKind::kRouteRequest &&
+          !read_raw(payload, m.top_k)) {
+        return false;
+      }
+      std::uint32_t count = 0;
+      if (!read_raw(payload, count) || count > kMaxRequestUsers ||
+          payload.size() != count * sizeof(forum::UserId)) {
+        return false;
+      }
+      m.users.resize(count);
+      for (auto& u : m.users) read_raw(payload, u);
+      return true;
+    }
+    case static_cast<std::uint8_t>(MessageKind::kHealthRequest):
+    case static_cast<std::uint8_t>(MessageKind::kMetricsRequest):
+    case static_cast<std::uint8_t>(MessageKind::kShutdownRequest):
+    case static_cast<std::uint8_t>(MessageKind::kShutdownResponse):
+      m.kind = static_cast<MessageKind>(kind);
+      return payload.empty();
+    case static_cast<std::uint8_t>(MessageKind::kSwapRequest):
+      m.kind = MessageKind::kSwapRequest;
+      return read_string(payload, m.text) && payload.empty();
+    case static_cast<std::uint8_t>(MessageKind::kScoreResponse): {
+      m.kind = MessageKind::kScoreResponse;
+      std::uint32_t count = 0;
+      if (!read_raw(payload, count) ||
+          payload.size() != count * 3 * sizeof(double)) {
+        return false;
+      }
+      m.predictions.resize(count);
+      for (auto& p : m.predictions) read_prediction(payload, p);
+      return true;
+    }
+    case static_cast<std::uint8_t>(MessageKind::kRouteResponse): {
+      m.kind = MessageKind::kRouteResponse;
+      std::uint8_t feasible = 0;
+      std::uint32_t count = 0;
+      if (!read_raw(payload, feasible) || feasible > 1 ||
+          !read_raw(payload, count)) {
+        return false;
+      }
+      m.feasible = feasible != 0;
+      constexpr std::size_t kEntryBytes =
+          sizeof(forum::UserId) + 4 * sizeof(double);
+      if (payload.size() != count * kEntryBytes) return false;
+      m.routes.resize(count);
+      for (auto& r : m.routes) {
+        read_raw(payload, r.user);
+        read_raw(payload, r.probability);
+        read_prediction(payload, r.prediction);
+      }
+      return true;
+    }
+    case static_cast<std::uint8_t>(MessageKind::kHealthResponse):
+      m.kind = MessageKind::kHealthResponse;
+      return read_raw(payload, m.health.num_questions) &&
+             read_raw(payload, m.health.num_users) &&
+             read_raw(payload, m.health.model_generation) &&
+             read_raw(payload, m.health.swap_epoch) &&
+             read_raw(payload, m.health.queue_depth) && payload.empty();
+    case static_cast<std::uint8_t>(MessageKind::kMetricsResponse):
+      m.kind = MessageKind::kMetricsResponse;
+      return read_string(payload, m.text) && payload.empty();
+    case static_cast<std::uint8_t>(MessageKind::kSwapResponse):
+      m.kind = MessageKind::kSwapResponse;
+      return read_raw(payload, m.generation) &&
+             read_raw(payload, m.swap_epoch) && payload.empty();
+    case static_cast<std::uint8_t>(MessageKind::kErrorResponse): {
+      m.kind = MessageKind::kErrorResponse;
+      std::uint16_t code = 0;
+      if (!read_raw(payload, code) || code > 6) return false;
+      m.error = static_cast<ErrorCode>(code);
+      return read_string(payload, m.text) && payload.empty();
+    }
+    default:
+      return false;  // unassigned kind byte
+  }
+}
+
+}  // namespace
+
+const char* message_kind_name(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kScoreRequest: return "score_request";
+    case MessageKind::kRouteRequest: return "route_request";
+    case MessageKind::kHealthRequest: return "health_request";
+    case MessageKind::kMetricsRequest: return "metrics_request";
+    case MessageKind::kSwapRequest: return "swap_request";
+    case MessageKind::kShutdownRequest: return "shutdown_request";
+    case MessageKind::kScoreResponse: return "score_response";
+    case MessageKind::kRouteResponse: return "route_response";
+    case MessageKind::kHealthResponse: return "health_response";
+    case MessageKind::kMetricsResponse: return "metrics_response";
+    case MessageKind::kSwapResponse: return "swap_response";
+    case MessageKind::kShutdownResponse: return "shutdown_response";
+    case MessageKind::kErrorResponse: return "error_response";
+  }
+  return "unknown";
+}
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownKind: return "unknown_kind";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kMalformedFrame: return "malformed_frame";
+  }
+  return "unknown";
+}
+
+void append_frame(std::string& out, const Message& message) {
+  const std::string payload = encode_payload(message);
+  append_raw(out, static_cast<std::uint32_t>(payload.size()));
+  append_raw(out, artifact::crc32(payload));
+  out.append(payload);
+}
+
+DecodeFrameResult decode_frame(std::string_view data) {
+  DecodeFrameResult result;
+  std::string_view cursor = data;
+  std::uint32_t length = 0;
+  std::uint32_t checksum = 0;
+  if (!read_raw(cursor, length)) return result;  // short header: wait
+  if (length > kMaxFramePayload) {
+    // Reject before the bytes arrive: an announced length past the ceiling
+    // can never become a valid frame, so there is nothing to wait for.
+    result.corrupt = true;
+    return result;
+  }
+  if (!read_raw(cursor, checksum)) return result;
+  if (cursor.size() < length) return result;  // incomplete payload: wait
+  const std::string_view payload = cursor.substr(0, length);
+  if (artifact::crc32(payload) != checksum ||
+      !decode_payload(payload, result.message)) {
+    result.corrupt = true;
+    return result;
+  }
+  result.bytes_consumed = sizeof(std::uint32_t) * 2 + length;
+  return result;
+}
+
+}  // namespace forumcast::net

@@ -1,0 +1,140 @@
+// Wire protocol for the forumcast serving daemon.
+//
+// Every message travels as one length-prefixed, CRC-framed record — the
+// same [u32 payload_len][u32 crc32(payload)][payload] idiom the WAL
+// (stream/event) and the model bundle (artifact) use for durable bytes,
+// here applied to a byte stream between processes. The CRC lets the server
+// distinguish a torn or hostile frame from a clean partial read: a short
+// buffer is "wait for more bytes", a failed CRC or an oversized announced
+// length is a protocol violation that ends the connection.
+//
+// Payload layout (little-endian, fixed field order):
+//   [u8 kind][u64 request_id][kind-specific fields]
+//
+// request_id is chosen by the client and echoed verbatim in the response,
+// so clients may pipeline requests and match responses out of band. The
+// server never reorders responses for requests of the same kind on one
+// connection, but scored responses (which ride through the async
+// micro-batcher) may overtake immediate responses (health, metrics).
+//
+// Score responses carry raw IEEE-754 bit patterns, so a wire score is
+// bit-identical to the in-process serve::BatchScorer score — digest parity
+// across the wire is an exact-equality check, not a tolerance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "forum/post.hpp"
+
+namespace forumcast::net {
+
+/// Hard ceiling on a frame's announced payload length. A header announcing
+/// more is rejected immediately (before buffering), so a hostile or corrupt
+/// length field can never make the server buffer unbounded garbage.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;  // 1 MiB
+
+/// Candidate-count ceiling for score/route requests; combined with the
+/// frame ceiling it bounds per-request work.
+inline constexpr std::uint32_t kMaxRequestUsers = 1u << 17;  // 128K
+
+enum class MessageKind : std::uint8_t {
+  // Requests.
+  kScoreRequest = 1,     ///< one question × N candidate users
+  kRouteRequest = 2,     ///< eq. (2) LP routing over N candidates
+  kHealthRequest = 3,    ///< liveness + serving-state info
+  kMetricsRequest = 4,   ///< obs metrics snapshot (JSON text)
+  kSwapRequest = 5,      ///< hot-swap the served model from a bundle file
+  kShutdownRequest = 6,  ///< graceful drain + exit
+  // Responses.
+  kScoreResponse = 33,
+  kRouteResponse = 34,
+  kHealthResponse = 35,
+  kMetricsResponse = 36,
+  kSwapResponse = 37,
+  kShutdownResponse = 38,
+  kErrorResponse = 63,  ///< typed error (see ErrorCode)
+};
+
+enum class ErrorCode : std::uint16_t {
+  kNone = 0,
+  kQueueFull = 1,       ///< admission control: micro-batcher queue at capacity
+  kBadRequest = 2,      ///< ids out of range / empty candidate set
+  kUnknownKind = 3,     ///< well-framed payload with an unassigned kind byte
+  kShuttingDown = 4,    ///< server is draining; no new work admitted
+  kInternal = 5,        ///< server-side failure (e.g. swap bundle unreadable)
+  kMalformedFrame = 6,  ///< framing violation; the connection closes after this
+};
+
+const char* message_kind_name(MessageKind kind);
+const char* error_code_name(ErrorCode code);
+
+/// One routed candidate: the LP's p_u plus the (â, v̂, r̂) that drove it.
+struct RouteEntry {
+  forum::UserId user = 0;
+  double probability = 0.0;
+  core::Prediction prediction;
+};
+
+/// Serving-state info carried by a health response.
+struct HealthInfo {
+  std::uint32_t num_questions = 0;
+  std::uint32_t num_users = 0;
+  std::uint64_t model_generation = 0;
+  std::uint64_t swap_epoch = 0;
+  std::uint64_t queue_depth = 0;
+};
+
+/// Flat message struct (the ForumEvent idiom): one type for every kind,
+/// with only the fields the kind's codec reads/writes meaningful.
+struct Message {
+  MessageKind kind = MessageKind::kHealthRequest;
+  std::uint64_t request_id = 0;
+
+  // kScoreRequest / kRouteRequest.
+  forum::QuestionId question = 0;
+  std::uint32_t top_k = 0;  ///< route only
+  std::vector<forum::UserId> users;
+
+  // kScoreResponse: one prediction per requested user, in request order.
+  std::vector<core::Prediction> predictions;
+
+  // kRouteResponse.
+  bool feasible = false;
+  std::vector<RouteEntry> routes;
+
+  // kHealthResponse.
+  HealthInfo health;
+
+  // kSwapResponse: post-swap identity (also model_generation in `health`).
+  std::uint64_t generation = 0;
+  std::uint64_t swap_epoch = 0;
+
+  // kSwapRequest (bundle path), kMetricsResponse (JSON), kErrorResponse
+  // (human-readable detail).
+  std::string text;
+
+  // kErrorResponse.
+  ErrorCode error = ErrorCode::kNone;
+};
+
+/// Appends one framed record for `message` to `out`.
+void append_frame(std::string& out, const Message& message);
+
+/// Result of pulling one frame off a byte stream. Mirrors the WAL codec:
+/// bytes_consumed == 0 with corrupt == false means "incomplete, wait for
+/// more bytes"; corrupt == true means the stream is unrecoverable (bad CRC,
+/// oversized length, or a payload that does not decode) — a server closes
+/// the connection, a reader of a file stops.
+struct DecodeFrameResult {
+  Message message;
+  std::size_t bytes_consumed = 0;
+  bool corrupt = false;
+};
+
+DecodeFrameResult decode_frame(std::string_view data);
+
+}  // namespace forumcast::net

@@ -1,0 +1,353 @@
+// Wire-protocol codec: round trips, truncation, corruption, hostile input.
+//
+// The codec's contract mirrors the WAL's: a short buffer is "wait for more
+// bytes" (bytes_consumed == 0, corrupt == false), anything that can never
+// become a valid frame is corrupt. These tests enumerate the boundary
+// exhaustively — every truncation point of every kind, every single-byte
+// corruption — because the serving daemon trusts exactly this distinction
+// to keep a torn TCP read from being treated as a protocol violation (and
+// vice versa).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.hpp"
+#include "net/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::net {
+namespace {
+
+template <typename T>
+void append_raw(std::string& out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+std::string frame_of(const Message& message) {
+  std::string frame;
+  append_frame(frame, message);
+  return frame;
+}
+
+/// Wraps an arbitrary payload in a well-formed frame (correct length and
+/// CRC) — for testing payload-level rejection behind valid framing.
+std::string raw_frame(const std::string& payload) {
+  std::string frame;
+  append_raw(frame, static_cast<std::uint32_t>(payload.size()));
+  append_raw(frame, artifact::crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+/// One representative message per kind, with every kind-specific field
+/// populated so round trips exercise the full codec surface.
+std::vector<Message> corpus() {
+  std::vector<Message> messages;
+
+  Message score_request;
+  score_request.kind = MessageKind::kScoreRequest;
+  score_request.request_id = 7;
+  score_request.question = 42;
+  score_request.users = {0, 1, 5, 9, 1000};
+  messages.push_back(score_request);
+
+  Message route_request;
+  route_request.kind = MessageKind::kRouteRequest;
+  route_request.request_id = 8;
+  route_request.question = 3;
+  route_request.top_k = 5;
+  route_request.users = {2, 4, 6};
+  messages.push_back(route_request);
+
+  for (const MessageKind kind :
+       {MessageKind::kHealthRequest, MessageKind::kMetricsRequest,
+        MessageKind::kShutdownRequest, MessageKind::kShutdownResponse}) {
+    Message bare;
+    bare.kind = kind;
+    bare.request_id = 9;
+    messages.push_back(bare);
+  }
+
+  Message swap_request;
+  swap_request.kind = MessageKind::kSwapRequest;
+  swap_request.request_id = 10;
+  swap_request.text = "/tmp/model.fcm";
+  messages.push_back(swap_request);
+
+  Message score_response;
+  score_response.kind = MessageKind::kScoreResponse;
+  score_response.request_id = 11;
+  score_response.predictions = {{0.25, 1.5, 3.75}, {0.5, -0.25, 96.0}};
+  messages.push_back(score_response);
+
+  Message route_response;
+  route_response.kind = MessageKind::kRouteResponse;
+  route_response.request_id = 12;
+  route_response.feasible = true;
+  route_response.routes = {{17, 0.875, {0.625, 2.0, 12.5}}};
+  messages.push_back(route_response);
+
+  Message health_response;
+  health_response.kind = MessageKind::kHealthResponse;
+  health_response.request_id = 13;
+  health_response.health = {140, 150, 3, 2, 7};
+  messages.push_back(health_response);
+
+  Message metrics_response;
+  metrics_response.kind = MessageKind::kMetricsResponse;
+  metrics_response.request_id = 14;
+  metrics_response.text = "{\"counters\":{}}";
+  messages.push_back(metrics_response);
+
+  Message swap_response;
+  swap_response.kind = MessageKind::kSwapResponse;
+  swap_response.request_id = 15;
+  swap_response.generation = 4;
+  swap_response.swap_epoch = 2;
+  messages.push_back(swap_response);
+
+  Message error_response;
+  error_response.kind = MessageKind::kErrorResponse;
+  error_response.request_id = 16;
+  error_response.error = ErrorCode::kQueueFull;
+  error_response.text = "queue at capacity";
+  messages.push_back(error_response);
+
+  return messages;
+}
+
+void expect_equal(const Message& expected, const Message& actual) {
+  EXPECT_EQ(expected.kind, actual.kind);
+  EXPECT_EQ(expected.request_id, actual.request_id);
+  EXPECT_EQ(expected.question, actual.question);
+  EXPECT_EQ(expected.top_k, actual.top_k);
+  EXPECT_EQ(expected.users, actual.users);
+  ASSERT_EQ(expected.predictions.size(), actual.predictions.size());
+  for (std::size_t i = 0; i < expected.predictions.size(); ++i) {
+    EXPECT_EQ(expected.predictions[i].answer_probability,
+              actual.predictions[i].answer_probability);
+    EXPECT_EQ(expected.predictions[i].votes, actual.predictions[i].votes);
+    EXPECT_EQ(expected.predictions[i].delay_hours,
+              actual.predictions[i].delay_hours);
+  }
+  EXPECT_EQ(expected.feasible, actual.feasible);
+  ASSERT_EQ(expected.routes.size(), actual.routes.size());
+  for (std::size_t i = 0; i < expected.routes.size(); ++i) {
+    EXPECT_EQ(expected.routes[i].user, actual.routes[i].user);
+    EXPECT_EQ(expected.routes[i].probability, actual.routes[i].probability);
+    EXPECT_EQ(expected.routes[i].prediction.answer_probability,
+              actual.routes[i].prediction.answer_probability);
+  }
+  EXPECT_EQ(expected.health.num_questions, actual.health.num_questions);
+  EXPECT_EQ(expected.health.num_users, actual.health.num_users);
+  EXPECT_EQ(expected.health.model_generation, actual.health.model_generation);
+  EXPECT_EQ(expected.health.swap_epoch, actual.health.swap_epoch);
+  EXPECT_EQ(expected.health.queue_depth, actual.health.queue_depth);
+  EXPECT_EQ(expected.generation, actual.generation);
+  EXPECT_EQ(expected.swap_epoch, actual.swap_epoch);
+  EXPECT_EQ(expected.text, actual.text);
+  EXPECT_EQ(expected.error, actual.error);
+}
+
+TEST(NetProtocol, RoundTripEveryKind) {
+  for (const Message& message : corpus()) {
+    SCOPED_TRACE(message_kind_name(message.kind));
+    const std::string frame = frame_of(message);
+    const DecodeFrameResult decoded = decode_frame(frame);
+    ASSERT_FALSE(decoded.corrupt);
+    ASSERT_EQ(decoded.bytes_consumed, frame.size());
+    expect_equal(message, decoded.message);
+  }
+}
+
+TEST(NetProtocol, SequentialFramesDecodeIndependently) {
+  std::string stream;
+  const std::vector<Message> messages = corpus();
+  for (const Message& message : messages) append_frame(stream, message);
+  std::string_view cursor = stream;
+  for (const Message& message : messages) {
+    const DecodeFrameResult decoded = decode_frame(cursor);
+    ASSERT_FALSE(decoded.corrupt);
+    ASSERT_GT(decoded.bytes_consumed, 0u);
+    expect_equal(message, decoded.message);
+    cursor.remove_prefix(decoded.bytes_consumed);
+  }
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(NetProtocol, TruncationAtEveryByteBoundary) {
+  // Every proper prefix of a valid frame must read as incomplete — never
+  // corrupt, never a (shorter) valid frame. This is what lets the server
+  // leave a torn TCP read in the buffer and wait.
+  for (const Message& message : corpus()) {
+    SCOPED_TRACE(message_kind_name(message.kind));
+    const std::string frame = frame_of(message);
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const DecodeFrameResult decoded =
+          decode_frame(std::string_view(frame.data(), len));
+      EXPECT_FALSE(decoded.corrupt) << "prefix length " << len;
+      EXPECT_EQ(decoded.bytes_consumed, 0u) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(NetProtocol, SingleByteCorruptionNeverYieldsAValidFrame) {
+  // Flip every byte of every frame (two patterns: all bits, one bit). The
+  // decoder may call the result incomplete (a length byte grew) or corrupt,
+  // but must never hand back a successfully decoded message: within one
+  // frame the CRC catches every single-byte change.
+  for (const Message& message : corpus()) {
+    SCOPED_TRACE(message_kind_name(message.kind));
+    const std::string frame = frame_of(message);
+    for (const std::uint8_t pattern : {std::uint8_t{0xFF}, std::uint8_t{0x01}}) {
+      for (std::size_t i = 0; i < frame.size(); ++i) {
+        std::string mutated = frame;
+        mutated[i] = static_cast<char>(mutated[i] ^ pattern);
+        const DecodeFrameResult decoded = decode_frame(mutated);
+        EXPECT_EQ(decoded.bytes_consumed, 0u)
+            << "byte " << i << " xor " << int(pattern)
+            << " decoded as a valid frame";
+      }
+    }
+  }
+}
+
+TEST(NetProtocol, CrcMismatchIsCorrupt) {
+  Message message;
+  message.kind = MessageKind::kHealthRequest;
+  message.request_id = 1;
+  std::string frame = frame_of(message);
+  frame[4] = static_cast<char>(frame[4] ^ 0x5A);  // inside the CRC field
+  const DecodeFrameResult decoded = decode_frame(frame);
+  EXPECT_TRUE(decoded.corrupt);
+  EXPECT_EQ(decoded.bytes_consumed, 0u);
+}
+
+TEST(NetProtocol, OversizedAnnouncedLengthRejectedFromHeaderAlone) {
+  // The length field alone (no CRC, no payload bytes yet) is enough to
+  // condemn the stream — the server must not wait for 2 MiB that may never
+  // arrive, let alone buffer them.
+  std::string header;
+  append_raw(header, kMaxFramePayload + 1);
+  const DecodeFrameResult decoded = decode_frame(header);
+  EXPECT_TRUE(decoded.corrupt);
+
+  // Exactly at the ceiling the length is acceptable: short buffer → wait.
+  std::string at_limit;
+  append_raw(at_limit, kMaxFramePayload);
+  const DecodeFrameResult ok = decode_frame(at_limit);
+  EXPECT_FALSE(ok.corrupt);
+  EXPECT_EQ(ok.bytes_consumed, 0u);
+}
+
+TEST(NetProtocol, UnknownKindBehindValidCrcIsCorrupt) {
+  std::string payload;
+  append_raw(payload, std::uint8_t{99});
+  append_raw(payload, std::uint64_t{1});
+  const DecodeFrameResult decoded = decode_frame(raw_frame(payload));
+  EXPECT_TRUE(decoded.corrupt);
+}
+
+TEST(NetProtocol, TrailingPayloadBytesAreCorrupt) {
+  // A frame means exactly one message; extra bytes behind a valid CRC are
+  // still a violation.
+  Message message;
+  message.kind = MessageKind::kHealthRequest;
+  message.request_id = 5;
+  std::string payload;
+  append_raw(payload, static_cast<std::uint8_t>(message.kind));
+  append_raw(payload, message.request_id);
+  payload.push_back('\0');
+  const DecodeFrameResult decoded = decode_frame(raw_frame(payload));
+  EXPECT_TRUE(decoded.corrupt);
+}
+
+TEST(NetProtocol, UserCountMismatchIsCorrupt) {
+  // Announce 3 users, supply 2: size arithmetic must reject the payload
+  // even though the CRC is valid.
+  std::string payload;
+  append_raw(payload, static_cast<std::uint8_t>(MessageKind::kScoreRequest));
+  append_raw(payload, std::uint64_t{1});
+  append_raw(payload, forum::QuestionId{0});
+  append_raw(payload, std::uint32_t{3});
+  append_raw(payload, forum::UserId{10});
+  append_raw(payload, forum::UserId{11});
+  const DecodeFrameResult decoded = decode_frame(raw_frame(payload));
+  EXPECT_TRUE(decoded.corrupt);
+}
+
+TEST(NetProtocol, UserCountAboveCeilingIsCorrupt) {
+  // kMaxRequestUsers + 1 with a size-consistent payload: the per-request
+  // candidate ceiling rejects it independently of the frame ceiling.
+  const std::uint32_t count = kMaxRequestUsers + 1;
+  std::string payload;
+  append_raw(payload, static_cast<std::uint8_t>(MessageKind::kScoreRequest));
+  append_raw(payload, std::uint64_t{1});
+  append_raw(payload, forum::QuestionId{0});
+  append_raw(payload, count);
+  payload.append(static_cast<std::size_t>(count) * sizeof(forum::UserId), '\0');
+  ASSERT_LE(payload.size(), kMaxFramePayload);
+  const DecodeFrameResult decoded = decode_frame(raw_frame(payload));
+  EXPECT_TRUE(decoded.corrupt);
+}
+
+TEST(NetProtocol, ErrorCodeOutOfRangeIsCorrupt) {
+  std::string payload;
+  append_raw(payload, static_cast<std::uint8_t>(MessageKind::kErrorResponse));
+  append_raw(payload, std::uint64_t{1});
+  append_raw(payload, std::uint16_t{7});  // one past kMalformedFrame
+  append_raw(payload, std::uint32_t{0});  // empty detail string
+  const DecodeFrameResult decoded = decode_frame(raw_frame(payload));
+  EXPECT_TRUE(decoded.corrupt);
+}
+
+TEST(NetProtocol, StringLengthPastPayloadIsCorrupt) {
+  // A swap request whose inner string length field points past the payload
+  // end: read_string must refuse rather than over-read.
+  std::string payload;
+  append_raw(payload, static_cast<std::uint8_t>(MessageKind::kSwapRequest));
+  append_raw(payload, std::uint64_t{1});
+  append_raw(payload, std::uint32_t{1000});
+  payload.append("short", 5);
+  const DecodeFrameResult decoded = decode_frame(raw_frame(payload));
+  EXPECT_TRUE(decoded.corrupt);
+}
+
+TEST(NetProtocol, FuzzCorpusNeverCrashesOrOverConsumes) {
+  // Deterministic garbage: random byte strings and random mutations of
+  // valid frames. The decoder must stay within the buffer, never consume
+  // bytes it did not validate, and classify everything as exactly one of
+  // {valid, incomplete, corrupt}.
+  util::Rng rng(20260807);
+  const std::vector<Message> messages = corpus();
+  for (int round = 0; round < 2000; ++round) {
+    std::string bytes;
+    if (round % 2 == 0) {
+      const std::size_t length = rng.uniform_index(64);
+      bytes.reserve(length);
+      for (std::size_t i = 0; i < length; ++i) {
+        bytes.push_back(static_cast<char>(rng.uniform_index(256)));
+      }
+    } else {
+      bytes = frame_of(messages[rng.uniform_index(messages.size())]);
+      const std::size_t flips = 1 + rng.uniform_index(4);
+      for (std::size_t f = 0; f < flips; ++f) {
+        bytes[rng.uniform_index(bytes.size())] ^=
+            static_cast<char>(1 + rng.uniform_index(255));
+      }
+    }
+    const DecodeFrameResult decoded = decode_frame(bytes);
+    EXPECT_LE(decoded.bytes_consumed, bytes.size());
+    if (decoded.corrupt) {
+      EXPECT_EQ(decoded.bytes_consumed, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace forumcast::net

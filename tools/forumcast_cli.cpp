@@ -31,6 +31,13 @@
 //       Cold-start serving: load the bundle (zero fit stages) and score.
 //       Prints a prediction digest — bit-equal to the fit process's digest.
 //
+//   forumcast serve --data posts.csv --model-in model.fcm --listen PORT
+//       Serving daemon: epoll event loop on 127.0.0.1:PORT (0 = ephemeral)
+//       speaking the length-prefixed binary protocol (src/net/), with
+//       concurrent requests coalesced into batched scoring. SIGINT/SIGTERM
+//       or a shutdown request drain gracefully. --port-file publishes the
+//       bound port for scripts that listen on an ephemeral one.
+//
 // predict and route also accept --model-in (serve from a bundle instead of
 // fitting) and --model-out (save the fitted pipeline after fitting).
 //
@@ -39,13 +46,17 @@
 //                        of the run and write it to FILE
 //   --metrics-out FILE   dump the metrics registry snapshot as JSON to FILE
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -54,6 +65,7 @@
 #include "eval/metrics.hpp"
 #include "forum/generator.hpp"
 #include "forum/io.hpp"
+#include "net/server.hpp"
 #include "obs/monitor/monitor.hpp"
 #include "obs/obs.hpp"
 #include "serve/batch_scorer.hpp"
@@ -590,13 +602,70 @@ int cmd_fit(const Args& args) {
   return 0;
 }
 
+// Signal → graceful drain: Server::stop() is async-signal-safe (one atomic
+// store plus an eventfd write), so the handler may call it directly.
+std::atomic<net::Server*> g_listen_server{nullptr};
+
+extern "C" void handle_stop_signal(int) {
+  net::Server* server = g_listen_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->stop();
+}
+
+int run_daemon(const forum::Dataset& dataset, core::ForecastPipeline&& owned,
+               const Args& args) {
+  // The daemon owns the pipeline through the scorer's shared_ptr so a hot
+  // swap can retire it safely while route solves still hold a snapshot.
+  auto pipeline =
+      std::make_shared<const core::ForecastPipeline>(std::move(owned));
+  serve::BatchScorer scorer(pipeline, scorer_config(args));
+
+  net::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(args.get_int("listen", 0));
+  config.batcher.max_batch_requests =
+      static_cast<std::size_t>(args.get_int("max-batch", 256));
+  config.batcher.max_delay_ms = args.get_double("max-delay-ms", 1.0);
+  config.batcher.max_queue =
+      static_cast<std::size_t>(args.get_int("queue-cap", 4096));
+  config.batcher.threads =
+      static_cast<std::size_t>(args.get_int("net-threads", 1));
+  net::Server server(scorer, dataset, config);
+
+  const std::string port_file = args.get("port-file", "");
+  if (!port_file.empty()) {
+    // Publish atomically (tmp + rename): a poller either sees no file or a
+    // complete port number, never a torn write.
+    const std::string tmp = port_file + ".wip";
+    {
+      std::ofstream out(tmp);
+      FORUMCAST_CHECK_MSG(out.good(), "cannot write " << port_file);
+      out << server.port() << "\n";
+    }
+    std::filesystem::rename(tmp, port_file);
+  }
+  std::cout << "listening on port " << server.port() << std::endl;
+
+  g_listen_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  server.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_listen_server.store(nullptr, std::memory_order_release);
+
+  std::cout << "served " << server.requests_seen() << " requests\n";
+  return 0;
+}
+
 int cmd_serve(const Args& args) {
   const auto dataset = load_data(args);
   // Cold start: the bundle restores every fit product, so no fit stage runs
   // (the metrics snapshot carries no pipeline.fit.* histograms — the smoke
   // test asserts exactly that).
-  const auto pipeline = load_bundle(dataset, args.require("model-in"));
+  auto pipeline = load_bundle(dataset, args.require("model-in"));
   print_prediction_digest(pipeline);
+  if (args.get("listen", "").size() > 0) {
+    return run_daemon(dataset, std::move(pipeline), args);
+  }
   const long question = args.get_int("question", -1);
   if (question >= 0) {
     FORUMCAST_CHECK_MSG(
@@ -713,6 +782,13 @@ void usage() {
                "  serve    --data posts.csv --model-in model.fcm [--question Q --top K]\n"
                "           cold-start from the bundle (zero fit stages); the\n"
                "           digest is bit-equal to the fit process's\n"
+               "           [--listen PORT]      run the serving daemon on\n"
+               "                                127.0.0.1:PORT (0 = ephemeral)\n"
+               "           [--port-file FILE]   publish the bound port\n"
+               "           [--max-batch N]      micro-batch size cap (256)\n"
+               "           [--max-delay-ms X]   micro-batch hold time (1.0)\n"
+               "           [--queue-cap N]      admission queue bound (4096)\n"
+               "           [--net-threads N]    scoring workers (1)\n"
                "  predict  --data posts.csv --question Q [--history-days D] [--top K]\n"
                "  route    --data posts.csv [--history-days D] [--lambda L] [--epsilon E]\n"
                "  evaluate --data posts.csv [--folds F] [--repeats R]\n"

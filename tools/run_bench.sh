@@ -5,7 +5,8 @@
 # microbenches, the streaming-ingestion benchmark, the training-path
 # benchmark, and the model-artifact save/load benchmark in google-benchmark
 # JSON mode, writes BENCH_serve.json / BENCH_micro.json / BENCH_stream.json /
-# BENCH_fit.json / BENCH_artifact.json / BENCH_monitor.json into --out-dir, and
+# BENCH_fit.json / BENCH_artifact.json / BENCH_monitor.json / BENCH_net.json
+# (wire-serving daemon throughput) into --out-dir, and
 # fails if batched scoring at 256 candidates is not at least
 # BENCH_MIN_SPEEDUP times faster (pairs/sec) than the scalar path, or if
 # pipeline fitting at 8 fit-threads is not at least BENCH_FIT_MIN_SPEEDUP
@@ -35,6 +36,14 @@
 #                           (conservative for shared runners); the acceptance
 #                           bar is 0.95 — monitoring overhead under 5% — on
 #                           quiet hardware.
+#        BENCH_NET_MIN_RPS  minimum BM_NetScore/64 requests/sec over the
+#                           wire. Unlike the ratio guards this one compares
+#                           an absolute rate, which only means something on
+#                           known hardware — so unset -> the guard is
+#                           SKIPPED (the numbers are still printed and the
+#                           JSON still written). The acceptance bar is 50000
+#                           on quiet hardware. Same format rules: a plain
+#                           non-negative decimal, anything else exits 2.
 set -euo pipefail
 
 BUILD_DIR=build
@@ -83,6 +92,20 @@ else
   exit 2
 fi
 
+# Absolute-rate guard: no sensible hardware-independent default exists, so
+# unset means "report, don't gate" (NET_MIN_RPS stays empty).
+NET_MIN_RPS=""
+if [[ -n "${BENCH_NET_MIN_RPS+x}" ]]; then
+  if [[ "$BENCH_NET_MIN_RPS" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
+    NET_MIN_RPS="$BENCH_NET_MIN_RPS"
+  else
+    echo "error: BENCH_NET_MIN_RPS must be a non-negative decimal number" \
+         "(e.g. 50000); got '${BENCH_NET_MIN_RPS}'" >&2
+    echo "hint: unset it to report throughput without gating" >&2
+    exit 2
+  fi
+fi
+
 # Refuse to emit BENCH files from an unoptimized build: a Debug or
 # non-native binary runs the same code an order of magnitude slower, and a
 # committed baseline measured that way would flag every healthy Release run
@@ -111,15 +134,17 @@ STREAM_BIN="$BUILD_DIR/bench/stream"
 FIT_BIN="$BUILD_DIR/bench/fit"
 ARTIFACT_BIN="$BUILD_DIR/bench/artifact"
 MONITOR_BIN="$BUILD_DIR/bench/monitor"
+NET_BIN="$BUILD_DIR/bench/net"
 SERVE_JSON="$OUT_DIR/BENCH_serve.json"
 MICRO_JSON="$OUT_DIR/BENCH_micro.json"
 STREAM_JSON="$OUT_DIR/BENCH_stream.json"
 FIT_JSON="$OUT_DIR/BENCH_fit.json"
 ARTIFACT_JSON="$OUT_DIR/BENCH_artifact.json"
 MONITOR_JSON="$OUT_DIR/BENCH_monitor.json"
+NET_JSON="$OUT_DIR/BENCH_net.json"
 
 for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN" "$FIT_BIN" "$ARTIFACT_BIN" \
-           "$MONITOR_BIN"; do
+           "$MONITOR_BIN" "$NET_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (configure with default options first)" >&2
     exit 2
@@ -145,6 +170,9 @@ echo "== bench/artifact -> $ARTIFACT_JSON"
 
 echo "== bench/monitor -> $MONITOR_JSON"
 "$MONITOR_BIN" --benchmark_out="$MONITOR_JSON" --benchmark_out_format=json
+
+echo "== bench/net -> $NET_JSON"
+"$NET_BIN" --benchmark_out="$NET_JSON" --benchmark_out_format=json
 
 echo "== model bundle: save/load latency and size"
 python3 - "$ARTIFACT_JSON" <<'PY'
@@ -285,5 +313,42 @@ print(f"speedup: {speedup:.2f}x (required >= {min_speedup:.2f}x)")
 if speedup < min_speedup:
     sys.exit(f"bench regression: fit speedup {speedup:.2f}x "
              f"below required {min_speedup:.2f}x")
+PY
+echo "== wire serving: requests/sec and latency quantiles by concurrency"
+python3 - "$NET_JSON" "${NET_MIN_RPS:-}" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+min_rps = float(sys.argv[2]) if len(sys.argv) > 2 and sys.argv[2] else None
+with open(path) as fh:
+    report = json.load(fh)
+
+benches = {
+    bench["name"]: bench
+    for bench in report["benchmarks"]
+    if bench.get("run_type") != "aggregate"
+}
+guard = None
+for name in sorted(benches):
+    bench = benches[name]
+    rate = bench.get("items_per_second", 0.0)
+    p50 = bench.get("p50_ms", 0.0)
+    p99 = bench.get("p99_ms", 0.0)
+    print(f"{name}: {rate:,.0f} req/sec (p50 {p50:.3f} ms, p99 {p99:.3f} ms)")
+    if rate <= 0.0:
+        sys.exit(f"bench regression: {name} reported no throughput")
+    if name.startswith("BM_NetScore/64"):
+        guard = rate
+if guard is None:
+    sys.exit(f"missing BM_NetScore/64 results in {path}")
+if min_rps is None:
+    print(f"BENCH_NET_MIN_RPS unset: reporting only (BM_NetScore/64 at "
+          f"{guard:,.0f} req/sec; the bar on quiet hardware is 50,000)")
+elif guard < min_rps:
+    sys.exit(f"bench regression: BM_NetScore/64 at {guard:,.0f} req/sec, "
+             f"below required {min_rps:,.0f}")
+else:
+    print(f"wire-serving guard passed: {guard:,.0f} >= {min_rps:,.0f} req/sec")
 PY
 echo "bench guard passed"
