@@ -4,6 +4,7 @@
 #include <exception>
 #include <fstream>
 #include <map>
+#include <tuple>
 #include <utility>
 
 #include "core/recommender.hpp"
@@ -167,6 +168,15 @@ void MicroBatcher::process(std::vector<Item> batch) {
 
 void MicroBatcher::score_group(forum::QuestionId question,
                                std::vector<Item*>& group) {
+  // Hold the read guard (when configured) across validation and scoring so
+  // a live-ingest node cannot grow the dataset mid-batch, and validate
+  // against the *served* pipeline's dataset — after a rebuild-style swap it
+  // is a different (larger) dataset than the one at construction.
+  const std::shared_ptr<void> guard =
+      config_.read_guard ? config_.read_guard() : nullptr;
+  const std::shared_ptr<const core::ForecastPipeline> pipeline =
+      scorer_.pipeline();
+  const forum::Dataset& dataset = pipeline->dataset();
   // Validate per request; invalid ones answer kBadRequest and drop out of
   // the coalesced batch.
   std::vector<Item*> valid;
@@ -174,13 +184,13 @@ void MicroBatcher::score_group(forum::QuestionId question,
   for (Item* item : group) {
     const Message& request = item->request;
     std::string problem;
-    if (request.question >= dataset_.num_questions()) {
+    if (request.question >= dataset.num_questions()) {
       problem = "question out of range";
     } else if (request.users.empty()) {
       problem = "empty candidate set";
     } else {
       for (const forum::UserId u : request.users) {
-        if (u >= dataset_.num_users()) {
+        if (u >= dataset.num_users()) {
           problem = "user out of range";
           break;
         }
@@ -237,23 +247,27 @@ void MicroBatcher::score_group(forum::QuestionId question,
 
 std::string MicroBatcher::handle_route(const Item& item) {
   const Message& request = item.request;
-  if (request.question >= dataset_.num_questions() || request.users.empty()) {
+  const std::shared_ptr<void> guard =
+      config_.read_guard ? config_.read_guard() : nullptr;
+  // Snapshot the served model: a concurrent hot swap must not invalidate
+  // the pipeline the recommender references mid-solve. Validation uses the
+  // snapshot's own dataset (it tracks rebuild-style swaps).
+  const std::shared_ptr<const core::ForecastPipeline> pipeline =
+      scorer_.pipeline();
+  const forum::Dataset& dataset = pipeline->dataset();
+  if (request.question >= dataset.num_questions() || request.users.empty()) {
     FORUMCAST_COUNTER_ADD("net.bad_requests", 1);
     return encode_error(request.request_id, ErrorCode::kBadRequest,
                         "question out of range or empty candidate set");
   }
   for (const forum::UserId u : request.users) {
-    if (u >= dataset_.num_users()) {
+    if (u >= dataset.num_users()) {
       FORUMCAST_COUNTER_ADD("net.bad_requests", 1);
       return encode_error(request.request_id, ErrorCode::kBadRequest,
                           "user out of range");
     }
   }
   try {
-    // Snapshot the served model: a concurrent hot swap must not invalidate
-    // the pipeline the recommender references mid-solve.
-    const std::shared_ptr<const core::ForecastPipeline> pipeline =
-        scorer_.pipeline();
     const core::Recommender recommender(*pipeline, scorer_.predict_fn());
     const core::RecommendationResult result =
         recommender.recommend(request.question, request.users);
@@ -282,18 +296,29 @@ std::string MicroBatcher::handle_route(const Item& item) {
 std::string MicroBatcher::handle_swap(const Item& item) {
   const Message& request = item.request;
   try {
-    std::ifstream in(request.text, std::ios::binary);
-    FORUMCAST_CHECK_MSG(in.good(),
-                        "cannot open model bundle: " << request.text);
-    auto next = std::make_shared<core::ForecastPipeline>(
-        core::ForecastPipeline::load(in, dataset_));
-    scorer_.swap_model(std::move(next));
+    std::uint64_t generation = 0;
+    std::uint64_t swap_epoch = 0;
+    if (config_.swap_fn) {
+      // Live-ingest daemons swap by rebuilding serving state (base dataset
+      // + bundle + event log); the hook returns the post-swap identity.
+      std::tie(generation, swap_epoch) = config_.swap_fn(request.text);
+    } else {
+      std::ifstream in(request.text, std::ios::binary);
+      FORUMCAST_CHECK_MSG(in.good(),
+                          "cannot open model bundle: " << request.text);
+      auto next = std::make_shared<core::ForecastPipeline>(
+          core::ForecastPipeline::load(in, dataset_));
+      scorer_.swap_model(std::move(next));
+      generation = scorer_.pipeline()->generation();
+      swap_epoch = scorer_.swap_epoch();
+    }
     FORUMCAST_COUNTER_ADD("net.model_swaps", 1);
+    if (config_.on_swap) config_.on_swap(request.text, generation, swap_epoch);
     Message response;
     response.kind = MessageKind::kSwapResponse;
     response.request_id = request.request_id;
-    response.generation = scorer_.pipeline()->generation();
-    response.swap_epoch = scorer_.swap_epoch();
+    response.generation = generation;
+    response.swap_epoch = swap_epoch;
     std::string frame;
     append_frame(frame, response);
     return frame;

@@ -48,6 +48,24 @@ struct BatcherConfig {
   std::size_t max_queue = 4096;
   /// Scoring worker threads.
   std::size_t threads = 1;
+  /// Returns an opaque RAII token holding whatever lock makes scoring safe
+  /// against concurrent mutation — replication nodes (a primary ingesting
+  /// while serving, a follower applying shipped batches) pass the
+  /// LiveState reader lock. Unset = the dataset is static, no lock needed.
+  /// Also taken around health reads on the server's event loop.
+  std::function<std::shared_ptr<void>()> read_guard;
+  /// Overrides the built-in kSwapRequest handling (load the bundle against
+  /// the construction-time dataset). A live-ingest daemon cannot use the
+  /// built-in path — its dataset has grown past the bundle's fingerprint —
+  /// so it swaps by rebuilding serving state from (base + bundle + log) and
+  /// returns the post-swap (generation, swap_epoch). Throws on failure.
+  std::function<std::pair<std::uint64_t, std::uint64_t>(const std::string&)>
+      swap_fn;
+  /// Called after every successful model swap with (bundle path, generation,
+  /// swap_epoch). The replicated server broadcasts kModelSwap to subscribed
+  /// followers from here. Invoked on a worker thread.
+  std::function<void(const std::string&, std::uint64_t, std::uint64_t)>
+      on_swap;
 };
 
 class MicroBatcher {

@@ -1,39 +1,112 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "util/check.hpp"
 
 namespace forumcast::net {
 
-Client::Client(std::uint16_t port, const std::string& host) {
+namespace {
+
+/// Remaining milliseconds until `deadline`, clamped to >= 0 and rounded up
+/// so a sub-millisecond remainder still polls once instead of spinning.
+int remaining_ms(std::chrono::steady_clock::time_point deadline) {
+  const double ms = std::chrono::duration<double, std::milli>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+  if (ms <= 0) return 0;
+  return static_cast<int>(std::ceil(ms));
+}
+
+}  // namespace
+
+void Client::connect_once(const sockaddr* addr, std::size_t addr_len,
+                          const std::string& where) {
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   FORUMCAST_CHECK_MSG(fd_ >= 0, "socket(): " << std::strerror(errno));
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  const bool bounded = config_.connect_timeout_ms > 0;
+  if (bounded) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, addr, static_cast<socklen_t>(addr_len));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && bounded && errno == EINPROGRESS) {
+    // Non-blocking connect: wait for writability within the timeout, then
+    // read the socket-level result.
+    pollfd pfd{fd_, POLLOUT, 0};
+    int polled;
+    do {
+      polled = ::poll(&pfd, 1,
+                      static_cast<int>(std::ceil(config_.connect_timeout_ms)));
+    } while (polled < 0 && errno == EINTR);
+    if (polled == 0) {
+      ::close(fd_);
+      fd_ = -1;
+      FORUMCAST_CHECK_MSG(false, "connect to " << where << ": timed out after "
+                                               << config_.connect_timeout_ms
+                                               << " ms");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    rc = soerr == 0 ? 0 : -1;
+    errno = soerr;
+  }
+  if (rc < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    FORUMCAST_CHECK_MSG(false,
+                        "connect to " << where << ": " << std::strerror(saved));
+  }
+  if (bounded) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
+  }
+}
+
+Client::Client(std::uint16_t port, const std::string& host,
+               ClientConfig config)
+    : config_(config) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   FORUMCAST_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
                       "bad host address: " << host);
-  int rc;
-  do {
-    rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  } while (rc < 0 && errno == EINTR);
-  if (rc < 0) {
-    const int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    FORUMCAST_CHECK_MSG(false, "connect to " << host << ":" << port << ": "
-                                             << std::strerror(saved));
+  const std::string where = host + ":" + std::to_string(port);
+  double backoff_ms = config_.retry_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      connect_once(reinterpret_cast<const sockaddr*>(&addr), sizeof addr,
+                   where);
+      return;
+    } catch (const util::CheckError&) {
+      if (attempt >= config_.connect_retries) throw;
+      // Bounded retry with doubling backoff: a primary restarting mid-
+      // deploy costs a few sleeps, a dead one still fails promptly.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms *= 2;
+    }
   }
 }
 
@@ -54,14 +127,29 @@ void Client::send_raw(std::string_view bytes) {
   }
 }
 
-bool Client::try_read_frame(Message& out) {
+Client::PollResult Client::poll_frame(Message& out, double timeout_ms) {
+  const bool bounded = timeout_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(bounded ? timeout_ms : 0));
   for (;;) {
     const DecodeFrameResult decoded = decode_frame(read_buffer_);
     FORUMCAST_CHECK_MSG(!decoded.corrupt, "corrupt frame from server");
     if (decoded.bytes_consumed > 0) {
       out = decoded.message;
       read_buffer_.erase(0, decoded.bytes_consumed);
-      return true;
+      return PollResult::kFrame;
+    }
+    if (bounded) {
+      const int wait = remaining_ms(deadline);
+      if (wait == 0) return PollResult::kTimeout;
+      pollfd pfd{fd_, POLLIN, 0};
+      int polled;
+      do {
+        polled = ::poll(&pfd, 1, wait);
+      } while (polled < 0 && errno == EINTR);
+      if (polled == 0) return PollResult::kTimeout;
     }
     char chunk[16384];
     ssize_t n;
@@ -74,16 +162,30 @@ bool Client::try_read_frame(Message& out) {
       // frame means the server died mid-response.
       FORUMCAST_CHECK_MSG(read_buffer_.empty(),
                           "connection closed mid-frame by server");
-      return false;
+      return PollResult::kClosed;
     }
     read_buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+bool Client::try_read_frame(Message& out) {
+  const PollResult result = poll_frame(out, config_.read_timeout_ms);
+  FORUMCAST_CHECK_MSG(result != PollResult::kTimeout,
+                      "read timed out after " << config_.read_timeout_ms
+                                              << " ms waiting for a frame");
+  return result == PollResult::kFrame;
 }
 
 Message Client::read_frame() {
   Message out;
   FORUMCAST_CHECK_MSG(try_read_frame(out), "connection closed by server");
   return out;
+}
+
+void Client::send_message(const Message& message) {
+  std::string frame;
+  append_frame(frame, message);
+  send_raw(frame);
 }
 
 Message Client::wait_for(std::uint64_t request_id) {
@@ -146,6 +248,17 @@ HealthInfo Client::health() {
   }
   FORUMCAST_CHECK(response.kind == MessageKind::kHealthResponse);
   return response.health;
+}
+
+ReplicaStatusInfo Client::replica_status() {
+  Message request;
+  request.kind = MessageKind::kReplicaStatusRequest;
+  Message response = call(std::move(request));
+  if (response.kind == MessageKind::kErrorResponse) {
+    throw RpcError(response.error, response.text);
+  }
+  FORUMCAST_CHECK(response.kind == MessageKind::kReplicaStatusResponse);
+  return response.replica;
 }
 
 std::string Client::metrics_json() {

@@ -22,6 +22,8 @@
 #include "core/pipeline.hpp"
 #include "net/protocol.hpp"
 
+struct sockaddr;  // <sys/socket.h>; kept out of this header
+
 namespace forumcast::net {
 
 /// A typed error frame, rethrown client-side.
@@ -36,10 +38,29 @@ class RpcError : public std::runtime_error {
   ErrorCode code_;
 };
 
+/// Transport knobs. The defaults reproduce the original behavior (blocking
+/// connect, reads that wait forever) — fine for tests and one-shot tools,
+/// wrong for a follower tailing a primary that may be down: replication
+/// callers set timeouts and bounded retry so a dead peer costs bounded
+/// time instead of a hung process.
+struct ClientConfig {
+  /// Per-attempt connect timeout; 0 = the OS default (blocking).
+  double connect_timeout_ms = 0.0;
+  /// Bound on each wait for response bytes in call()/read_frame(); 0 =
+  /// wait forever. Expiry throws util::CheckError ("timed out").
+  double read_timeout_ms = 0.0;
+  /// Extra connect attempts after the first fails (refused or timed out).
+  int connect_retries = 0;
+  /// Sleep before the first retry; doubles on each further attempt.
+  double retry_backoff_ms = 50.0;
+};
+
 class Client {
  public:
-  /// Connects (blocking) to the daemon on `host`:`port`.
-  explicit Client(std::uint16_t port, const std::string& host = "127.0.0.1");
+  /// Connects to the daemon on `host`:`port`, honoring the config's
+  /// connect timeout and bounded retry-with-backoff.
+  explicit Client(std::uint16_t port, const std::string& host = "127.0.0.1",
+                  ClientConfig config = {});
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -62,6 +83,10 @@ class Client {
   HealthInfo health();
   std::string metrics_json();
 
+  /// Replication role + progress (answered by every daemon; standalone
+  /// servers report role 0 with zeroed progress).
+  ReplicaStatusInfo replica_status();
+
   /// Hot-swaps the served model from a bundle file readable by the server
   /// process. Returns the post-swap (generation, swap_epoch).
   Message swap_model(const std::string& bundle_path);
@@ -73,15 +98,28 @@ class Client {
   /// Raw transport access for protocol-abuse tests (torn frames, garbage).
   int fd() const { return fd_; }
   void send_raw(std::string_view bytes);
+  /// Encodes and sends `message` without waiting for a reply (replication
+  /// heartbeats are one-way until the primary answers asynchronously).
+  void send_message(const Message& message);
   /// Reads until one full frame decodes. Throws on EOF/corrupt stream.
   Message read_frame();
   /// Like read_frame(), but a clean EOF before any byte of a frame returns
   /// false (used to observe the server closing after a malformed frame).
   bool try_read_frame(Message& out);
 
+  /// One bounded wait for the next frame — the follower's tail loop runs on
+  /// this, interleaving heartbeats on kTimeout. timeout_ms <= 0 waits
+  /// forever. kClosed is a clean EOF between frames; an EOF mid-frame or a
+  /// corrupt stream still throws.
+  enum class PollResult { kFrame, kTimeout, kClosed };
+  PollResult poll_frame(Message& out, double timeout_ms);
+
  private:
   Message wait_for(std::uint64_t request_id);
+  void connect_once(const sockaddr* addr, std::size_t addr_len,
+                    const std::string& where);
 
+  ClientConfig config_;
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
   std::string read_buffer_;

@@ -102,6 +102,44 @@ std::string encode_payload(const Message& m) {
       append_raw(payload, static_cast<std::uint16_t>(m.error));
       append_string(payload, m.text);
       break;
+    case MessageKind::kSubscribeRequest:
+      append_raw(payload, m.from_seq);
+      append_raw(payload, static_cast<std::uint8_t>(m.want_bundle ? 1 : 0));
+      break;
+    case MessageKind::kReplicaStatusRequest:
+      break;
+    case MessageKind::kReplicaHeartbeat:
+      append_raw(payload, m.replica.applied_seq);
+      break;
+    case MessageKind::kSnapshotOffer:
+      append_raw(payload, m.head_seq);
+      append_raw(payload, m.bundle_bytes);
+      break;
+    case MessageKind::kSnapshotChunk:
+      append_raw(payload, m.offset);
+      append_string(payload, m.text);
+      break;
+    case MessageKind::kWalBatch:
+      append_raw(payload, m.first_seq);
+      append_raw(payload, m.last_seq);
+      append_raw(payload, m.event_count);
+      append_raw(payload, static_cast<std::uint8_t>(m.has_digest ? 1 : 0));
+      append_raw(payload, m.digest);
+      append_string(payload, m.text);
+      break;
+    case MessageKind::kReplicaStatusResponse:
+      append_raw(payload, m.replica.role);
+      append_raw(payload, m.replica.applied_seq);
+      append_raw(payload, m.replica.head_seq);
+      append_raw(payload, m.replica.lag_events);
+      append_raw(payload, m.replica.lag_ms);
+      append_raw(payload, m.replica.digest);
+      break;
+    case MessageKind::kModelSwap:
+      append_string(payload, m.text);
+      append_raw(payload, m.generation);
+      append_raw(payload, m.swap_epoch);
+      break;
   }
   return payload;
 }
@@ -193,6 +231,60 @@ bool decode_payload(std::string_view payload, Message& m) {
       m.error = static_cast<ErrorCode>(code);
       return read_string(payload, m.text) && payload.empty();
     }
+    case static_cast<std::uint8_t>(MessageKind::kSubscribeRequest): {
+      m.kind = MessageKind::kSubscribeRequest;
+      std::uint8_t want = 0;
+      if (!read_raw(payload, m.from_seq) || !read_raw(payload, want) ||
+          want > 1) {
+        return false;
+      }
+      m.want_bundle = want != 0;
+      return payload.empty();
+    }
+    case static_cast<std::uint8_t>(MessageKind::kReplicaStatusRequest):
+      m.kind = MessageKind::kReplicaStatusRequest;
+      return payload.empty();
+    case static_cast<std::uint8_t>(MessageKind::kReplicaHeartbeat):
+      m.kind = MessageKind::kReplicaHeartbeat;
+      return read_raw(payload, m.replica.applied_seq) && payload.empty();
+    case static_cast<std::uint8_t>(MessageKind::kSnapshotOffer):
+      m.kind = MessageKind::kSnapshotOffer;
+      return read_raw(payload, m.head_seq) &&
+             read_raw(payload, m.bundle_bytes) && payload.empty();
+    case static_cast<std::uint8_t>(MessageKind::kSnapshotChunk):
+      m.kind = MessageKind::kSnapshotChunk;
+      return read_raw(payload, m.offset) && read_string(payload, m.text) &&
+             payload.empty();
+    case static_cast<std::uint8_t>(MessageKind::kWalBatch): {
+      m.kind = MessageKind::kWalBatch;
+      std::uint8_t has_digest = 0;
+      if (!read_raw(payload, m.first_seq) || !read_raw(payload, m.last_seq) ||
+          !read_raw(payload, m.event_count) ||
+          !read_raw(payload, has_digest) || has_digest > 1 ||
+          !read_raw(payload, m.digest)) {
+        return false;
+      }
+      m.has_digest = has_digest != 0;
+      if (!read_string(payload, m.text) || !payload.empty()) return false;
+      // Shape invariants checkable without decoding the records: a batch
+      // spans [first, last] with exactly `count` records; an empty batch
+      // carries no bytes.
+      if (m.event_count == 0) return m.text.empty();
+      return m.last_seq >= m.first_seq &&
+             m.last_seq - m.first_seq + 1 == m.event_count && !m.text.empty();
+    }
+    case static_cast<std::uint8_t>(MessageKind::kReplicaStatusResponse):
+      m.kind = MessageKind::kReplicaStatusResponse;
+      return read_raw(payload, m.replica.role) && m.replica.role <= 2 &&
+             read_raw(payload, m.replica.applied_seq) &&
+             read_raw(payload, m.replica.head_seq) &&
+             read_raw(payload, m.replica.lag_events) &&
+             read_raw(payload, m.replica.lag_ms) &&
+             read_raw(payload, m.replica.digest) && payload.empty();
+    case static_cast<std::uint8_t>(MessageKind::kModelSwap):
+      m.kind = MessageKind::kModelSwap;
+      return read_string(payload, m.text) && read_raw(payload, m.generation) &&
+             read_raw(payload, m.swap_epoch) && payload.empty();
     default:
       return false;  // unassigned kind byte
   }
@@ -214,6 +306,14 @@ const char* message_kind_name(MessageKind kind) {
     case MessageKind::kMetricsResponse: return "metrics_response";
     case MessageKind::kSwapResponse: return "swap_response";
     case MessageKind::kShutdownResponse: return "shutdown_response";
+    case MessageKind::kSubscribeRequest: return "subscribe_request";
+    case MessageKind::kReplicaStatusRequest: return "replica_status_request";
+    case MessageKind::kReplicaHeartbeat: return "replica_heartbeat";
+    case MessageKind::kSnapshotOffer: return "snapshot_offer";
+    case MessageKind::kSnapshotChunk: return "snapshot_chunk";
+    case MessageKind::kWalBatch: return "wal_batch";
+    case MessageKind::kReplicaStatusResponse: return "replica_status_response";
+    case MessageKind::kModelSwap: return "model_swap";
     case MessageKind::kErrorResponse: return "error_response";
   }
   return "unknown";

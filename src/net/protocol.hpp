@@ -49,6 +49,11 @@ enum class MessageKind : std::uint8_t {
   kMetricsRequest = 4,   ///< obs metrics snapshot (JSON text)
   kSwapRequest = 5,      ///< hot-swap the served model from a bundle file
   kShutdownRequest = 6,  ///< graceful drain + exit
+  // Replication requests (follower → primary, on the replication listener;
+  // kReplicaStatusRequest is answered on any connection).
+  kSubscribeRequest = 7,      ///< start tailing the WAL after from_seq
+  kReplicaStatusRequest = 8,  ///< role / applied seq / lag / state digest
+  kReplicaHeartbeat = 9,      ///< periodic follower progress report
   // Responses.
   kScoreResponse = 33,
   kRouteResponse = 34,
@@ -56,6 +61,12 @@ enum class MessageKind : std::uint8_t {
   kMetricsResponse = 36,
   kSwapResponse = 37,
   kShutdownResponse = 38,
+  // Replication stream frames (primary → follower).
+  kSnapshotOffer = 39,          ///< answers a subscribe: head seq + bundle size
+  kSnapshotChunk = 40,          ///< one slice of the model bundle's bytes
+  kWalBatch = 41,               ///< a run of framed WAL event records
+  kReplicaStatusResponse = 42,  ///< status reply (also answers heartbeats)
+  kModelSwap = 43,              ///< primary hot-swapped; followers follow suit
   kErrorResponse = 63,  ///< typed error (see ErrorCode)
 };
 
@@ -88,6 +99,19 @@ struct HealthInfo {
   std::uint64_t queue_depth = 0;
 };
 
+/// Replication role + progress, carried by kReplicaStatusResponse. The
+/// digest is the node's LiveState::digest() at applied_seq — two nodes
+/// reporting the same applied_seq must report the same digest, which is
+/// what the replica smoke asserts across primary and followers.
+struct ReplicaStatusInfo {
+  std::uint8_t role = 0;  ///< 0 = standalone, 1 = primary, 2 = follower
+  std::uint64_t applied_seq = 0;
+  std::uint64_t head_seq = 0;  ///< primary's head (followers: last known)
+  std::uint64_t lag_events = 0;
+  double lag_ms = 0.0;
+  std::uint64_t digest = 0;
+};
+
 /// Flat message struct (the ForumEvent idiom): one type for every kind,
 /// with only the fields the kind's codec reads/writes meaningful.
 struct Message {
@@ -113,12 +137,26 @@ struct Message {
   std::uint64_t generation = 0;
   std::uint64_t swap_epoch = 0;
 
-  // kSwapRequest (bundle path), kMetricsResponse (JSON), kErrorResponse
-  // (human-readable detail).
+  // kSwapRequest / kModelSwap (bundle path), kMetricsResponse (JSON),
+  // kSnapshotChunk (bundle bytes), kWalBatch (framed event records),
+  // kErrorResponse (human-readable detail).
   std::string text;
 
   // kErrorResponse.
   ErrorCode error = ErrorCode::kNone;
+
+  // Replication fields.
+  std::uint64_t from_seq = 0;     ///< subscribe: resume after this seq
+  bool want_bundle = false;       ///< subscribe: ship the model bundle first
+  std::uint64_t head_seq = 0;     ///< snapshot offer: primary's durable head
+  std::uint64_t bundle_bytes = 0; ///< snapshot offer: total bundle size
+  std::uint64_t offset = 0;       ///< snapshot chunk: byte offset
+  std::uint64_t first_seq = 0;    ///< wal batch: seq of the first record
+  std::uint64_t last_seq = 0;     ///< wal batch: seq of the last record
+  std::uint32_t event_count = 0;  ///< wal batch: record count in `text`
+  bool has_digest = false;        ///< wal batch: `digest` is meaningful
+  std::uint64_t digest = 0;       ///< primary LiveState digest at last_seq
+  ReplicaStatusInfo replica;      ///< kReplicaStatusResponse, kReplicaHeartbeat
 };
 
 /// Appends one framed record for `message` to `out`.

@@ -1,0 +1,54 @@
+// Server-side replication hooks.
+//
+// The serving daemon stays ignorant of where the event log lives: when a
+// follower subscribes on the replication listener, the event loop pulls
+// spans of encoded WAL records (and the model bundle for bootstrap) from a
+// ReplicationSource and ships them as kWalBatch / kSnapshotChunk frames.
+// replica::Publisher implements this over a WAL directory — the layering
+// keeps net free of any dependency on stream or replica.
+//
+// Only *durable* bytes are shipped: a span never reaches past what the
+// primary has fsynced, so a follower can never apply an event the primary
+// could lose in a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace forumcast::net {
+
+/// A run of consecutive, already-durable WAL records, encoded in the
+/// on-disk record framing (the follower feeds them straight through
+/// stream::decode_event_record). count == 0 means "caught up".
+struct WalSpan {
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
+  std::uint32_t count = 0;
+  std::string records;
+  /// When the span reaches the primary's live head, the primary attaches
+  /// its LiveState::digest() at last_seq — the follower applies the span
+  /// and compares. This is the periodic digest exchange.
+  bool has_digest = false;
+  std::uint64_t digest = 0;
+};
+
+/// What the server needs from the replication provider. Called only from
+/// the server's event-loop thread; implementations synchronize internally
+/// against the ingest thread.
+class ReplicationSource {
+ public:
+  virtual ~ReplicationSource() = default;
+
+  /// Sequence number of the last durable (fsynced) event.
+  virtual std::uint64_t head_seq() = 0;
+
+  /// The model bundle a bootstrapping follower loads before replaying the
+  /// log. Empty when no bundle exists (followers then need a local one).
+  virtual std::string bundle_bytes() = 0;
+
+  /// Encoded records with seq > after_seq, at most ~max_bytes of payload.
+  virtual WalSpan events_after(std::uint64_t after_seq,
+                               std::size_t max_bytes) = 0;
+};
+
+}  // namespace forumcast::net

@@ -22,13 +22,48 @@ namespace {
 // epoll_event.data.u64 sentinels; connection ids start above them.
 constexpr std::uint64_t kListenToken = 0;
 constexpr std::uint64_t kWakeToken = 1;
-constexpr std::uint64_t kFirstConnId = 2;
+constexpr std::uint64_t kReplListenToken = 2;
+constexpr std::uint64_t kFirstConnId = 3;
+
+// Replication pacing: pump no further while a follower already has this
+// much unflushed outbound data (soft cap — the connection is exempt from
+// the slow-consumer ceiling, so this is what bounds its buffer instead).
+constexpr std::size_t kReplPendingSoftCap = 1u << 20;
+// One kWalBatch span's encoded-records budget; stays well under the frame
+// payload ceiling once the span header rides along.
+constexpr std::size_t kReplSpanBytes = 192u * 1024;
+// Bundle bootstrap chunking (kSnapshotChunk payload bytes per frame).
+constexpr std::size_t kBundleChunkBytes = 256u * 1024;
 
 void close_fd(int& fd) {
   if (fd >= 0) {
     ::close(fd);
     fd = -1;
   }
+}
+
+int make_loopback_listener(std::uint16_t port, std::uint16_t& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  FORUMCAST_CHECK_MSG(fd >= 0, "socket failed: " << std::strerror(errno));
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 128) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    FORUMCAST_CHECK_MSG(false, "cannot bind port " << port << ": "
+                                                   << std::strerror(saved));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  FORUMCAST_CHECK(
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0);
+  bound_port = ntohs(bound.sin_port);
+  return fd;
 }
 
 }  // namespace
@@ -39,29 +74,11 @@ Server::Server(serve::BatchScorer& scorer, const forum::Dataset& dataset,
       dataset_(dataset),
       config_(config),
       next_conn_id_(kFirstConnId) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  FORUMCAST_CHECK_MSG(listen_fd_ >= 0,
-                      "socket failed: " << std::strerror(errno));
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(config_.port);
-  FORUMCAST_CHECK_MSG(
-      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) == 0,
-      "cannot bind port " << config_.port << ": " << std::strerror(errno));
-  FORUMCAST_CHECK_MSG(::listen(listen_fd_, 128) == 0,
-                      "listen failed: " << std::strerror(errno));
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  FORUMCAST_CHECK(::getsockname(listen_fd_,
-                                reinterpret_cast<sockaddr*>(&bound),
-                                &bound_len) == 0);
-  port_ = ntohs(bound.sin_port);
+  listen_fd_ = make_loopback_listener(config_.port, port_);
+  if (config_.replication != nullptr) {
+    repl_listen_fd_ =
+        make_loopback_listener(config_.replication_port, replication_port_);
+  }
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   FORUMCAST_CHECK_MSG(epoll_fd_ >= 0,
@@ -76,9 +93,25 @@ Server::Server(serve::BatchScorer& scorer, const forum::Dataset& dataset,
   FORUMCAST_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event) == 0);
   event.data.u64 = kWakeToken;
   FORUMCAST_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) == 0);
+  if (repl_listen_fd_ >= 0) {
+    event.data.u64 = kReplListenToken;
+    FORUMCAST_CHECK(
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, repl_listen_fd_, &event) == 0);
+  }
 
+  // Chain the swap notification through note_model_swap so subscribed
+  // followers learn about primary hot swaps, preserving any hook the
+  // caller installed.
+  BatcherConfig batcher_config = config_.batcher;
+  const auto caller_on_swap = batcher_config.on_swap;
+  batcher_config.on_swap = [this, caller_on_swap](const std::string& path,
+                                                  std::uint64_t generation,
+                                                  std::uint64_t swap_epoch) {
+    if (caller_on_swap) caller_on_swap(path, generation, swap_epoch);
+    note_model_swap(path, generation, swap_epoch);
+  };
   batcher_ = std::make_unique<MicroBatcher>(
-      scorer_, dataset_, config_.batcher,
+      scorer_, dataset_, batcher_config,
       [this](std::uint64_t conn_id, std::string frame) {
         on_batch_complete(conn_id, std::move(frame));
       });
@@ -89,6 +122,7 @@ Server::~Server() {
   for (auto& [id, conn] : connections_) close_fd(conn.fd);
   connections_.clear();
   close_fd(listen_fd_);
+  close_fd(repl_listen_fd_);
   close_fd(wake_fd_);
   close_fd(epoll_fd_);
 }
@@ -98,6 +132,27 @@ void Server::stop() noexcept {
   const std::uint64_t one = 1;
   // Async-signal-safe wake; a failed write only delays the loop until its
   // next timeout tick.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void Server::notify_replication() noexcept {
+  replication_pending_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void Server::note_model_swap(std::string bundle_path, std::uint64_t generation,
+                             std::uint64_t swap_epoch) {
+  Message notice;
+  notice.kind = MessageKind::kModelSwap;
+  notice.text = std::move(bundle_path);
+  notice.generation = generation;
+  notice.swap_epoch = swap_epoch;
+  {
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    pending_swaps_.push_back(std::move(notice));
+  }
+  const std::uint64_t one = 1;
   [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
 }
 
@@ -124,7 +179,11 @@ void Server::run() {
     for (int i = 0; i < ready; ++i) {
       const epoll_event& event = events[static_cast<std::size_t>(i)];
       if (event.data.u64 == kListenToken) {
-        handle_accept();
+        handle_accept(listen_fd_, /*replication=*/false);
+        continue;
+      }
+      if (event.data.u64 == kReplListenToken) {
+        handle_accept(repl_listen_fd_, /*replication=*/true);
         continue;
       }
       if (event.data.u64 == kWakeToken) {
@@ -132,6 +191,10 @@ void Server::run() {
         while (::read(wake_fd_, &count, sizeof count) > 0) {
         }
         drain_completions();
+        broadcast_pending_swap();
+        if (replication_pending_.exchange(false, std::memory_order_acq_rel)) {
+          pump_replication();
+        }
         continue;
       }
       const auto it = connections_.find(event.data.u64);
@@ -158,6 +221,10 @@ void Server::run() {
   draining_ = true;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
   close_fd(listen_fd_);
+  if (repl_listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, repl_listen_fd_, nullptr);
+    close_fd(repl_listen_fd_);
+  }
   batcher_->stop();
   drain_completions();
 
@@ -176,7 +243,7 @@ void Server::run() {
                                    static_cast<int>(events.size()), 100);
     for (int i = 0; i < std::max(ready, 0); ++i) {
       const epoll_event& event = events[static_cast<std::size_t>(i)];
-      if (event.data.u64 <= kWakeToken) continue;
+      if (event.data.u64 < kFirstConnId) continue;
       const auto it = connections_.find(event.data.u64);
       if (it == connections_.end()) continue;
       if (event.events & (EPOLLHUP | EPOLLERR)) {
@@ -197,9 +264,9 @@ void Server::run() {
   FORUMCAST_LOG_INFO << "net.server drained and stopped";
 }
 
-void Server::handle_accept() {
+void Server::handle_accept(int listen_fd, bool replication) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -212,6 +279,7 @@ void Server::handle_accept() {
     Connection conn;
     conn.fd = fd;
     conn.id = id;
+    conn.replication = replication;
     epoll_event event{};
     event.events = EPOLLIN;
     event.data.u64 = id;
@@ -220,7 +288,9 @@ void Server::handle_accept() {
       continue;
     }
     connections_.emplace(id, std::move(conn));
-    FORUMCAST_COUNTER_ADD("net.connections_accepted", 1);
+    FORUMCAST_COUNTER_ADD(
+        replication ? "replica.connections_accepted" : "net.connections_accepted",
+        1);
   }
 }
 
@@ -278,6 +348,25 @@ bool Server::drain_frames(Connection& conn) {
 void Server::dispatch(Connection& conn, Message request) {
   ++requests_seen_;
   FORUMCAST_COUNTER_ADD("net.requests", 1);
+  if (conn.replication) {
+    // The replication listener speaks only the replication subset; scoring
+    // and admin traffic belong on the serving port.
+    switch (request.kind) {
+      case MessageKind::kSubscribeRequest:
+        handle_subscribe(conn, request);
+        return;
+      case MessageKind::kReplicaHeartbeat:
+        handle_heartbeat(conn, request);
+        return;
+      case MessageKind::kReplicaStatusRequest:
+        break;  // answered below, same as on the serving port
+      default:
+        send_error(conn, request.request_id, ErrorCode::kBadRequest,
+                   std::string("not a replication request: ") +
+                       message_kind_name(request.kind));
+        return;
+    }
+  }
   switch (request.kind) {
     case MessageKind::kScoreRequest:
     case MessageKind::kRouteRequest:
@@ -302,14 +391,41 @@ void Server::dispatch(Connection& conn, Message request) {
       Message response;
       response.kind = MessageKind::kHealthResponse;
       response.request_id = request.request_id;
-      response.health.num_questions =
-          static_cast<std::uint32_t>(dataset_.num_questions());
-      response.health.num_users =
-          static_cast<std::uint32_t>(dataset_.num_users());
-      response.health.model_generation = scorer_.pipeline()->generation();
+      {
+        // Guarded like scoring: on live-ingest nodes the dataset grows
+        // concurrently, and the sizes must come from the served pipeline.
+        const std::shared_ptr<void> guard =
+            config_.batcher.read_guard ? config_.batcher.read_guard() : nullptr;
+        const std::shared_ptr<const core::ForecastPipeline> pipeline =
+            scorer_.pipeline();
+        response.health.num_questions =
+            static_cast<std::uint32_t>(pipeline->dataset().num_questions());
+        response.health.num_users =
+            static_cast<std::uint32_t>(pipeline->dataset().num_users());
+        response.health.model_generation = pipeline->generation();
+      }
       response.health.swap_epoch = scorer_.swap_epoch();
       response.health.queue_depth = batcher_->queue_depth();
       respond(conn, response);
+      break;
+    }
+    case MessageKind::kReplicaStatusRequest: {
+      Message response;
+      response.kind = MessageKind::kReplicaStatusResponse;
+      response.request_id = request.request_id;
+      if (config_.status_fn) {
+        response.replica = config_.status_fn();
+      } else if (config_.replication != nullptr) {
+        response.replica.role = 1;
+        response.replica.head_seq = config_.replication->head_seq();
+        response.replica.applied_seq = response.replica.head_seq;
+      }
+      respond(conn, response);
+      break;
+    }
+    case MessageKind::kSubscribeRequest: {
+      send_error(conn, request.request_id, ErrorCode::kBadRequest,
+                 "subscribe is only accepted on the replication port");
       break;
     }
     case MessageKind::kMetricsRequest: {
@@ -356,7 +472,7 @@ void Server::send_error(Connection& conn, std::uint64_t request_id,
 void Server::queue_bytes(Connection& conn, std::string_view bytes) {
   if (conn.fd < 0) return;
   const std::size_t pending = conn.write_buffer.size() - conn.write_offset;
-  if (pending + bytes.size() > config_.max_write_buffer) {
+  if (!conn.replication && pending + bytes.size() > config_.max_write_buffer) {
     // Slow consumer: the peer pipelines requests but stopped reading
     // responses. Cut it off rather than buffer without bound.
     FORUMCAST_COUNTER_ADD("net.slow_consumer_closes", 1);
@@ -394,7 +510,114 @@ void Server::flush_writes(Connection& conn) {
 
 void Server::handle_writable(Connection& conn) {
   flush_writes(conn);
+  // A drained follower buffer resumes the stream — this is the pacing
+  // loop's other half: pump until the soft cap, wait for writability,
+  // pump again.
+  if (conn.fd >= 0 && conn.subscribed) pump_connection(conn);
   if (conn.fd >= 0) update_epoll(conn);
+}
+
+void Server::handle_subscribe(Connection& conn, const Message& request) {
+  if (config_.replication == nullptr) {
+    send_error(conn, request.request_id, ErrorCode::kBadRequest,
+               "this daemon has no replication source");
+    return;
+  }
+  const std::string bundle =
+      request.want_bundle != 0 ? config_.replication->bundle_bytes()
+                               : std::string();
+  Message offer;
+  offer.kind = MessageKind::kSnapshotOffer;
+  offer.request_id = request.request_id;
+  offer.head_seq = config_.replication->head_seq();
+  offer.bundle_bytes = bundle.size();
+  respond(conn, offer);
+  // Chunk the bundle under the frame-payload ceiling; the follower knows
+  // the total from the offer and reassembles by offset.
+  for (std::size_t off = 0; off < bundle.size(); off += kBundleChunkBytes) {
+    Message chunk;
+    chunk.kind = MessageKind::kSnapshotChunk;
+    chunk.request_id = request.request_id;
+    chunk.offset = off;
+    chunk.text = bundle.substr(off, kBundleChunkBytes);
+    respond(conn, chunk);
+  }
+  conn.subscribed = true;
+  conn.streamed_seq = request.from_seq;
+  conn.follower_seq = request.from_seq;
+  FORUMCAST_COUNTER_ADD("replica.subscriptions", 1);
+  FORUMCAST_LOG_INFO << "replica subscribed from seq " << request.from_seq
+                     << " (head " << offer.head_seq << ")";
+  pump_connection(conn);
+}
+
+void Server::handle_heartbeat(Connection& conn, const Message& request) {
+  conn.follower_seq = request.replica.applied_seq;
+  Message response;
+  response.kind = MessageKind::kReplicaStatusResponse;
+  response.request_id = request.request_id;
+  if (config_.status_fn) {
+    response.replica = config_.status_fn();
+  } else if (config_.replication != nullptr) {
+    response.replica.role = 1;
+    response.replica.head_seq = config_.replication->head_seq();
+    response.replica.applied_seq = response.replica.head_seq;
+  }
+  respond(conn, response);
+  // The heartbeat doubles as a nudge: if new events became durable while
+  // the follower's buffer was full, resume the stream now.
+  pump_connection(conn);
+}
+
+void Server::pump_replication() {
+  for (auto& [id, conn] : connections_) {
+    if (conn.subscribed && conn.fd >= 0) pump_connection(conn);
+  }
+}
+
+void Server::pump_connection(Connection& conn) {
+  if (!conn.subscribed || conn.fd < 0 || config_.replication == nullptr) return;
+  for (;;) {
+    const std::size_t pending = conn.write_buffer.size() - conn.write_offset;
+    if (pending >= kReplPendingSoftCap) break;
+    if (conn.streamed_seq >= config_.replication->head_seq()) break;
+    WalSpan span =
+        config_.replication->events_after(conn.streamed_seq, kReplSpanBytes);
+    if (span.count == 0) break;
+    Message batch;
+    batch.kind = MessageKind::kWalBatch;
+    batch.first_seq = span.first_seq;
+    batch.last_seq = span.last_seq;
+    batch.event_count = span.count;
+    batch.has_digest = span.has_digest ? 1 : 0;
+    batch.digest = span.digest;
+    batch.text = std::move(span.records);
+    respond(conn, batch);
+    conn.streamed_seq = span.last_seq;
+    FORUMCAST_COUNTER_ADD("replica.batches_shipped", 1);
+    FORUMCAST_COUNTER_ADD("replica.events_shipped", span.count);
+    if (conn.fd < 0) return;  // queue_bytes may close on write error
+  }
+  flush_writes(conn);
+  if (conn.fd >= 0) update_epoll(conn);
+}
+
+void Server::broadcast_pending_swap() {
+  std::vector<Message> notices;
+  {
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    notices.swap(pending_swaps_);
+  }
+  if (notices.empty()) return;
+  for (const Message& notice : notices) {
+    for (auto& [id, conn] : connections_) {
+      if (!conn.subscribed || conn.fd < 0) continue;
+      respond(conn, notice);
+      flush_writes(conn);
+      if (conn.fd >= 0) update_epoll(conn);
+    }
+    FORUMCAST_COUNTER_ADD("replica.swap_broadcasts", 1);
+  }
 }
 
 void Server::update_epoll(Connection& conn) {
@@ -441,6 +664,20 @@ void Server::drain_completions() {
 void Server::export_gauges() {
   FORUMCAST_GAUGE_SET("net.open_connections", connections_.size());
   FORUMCAST_GAUGE_SET("net.queue_depth", batcher_->queue_depth());
+  if (config_.replication != nullptr) {
+    std::size_t followers = 0;
+    std::uint64_t max_lag = 0;
+    const std::uint64_t head = config_.replication->head_seq();
+    for (const auto& [id, conn] : connections_) {
+      if (!conn.subscribed || conn.fd < 0) continue;
+      ++followers;
+      const std::uint64_t lag =
+          head > conn.follower_seq ? head - conn.follower_seq : 0;
+      if (lag > max_lag) max_lag = lag;
+    }
+    FORUMCAST_GAUGE_SET("replica.followers", followers);
+    FORUMCAST_GAUGE_SET("replica.max_lag_events", max_lag);
+  }
 }
 
 }  // namespace forumcast::net

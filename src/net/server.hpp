@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,6 +37,7 @@
 #include "forum/dataset.hpp"
 #include "net/batcher.hpp"
 #include "net/protocol.hpp"
+#include "net/replication.hpp"
 #include "serve/batch_scorer.hpp"
 
 namespace forumcast::net {
@@ -48,6 +50,18 @@ struct ServerConfig {
   /// while pipelining past this is closed (slow-consumer protection).
   std::size_t max_write_buffer = 8u << 20;
   BatcherConfig batcher;
+
+  /// Non-null turns on the replication listener: a second listening socket
+  /// (replication_port; 0 = ephemeral, read back via replication_port())
+  /// in the same event loop, whose connections may subscribe and receive
+  /// the WAL stream. The source must outlive the server.
+  ReplicationSource* replication = nullptr;
+  std::uint16_t replication_port = 0;
+
+  /// Answers kReplicaStatusRequest (any connection). Unset reports a
+  /// standalone role with zeroed progress. Called on the event-loop
+  /// thread; may take the serving state's reader lock.
+  std::function<ReplicaStatusInfo()> status_fn;
 };
 
 class Server {
@@ -63,6 +77,8 @@ class Server {
 
   /// The bound port (the ephemeral one when config.port was 0).
   std::uint16_t port() const { return port_; }
+  /// The replication listener's bound port (0 when replication is off).
+  std::uint16_t replication_port() const { return replication_port_; }
 
   /// Runs the event loop on the calling thread until a shutdown request
   /// arrives or stop() is called. Reentrant-safe: returns immediately if
@@ -78,6 +94,17 @@ class Server {
   /// Total requests admitted over the server's lifetime (all kinds).
   std::uint64_t requests_seen() const { return requests_seen_; }
 
+  /// Tells the event loop new WAL records may be durable — subscribed
+  /// followers get fresh kWalBatch frames on the next cycle. Safe from any
+  /// thread (the primary's ingest thread calls it after every batch).
+  void notify_replication() noexcept;
+
+  /// Broadcasts a kModelSwap frame to every subscriber: the primary hot-
+  /// swapped its serving bundle and followers should re-fetch + rebuild.
+  /// Safe from any thread (the batcher's swap worker calls it).
+  void note_model_swap(std::string bundle_path, std::uint64_t generation,
+                       std::uint64_t swap_epoch);
+
  private:
   struct Connection {
     int fd = -1;
@@ -86,9 +113,15 @@ class Server {
     std::string write_buffer;
     std::size_t write_offset = 0;
     bool close_after_flush = false;
+    /// Accepted on the replication listener; exempt from the slow-consumer
+    /// write ceiling (the stream is paced by pump_replication instead).
+    bool replication = false;
+    bool subscribed = false;
+    std::uint64_t streamed_seq = 0;   ///< last seq queued to this follower
+    std::uint64_t follower_seq = 0;   ///< last heartbeat-reported applied seq
   };
 
-  void handle_accept();
+  void handle_accept(int listen_fd, bool replication);
   void handle_readable(Connection& conn);
   void handle_writable(Connection& conn);
   /// Parses every complete frame in the read buffer; returns false when the
@@ -105,14 +138,23 @@ class Server {
   void drain_completions();
   void on_batch_complete(std::uint64_t conn_id, std::string frame);
   void export_gauges();
+  void handle_subscribe(Connection& conn, const Message& request);
+  void handle_heartbeat(Connection& conn, const Message& request);
+  /// Ships pending WAL spans to every subscriber whose outbound buffer has
+  /// room (per-connection pacing instead of the write ceiling).
+  void pump_replication();
+  void pump_connection(Connection& conn);
+  void broadcast_pending_swap();
 
   serve::BatchScorer& scorer_;
   const forum::Dataset& dataset_;
   ServerConfig config_;
   std::uint16_t port_ = 0;
+  std::uint16_t replication_port_ = 0;
 
   int epoll_fd_ = -1;
   int listen_fd_ = -1;
+  int repl_listen_fd_ = -1;
   int wake_fd_ = -1;  ///< eventfd: completions ready or stop requested
 
   std::uint64_t next_conn_id_ = 1;
@@ -122,6 +164,9 @@ class Server {
   std::vector<std::pair<std::uint64_t, std::string>> completions_;
 
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> replication_pending_{false};
+  std::mutex swap_mutex_;
+  std::vector<Message> pending_swaps_;
   bool draining_ = false;
   std::uint64_t requests_seen_ = 0;
 

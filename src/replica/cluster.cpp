@@ -1,0 +1,97 @@
+#include "replica/cluster.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace forumcast::replica {
+
+std::vector<Endpoint> parse_cluster(const std::string& spec) {
+  std::vector<Endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    const std::size_t colon = entry.rfind(':');
+    FORUMCAST_CHECK_MSG(
+        eq != std::string::npos && colon != std::string::npos && colon > eq + 1,
+        "bad cluster entry '" << entry << "' (want name=host:port)");
+    Endpoint ep;
+    ep.name = entry.substr(0, eq);
+    ep.host = entry.substr(eq + 1, colon - eq - 1);
+    FORUMCAST_CHECK_MSG(!ep.name.empty() && !ep.host.empty(),
+                        "bad cluster entry '" << entry << "'");
+    const std::string port_text = entry.substr(colon + 1);
+    int port = 0;
+    for (const char c : port_text) {
+      FORUMCAST_CHECK_MSG(c >= '0' && c <= '9',
+                          "bad port in cluster entry '" << entry << "'");
+      port = port * 10 + (c - '0');
+      FORUMCAST_CHECK_MSG(port <= 65535,
+                          "bad port in cluster entry '" << entry << "'");
+    }
+    FORUMCAST_CHECK_MSG(!port_text.empty() && port > 0,
+                        "bad port in cluster entry '" << entry << "'");
+    ep.port = static_cast<std::uint16_t>(port);
+    for (const Endpoint& existing : endpoints) {
+      FORUMCAST_CHECK_MSG(existing.name != ep.name,
+                          "duplicate cluster node name '" << ep.name << "'");
+    }
+    endpoints.push_back(std::move(ep));
+  }
+  FORUMCAST_CHECK_MSG(!endpoints.empty(), "empty cluster spec");
+  return endpoints;
+}
+
+ClusterClient::ClusterClient(std::vector<Endpoint> endpoints,
+                             net::ClientConfig config)
+    : endpoints_(std::move(endpoints)), config_(config) {
+  for (const Endpoint& ep : endpoints_) {
+    ring_.add_node(ep.name);
+    by_name_.emplace(ep.name, &ep);
+  }
+}
+
+const Endpoint& ClusterClient::owner(forum::UserId user) const {
+  return *by_name_.at(ring_.owner(user));
+}
+
+net::Client& ClusterClient::client_for(const std::string& name) {
+  auto it = clients_.find(name);
+  if (it == clients_.end()) {
+    const Endpoint& ep = *by_name_.at(name);
+    it = clients_
+             .emplace(name, std::make_unique<net::Client>(ep.port, ep.host,
+                                                          config_))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<core::Prediction> ClusterClient::score(
+    forum::QuestionId question, std::span<const forum::UserId> users) {
+  // Partition by owner, preserving each user's position so the reassembled
+  // result is index-aligned with the input.
+  std::map<std::string, std::vector<std::size_t>> shards;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    shards[ring_.owner(users[i])].push_back(i);
+  }
+  std::vector<core::Prediction> out(users.size());
+  for (const auto& [name, indices] : shards) {
+    std::vector<forum::UserId> shard_users;
+    shard_users.reserve(indices.size());
+    for (const std::size_t i : indices) shard_users.push_back(users[i]);
+    const std::vector<core::Prediction> shard =
+        client_for(name).score(question, shard_users);
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      out[indices[j]] = shard[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace forumcast::replica

@@ -1,0 +1,67 @@
+// Cluster-aware addressing: a named set of serving endpoints plus the
+// consistent-hash ring that routes each user to its owner.
+//
+// The spec string is what `forumcast-netctl --cluster` and the smoke test
+// pass on the command line:
+//
+//   name=host:port[,name=host:port...]
+//
+// Node *names* (not host:port) are the ring identities, so moving a node
+// to another port does not reshuffle ownership.
+//
+// ClusterClient fans a score request out: it partitions the candidate users
+// by ring owner, asks each owning node for its slice, and reassembles the
+// predictions in input order — the caller sees one response bit-identical
+// to any single node that holds the full model (every replica serves every
+// user; sharding is a load-spreading policy, not a data partition).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "net/client.hpp"
+#include "replica/ring.hpp"
+
+namespace forumcast::replica {
+
+struct Endpoint {
+  std::string name;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "name=host:port,..." (throws util::CheckError on malformed or
+/// duplicate names).
+std::vector<Endpoint> parse_cluster(const std::string& spec);
+
+class ClusterClient {
+ public:
+  /// Connects lazily: a node's TCP connection is opened on first use.
+  explicit ClusterClient(std::vector<Endpoint> endpoints,
+                         net::ClientConfig config = {});
+
+  /// Scores question × users, each user answered by its ring owner.
+  std::vector<core::Prediction> score(forum::QuestionId question,
+                                      std::span<const forum::UserId> users);
+
+  const Ring& ring() const { return ring_; }
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+  /// The endpoint owning `user` under the ring.
+  const Endpoint& owner(forum::UserId user) const;
+
+ private:
+  net::Client& client_for(const std::string& name);
+
+  std::vector<Endpoint> endpoints_;
+  net::ClientConfig config_;
+  Ring ring_;
+  std::map<std::string, const Endpoint*> by_name_;
+  std::map<std::string, std::unique_ptr<net::Client>> clients_;
+};
+
+}  // namespace forumcast::replica

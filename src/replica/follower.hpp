@@ -1,0 +1,179 @@
+// Follower replica: bootstraps from the primary, tails its WAL stream, and
+// serves reads from its own LiveState + BatchScorer.
+//
+// Lifecycle:
+//
+//   construct ──► local bootstrap (bundle + WAL in wal_dir, if present)
+//   run() ──► connect to the primary's replication port (bounded retry)
+//         ──► subscribe from applied_seq; fetch the model bundle over the
+//             wire when no local state exists (kSnapshotOffer + chunks)
+//         ──► apply kWalBatch spans into LiveState (each also lands in the
+//             follower's own WAL, so a kill -9 recovers locally)
+//         ──► heartbeat on idle; track the primary's head for lag metrics
+//
+// Divergence: when a span carries the primary's digest at its last seq and
+// the follower's digest disagrees, that is a DivergenceFault — the follower
+// wipes its local log, re-fetches the bundle, and replays from 0 (resync).
+// The serving state stays readable throughout; reads only move to the
+// rebuilt state at the atomic install.
+//
+// Model swap: a kModelSwap broadcast makes the follower re-fetch the bundle
+// and rebuild (base dataset + new bundle + local event log), then
+// BatchScorer::swap_model installs it — the same zero-dropped-reads path the
+// primary uses. Exports replica.applied_seq / replica.lag_events /
+// replica.lag_ms gauges.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "forum/dataset.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "serve/batch_scorer.hpp"
+#include "stream/live_state.hpp"
+
+namespace forumcast::replica {
+
+/// State divergence detected by the digest exchange: the follower applied
+/// the same event sequence as the primary but its feature state digests
+/// differently. Handled internally by resync; exposed for tests and logs.
+class DivergenceFault : public std::runtime_error {
+ public:
+  DivergenceFault(std::uint64_t seq, std::uint64_t expected,
+                  std::uint64_t actual);
+  std::uint64_t seq() const { return seq_; }
+  std::uint64_t expected_digest() const { return expected_; }
+  std::uint64_t actual_digest() const { return actual_; }
+
+ private:
+  std::uint64_t seq_;
+  std::uint64_t expected_;
+  std::uint64_t actual_;
+};
+
+struct FollowerConfig {
+  std::string primary_host = "127.0.0.1";
+  /// The primary's *replication* port (not its serving port).
+  std::uint16_t primary_port = 0;
+  /// Local durability directory (required): the follower's own WAL +
+  /// snapshots + fetched model bundle live here.
+  std::string wal_dir;
+  std::size_t snapshot_every = 0;
+  /// Idle wait per poll; on expiry a heartbeat (applied_seq) goes out.
+  double heartbeat_ms = 250.0;
+  /// Reconnect backoff after a lost primary; doubles up to max.
+  double reconnect_backoff_ms = 100.0;
+  double max_backoff_ms = 2000.0;
+  /// Transport bounds for the primary connection.
+  net::ClientConfig client;
+};
+
+class Follower {
+ public:
+  /// `base` is the shared raw base dataset (the same snapshot the primary
+  /// ingests on top of); it must outlive the follower. If wal_dir already
+  /// holds a bundle + log (a restart), serving state is rebuilt locally
+  /// before any network traffic.
+  Follower(const forum::Dataset& base, FollowerConfig config);
+  ~Follower();
+  Follower(const Follower&) = delete;
+  Follower& operator=(const Follower&) = delete;
+
+  /// Tails the primary until stop(); run on a dedicated thread. Connection
+  /// loss reconnects with doubling backoff and re-subscribes from
+  /// applied_seq.
+  void run();
+  void stop() noexcept;
+
+  /// True once serving state exists (local bootstrap or wire fetch done).
+  bool has_serving() const;
+  /// Blocks (polling) until serving state exists; false on timeout.
+  bool wait_serving(double timeout_ms) const;
+  /// Blocks until applied_seq() >= seq; false on timeout.
+  bool wait_applied(std::uint64_t seq, double timeout_ms) const;
+
+  /// The scorer to build a net::Server over. Valid once has_serving().
+  serve::BatchScorer& scorer();
+
+  /// Hooks for ServerConfig / BatcherConfig: the read guard pins the
+  /// current serving state + LiveState reader lock; status answers
+  /// kReplicaStatusRequest with role/lag/digest.
+  std::function<std::shared_ptr<void>()> read_guard_fn();
+  std::function<net::ReplicaStatusInfo()> status_fn();
+  net::ReplicaStatusInfo status() const;
+
+  std::uint64_t applied_seq() const;
+  std::uint64_t divergences() const {
+    return divergences_.load(std::memory_order_acquire);
+  }
+  std::uint64_t resyncs() const {
+    return resyncs_.load(std::memory_order_acquire);
+  }
+  std::uint64_t swaps_applied() const {
+    return swaps_applied_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// One rebuildable unit of serving state. The pipeline references the
+  /// dataset *member*, so the whole struct lives on the heap behind a
+  /// shared_ptr; aliasing pointers into `pipeline` keep it alive for every
+  /// in-flight read across installs.
+  struct Serving {
+    forum::Dataset dataset;
+    core::ForecastPipeline pipeline;
+    std::unique_ptr<stream::LiveState> live;
+  };
+
+  /// In-flight bundle fetch over the replication connection.
+  struct Fetch {
+    bool active = false;
+    /// Resync: wipe the local log before installing; stream restarts at 0.
+    bool wipe = false;
+    /// kModelSwap-triggered: counts toward swaps_applied().
+    bool swap = false;
+    bool offer_seen = false;
+    std::uint64_t expected_bytes = 0;
+    std::string bundle;
+  };
+
+  std::shared_ptr<Serving> build_serving(const std::string& bundle_bytes);
+  void install(std::shared_ptr<Serving> next);
+  std::shared_ptr<Serving> current() const;
+  void bootstrap_local();
+  /// One connection's lifetime; true = reconnect, false = stopping.
+  bool session(net::Client& client);
+  void subscribe(net::Client& client, std::uint64_t from_seq,
+                 bool want_bundle);
+  void handle_batch(net::Client& client, const net::Message& batch);
+  void complete_fetch();
+  void begin_resync(net::Client& client);
+  void export_gauges();
+
+  const forum::Dataset& base_;
+  FollowerConfig config_;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<Serving> serving_;
+  std::unique_ptr<serve::BatchScorer> scorer_;
+  std::uint64_t head_seq_ = 0;  ///< primary's head, as last reported
+  /// Last instant applied_seq covered the known head; lag_ms measures from
+  /// here while behind (0 while caught up).
+  std::chrono::steady_clock::time_point caught_up_time_;
+
+  Fetch fetch_;  ///< touched only by the run() thread
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> divergences_{0};
+  std::atomic<std::uint64_t> resyncs_{0};
+  std::atomic<std::uint64_t> swaps_applied_{0};
+};
+
+}  // namespace forumcast::replica

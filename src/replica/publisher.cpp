@@ -1,0 +1,91 @@
+#include "replica/publisher.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace forumcast::replica {
+
+namespace {
+
+stream::WalReader make_tail_reader(const std::string& dir,
+                                   const stream::RecoveredLog& recovered) {
+  // The recovery read consumed the WAL's valid prefix; the tail reader
+  // starts where it stopped so no record is decoded twice.
+  return stream::WalReader(stream::wal_path(dir), recovered.wal_valid_bytes);
+}
+
+}  // namespace
+
+Publisher::Publisher(std::string wal_dir, PublisherHooks hooks)
+    : dir_(std::move(wal_dir)),
+      hooks_(std::move(hooks)),
+      reader_([this] {
+        stream::RecoveredLog recovered = stream::recover_log(dir_);
+        events_ = std::move(recovered.events);
+        return make_tail_reader(dir_, recovered);
+      }()) {
+  // LiveState seqs are contiguous from 1; the shipping index below (seq N
+  // at index N-1) depends on it.
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    FORUMCAST_CHECK_MSG(events_[i].seq == i + 1,
+                        "non-contiguous WAL seq " << events_[i].seq
+                                                  << " at index " << i);
+  }
+}
+
+void Publisher::refresh() {
+  const std::size_t before = events_.size();
+  reader_.poll(events_);
+  for (std::size_t i = before; i < events_.size(); ++i) {
+    FORUMCAST_CHECK_MSG(events_[i].seq == i + 1,
+                        "non-contiguous WAL seq " << events_[i].seq
+                                                  << " at index " << i);
+  }
+}
+
+std::uint64_t Publisher::head_seq() {
+  refresh();
+  return events_.empty() ? 0 : events_.back().seq;
+}
+
+std::string Publisher::bundle_bytes() {
+  std::ifstream in(stream::model_bundle_path(dir_), std::ios::binary);
+  if (!in.good()) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+net::WalSpan Publisher::events_after(std::uint64_t after_seq,
+                                     std::size_t max_bytes) {
+  refresh();
+  net::WalSpan span;
+  if (after_seq >= events_.size()) return span;  // caught up
+  for (std::size_t i = after_seq; i < events_.size(); ++i) {
+    std::string record;
+    stream::append_event_record(record, events_[i]);
+    if (span.count > 0 && span.records.size() + record.size() > max_bytes) {
+      break;
+    }
+    span.records += record;
+    if (span.count == 0) span.first_seq = events_[i].seq;
+    span.last_seq = events_[i].seq;
+    ++span.count;
+  }
+  if (span.count > 0 && span.last_seq == events_.back().seq &&
+      hooks_.digest_at) {
+    // Only a span reaching the durable head can carry a digest — the live
+    // state's digest describes its *current* position, nothing earlier.
+    std::uint64_t digest = 0;
+    if (hooks_.digest_at(span.last_seq, &digest)) {
+      span.has_digest = true;
+      span.digest = digest;
+    }
+  }
+  return span;
+}
+
+}  // namespace forumcast::replica

@@ -1,0 +1,58 @@
+// Primary-side replication source over a WAL directory.
+//
+// Implements net::ReplicationSource by tailing the primary's own wal.bin
+// with a stream::WalReader: the reader only ever sees bytes the ingest
+// path has already flushed+fsynced (LiveState writes through a user-space
+// buffer that hits the file at sync()), so "visible to the reader" and
+// "durable" are the same boundary — a follower can never receive an event
+// the primary could lose in a crash.
+//
+// Construction recovers the existing log (snapshot + WAL tail) so a
+// follower subscribing from 0 gets history, then poll() extends the
+// in-memory log as ingest appends. The digest hook lets the server attach
+// LiveState::digest() to a span that reaches the live head — the periodic
+// divergence check followers verify against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/replication.hpp"
+#include "stream/event.hpp"
+#include "stream/wal.hpp"
+
+namespace forumcast::replica {
+
+struct PublisherHooks {
+  /// Fills *digest with the live feature-state digest iff the state sits at
+  /// exactly `seq` right now; returns false when ingest has moved past it
+  /// (the span then ships without a digest — a later one will carry it).
+  std::function<bool(std::uint64_t seq, std::uint64_t* digest)> digest_at;
+};
+
+class Publisher : public net::ReplicationSource {
+ public:
+  /// `wal_dir` is the primary LiveState's directory; the constructor loads
+  /// the recovered log and positions the tail reader after it.
+  Publisher(std::string wal_dir, PublisherHooks hooks = {});
+
+  std::uint64_t head_seq() override;
+  std::string bundle_bytes() override;
+  net::WalSpan events_after(std::uint64_t after_seq,
+                            std::size_t max_bytes) override;
+
+  std::size_t events_loaded() const { return events_.size(); }
+
+ private:
+  /// Pulls newly durable records off the WAL into the in-memory log.
+  void refresh();
+
+  std::string dir_;
+  PublisherHooks hooks_;
+  std::vector<stream::ForumEvent> events_;  ///< seq i+1 at index i
+  stream::WalReader reader_;
+};
+
+}  // namespace forumcast::replica

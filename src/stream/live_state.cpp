@@ -94,6 +94,10 @@ std::shared_lock<std::shared_mutex> LiveState::reader_lock() const {
   return std::shared_lock<std::shared_mutex>(mutex_);
 }
 
+std::shared_ptr<void> LiveState::read_guard() const {
+  return std::make_shared<std::shared_lock<std::shared_mutex>>(reader_lock());
+}
+
 std::size_t LiveState::ingest(std::span<const ForumEvent> events) {
   if (events.empty()) return 0;
   FORUMCAST_SPAN("stream.ingest");

@@ -134,6 +134,12 @@ class LiveState {
   /// constructor wrote one, empty otherwise).
   const std::string& model_ref() const { return model_ref_; }
 
+  /// An opaque token holding the reader lock — the hook the serving layer's
+  /// BatcherConfig::read_guard wants: net code scores safely against
+  /// concurrent ingest without depending on stream types. Release by
+  /// dropping the pointer.
+  std::shared_ptr<void> read_guard() const;
+
  private:
   // Writer-priority locking. pthread's rwlock (behind std::shared_mutex on
   // glibc) prefers readers, so a continuous scoring load would starve ingest

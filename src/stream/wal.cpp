@@ -94,6 +94,50 @@ void WalWriter::sync() {
   FORUMCAST_COUNTER_ADD("stream.wal.fsyncs", 1);
 }
 
+WalReader::WalReader(std::string path, std::uint64_t start_offset)
+    : path_(std::move(path)), offset_(start_offset) {}
+
+std::size_t WalReader::poll(std::vector<ForumEvent>& out,
+                            std::size_t max_records) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return 0;  // not written yet; the writer may create it later
+  in.seekg(static_cast<std::streamoff>(offset_));
+  if (!in.good()) return 0;
+  std::ostringstream tail;
+  tail << in.rdbuf();
+  const std::string bytes = std::move(tail).str();
+
+  std::string_view cursor(bytes);
+  std::size_t added = 0;
+  while (added < max_records && !cursor.empty()) {
+    DecodeResult decoded = decode_event_record(cursor);
+    if (decoded.bytes_consumed == 0) {
+      // Torn tail: the writer is mid-append (or a crash left a partial
+      // record that recovery will truncate). Hold position and retry on
+      // the next poll — this is "wait", never "corrupt".
+      break;
+    }
+    cursor.remove_prefix(decoded.bytes_consumed);
+    offset_ += decoded.bytes_consumed;
+    last_seq_ = decoded.event.seq;
+    if (skip_through_seq_ != 0) {
+      if (decoded.event.seq <= skip_through_seq_) continue;  // still seeking
+      skip_through_seq_ = 0;
+    }
+    out.push_back(std::move(decoded.event));
+    ++added;
+  }
+  return added;
+}
+
+void WalReader::seek_after(std::uint64_t seq) {
+  if (seq <= last_seq_) return;  // already past it
+  // Lazy: the next poll() decodes and discards records up to the target
+  // (they do not count toward its max_records), surviving torn tails the
+  // same way normal reads do.
+  skip_through_seq_ = seq;
+}
+
 ReplayResult replay_wal(const std::string& path) {
   ReplayResult result;
   bool exists = false;

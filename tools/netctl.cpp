@@ -17,6 +17,17 @@
 //       optionally K hot swaps are spread through the run. Reports
 //       "ok: N errors: E" — a drain-safe server under same-content swaps
 //       answers every request (E == 0, every score frame well-formed).
+//   netctl replstatus --port P
+//       Replication role + progress (role/applied/head/lag/digest). Every
+//       daemon answers: primaries report their durable head, followers
+//       their applied position — equal digests at equal seqs across the
+//       tier is the replication correctness check.
+//   netctl score --cluster "a=host:port,b=host:port" --question Q --users U
+//       Cluster-sharded scoring: each user is answered by its consistent-
+//       hash ring owner; the reassembled response is bit-identical to any
+//       single node's (every replica holds the full model).
+//   netctl owners --cluster "a=host:port,..." --users "0,1,2"
+//       Ring ownership for the given users (no connection is opened).
 #include <algorithm>
 #include <atomic>
 #include <bit>
@@ -29,6 +40,7 @@
 #include <vector>
 
 #include "net/client.hpp"
+#include "replica/cluster.hpp"
 #include "util/check.hpp"
 #include "util/digest.hpp"
 
@@ -95,15 +107,49 @@ int cmd_health(const Args& args) {
 }
 
 int cmd_score(const Args& args) {
-  net::Client client(port_of(args));
   const auto users = parse_users(args.require("users"));
   const auto question =
       static_cast<forum::QuestionId>(args.get_int("question", 0));
-  const auto predictions = client.score(question, users);
+  std::vector<core::Prediction> predictions;
+  const std::string cluster = args.get("cluster", "");
+  if (cluster.empty()) {
+    net::Client client(port_of(args));
+    predictions = client.score(question, users);
+  } else {
+    // Sharded: each user's slice goes to its ring owner; the reassembled
+    // order matches the input, so output is identical to the single-node
+    // path above.
+    replica::ClusterClient client(replica::parse_cluster(cluster));
+    predictions = client.score(question, users);
+  }
   for (std::size_t i = 0; i < users.size(); ++i) {
     std::cout << "user " << users[i] << " p=" << predictions[i].answer_probability
               << " votes=" << predictions[i].votes
               << " delay_h=" << predictions[i].delay_hours << "\n";
+  }
+  return 0;
+}
+
+int cmd_replstatus(const Args& args) {
+  net::Client client(port_of(args));
+  const net::ReplicaStatusInfo status = client.replica_status();
+  const char* role = status.role == 1   ? "primary"
+                     : status.role == 2 ? "follower"
+                                        : "standalone";
+  std::cout << "role: " << role << " applied_seq: " << status.applied_seq
+            << " head_seq: " << status.head_seq
+            << " lag_events: " << status.lag_events
+            << " lag_ms: " << status.lag_ms << " digest: " << std::hex
+            << status.digest << std::dec << "\n";
+  return 0;
+}
+
+int cmd_owners(const Args& args) {
+  const auto endpoints = replica::parse_cluster(args.require("cluster"));
+  replica::Ring ring;
+  for (const auto& endpoint : endpoints) ring.add_node(endpoint.name);
+  for (const forum::UserId user : parse_users(args.require("users"))) {
+    std::cout << "user " << user << " -> " << ring.owner(user) << "\n";
   }
   return 0;
 }
@@ -260,17 +306,22 @@ int cmd_hammer(const Args& args) {
 void usage() {
   std::cout
       << "usage: forumcast-netctl "
-         "<health|score|route|metrics|swap|shutdown|digest|hammer> "
-         "--port P [--flag value ...]\n"
+         "<health|score|route|metrics|swap|shutdown|digest|hammer|replstatus|"
+         "owners> --port P [--flag value ...]\n"
          "  health   --port P\n"
          "  score    --port P --question Q --users \"0,1,2\"\n"
+         "           [--cluster \"a=host:port,...\"]  shard by ring owner\n"
+         "                                        instead of --port\n"
          "  route    --port P --question Q --users \"0,1,2\" [--top K]\n"
          "  metrics  --port P\n"
          "  swap     --port P --model BUNDLE\n"
          "  shutdown --port P\n"
          "  digest   --port P      wire replica of the CLI prediction digest\n"
          "  hammer   --port P --requests N --concurrency C\n"
-         "           [--swap-model BUNDLE --swaps K]\n";
+         "           [--swap-model BUNDLE --swaps K]\n"
+         "  replstatus --port P    replication role/applied/head/lag/digest\n"
+         "  owners   --cluster \"a=host:port,...\" --users \"0,1,2\"\n"
+         "           consistent-hash ring ownership (offline)\n";
 }
 
 }  // namespace
@@ -291,6 +342,8 @@ int main(int argc, char** argv) {
     if (command == "shutdown") return cmd_shutdown(args);
     if (command == "digest") return cmd_digest(args);
     if (command == "hammer") return cmd_hammer(args);
+    if (command == "replstatus") return cmd_replstatus(args);
+    if (command == "owners") return cmd_owners(args);
     usage();
     return 2;
   } catch (const std::exception& error) {

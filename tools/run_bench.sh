@@ -44,6 +44,13 @@
 #                           JSON still written). The acceptance bar is 50000
 #                           on quiet hardware. Same format rules: a plain
 #                           non-negative decimal, anything else exits 2.
+#        BENCH_REPLICA_MIN_EPS  minimum BM_FollowerApply events/sec (WAL
+#                           tail replay into a bundle-fresh state — the
+#                           replication tier's apply path). Absolute rate,
+#                           same rules as BENCH_NET_MIN_RPS: unset -> the
+#                           guard is SKIPPED but BENCH_replica.json is still
+#                           written; non-numeric -> exit 2. The acceptance
+#                           bar is 2000 events/sec on quiet hardware.
 set -euo pipefail
 
 BUILD_DIR=build
@@ -106,6 +113,18 @@ if [[ -n "${BENCH_NET_MIN_RPS+x}" ]]; then
   fi
 fi
 
+REPLICA_MIN_EPS=""
+if [[ -n "${BENCH_REPLICA_MIN_EPS+x}" ]]; then
+  if [[ "$BENCH_REPLICA_MIN_EPS" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
+    REPLICA_MIN_EPS="$BENCH_REPLICA_MIN_EPS"
+  else
+    echo "error: BENCH_REPLICA_MIN_EPS must be a non-negative decimal number" \
+         "(e.g. 2000); got '${BENCH_REPLICA_MIN_EPS}'" >&2
+    echo "hint: unset it to report throughput without gating" >&2
+    exit 2
+  fi
+fi
+
 # Refuse to emit BENCH files from an unoptimized build: a Debug or
 # non-native binary runs the same code an order of magnitude slower, and a
 # committed baseline measured that way would flag every healthy Release run
@@ -135,6 +154,7 @@ FIT_BIN="$BUILD_DIR/bench/fit"
 ARTIFACT_BIN="$BUILD_DIR/bench/artifact"
 MONITOR_BIN="$BUILD_DIR/bench/monitor"
 NET_BIN="$BUILD_DIR/bench/net"
+REPLICA_BIN="$BUILD_DIR/bench/replica"
 SERVE_JSON="$OUT_DIR/BENCH_serve.json"
 MICRO_JSON="$OUT_DIR/BENCH_micro.json"
 STREAM_JSON="$OUT_DIR/BENCH_stream.json"
@@ -142,9 +162,10 @@ FIT_JSON="$OUT_DIR/BENCH_fit.json"
 ARTIFACT_JSON="$OUT_DIR/BENCH_artifact.json"
 MONITOR_JSON="$OUT_DIR/BENCH_monitor.json"
 NET_JSON="$OUT_DIR/BENCH_net.json"
+REPLICA_JSON="$OUT_DIR/BENCH_replica.json"
 
 for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN" "$FIT_BIN" "$ARTIFACT_BIN" \
-           "$MONITOR_BIN" "$NET_BIN"; do
+           "$MONITOR_BIN" "$NET_BIN" "$REPLICA_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (configure with default options first)" >&2
     exit 2
@@ -173,6 +194,9 @@ echo "== bench/monitor -> $MONITOR_JSON"
 
 echo "== bench/net -> $NET_JSON"
 "$NET_BIN" --benchmark_out="$NET_JSON" --benchmark_out_format=json
+
+echo "== bench/replica -> $REPLICA_JSON"
+"$REPLICA_BIN" --benchmark_out="$REPLICA_JSON" --benchmark_out_format=json
 
 echo "== model bundle: save/load latency and size"
 python3 - "$ARTIFACT_JSON" <<'PY'
@@ -350,5 +374,42 @@ elif guard < min_rps:
              f"below required {min_rps:,.0f}")
 else:
     print(f"wire-serving guard passed: {guard:,.0f} >= {min_rps:,.0f} req/sec")
+PY
+echo "== replication tier: ring lookups, primary ingest, follower apply"
+python3 - "$REPLICA_JSON" "${REPLICA_MIN_EPS:-}" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+min_eps = float(sys.argv[2]) if len(sys.argv) > 2 and sys.argv[2] else None
+with open(path) as fh:
+    report = json.load(fh)
+
+rates = {}
+for bench in report["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    # Pinned-iteration benches report as "BM_Name/iterations:N".
+    name = bench["name"].split("/iterations:")[0]
+    rates[name] = bench.get("items_per_second", 0.0)
+
+for name, rate in sorted(rates.items()):
+    unit = "lookups" if name.startswith("BM_RingOwner") else "events"
+    print(f"{name}: {rate:,.0f} {unit}/sec")
+    if rate <= 0.0:
+        sys.exit(f"bench regression: {name} reported no throughput")
+
+apply_rate = rates.get("BM_FollowerApply")
+if apply_rate is None:
+    sys.exit(f"missing BM_FollowerApply results in {path}")
+if min_eps is None:
+    print(f"BENCH_REPLICA_MIN_EPS unset: reporting only (BM_FollowerApply at "
+          f"{apply_rate:,.0f} events/sec; the bar on quiet hardware is 2,000)")
+elif apply_rate < min_eps:
+    sys.exit(f"bench regression: BM_FollowerApply at {apply_rate:,.0f} "
+             f"events/sec, below required {min_eps:,.0f}")
+else:
+    print(f"replica-apply guard passed: {apply_rate:,.0f} >= "
+          f"{min_eps:,.0f} events/sec")
 PY
 echo "bench guard passed"
