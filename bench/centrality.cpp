@@ -1,0 +1,176 @@
+// Exact vs pivot-sampled vs incremental centrality (graph/centrality_engine).
+//
+// The comparison pair backing the acceptance guard is exact vs sampled
+// betweenness at 2048 nodes with 160 pivots — the same operating point the
+// accuracy property test (tests/centrality_test.cpp) pins to a 0.05
+// max-normalized error bound. run_bench.sh computes the speedup from
+// BENCH_centrality.json and enforces BENCH_CENTRALITY_MIN_SPEEDUP on it.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/centrality.hpp"
+#include "graph/centrality_engine.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace forumcast;
+
+// Forum-shaped social graph (hub answerers + askers), matching the accuracy
+// property tests so speed and error are reported for the same topology.
+graph::Graph qa_shaped_graph(std::size_t nodes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t hubs = std::max<std::size_t>(4, nodes / 12);
+  graph::Graph g(nodes);
+  std::vector<double> weight(hubs);
+  double total = 0.0;
+  for (std::size_t h = 0; h < hubs; ++h) {
+    weight[h] = 1.0 / (1.0 + static_cast<double>(h));
+    total += weight[h];
+  }
+  const auto draw_hub = [&] {
+    double r = static_cast<double>(rng.uniform_index(1000000)) / 1e6 * total;
+    for (std::size_t h = 0; h < hubs; ++h) {
+      if ((r -= weight[h]) <= 0.0) return static_cast<graph::NodeId>(h);
+    }
+    return static_cast<graph::NodeId>(hubs - 1);
+  };
+  for (graph::NodeId asker = static_cast<graph::NodeId>(hubs); asker < nodes;
+       ++asker) {
+    const std::size_t answers = 1 + rng.uniform_index(4);
+    graph::NodeId previous = static_cast<graph::NodeId>(nodes);
+    for (std::size_t i = 0; i < answers; ++i) {
+      const graph::NodeId hub = draw_hub();
+      g.add_edge(asker, hub);
+      if (previous < nodes && previous != hub) g.add_edge(previous, hub);
+      previous = hub;
+    }
+  }
+  return g;
+}
+
+std::size_t pivots_for(std::size_t nodes) {
+  // The tuned operating ratio: 160 pivots at 2K nodes, growing sublinearly —
+  // larger graphs tolerate smaller pivot fractions for the same error.
+  return nodes <= 2048 ? 160 : 256;
+}
+
+// ---------- exact baselines ----------
+
+void BM_BetweennessExact(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto g = qa_shaped_graph(nodes, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::betweenness_centrality(g));
+  }
+}
+BENCHMARK(BM_BetweennessExact)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClosenessExact(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto g = qa_shaped_graph(nodes, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::closeness_centrality(g));
+  }
+}
+BENCHMARK(BM_ClosenessExact)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------- pivot-sampled ----------
+
+// Full sampled pipeline for one betweenness vector: pivot draw, k sweeps,
+// and the fold. This is the guard's numerator against BM_BetweennessExact.
+void BM_BetweennessSampled(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto g = qa_shaped_graph(nodes, 3);
+  graph::CentralityConfig config;
+  config.mode = graph::CentralityMode::kSampled;
+  config.num_pivots = pivots_for(nodes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::sampled_betweenness_centrality(g, config));
+  }
+  state.counters["pivots"] = static_cast<double>(config.num_pivots);
+}
+BENCHMARK(BM_BetweennessSampled)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+// One engine rebuild amortizes its k sweeps across *both* centralities; this
+// is what a sampled stream_refresh actually pays.
+void BM_EngineRebuildBothCentralities(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto g = qa_shaped_graph(nodes, 3);
+  graph::CentralityConfig config;
+  config.mode = graph::CentralityMode::kSampled;
+  config.num_pivots = pivots_for(nodes);
+  for (auto _ : state) {
+    graph::CentralityEngine engine(config);
+    engine.rebuild(g);
+    benchmark::DoNotOptimize(engine.closeness());
+    benchmark::DoNotOptimize(engine.betweenness());
+  }
+}
+BENCHMARK(BM_EngineRebuildBothCentralities)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------- incremental refresh ----------
+
+// Steady-state dirty-region refresh: each iteration lands a small batch of
+// new edges and re-sweeps only the affected pivots. Edge batches are
+// pre-generated; the graph densifies slightly over the run, which only makes
+// the numbers conservative.
+void BM_EngineIncrementalRefresh(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  auto g = qa_shaped_graph(nodes, 3);
+  graph::CentralityConfig config;
+  config.mode = graph::CentralityMode::kSampled;
+  config.num_pivots = pivots_for(nodes);
+  graph::CentralityEngine engine(config);
+  engine.rebuild(g);
+  util::Rng rng(17);
+  std::size_t sweeps = 0;
+  std::size_t refreshes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> batch;
+    while (batch.size() < 4) {
+      const auto u = static_cast<graph::NodeId>(rng.uniform_index(nodes));
+      const auto v = static_cast<graph::NodeId>(rng.uniform_index(nodes));
+      if (u != v && g.add_edge(u, v)) batch.emplace_back(u, v);
+    }
+    state.ResumeTiming();
+    engine.refresh(g, batch);
+    sweeps += engine.last_refresh().sweeps;
+    ++refreshes;
+  }
+  state.counters["avg_affected_pivots"] =
+      refreshes == 0 ? 0.0
+                     : static_cast<double>(sweeps) /
+                           static_cast<double>(refreshes);
+}
+BENCHMARK(BM_EngineIncrementalRefresh)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -18,6 +18,7 @@
 
 #include "core/pipeline.hpp"
 #include "forum/generator.hpp"
+#include "graph/centrality.hpp"
 #include "serve/batch_scorer.hpp"
 #include "stream/live_state.hpp"
 #include "stream/split.hpp"
@@ -105,6 +106,57 @@ void BM_StreamIngest(benchmark::State& state) {
 // deterministic instead of google-benchmark adaptively looping through
 // dozens of untimed refits.
 BENCHMARK(BM_StreamIngest)
+    ->Arg(1)->Arg(64)->Arg(256)
+    ->Iterations(6)
+    ->Unit(benchmark::kMillisecond);
+
+// Same replay with sampled + incremental centrality instead of the exact
+// full recompute on every refresh — the tentpole's ingest-throughput uplift.
+// Compare items_per_second against BM_StreamIngest at the same chunk size.
+void BM_StreamIngestSampled(benchmark::State& state) {
+  auto& fixture = StreamFixture::instance();
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  const std::span<const stream::ForumEvent> events(fixture.events);
+
+  core::PipelineConfig sampled_config = fixture.config;
+  sampled_config.extractor.centrality.mode = graph::CentralityMode::kSampled;
+  sampled_config.extractor.centrality.num_pivots = 160;
+
+  struct SampledRun {
+    forum::Dataset dataset;
+    core::ForecastPipeline pipeline;
+    std::unique_ptr<stream::LiveState> live;
+    std::size_t cursor = 0;
+    SampledRun(const forum::Dataset& base, const core::PipelineConfig& config)
+        : dataset(base), pipeline(config) {}
+  };
+  auto fresh = [&] {
+    auto run = std::make_unique<SampledRun>(fixture.base, sampled_config);
+    std::vector<forum::QuestionId> window(run->dataset.num_questions());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      window[i] = static_cast<forum::QuestionId>(i);
+    }
+    run->pipeline.fit(run->dataset, window);
+    run->live = std::make_unique<stream::LiveState>(run->pipeline,
+                                                    run->dataset);
+    return run;
+  };
+
+  auto run = fresh();
+  std::int64_t ingested = 0;
+  for (auto _ : state) {
+    if (run->cursor + chunk > events.size()) {
+      state.PauseTiming();
+      run = fresh();
+      state.ResumeTiming();
+    }
+    run->live->ingest(events.subspan(run->cursor, chunk));
+    run->cursor += chunk;
+    ingested += static_cast<std::int64_t>(chunk);
+  }
+  state.SetItemsProcessed(ingested);
+}
+BENCHMARK(BM_StreamIngestSampled)
     ->Arg(1)->Arg(64)->Arg(256)
     ->Iterations(6)
     ->Unit(benchmark::kMillisecond);

@@ -49,6 +49,7 @@ const char* section_kind_name(SectionKind kind) {
     case SectionKind::kTimingPredictor: return "timing_predictor";
     case SectionKind::kModel: return "model";
     case SectionKind::kFeatureBaseline: return "feature_baseline";
+    case SectionKind::kCentralityConfig: return "centrality_config";
     case SectionKind::kEnd: return "end";
   }
   return "unknown";

@@ -51,6 +51,7 @@ enum class SectionKind : std::uint32_t {
   kTimingPredictor = 5,    ///< core::TimingPredictor
   kModel = 6,              ///< a standalone ml:: model blob
   kFeatureBaseline = 7,    ///< features::FeatureBaseline (drift reference)
+  kCentralityConfig = 8,   ///< graph::CentralityConfig (exact↔sampled knob)
   kEnd = 0xffffffffu,      ///< end-of-bundle marker (empty body)
 };
 

@@ -258,6 +258,18 @@ void ForecastPipeline::save(std::ostream& out) const {
     writer.section(artifact::SectionKind::kFeatureBaseline, baseline);
   }
 
+  // The centrality knob rides along so a loaded model keeps refreshing its
+  // SLN centralities the way it was fitted (exact vs pivot-sampled).
+  {
+    artifact::Encoder centrality;
+    const graph::CentralityConfig& cfg = config_.extractor.centrality;
+    centrality.u32(1);  // centrality section format
+    centrality.u8(static_cast<std::uint8_t>(cfg.mode));
+    centrality.u64(cfg.num_pivots);
+    centrality.u64(cfg.seed);
+    writer.section(artifact::SectionKind::kCentralityConfig, centrality);
+  }
+
   writer.finish();
   FORUMCAST_COUNTER_ADD("pipeline.bundle_saves", 1);
 }
@@ -322,6 +334,27 @@ ForecastPipeline ForecastPipeline::load(std::istream& in,
   if (auto baseline = reader.try_expect(artifact::SectionKind::kFeatureBaseline)) {
     pipeline.baseline_ = features::FeatureBaseline::decode(*baseline);
     baseline->finish();
+  }
+
+  // Optional trailer #2: bundles written before the exact↔sampled knob
+  // existed default to exact, which is also what the decoded extractor
+  // assumes — nothing to patch in that case.
+  if (auto centrality =
+          reader.try_expect(artifact::SectionKind::kCentralityConfig)) {
+    const std::uint32_t format = centrality->u32("centrality format");
+    FORUMCAST_CHECK_MSG(format == 1, "model bundle: unknown centrality "
+                                     "section format "
+                                         << format);
+    const std::uint8_t mode = centrality->u8("centrality mode");
+    FORUMCAST_CHECK_MSG(mode <= 1,
+                        "model bundle: unknown centrality mode " << +mode);
+    graph::CentralityConfig cfg;
+    cfg.mode = static_cast<graph::CentralityMode>(mode);
+    cfg.num_pivots = centrality->u64("centrality num pivots");
+    cfg.seed = centrality->u64("centrality seed");
+    centrality->finish();
+    pipeline.extractor_->set_centrality_config(cfg);
+    pipeline.config_.extractor.centrality = cfg;
   }
 
   reader.finish();

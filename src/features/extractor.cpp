@@ -244,11 +244,9 @@ FeatureExtractor::FeatureExtractor(const forum::Dataset& dataset,
     FORUMCAST_SPAN("features.sln_graphs");
     qa_graph_ = forum::build_qa_graph(dataset_, inference_set);
     dense_graph_ = forum::build_dense_graph(dataset_, inference_set);
-    const std::size_t threads = util::default_thread_count();
-    qa_closeness_ = graph::closeness_centrality(qa_graph_, threads);
-    qa_betweenness_ = graph::betweenness_centrality(qa_graph_, threads);
-    dense_closeness_ = graph::closeness_centrality(dense_graph_, threads);
-    dense_betweenness_ = graph::betweenness_centrality(dense_graph_, threads);
+    qa_centrality_engine_ = graph::CentralityEngine(config_.centrality);
+    dense_centrality_engine_ = graph::CentralityEngine(config_.centrality);
+    refresh_centrality_full(util::default_thread_count());
   }
 
   if (build_span.active()) {
@@ -349,7 +347,10 @@ bool FeatureExtractor::stream_add_answer(forum::QuestionId q,
   // events equals the batch pairwise build (add_edge deduplicates).
   bool edges_added = false;
   const forum::UserId asker = thread.question.creator;
-  if (asker != u) edges_added |= qa_graph_.add_edge(asker, u);
+  if (asker != u && qa_graph_.add_edge(asker, u)) {
+    edges_added = true;
+    qa_new_edges_.emplace_back(asker, u);
+  }
   std::vector<forum::UserId> prior = {asker};
   for (std::size_t a = 0; a < answer_index; ++a) {
     prior.push_back(thread.answers[a].creator);
@@ -357,7 +358,10 @@ bool FeatureExtractor::stream_add_answer(forum::QuestionId q,
   std::sort(prior.begin(), prior.end());
   prior.erase(std::unique(prior.begin(), prior.end()), prior.end());
   for (const forum::UserId p : prior) {
-    if (p != u) edges_added |= dense_graph_.add_edge(u, p);
+    if (p != u && dense_graph_.add_edge(u, p)) {
+      edges_added = true;
+      dense_new_edges_.emplace_back(u, p);
+    }
   }
   graph_dirty_ |= edges_added;
   return edges_added;
@@ -416,14 +420,63 @@ void FeatureExtractor::stream_refresh() {
   topics_dirty_.clear();
 
   if (graph_dirty_) {
-    FORUMCAST_SPAN("features.stream_centrality_refresh");
+    FORUMCAST_SPAN_NAMED(span, "features.stream_centrality_refresh");
     const std::size_t threads = util::default_thread_count();
+    if (config_.centrality.mode == graph::CentralityMode::kExact) {
+      refresh_centrality_full(threads);
+    } else {
+      refresh_centrality_incremental(threads);
+    }
+    qa_new_edges_.clear();
+    dense_new_edges_.clear();
+    graph_dirty_ = false;
+    FORUMCAST_HISTOGRAM_OBSERVE("features.centrality_refresh_ms",
+                                span.elapsed_seconds() * 1e3, 0.1, 1, 10, 100,
+                                1000, 10000);
+  }
+}
+
+void FeatureExtractor::refresh_centrality_full(std::size_t threads) {
+  if (config_.centrality.mode == graph::CentralityMode::kExact) {
     qa_closeness_ = graph::closeness_centrality(qa_graph_, threads);
     qa_betweenness_ = graph::betweenness_centrality(qa_graph_, threads);
     dense_closeness_ = graph::closeness_centrality(dense_graph_, threads);
     dense_betweenness_ = graph::betweenness_centrality(dense_graph_, threads);
-    graph_dirty_ = false;
+    // Two graphs recomputed in full (the engines count their own rebuilds).
+    FORUMCAST_COUNTER_ADD("centrality.full_refreshes", 2);
+  } else {
+    qa_centrality_engine_.rebuild(qa_graph_, threads);
+    dense_centrality_engine_.rebuild(dense_graph_, threads);
+    qa_closeness_ = qa_centrality_engine_.closeness();
+    qa_betweenness_ = qa_centrality_engine_.betweenness();
+    dense_closeness_ = dense_centrality_engine_.closeness();
+    dense_betweenness_ = dense_centrality_engine_.betweenness();
   }
+}
+
+void FeatureExtractor::refresh_centrality_incremental(std::size_t threads) {
+  // Uninitialized engines (fresh decode, config swap) fall back to a full
+  // pivot rebuild inside refresh(); a graph with no new edges keeps every
+  // cached pivot and the fold below is a cheap re-sum.
+  if (!qa_new_edges_.empty() || !qa_centrality_engine_.built()) {
+    qa_centrality_engine_.refresh(qa_graph_, qa_new_edges_, threads);
+    qa_closeness_ = qa_centrality_engine_.closeness();
+    qa_betweenness_ = qa_centrality_engine_.betweenness();
+  }
+  if (!dense_new_edges_.empty() || !dense_centrality_engine_.built()) {
+    dense_centrality_engine_.refresh(dense_graph_, dense_new_edges_, threads);
+    dense_closeness_ = dense_centrality_engine_.closeness();
+    dense_betweenness_ = dense_centrality_engine_.betweenness();
+  }
+}
+
+void FeatureExtractor::set_centrality_config(
+    const graph::CentralityConfig& config) {
+  FORUMCAST_CHECK_MSG(!graph_dirty_,
+                      "set_centrality_config on a graph-dirty extractor");
+  config_.centrality = config;
+  qa_centrality_engine_ = graph::CentralityEngine(config);
+  dense_centrality_engine_ = graph::CentralityEngine(config);
 }
 
 const FeatureExtractor::UserStats& FeatureExtractor::user_stats(

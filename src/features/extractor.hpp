@@ -13,11 +13,13 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "artifact/artifact.hpp"
 #include "forum/dataset.hpp"
 #include "features/feature_layout.hpp"
+#include "graph/centrality_engine.hpp"
 #include "graph/graph.hpp"
 #include "text/tokenizer.hpp"
 #include "text/vocabulary.hpp"
@@ -36,6 +38,11 @@ struct ExtractorConfig {
   /// to rebuild reference state whose topic model matches a live extractor
   /// that was fitted before the streamed events existed (see stream/).
   double topic_corpus_cutoff_hours = std::numeric_limits<double>::infinity();
+  /// How the four SLN centrality arrays are computed and refreshed. The
+  /// default (exact) keeps every historical digest bit-identical; sampled
+  /// mode swaps in pivot-sampled estimates with incremental dirty-region
+  /// refreshes so streaming ingest stops paying O(V·E) per batch.
+  graph::CentralityConfig centrality = {};
 };
 
 class FeatureExtractor {
@@ -127,8 +134,15 @@ class FeatureExtractor {
 
   /// Recomputes state invalidated by stream_add_answer: the topic profiles
   /// d_u of users with new answer documents and, if the graph structure
-  /// changed, all four centrality arrays.
+  /// changed, all four centrality arrays — exactly (full Brandes) in the
+  /// default mode, or via the pivot engines' dirty-region refresh in
+  /// sampled mode.
   void stream_refresh();
+
+  /// Swaps the centrality config in (decode path / post-load override).
+  /// Requires a quiesced graph; drops any sampled pivot caches, so the next
+  /// sampled refresh starts with a full pivot rebuild at epoch 0.
+  void set_centrality_config(const graph::CentralityConfig& config);
 
   /// Serializes the complete fitted state — config, topic model +
   /// vocabulary, per-question topic/length caches, per-user aggregates
@@ -153,6 +167,13 @@ class FeatureExtractor {
 
   std::vector<double> fold_question_topics(forum::QuestionId q) const;
 
+  /// Recomputes all four centrality arrays from scratch: full Brandes in
+  /// exact mode, full pivot rebuilds in sampled mode.
+  void refresh_centrality_full(std::size_t threads);
+  /// Sampled-mode incremental path: feeds the edges recorded since the last
+  /// refresh into each engine's dirty-region recompute.
+  void refresh_centrality_incremental(std::size_t threads);
+
   const forum::Dataset& dataset_;
   ExtractorConfig config_;
   FeatureLayout layout_;
@@ -171,6 +192,14 @@ class FeatureExtractor {
   std::vector<double> qa_betweenness_;
   std::vector<double> dense_closeness_;
   std::vector<double> dense_betweenness_;
+
+  // Sampled-mode machinery: per-graph pivot engines plus the edges inserted
+  // since the last refresh (the dirty region fed to the incremental
+  // recompute). Unused — and empty — in exact mode.
+  graph::CentralityEngine qa_centrality_engine_;
+  graph::CentralityEngine dense_centrality_engine_;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> qa_new_edges_;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> dense_new_edges_;
 
   // Retained text/topic machinery so streamed posts can be folded in with
   // the vocabulary and topic-word counts of the original fit.

@@ -1,0 +1,46 @@
+// Internal Brandes machinery shared by the exact centrality functions
+// (centrality.cpp) and the pivot-sampled incremental engine
+// (centrality_engine.cpp). One sweep = one BFS shortest-path DAG from a
+// source plus the backward dependency accumulation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace forumcast::graph::detail {
+
+/// Scratch buffers for one Brandes source sweep, supplied by the caller so
+/// sweeps can be reused per-thread without reallocation. After
+/// brandes_source_sweep(), `delta` holds the source's dependency
+/// contribution per node and `dist` holds hop distances (-1 = unreachable).
+struct BrandesScratch {
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  std::vector<long long> dist;
+  std::vector<std::vector<NodeId>> predecessors;
+
+  explicit BrandesScratch(std::size_t n)
+      : sigma(n), delta(n), dist(n), predecessors(n) {}
+};
+
+/// Runs one source sweep, filling scratch.delta / scratch.dist. The caller
+/// owns accumulation: exact betweenness adds delta[w] (w != source) across
+/// all sources; the sampled engine caches delta per pivot instead.
+void brandes_source_sweep(const Graph& graph, NodeId source,
+                          BrandesScratch& scratch);
+
+/// Linear-scaled variant for pivot sampling (Geisberger, Sanders, Schultes,
+/// "Better Approximation of Betweenness Centrality", ALENEX 2008): pair
+/// (s, t) credits an interior node v proportionally to d(s,v)/d(s,t) instead
+/// of fully from the source side. Summed over every source this counts each
+/// unordered pair exactly once (d(s,v)/d(s,t) + d(t,v)/d(t,s) == 1 on a
+/// shortest path), so the exact value needs no halving, and under sampling
+/// the dependency spikes next to a sampled pivot are damped — the variance
+/// reduction that keeps max-normalized error small at small pivot budgets.
+/// Fills scratch.delta with the scaled dependency d(s,v)·A_s(v).
+void brandes_source_sweep_scaled(const Graph& graph, NodeId source,
+                                 BrandesScratch& scratch);
+
+}  // namespace forumcast::graph::detail

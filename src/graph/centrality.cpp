@@ -6,30 +6,21 @@
 #include <thread>
 #include <vector>
 
+#include "graph/brandes.hpp"
 #include "obs/obs.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace forumcast::graph {
 
+namespace detail {
+
 namespace {
 
-// One Brandes source sweep: accumulates dependencies into `betweenness`.
-// Scratch buffers are supplied by the caller so sweeps can be reused
-// per-thread without reallocation.
-struct BrandesScratch {
-  std::vector<double> sigma;
-  std::vector<double> delta;
-  std::vector<long long> dist;
-  std::vector<std::vector<NodeId>> predecessors;
-
-  explicit BrandesScratch(std::size_t n)
-      : sigma(n), delta(n), dist(n), predecessors(n) {}
-};
-
-void brandes_source_sweep(const Graph& graph, NodeId source,
-                          BrandesScratch& scratch,
-                          std::vector<double>& betweenness) {
-  const std::size_t n = graph.node_count();
+// Forward BFS phase shared by both sweep variants: shortest-path counts,
+// hop distances, predecessor DAG, and the reverse finish order.
+std::stack<NodeId> brandes_forward_pass(const Graph& graph, NodeId source,
+                                        BrandesScratch& scratch) {
   std::fill(scratch.sigma.begin(), scratch.sigma.end(), 0.0);
   std::fill(scratch.delta.begin(), scratch.delta.end(), 0.0);
   std::fill(scratch.dist.begin(), scratch.dist.end(), -1LL);
@@ -55,6 +46,14 @@ void brandes_source_sweep(const Graph& graph, NodeId source,
       }
     }
   }
+  return order;
+}
+
+}  // namespace
+
+void brandes_source_sweep(const Graph& graph, NodeId source,
+                          BrandesScratch& scratch) {
+  std::stack<NodeId> order = brandes_forward_pass(graph, source, scratch);
   while (!order.empty()) {
     const NodeId w = order.top();
     order.pop();
@@ -62,9 +61,48 @@ void brandes_source_sweep(const Graph& graph, NodeId source,
       scratch.delta[u] +=
           scratch.sigma[u] / scratch.sigma[w] * (1.0 + scratch.delta[w]);
     }
+  }
+}
+
+void brandes_source_sweep_scaled(const Graph& graph, NodeId source,
+                                 BrandesScratch& scratch) {
+  std::stack<NodeId> order = brandes_forward_pass(graph, source, scratch);
+  // Accumulate A_s(v) = sum over targets t of (sigma_st(v)/sigma_st)/d(s,t)
+  // (per-target injection 1/d instead of 1), then scale by d(s,v): the
+  // result is sum_t (sigma_st(v)/sigma_st) * d(s,v)/d(s,t). One divide per
+  // node, not per DAG edge, keeps the sweep cost at parity with the
+  // unscaled variant.
+  while (!order.empty()) {
+    const NodeId w = order.top();
+    order.pop();
+    const double inject =
+        w == source ? 0.0 : 1.0 / static_cast<double>(scratch.dist[w]);
+    for (NodeId u : scratch.predecessors[w]) {
+      scratch.delta[u] +=
+          scratch.sigma[u] / scratch.sigma[w] * (inject + scratch.delta[w]);
+    }
+  }
+  const std::size_t n = graph.node_count();
+  for (NodeId v = 0; v < n; ++v) {
+    scratch.delta[v] = (v == source || scratch.dist[v] <= 0)
+                           ? 0.0
+                           : static_cast<double>(scratch.dist[v]) *
+                                 scratch.delta[v];
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+// Adds one finished sweep's dependency into the accumulator. Per element
+// this is the same single `+=` the historic fused sweep performed (unvisited
+// nodes contribute an exact 0.0), so the exact path stays bit-identical.
+void accumulate_sweep(const detail::BrandesScratch& scratch, NodeId source,
+                      std::vector<double>& betweenness) {
+  for (NodeId w = 0; w < betweenness.size(); ++w) {
     if (w != source) betweenness[w] += scratch.delta[w];
   }
-  (void)n;
 }
 
 }  // namespace
@@ -113,9 +151,10 @@ std::vector<double> betweenness_centrality(const Graph& graph,
   threads = std::min(threads, n);
 
   if (threads <= 1) {
-    BrandesScratch scratch(n);
+    detail::BrandesScratch scratch(n);
     for (NodeId source = 0; source < n; ++source) {
-      brandes_source_sweep(graph, source, scratch, betweenness);
+      detail::brandes_source_sweep(graph, source, scratch);
+      accumulate_sweep(scratch, source, betweenness);
     }
   } else {
     // Static partition: thread t owns sources ≡ t (mod threads), with its own
@@ -127,10 +166,11 @@ std::vector<double> betweenness_centrality(const Graph& graph,
     pool.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
       pool.emplace_back([&, t] {
-        BrandesScratch scratch(n);
+        detail::BrandesScratch scratch(n);
         for (NodeId source = static_cast<NodeId>(t); source < n;
              source += threads) {
-          brandes_source_sweep(graph, source, scratch, partials[t]);
+          detail::brandes_source_sweep(graph, source, scratch);
+          accumulate_sweep(scratch, source, partials[t]);
         }
       });
     }
@@ -150,6 +190,37 @@ std::vector<double> betweenness_centrality(const Graph& graph,
     }
   }
   return betweenness;
+}
+
+std::vector<NodeId> sample_pivots(std::size_t node_count,
+                                  std::size_t num_pivots, std::uint64_t seed,
+                                  std::uint64_t epoch) {
+  std::vector<NodeId> pivots;
+  if (node_count == 0 || num_pivots == 0) return pivots;
+  if (num_pivots >= node_count) {
+    pivots.resize(node_count);
+    for (NodeId v = 0; v < node_count; ++v) pivots[v] = v;
+    return pivots;
+  }
+  // Counter-derived stream: the state starts at a (seed, epoch) mix and each
+  // draw advances it by one splitmix64 step. Distinctness via rejection;
+  // modulo bias is irrelevant here (pivots need to be deterministic and
+  // well-spread, not perfectly uniform).
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * (epoch + 1);
+  std::vector<std::uint8_t> taken(node_count, 0);
+  pivots.reserve(num_pivots);
+  while (pivots.size() < num_pivots) {
+    const auto v =
+        static_cast<NodeId>(util::splitmix64(state) % node_count);
+    if (!taken[v]) {
+      taken[v] = 1;
+      pivots.push_back(v);
+    }
+  }
+  // Ascending order fixes the accumulation order of per-pivot contributions,
+  // which is what makes sampled results thread-count invariant.
+  std::sort(pivots.begin(), pivots.end());
+  return pivots;
 }
 
 std::vector<double> normalized_to_max(std::vector<double> values) {

@@ -1,0 +1,184 @@
+#include "graph/centrality_engine.hpp"
+
+#include <algorithm>
+
+#include "graph/brandes.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace forumcast::graph {
+
+CentralityEngine::CentralityEngine(CentralityConfig config)
+    : config_(config) {}
+
+void CentralityEngine::invalidate() {
+  built_ = false;
+  node_count_ = 0;
+  pivots_.clear();
+  pivot_dist_.clear();
+  pivot_delta_.clear();
+  last_ = {};
+}
+
+void CentralityEngine::sweep_slots(const Graph& graph,
+                                   std::span<const std::size_t> slots,
+                                   std::size_t threads) {
+  const std::size_t n = graph.node_count();
+  util::parallel_for_chunks(
+      slots.size(),
+      [&](std::size_t begin, std::size_t end) {
+        detail::BrandesScratch scratch(n);
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t slot = slots[i];
+          detail::brandes_source_sweep_scaled(graph, pivots_[slot], scratch);
+          pivot_delta_[slot].assign(scratch.delta.begin(),
+                                    scratch.delta.end());
+          auto& dist = pivot_dist_[slot];
+          dist.resize(n);
+          for (std::size_t v = 0; v < n; ++v) {
+            dist[v] = static_cast<std::int32_t>(scratch.dist[v]);
+          }
+        }
+      },
+      threads);
+}
+
+void CentralityEngine::rebuild(const Graph& graph, std::size_t threads) {
+  FORUMCAST_SPAN_NAMED(span, "graph.centrality_rebuild");
+  node_count_ = graph.node_count();
+  pivots_ =
+      sample_pivots(node_count_, config_.num_pivots, config_.seed, epoch_);
+  ++epoch_;  // the next full rebuild draws a fresh pivot set
+  pivot_dist_.assign(pivots_.size(), {});
+  pivot_delta_.assign(pivots_.size(), {});
+  std::vector<std::size_t> slots(pivots_.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) slots[i] = i;
+  sweep_slots(graph, slots, threads);
+  built_ = true;
+  last_ = {};
+  last_.sweeps = pivots_.size();
+  last_.affected_pivots = pivots_.size();
+  last_.full_rebuild = true;
+  FORUMCAST_COUNTER_ADD("centrality.full_refreshes", 1);
+  FORUMCAST_COUNTER_ADD("centrality.sampled_pivots", pivots_.size());
+  if (span.active()) {
+    span.arg("nodes", static_cast<double>(node_count_));
+    span.arg("pivots", static_cast<double>(pivots_.size()));
+  }
+}
+
+void CentralityEngine::refresh(
+    const Graph& graph, std::span<const std::pair<NodeId, NodeId>> new_edges,
+    std::size_t threads) {
+  if (!built_ || graph.node_count() != node_count_) {
+    rebuild(graph, threads);
+    return;
+  }
+  FORUMCAST_SPAN_NAMED(span, "graph.centrality_refresh");
+
+  std::vector<NodeId> dirty;
+  dirty.reserve(new_edges.size() * 2);
+  for (const auto& [u, v] : new_edges) {
+    FORUMCAST_CHECK(u < node_count_ && v < node_count_);
+    dirty.push_back(u);
+    dirty.push_back(v);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+
+  // A pivot is affected iff some new edge joins nodes at different cached
+  // distances from it; edges between equidistant nodes (both-unreachable
+  // included) change neither distances nor shortest-path counts.
+  std::vector<std::size_t> affected;
+  for (std::size_t slot = 0; slot < pivots_.size(); ++slot) {
+    const auto& dist = pivot_dist_[slot];
+    for (const auto& [u, v] : new_edges) {
+      if (dist[u] != dist[v]) {
+        affected.push_back(slot);
+        break;
+      }
+    }
+  }
+  sweep_slots(graph, affected, threads);
+
+  last_ = {};
+  last_.sweeps = affected.size();
+  last_.affected_pivots = affected.size();
+  last_.dirty_vertices = dirty.size();
+  FORUMCAST_COUNTER_ADD("centrality.sampled_pivots", affected.size());
+  FORUMCAST_COUNTER_ADD("centrality.dirty_vertices", dirty.size());
+  if (span.active()) {
+    span.arg("pivots", static_cast<double>(pivots_.size()));
+    span.arg("affected", static_cast<double>(affected.size()));
+    span.arg("dirty_vertices", static_cast<double>(dirty.size()));
+  }
+}
+
+std::vector<double> CentralityEngine::closeness() const {
+  FORUMCAST_CHECK_MSG(built_, "CentralityEngine::closeness before rebuild");
+  std::vector<double> closeness(node_count_, 0.0);
+  if (node_count_ < 2 || pivots_.empty()) return closeness;
+  // Distances are integers, so the fold order cannot perturb the sums; only
+  // the final division touches floating point. scale == 1 exactly when the
+  // pivot set is all nodes, collapsing to the exact definition bit-for-bit.
+  std::vector<long long> sums(node_count_, 0);
+  for (std::size_t slot = 0; slot < pivots_.size(); ++slot) {
+    const auto& dist = pivot_dist_[slot];
+    for (std::size_t v = 0; v < node_count_; ++v) {
+      if (dist[v] > 0) sums[v] += dist[v];
+    }
+  }
+  const double scale = static_cast<double>(node_count_) /
+                       static_cast<double>(pivots_.size());
+  for (std::size_t v = 0; v < node_count_; ++v) {
+    if (sums[v] > 0) {
+      closeness[v] = static_cast<double>(node_count_ - 1) /
+                     (scale * static_cast<double>(sums[v]));
+    }
+  }
+  return closeness;
+}
+
+std::vector<double> CentralityEngine::betweenness() const {
+  FORUMCAST_CHECK_MSG(built_, "CentralityEngine::betweenness before rebuild");
+  std::vector<double> betweenness(node_count_, 0.0);
+  if (node_count_ < 3 || pivots_.empty()) return betweenness;
+  // Ascending-pivot fold keeps the accumulation order fixed regardless of
+  // how many threads ran the sweeps, so sampled results are thread-count
+  // invariant and an incremental refresh folds to the same bits as a full
+  // rebuild over the same pivot set.
+  for (std::size_t slot = 0; slot < pivots_.size(); ++slot) {
+    const NodeId p = pivots_[slot];
+    const auto& delta = pivot_delta_[slot];
+    for (NodeId v = 0; v < node_count_; ++v) {
+      if (v != p) betweenness[v] += delta[v];
+    }
+  }
+  // The linear-scaled dependency already counts each unordered pair once
+  // across all sources (no halving); n/k rescales the sampled subset. With
+  // the all-node pivot set this equals exact betweenness up to floating-point
+  // summation order.
+  const double scale = static_cast<double>(node_count_) /
+                       static_cast<double>(pivots_.size());
+  for (double& b : betweenness) b *= scale;
+  return betweenness;
+}
+
+std::vector<double> sampled_closeness_centrality(const Graph& graph,
+                                                 const CentralityConfig& config,
+                                                 std::size_t threads) {
+  CentralityEngine engine(config);
+  engine.rebuild(graph, threads);
+  return engine.closeness();
+}
+
+std::vector<double> sampled_betweenness_centrality(const Graph& graph,
+                                                   const CentralityConfig& config,
+                                                   std::size_t threads) {
+  CentralityEngine engine(config);
+  engine.rebuild(graph, threads);
+  return engine.betweenness();
+}
+
+}  // namespace forumcast::graph

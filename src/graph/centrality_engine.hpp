@@ -1,0 +1,105 @@
+// Pivot-sampled, incrementally refreshable centrality.
+//
+// The engine keeps one Brandes sweep's results (dependency vector +
+// hop-distance vector) cached per pivot. Closeness/betweenness estimates are
+// always derived by folding the cached per-pivot contributions in ascending
+// pivot order, so:
+//
+//  - results are bit-identical for any thread count (sweeps are
+//    embarrassingly parallel into disjoint slots; the fold is serial and
+//    ordered), and
+//  - an incremental refresh() is bit-identical to a full rebuild() over the
+//    same graph with the same pivot set — unaffected pivots keep cached
+//    contributions that a fresh sweep would reproduce exactly.
+//
+// Estimators (k pivots over n nodes, uniform without replacement):
+//   betweenness(v) ≈ (n/k) · Σ_{p∈P} δ_p(v) / 2
+//   closeness(v)   ≈ (n−1) / ((n/k) · Σ_{p∈P reachable} d(p,v))
+// With k ≥ n the pivot set is every node and both collapse to the exact
+// definitions (bit-equal to the serial exact functions).
+//
+// Incremental refresh: a new edge {u,v} changes shortest paths from pivot p
+// iff the cached distances differ, d_p(u) ≠ d_p(v) (an edge joining
+// equidistant nodes — including two unreachable ones — creates no shorter
+// path and no new shortest path). Only those affected pivots are re-swept;
+// the rest carry forward.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/centrality.hpp"
+#include "graph/graph.hpp"
+
+namespace forumcast::graph {
+
+class CentralityEngine {
+ public:
+  explicit CentralityEngine(CentralityConfig config = {});
+
+  const CentralityConfig& config() const { return config_; }
+  bool built() const { return built_; }
+  std::size_t num_pivots() const { return pivots_.size(); }
+  std::span<const NodeId> pivots() const { return pivots_; }
+  /// Completed full rebuilds; keys the next pivot draw.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Drops all cached state; the next refresh() falls back to rebuild().
+  void invalidate();
+
+  /// Full (re)build: draws a fresh pivot set from (seed, epoch), sweeps every
+  /// pivot, and advances the epoch. threads = 0 means the util default.
+  void rebuild(const Graph& graph, std::size_t threads = 0);
+
+  /// Incremental refresh after `new_edges` were inserted into `graph`
+  /// (endpoints in any order; edges must already be present). Re-sweeps only
+  /// pivots whose shortest-path trees the new edges touch. Falls back to
+  /// rebuild() when nothing is cached yet or the node count changed.
+  void refresh(const Graph& graph,
+               std::span<const std::pair<NodeId, NodeId>> new_edges,
+               std::size_t threads = 0);
+
+  /// Estimates folded from the pivot caches (see header comment). Valid
+  /// after rebuild()/refresh().
+  std::vector<double> closeness() const;
+  std::vector<double> betweenness() const;
+
+  /// What the most recent rebuild()/refresh() actually did — feeds the
+  /// centrality.* observability counters.
+  struct RefreshStats {
+    std::size_t sweeps = 0;          ///< pivot sweeps executed
+    std::size_t affected_pivots = 0; ///< pivots invalidated by new edges
+    std::size_t dirty_vertices = 0;  ///< distinct endpoints among new edges
+    bool full_rebuild = false;
+  };
+  const RefreshStats& last_refresh() const { return last_; }
+
+ private:
+  void sweep_slots(const Graph& graph, std::span<const std::size_t> slots,
+                   std::size_t threads);
+
+  CentralityConfig config_;
+  bool built_ = false;
+  std::uint64_t epoch_ = 0;
+  std::size_t node_count_ = 0;
+  std::vector<NodeId> pivots_;  // ascending
+  // Slot-aligned caches: dist in hops (-1 unreachable, int32 to halve the
+  // footprint), delta as Brandes dependency doubles.
+  std::vector<std::vector<std::int32_t>> pivot_dist_;
+  std::vector<std::vector<double>> pivot_delta_;
+  RefreshStats last_;
+};
+
+/// One-shot conveniences over a temporary engine (tests / benches). Both
+/// centralities come from the same sweeps, so calling both costs double —
+/// hold a CentralityEngine when you need the pair.
+std::vector<double> sampled_closeness_centrality(const Graph& graph,
+                                                 const CentralityConfig& config,
+                                                 std::size_t threads = 0);
+std::vector<double> sampled_betweenness_centrality(
+    const Graph& graph, const CentralityConfig& config, std::size_t threads = 0);
+
+}  // namespace forumcast::graph

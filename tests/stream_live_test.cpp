@@ -52,7 +52,8 @@ struct LiveCase {
   std::vector<ForumEvent> events;
   core::ForecastPipeline pipeline;
 
-  LiveCase() : pipeline(fast_pipeline_config()) {
+  explicit LiveCase(core::PipelineConfig pipeline_config = fast_pipeline_config())
+      : pipeline(pipeline_config) {
     forum::GeneratorConfig config;
     config.num_users = 120;
     config.num_questions = 130;
@@ -195,6 +196,47 @@ TEST(StreamLive, ReplayEquivalenceIsBitIdentical) {
     for (const forum::QuestionId q : probes) {
       expect_spans_equal(streamed.features(u, q), reference.features(u, q),
                          "features");
+    }
+  }
+}
+
+// Sampled + incremental centrality keeps the replay invariant for the four
+// centrality arrays and the features built on them: the pivot set is a pure
+// function of (seed, node count, epoch 0), and the engine's incremental
+// refresh is bit-identical to a rebuild over the same pivots — so streaming
+// with dirty-region refreshes must land exactly where a fresh sampled build
+// over the mutated dataset lands.
+TEST(StreamLiveSampled, ReplayMatchesFreshSampledBuild) {
+  core::PipelineConfig sampled_config = fast_pipeline_config();
+  sampled_config.extractor.centrality.mode = graph::CentralityMode::kSampled;
+  sampled_config.extractor.centrality.num_pivots = 24;
+  LiveCase c(sampled_config);
+  const forum::Dataset pristine_base = c.base;
+
+  LiveState live(c.pipeline, c.base);
+  ingest_in_chunks(live, c.events, 17);  // several incremental refreshes
+  ASSERT_EQ(live.events_applied(), c.events.size());
+
+  const forum::Dataset rebuilt =
+      dataset_from_events(pristine_base, live.event_log());
+  features::ExtractorConfig config = sampled_config.extractor;
+  config.topic_corpus_cutoff_hours = kCutoffHours;
+  const auto window = LiveCase::all_questions(rebuilt);
+  const features::FeatureExtractor reference(rebuilt, window, config);
+
+  const features::FeatureExtractor& streamed = c.pipeline.extractor();
+  expect_spans_equal(streamed.qa_closeness(), reference.qa_closeness(),
+                     "sampled qa_closeness");
+  expect_spans_equal(streamed.qa_betweenness(), reference.qa_betweenness(),
+                     "sampled qa_betweenness");
+  expect_spans_equal(streamed.dense_closeness(), reference.dense_closeness(),
+                     "sampled dense_closeness");
+  expect_spans_equal(streamed.dense_betweenness(),
+                     reference.dense_betweenness(), "sampled dense_betweenness");
+  for (forum::UserId u = 0; u < rebuilt.num_users(); u += 5) {
+    for (forum::QuestionId q = 0; q < rebuilt.num_questions(); q += 11) {
+      expect_spans_equal(streamed.features(u, q), reference.features(u, q),
+                         "sampled features");
     }
   }
 }

@@ -130,6 +130,26 @@ forum::Dataset load_data(const Args& args) {
   return dataset;
 }
 
+// --centrality-mode exact|sampled and --centrality-pivots N select how SLN
+// centralities are computed and refreshed (graph::CentralityConfig). The
+// knob is saved into the model bundle, so ingest/serve runs that load the
+// model inherit it without repeating the flags.
+void apply_centrality_flags(core::PipelineConfig& config, const Args& args) {
+  graph::CentralityConfig& centrality = config.extractor.centrality;
+  const std::string mode = args.get("centrality-mode", "exact");
+  if (mode == "sampled") {
+    centrality.mode = graph::CentralityMode::kSampled;
+  } else {
+    FORUMCAST_CHECK_MSG(
+        mode == "exact",
+        "--centrality-mode must be 'exact' or 'sampled', got '" << mode << "'");
+  }
+  const long pivots = args.get_int(
+      "centrality-pivots", static_cast<long>(centrality.num_pivots));
+  FORUMCAST_CHECK_MSG(pivots >= 1, "--centrality-pivots must be >= 1");
+  centrality.num_pivots = static_cast<std::size_t>(pivots);
+}
+
 core::ForecastPipeline fit_pipeline(const forum::Dataset& dataset,
                                     const Args& args) {
   const int history_days = static_cast<int>(args.get_int("history-days", 25));
@@ -140,6 +160,7 @@ core::ForecastPipeline fit_pipeline(const forum::Dataset& dataset,
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
   config.fit_threads =
       static_cast<std::size_t>(args.get_int("fit-threads", 1));
+  apply_centrality_flags(config, args);
   core::ForecastPipeline pipeline(config);
   const auto history = dataset.questions_in_days(1, history_days);
   FORUMCAST_CHECK_MSG(!history.empty(), "no questions in days 1-" << history_days);
@@ -390,6 +411,7 @@ int cmd_ingest(const Args& args) {
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
     config.fit_threads =
         static_cast<std::size_t>(args.get_int("fit-threads", 1));
+    apply_centrality_flags(config, args);
     pipeline = core::ForecastPipeline(config);
     std::vector<forum::QuestionId> window(dataset.num_questions());
     for (std::size_t i = 0; i < window.size(); ++i) {
@@ -744,6 +766,7 @@ int run_ingest_daemon(const Args& args) {
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
     config.fit_threads =
         static_cast<std::size_t>(args.get_int("fit-threads", 1));
+    apply_centrality_flags(config, args);
     core::ForecastPipeline fitted(config);
     std::vector<forum::QuestionId> window(base.num_questions());
     for (std::size_t i = 0; i < window.size(); ++i) {
@@ -1168,6 +1191,13 @@ void usage() {
                "                       (0 = all cores). 1 (default) is bit-equal\n"
                "                       to previous releases; N>1 only changes the\n"
                "                       LDA stage (deterministic per thread count)\n"
+               "  --centrality-mode M  'exact' (default; bit-stable full Brandes)\n"
+               "                       or 'sampled' (pivot-sampled centralities\n"
+               "                       with incremental dirty-region refresh —\n"
+               "                       the streaming-ingest scale knob). Saved\n"
+               "                       into the model bundle.\n"
+               "  --centrality-pivots N  sampled-mode source budget per graph\n"
+               "                       (default 128; larger = more accurate)\n"
                "observability (any subcommand):\n"
                "  --trace-out FILE     write a Chrome trace (chrome://tracing, Perfetto)\n"
                "  --metrics-out FILE   write the metrics registry snapshot as JSON\n";

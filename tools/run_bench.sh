@@ -6,7 +6,8 @@
 # benchmark, and the model-artifact save/load benchmark in google-benchmark
 # JSON mode, writes BENCH_serve.json / BENCH_micro.json / BENCH_stream.json /
 # BENCH_fit.json / BENCH_artifact.json / BENCH_monitor.json / BENCH_net.json
-# (wire-serving daemon throughput) into --out-dir, and
+# (wire-serving daemon throughput) / BENCH_replica.json /
+# BENCH_centrality.json (exact vs sampled vs incremental) into --out-dir, and
 # fails if batched scoring at 256 candidates is not at least
 # BENCH_MIN_SPEEDUP times faster (pairs/sec) than the scalar path, or if
 # pipeline fitting at 8 fit-threads is not at least BENCH_FIT_MIN_SPEEDUP
@@ -51,6 +52,12 @@
 #                           guard is SKIPPED but BENCH_replica.json is still
 #                           written; non-numeric -> exit 2. The acceptance
 #                           bar is 2000 events/sec on quiet hardware.
+#        BENCH_CENTRALITY_MIN_SPEEDUP  minimum exact/sampled betweenness
+#                           time ratio at 2048 nodes (BM_BetweennessExact/2048
+#                           over BM_BetweennessSampled/2048). Unset -> the
+#                           guard is SKIPPED but BENCH_centrality.json is
+#                           still written; non-numeric -> exit 2. The
+#                           acceptance bar is 10.0 on quiet hardware.
 set -euo pipefail
 
 BUILD_DIR=build
@@ -125,6 +132,18 @@ if [[ -n "${BENCH_REPLICA_MIN_EPS+x}" ]]; then
   fi
 fi
 
+CENTRALITY_MIN_SPEEDUP=""
+if [[ -n "${BENCH_CENTRALITY_MIN_SPEEDUP+x}" ]]; then
+  if [[ "$BENCH_CENTRALITY_MIN_SPEEDUP" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
+    CENTRALITY_MIN_SPEEDUP="$BENCH_CENTRALITY_MIN_SPEEDUP"
+  else
+    echo "error: BENCH_CENTRALITY_MIN_SPEEDUP must be a non-negative decimal" \
+         "number (e.g. 10.0); got '${BENCH_CENTRALITY_MIN_SPEEDUP}'" >&2
+    echo "hint: unset it to report the speedup without gating" >&2
+    exit 2
+  fi
+fi
+
 # Refuse to emit BENCH files from an unoptimized build: a Debug or
 # non-native binary runs the same code an order of magnitude slower, and a
 # committed baseline measured that way would flag every healthy Release run
@@ -147,6 +166,16 @@ if [[ "$BUILD_TYPE" != "Release" || ( "$NATIVE" != "ON" && "$NATIVE" != "TRUE" &
   exit 2
 fi
 
+# Stamp the (already verified) repo build type into every report's context.
+# google-benchmark's own "library_build_type" field describes how the
+# *benchmark library* was compiled — distro packages ship it debug-built even
+# when the repo binaries are Release/native — so the baseline sanity check
+# below keys on this injected field instead.
+BENCH_CONTEXT=(
+  "--benchmark_context=forumcast_build_type=$BUILD_TYPE"
+  "--benchmark_context=forumcast_native=$NATIVE"
+)
+
 SERVE_BIN="$BUILD_DIR/bench/serve"
 MICRO_BIN="$BUILD_DIR/bench/micro"
 STREAM_BIN="$BUILD_DIR/bench/stream"
@@ -155,6 +184,7 @@ ARTIFACT_BIN="$BUILD_DIR/bench/artifact"
 MONITOR_BIN="$BUILD_DIR/bench/monitor"
 NET_BIN="$BUILD_DIR/bench/net"
 REPLICA_BIN="$BUILD_DIR/bench/replica"
+CENTRALITY_BIN="$BUILD_DIR/bench/centrality"
 SERVE_JSON="$OUT_DIR/BENCH_serve.json"
 MICRO_JSON="$OUT_DIR/BENCH_micro.json"
 STREAM_JSON="$OUT_DIR/BENCH_stream.json"
@@ -163,9 +193,10 @@ ARTIFACT_JSON="$OUT_DIR/BENCH_artifact.json"
 MONITOR_JSON="$OUT_DIR/BENCH_monitor.json"
 NET_JSON="$OUT_DIR/BENCH_net.json"
 REPLICA_JSON="$OUT_DIR/BENCH_replica.json"
+CENTRALITY_JSON="$OUT_DIR/BENCH_centrality.json"
 
 for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN" "$FIT_BIN" "$ARTIFACT_BIN" \
-           "$MONITOR_BIN" "$NET_BIN" "$REPLICA_BIN"; do
+           "$MONITOR_BIN" "$NET_BIN" "$REPLICA_BIN" "$CENTRALITY_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (configure with default options first)" >&2
     exit 2
@@ -175,28 +206,70 @@ mkdir -p "$OUT_DIR"
 
 echo "== bench/serve -> $SERVE_JSON"
 "$SERVE_BIN" --benchmark_out="$SERVE_JSON" --benchmark_out_format=json \
-  --benchmark_min_warmup_time=0.2
+  --benchmark_min_warmup_time=0.2 "${BENCH_CONTEXT[@]}"
 
 echo "== bench/micro -> $MICRO_JSON"
-"$MICRO_BIN" --benchmark_out="$MICRO_JSON" --benchmark_out_format=json
+"$MICRO_BIN" --benchmark_out="$MICRO_JSON" --benchmark_out_format=json \
+  "${BENCH_CONTEXT[@]}"
 
 echo "== bench/stream -> $STREAM_JSON"
-"$STREAM_BIN" --benchmark_out="$STREAM_JSON" --benchmark_out_format=json
+"$STREAM_BIN" --benchmark_out="$STREAM_JSON" --benchmark_out_format=json \
+  "${BENCH_CONTEXT[@]}"
 
 echo "== bench/fit -> $FIT_JSON"
-"$FIT_BIN" --benchmark_out="$FIT_JSON" --benchmark_out_format=json
+"$FIT_BIN" --benchmark_out="$FIT_JSON" --benchmark_out_format=json \
+  "${BENCH_CONTEXT[@]}"
 
 echo "== bench/artifact -> $ARTIFACT_JSON"
-"$ARTIFACT_BIN" --benchmark_out="$ARTIFACT_JSON" --benchmark_out_format=json
+"$ARTIFACT_BIN" --benchmark_out="$ARTIFACT_JSON" --benchmark_out_format=json \
+  "${BENCH_CONTEXT[@]}"
 
 echo "== bench/monitor -> $MONITOR_JSON"
-"$MONITOR_BIN" --benchmark_out="$MONITOR_JSON" --benchmark_out_format=json
+"$MONITOR_BIN" --benchmark_out="$MONITOR_JSON" --benchmark_out_format=json \
+  "${BENCH_CONTEXT[@]}"
 
 echo "== bench/net -> $NET_JSON"
-"$NET_BIN" --benchmark_out="$NET_JSON" --benchmark_out_format=json
+"$NET_BIN" --benchmark_out="$NET_JSON" --benchmark_out_format=json \
+  "${BENCH_CONTEXT[@]}"
 
 echo "== bench/replica -> $REPLICA_JSON"
-"$REPLICA_BIN" --benchmark_out="$REPLICA_JSON" --benchmark_out_format=json
+"$REPLICA_BIN" --benchmark_out="$REPLICA_JSON" --benchmark_out_format=json \
+  "${BENCH_CONTEXT[@]}"
+
+echo "== bench/centrality -> $CENTRALITY_JSON"
+"$CENTRALITY_BIN" --benchmark_out="$CENTRALITY_JSON" --benchmark_out_format=json \
+  "${BENCH_CONTEXT[@]}"
+
+# Belt-and-braces against stale or hand-carried baselines: even though the
+# build-tree check above gates on the CMake cache, also reject any produced
+# JSON whose embedded context does not carry the Release stamp injected via
+# BENCH_CONTEXT above. A baseline missing the stamp was produced by some
+# other path than this script (or predates the stamp — BENCH_micro.json once
+# shipped from an unverified tree); one stamped debug would mean the
+# build-tree gate was bypassed. Note: google-benchmark's own
+# "library_build_type" context field is NOT checked — it reports how the
+# benchmark *library* was compiled, and distro packages ship it debug-built
+# even under Release/native repo binaries.
+echo "== baseline sanity: no debug-build contexts"
+python3 - "$SERVE_JSON" "$MICRO_JSON" "$STREAM_JSON" "$FIT_JSON" \
+          "$ARTIFACT_JSON" "$MONITOR_JSON" "$NET_JSON" "$REPLICA_JSON" \
+          "$CENTRALITY_JSON" <<'PY'
+import json
+import sys
+
+bad = []
+for path in sys.argv[1:]:
+    with open(path) as fh:
+        context = json.load(fh).get("context", {})
+    build = str(context.get("forumcast_build_type", "")).lower()
+    if build != "release":
+        label = build if build else "missing"
+        bad.append(f"{path} (forumcast_build_type: {label})")
+if bad:
+    sys.exit("refusing non-Release bench baselines (rebuild Release/native "
+             "and re-run via tools/run_bench.sh): " + ", ".join(bad))
+print(f"{len(sys.argv) - 1} bench reports carry Release build contexts")
+PY
 
 echo "== model bundle: save/load latency and size"
 python3 - "$ARTIFACT_JSON" <<'PY'
@@ -411,5 +484,43 @@ elif apply_rate < min_eps:
 else:
     print(f"replica-apply guard passed: {apply_rate:,.0f} >= "
           f"{min_eps:,.0f} events/sec")
+PY
+echo "== centrality: exact vs sampled betweenness at 2048 nodes"
+python3 - "$CENTRALITY_JSON" "${CENTRALITY_MIN_SPEEDUP:-}" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+min_speedup = float(sys.argv[2]) if len(sys.argv) > 2 and sys.argv[2] else None
+with open(path) as fh:
+    report = json.load(fh)
+
+times = {}
+for bench in report["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    times[bench["name"]] = bench.get("real_time", 0.0)
+
+for name in sorted(times):
+    print(f"{name}: {times[name]:,.2f} ms")
+    if times[name] <= 0.0:
+        sys.exit(f"bench regression: {name} reported no time")
+
+exact = times.get("BM_BetweennessExact/2048")
+sampled = times.get("BM_BetweennessSampled/2048")
+if not exact or not sampled:
+    sys.exit(f"missing BM_BetweennessExact/2048 or "
+             f"BM_BetweennessSampled/2048 in {path}")
+
+speedup = exact / sampled
+print(f"sampled betweenness speedup at 2048 nodes: {speedup:.2f}x")
+if min_speedup is None:
+    print(f"BENCH_CENTRALITY_MIN_SPEEDUP unset: reporting only (the bar on "
+          f"quiet hardware is 10.0)")
+elif speedup < min_speedup:
+    sys.exit(f"bench regression: sampled centrality speedup {speedup:.2f}x "
+             f"below required {min_speedup:.2f}x")
+else:
+    print(f"centrality guard passed: {speedup:.2f}x >= {min_speedup:.2f}x")
 PY
 echo "bench guard passed"
