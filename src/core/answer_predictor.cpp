@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "ml/serialize.hpp"
+#include "ml/workspace.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
@@ -31,10 +32,16 @@ double AnswerPredictor::predict_probability(std::span<const double> features) co
 
 void AnswerPredictor::predict_probability_batch(const ml::Matrix& rows,
                                                 std::span<double> out) const {
+  predict_probability_batch(rows.view(), out);
+}
+
+void AnswerPredictor::predict_probability_batch(ml::Tensor<const double> rows,
+                                                std::span<double> out) const {
   FORUMCAST_CHECK(fitted());
   FORUMCAST_CHECK(out.size() == rows.rows());
-  thread_local std::vector<double> scaled;
-  scaled.resize(rows.cols());
+  ml::Workspace::Frame frame;
+  std::span<double> scaled{frame.workspace().alloc<double>(rows.cols()),
+                           rows.cols()};
   for (std::size_t r = 0; r < rows.rows(); ++r) {
     scaler_.transform_into(rows.row(r), scaled);
     out[r] = model_.predict_probability(scaled);

@@ -34,6 +34,8 @@ class AnswerPredictor {
   /// per row. Results match predict_probability() bit for bit.
   void predict_probability_batch(const ml::Matrix& rows,
                                  std::span<double> out) const;
+  void predict_probability_batch(ml::Tensor<const double> rows,
+                                 std::span<double> out) const;
 
   bool fitted() const { return model_.fitted(); }
 

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "artifact/artifact.hpp"
+#include "ml/serialize.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -270,6 +271,17 @@ void ForecastPipeline::save(std::ostream& out) const {
     writer.section(artifact::SectionKind::kCentralityConfig, centrality);
   }
 
+  // Optional trailer #3: the int8 vote network, present only when the
+  // pipeline was fitted (or asked) to serve quantized. The fp32 weights in
+  // the kVotePredictor section stay canonical; this section preserves the
+  // fit-time calibration (bias correction) that a load-time regeneration
+  // could not recover.
+  if (vote_.quantized()) {
+    artifact::Encoder quantized;
+    ml::encode_quantized_mlp(*vote_.quantized_net(), quantized);
+    writer.section(artifact::SectionKind::kQuantizedMlp, quantized);
+  }
+
   writer.finish();
   FORUMCAST_COUNTER_ADD("pipeline.bundle_saves", 1);
 }
@@ -357,9 +369,22 @@ ForecastPipeline ForecastPipeline::load(std::istream& in,
     pipeline.config_.extractor.centrality = cfg;
   }
 
+  // Optional trailer #3: int8 vote network. Bundles without it load on the
+  // fp32 path; quantized serving can still be enabled afterwards via
+  // quantize_vote(), which regenerates from the fp32 master weights.
+  if (auto quantized = reader.try_expect(artifact::SectionKind::kQuantizedMlp)) {
+    pipeline.vote_.install_quantized(ml::decode_quantized_mlp(*quantized));
+    quantized->finish();
+  }
+
   reader.finish();
   FORUMCAST_COUNTER_ADD("pipeline.bundle_loads", 1);
   return pipeline;
+}
+
+void ForecastPipeline::quantize_vote() {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot quantize an unfitted ForecastPipeline");
+  if (!vote_.quantized()) vote_.quantize_from_master();
 }
 
 }  // namespace forumcast::core

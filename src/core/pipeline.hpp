@@ -149,6 +149,13 @@ class ForecastPipeline {
   /// one that saved the bundle, on both scalar and batch paths.
   static ForecastPipeline load(std::istream& in, const forum::Dataset& dataset);
 
+  /// Switches vote-network inference to the int8 path, deriving the
+  /// quantized net from the fp32 master weights if the bundle did not carry
+  /// one. No-op when already quantized. Requires fit() (or load()). Not
+  /// synchronized against concurrent predict() — same discipline as
+  /// set_prediction_observer().
+  void quantize_vote();
+
  private:
   PipelineConfig config_;
   const forum::Dataset* dataset_ = nullptr;

@@ -206,16 +206,17 @@ void TimingPredictor::fit(std::span<const TimingThread> threads) {
             meta.push_back({weight, thread.delta, false});
           }
         }
-        const ml::Matrix& f_out = f_net_->forward_batch(xbatch, f_btape);
-        const ml::Matrix* g_out =
-            g_net_ ? &g_net_->forward_batch(xbatch, g_btape) : nullptr;
+        const ml::Tensor<const double> f_out =
+            f_net_->forward_batch(xbatch, f_btape);
+        ml::Tensor<const double> g_out;
+        if (g_net_) g_out = g_net_->forward_batch(xbatch, g_btape);
         f_gout.resize(nrows, 1);
         if (g_net_) g_gout.resize(nrows, 1);
         const double constant_omega = ml::softplus(omega_rho_) + kOmegaFloor;
         for (std::size_t r = 0; r < nrows; ++r) {
           const double mu = f_out(r, 0) + kMuFloor;
           const double omega =
-              g_net_ ? (*g_out)(r, 0) + kOmegaFloor : constant_omega;
+              g_net_ ? g_out(r, 0) + kOmegaFloor : constant_omega;
           double dloss_dmu = 0.0, dloss_domega = 0.0;
           if (meta[r].answer) {
             epoch_nll -= std::log(mu) - omega * meta[r].value;
@@ -235,8 +236,8 @@ void TimingPredictor::fit(std::span<const TimingThread> threads) {
             rho_grad += dloss_domega * ml::sigmoid(omega_rho_);
           }
         }
-        f_net_->backward_batch(f_btape, f_gout);
-        if (g_net_) g_net_->backward_batch(g_btape, g_gout);
+        f_net_->backward_batch(f_btape, f_gout.view());
+        if (g_net_) g_net_->backward_batch(g_btape, g_gout.view());
       }
       f_adam.step(f_net_->params(), f_net_->grads());
       if (g_net_) {
@@ -384,16 +385,24 @@ double TimingPredictor::predict_delay(std::span<const double> features,
 void TimingPredictor::predict_delay_batch(const ml::Matrix& rows,
                                           double open_duration,
                                           std::span<double> out) const {
+  predict_delay_batch(rows.view(), open_duration, out);
+}
+
+void TimingPredictor::predict_delay_batch(ml::Tensor<const double> rows,
+                                          double open_duration,
+                                          std::span<double> out) const {
   FORUMCAST_CHECK(fitted());
   FORUMCAST_CHECK(out.size() == rows.rows());
   if (open_duration <= 0.0) open_duration = mean_open_duration_;
-  // Scratch is reused across calls: transform_into and forward_batch_into
-  // overwrite every element they expose, so nothing stale leaks through.
-  thread_local ml::Matrix scaled, mu, omega;
-  scaled.resize(rows.rows(), rows.cols());
-  for (std::size_t r = 0; r < rows.rows(); ++r) {
-    scaler_.transform_into(rows.row(r), scaled.row(r));
-  }
+  // Scratch lives in the thread's workspace arena: transform_rows and
+  // forward_batch_into overwrite every element they expose, so nothing
+  // stale leaks through.
+  ml::Workspace::Frame frame;
+  ml::Workspace& ws = frame.workspace();
+  ml::Tensor<double> scaled = ws.tensor<double>(rows.rows(), rows.cols());
+  scaler_.transform_rows(rows, scaled);
+  ml::Tensor<double> mu = ws.tensor<double>(rows.rows(), 1);
+  ml::Tensor<double> omega = ws.tensor<double>(rows.rows(), 1);
   f_net_->forward_batch_into(scaled, mu);
   if (g_net_) g_net_->forward_batch_into(scaled, omega);
   const double constant_omega = ml::softplus(omega_rho_) + kOmegaFloor;

@@ -95,6 +95,8 @@ class TimingPredictor {
   /// run as blocked-GEMM forwards; matches predict_delay() bit for bit.
   void predict_delay_batch(const ml::Matrix& rows, double open_duration,
                            std::span<double> out) const;
+  void predict_delay_batch(ml::Tensor<const double> rows, double open_duration,
+                           std::span<double> out) const;
 
   /// Rate parameters for a pair (diagnostics / tests).
   double excitation(std::span<const double> features) const;  ///< μ

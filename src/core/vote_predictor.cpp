@@ -89,7 +89,8 @@ void VotePredictor::fit(std::span<const std::vector<double>> rows,
           std::copy(src.begin(), src.end(), xbatch.row(k - start).begin());
         }
         network_->train_batch(
-            xbatch, [&](const ml::Matrix& outputs, ml::Matrix& grad_output) {
+            xbatch, [&](ml::Tensor<const double> outputs,
+                        ml::Tensor<double> grad_output) {
               for (std::size_t b = 0; b < outputs.rows(); ++b) {
                 const std::size_t idx = order[start + b];
                 const double standardized_target =
@@ -111,26 +112,64 @@ void VotePredictor::fit(std::span<const std::vector<double>> rows,
     fit_span.arg("epochs", static_cast<double>(config_.epochs));
   }
   fitted_ = true;
+
+  if (config_.quantize) {
+    // Calibrate bias correction on the scaled training rows — the exact
+    // input distribution inference will see.
+    ml::Matrix calibration(scaled.size(), dim);
+    for (std::size_t r = 0; r < scaled.size(); ++r) {
+      std::copy(scaled[r].begin(), scaled[r].end(),
+                calibration.row(r).begin());
+    }
+    quantized_ = std::make_unique<ml::QuantizedMlp>(
+        ml::QuantizedMlp::from(*network_, calibration));
+  }
+}
+
+void VotePredictor::quantize_from_master() {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot quantize an unfitted VotePredictor");
+  quantized_ = std::make_unique<ml::QuantizedMlp>(
+      ml::QuantizedMlp::from(*network_));
+}
+
+void VotePredictor::install_quantized(ml::QuantizedMlp net) {
+  FORUMCAST_CHECK_MSG(fitted(), "cannot install on an unfitted VotePredictor");
+  FORUMCAST_CHECK_MSG(net.input_dim() == network_->input_dim() &&
+                          net.output_dim() == network_->output_dim(),
+                      "quantized network shape mismatch");
+  quantized_ = std::make_unique<ml::QuantizedMlp>(std::move(net));
 }
 
 double VotePredictor::predict(std::span<const double> features) const {
   FORUMCAST_CHECK(fitted());
-  const auto output = network_->forward(scaler_.transform(features));
+  const std::vector<double> scaled = scaler_.transform(features);
+  const auto output =
+      quantized_ ? quantized_->forward(scaled) : network_->forward(scaled);
   return output[0] * target_scale_ + target_mean_;
 }
 
 void VotePredictor::predict_batch(const ml::Matrix& rows,
                                   std::span<double> out) const {
+  predict_batch(rows.view(), out);
+}
+
+void VotePredictor::predict_batch(ml::Tensor<const double> rows,
+                                  std::span<double> out) const {
   FORUMCAST_CHECK(fitted());
   FORUMCAST_CHECK(out.size() == rows.rows());
-  // Scratch is reused across calls: transform_into and forward_batch_into
-  // overwrite every element they expose, so nothing stale leaks through.
-  thread_local ml::Matrix scaled, output;
-  scaled.resize(rows.rows(), rows.cols());
-  for (std::size_t r = 0; r < rows.rows(); ++r) {
-    scaler_.transform_into(rows.row(r), scaled.row(r));
+  // Scratch lives in the thread's workspace arena: transform_rows and
+  // forward_batch_into overwrite every element they expose, so nothing
+  // stale leaks through.
+  ml::Workspace::Frame frame;
+  ml::Workspace& ws = frame.workspace();
+  ml::Tensor<double> scaled = ws.tensor<double>(rows.rows(), rows.cols());
+  scaler_.transform_rows(rows, scaled);
+  ml::Tensor<double> output = ws.tensor<double>(rows.rows(), 1);
+  if (quantized_) {
+    quantized_->forward_batch_into(scaled, output);
+  } else {
+    network_->forward_batch_into(scaled, output);
   }
-  network_->forward_batch_into(scaled, output);
   for (std::size_t r = 0; r < rows.rows(); ++r) {
     out[r] = output(r, 0) * target_scale_ + target_mean_;
   }

@@ -15,6 +15,7 @@
 #include "artifact/artifact.hpp"
 #include "ml/matrix.hpp"
 #include "ml/mlp.hpp"
+#include "ml/quant.hpp"
 #include "ml/scaler.hpp"
 
 namespace forumcast::core {
@@ -35,6 +36,11 @@ struct VotePredictorConfig {
   /// fmadd contraction, so the fitted model is bit-equal either way — the
   /// knob only changes execution layout.
   std::size_t threads = 1;
+  /// Opt-in int8 inference: after fit, derive an int8 network calibrated on
+  /// the scaled training rows and route predict()/predict_batch() through
+  /// it. The fp32 master weights stay canonical and are what persistence
+  /// saves; the quantized net travels alongside (or is regenerated at load).
+  bool quantize = false;
 };
 
 class VotePredictor {
@@ -50,8 +56,21 @@ class VotePredictor {
   /// Batched form over raw (unscaled) feature rows; writes one estimate per
   /// row. One blocked-GEMM forward pass; matches predict() bit for bit.
   void predict_batch(const ml::Matrix& rows, std::span<double> out) const;
+  void predict_batch(ml::Tensor<const double> rows, std::span<double> out) const;
 
   bool fitted() const { return fitted_; }
+
+  /// True when inference routes through the int8 network.
+  bool quantized() const { return quantized_ != nullptr; }
+
+  /// Derives the int8 network from the fp32 master weights with zero bias
+  /// correction (the load-time regeneration path — no calibration data).
+  void quantize_from_master();
+
+  /// The active int8 network, or nullptr on the fp32 path (bundle codec).
+  const ml::QuantizedMlp* quantized_net() const { return quantized_.get(); }
+  /// Installs a decoded int8 network (bundle load).
+  void install_quantized(ml::QuantizedMlp net);
 
   /// Persistence: scaler, network, and the target de-standardization.
   void save(std::ostream& out) const;
@@ -66,6 +85,7 @@ class VotePredictor {
   ml::StandardScaler scaler_;
   std::vector<ml::LayerSpec> layer_specs(std::size_t) const;
   std::unique_ptr<ml::Mlp> network_;
+  std::unique_ptr<ml::QuantizedMlp> quantized_;
   double target_mean_ = 0.0;
   double target_scale_ = 1.0;
   bool fitted_ = false;

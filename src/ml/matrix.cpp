@@ -356,4 +356,22 @@ void axpy(std::span<double> a, std::span<const double> b, double scale) {
 
 double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
 
+void gemm_nt(Tensor<const double> a, Tensor<const double> b,
+             std::span<const double> bias, Tensor<double> c) {
+  FORUMCAST_CHECK(a.cols() == b.cols());
+  FORUMCAST_CHECK(c.rows() == a.rows() && c.cols() == b.rows());
+  FORUMCAST_CHECK(bias.empty() || bias.size() == b.rows());
+  gemm_nt(a.rows(), b.rows(), a.cols(), a.data(), a.stride(), b.data(),
+          b.stride(), bias.empty() ? nullptr : bias.data(), c.data(),
+          c.stride());
+}
+
+void gemm_tn_accumulate(Tensor<const double> a, Tensor<const double> b,
+                        Tensor<double> c) {
+  FORUMCAST_CHECK(a.rows() == b.rows());
+  FORUMCAST_CHECK(c.rows() == a.cols() && c.cols() == b.cols());
+  gemm_tn_accumulate(a.rows(), a.cols(), b.cols(), a.data(), a.stride(),
+                     b.data(), b.stride(), c.data(), c.stride());
+}
+
 }  // namespace forumcast::ml

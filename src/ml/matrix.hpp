@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "ml/tensor.hpp"
+
 namespace forumcast::ml {
 
 class Matrix {
@@ -27,6 +29,14 @@ class Matrix {
 
   std::span<double> data() { return storage_; }
   std::span<const double> data() const { return storage_; }
+
+  /// Non-owning Tensor view over the matrix storage (dense, stride == cols).
+  /// Bridges Matrix-holding call sites into the tensor/workspace kernels;
+  /// valid until the matrix is resized or destroyed.
+  Tensor<double> view() { return Tensor<double>(storage_.data(), rows_, cols_); }
+  Tensor<const double> view() const {
+    return Tensor<const double>(storage_.data(), rows_, cols_);
+  }
 
   /// y = A x. Requires x.size() == cols(); returns vector of size rows().
   std::vector<double> multiply(std::span<const double> x) const;
@@ -122,6 +132,16 @@ void gemm_nn(std::size_t n, std::size_t m, std::size_t k, const double* a,
 void gemm_tn_accumulate(std::size_t k, std::size_t n, std::size_t m,
                         const double* a, std::size_t lda, const double* b,
                         std::size_t ldb, double* c, std::size_t ldc);
+
+/// Tensor-view front ends for the kernels above: shapes and strides come
+/// from the views, arithmetic is byte-for-byte the raw-pointer kernel.
+/// gemm_nt: c(n×m) = a(n×k) · b(m×k)^T (+ bias when non-empty).
+void gemm_nt(Tensor<const double> a, Tensor<const double> b,
+             std::span<const double> bias, Tensor<double> c);
+
+/// gemm_tn_accumulate: c(n×m) += a(k×n)^T · b(k×m).
+void gemm_tn_accumulate(Tensor<const double> a, Tensor<const double> b,
+                        Tensor<double> c);
 
 /// Deterministic parallel gradient accumulation for the linear models:
 /// grads[c] += Σ_k errs[k] · rows[k][c] for every column c. Each column's

@@ -1,5 +1,6 @@
 #include "ml/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -39,23 +40,59 @@ std::size_t Mlp::fan_in(std::size_t layer) const {
   return layer == 0 ? input_dim_ : layers_[layer - 1].units;
 }
 
-std::vector<double> Mlp::forward(std::span<const double> x) const {
-  Tape tape;
-  return forward(x, tape);
+std::size_t Mlp::max_units() const {
+  std::size_t m = 0;
+  for (const auto& layer : layers_) m = std::max(m, layer.units);
+  return m;
 }
 
-std::vector<double> Mlp::forward(std::span<const double> x, Tape& tape) const {
+Tensor<const double> Mlp::weights(std::size_t layer) const {
+  FORUMCAST_CHECK(layer < layers_.size());
+  return Tensor<const double>(params_.data() + weight_offset_[layer],
+                              layers_[layer].units, fan_in(layer));
+}
+
+std::span<const double> Mlp::bias(std::size_t layer) const {
+  FORUMCAST_CHECK(layer < layers_.size());
+  return {params_.data() + bias_offset_[layer], layers_[layer].units};
+}
+
+// ---------------------------------------------------------------------------
+// Tape: flat per-layer activation views.
+
+std::span<const double> Mlp::Tape::pre(std::size_t layer) const {
+  FORUMCAST_CHECK(layer < units_.size());
+  return {storage_.data() + offset_[layer], units_[layer]};
+}
+
+std::span<const double> Mlp::Tape::post(std::size_t layer) const {
+  FORUMCAST_CHECK(layer < units_.size());
+  return {storage_.data() + offset_[layer] + units_[layer], units_[layer]};
+}
+
+std::span<double> Mlp::Tape::pre_mut(std::size_t layer) {
+  return {storage_.data() + offset_[layer], units_[layer]};
+}
+
+std::span<double> Mlp::Tape::post_mut(std::size_t layer) {
+  return {storage_.data() + offset_[layer] + units_[layer], units_[layer]};
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x) const {
   FORUMCAST_CHECK_MSG(x.size() == input_dim_,
                       "input dim " << x.size() << " != " << input_dim_);
-  tape.input.assign(x.begin(), x.end());
-  tape.pre.assign(layers_.size(), {});
-  tape.post.assign(layers_.size(), {});
-
-  std::vector<double> current(x.begin(), x.end());
+  // Ping-pong between two arena buffers: pre-activations land in one, the
+  // activation applies in place, and the result feeds the next layer. Same
+  // fmadd chains as the tape-filling forward — bit-identical output.
+  Workspace::Frame frame;
+  const std::size_t width = max_units();
+  double* bufs[2] = {frame.workspace().alloc<double>(width),
+                     frame.workspace().alloc<double>(width)};
+  const double* current = x.data();
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const std::size_t units = layers_[l].units;
     const std::size_t in_dim = fan_in(l);
-    std::vector<double> pre(units, 0.0);
+    double* pre = bufs[l % 2];
     const double* weights = params_.data() + weight_offset_[l];
     const double* bias = params_.data() + bias_offset_[l];
     for (std::size_t u = 0; u < units; ++u) {
@@ -67,15 +104,52 @@ std::vector<double> Mlp::forward(std::span<const double> x, Tape& tape) const {
       }
       pre[u] = accum;
     }
-    std::vector<double> post(units);
+    const Activation activation = layers_[l].activation;
+    for (std::size_t u = 0; u < units; ++u) pre[u] = activate(activation, pre[u]);
+    current = pre;
+  }
+  return std::vector<double>(current, current + output_dim());
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x, Tape& tape) const {
+  FORUMCAST_CHECK_MSG(x.size() == input_dim_,
+                      "input dim " << x.size() << " != " << input_dim_);
+  tape.input_.assign(x.begin(), x.end());
+  if (tape.units_.size() != layers_.size()) {
+    tape.units_.resize(layers_.size());
+    tape.offset_.resize(layers_.size());
+  }
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    tape.offset_[l] = total;
+    tape.units_[l] = layers_[l].units;
+    total += 2 * layers_[l].units;
+  }
+  tape.storage_.resize(total);
+
+  const double* current = tape.input_.data();
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::size_t units = layers_[l].units;
+    const std::size_t in_dim = fan_in(l);
+    std::span<double> pre = tape.pre_mut(l);
+    const double* weights = params_.data() + weight_offset_[l];
+    const double* bias = params_.data() + bias_offset_[l];
+    for (std::size_t u = 0; u < units; ++u) {
+      const double* w_row = weights + u * in_dim;
+      double accum = bias[u];
+      // fmadd pins the contraction so this loop and gemm_nt round alike.
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        accum = fmadd(w_row[i], current[i], accum);
+      }
+      pre[u] = accum;
+    }
+    std::span<double> post = tape.post_mut(l);
     for (std::size_t u = 0; u < units; ++u) {
       post[u] = activate(layers_[l].activation, pre[u]);
     }
-    tape.pre[l] = std::move(pre);
-    current = post;
-    tape.post[l] = current;
+    current = post.data();
   }
-  return current;
+  return std::vector<double>(current, current + output_dim());
 }
 
 Matrix Mlp::forward_batch(const Matrix& x) const {
@@ -85,42 +159,65 @@ Matrix Mlp::forward_batch(const Matrix& x) const {
 }
 
 void Mlp::forward_batch_into(const Matrix& x, Matrix& out) const {
+  out.resize(x.rows(), output_dim());
+  forward_batch_into(x.view(), out.view());
+}
+
+void Mlp::forward_batch_into(Tensor<const double> x, Tensor<double> out) const {
   FORUMCAST_CHECK_MSG(x.cols() == input_dim_,
                       "input dim " << x.cols() << " != " << input_dim_);
-  // Hidden layers ping-pong between two thread-local scratch matrices so a
-  // steady-state serving loop allocates nothing. gemm_nt writes every output
-  // element (seeded with the layer bias) before anything reads it, so the
-  // unspecified contents left by resize() are harmless.
-  thread_local Matrix scratch[2];
-  const Matrix* source = &x;
+  FORUMCAST_CHECK(out.rows() == x.rows() && out.cols() == output_dim());
+  // Hidden layers ping-pong between two arena tensors. gemm_nt writes every
+  // output element (seeded with the layer bias) before anything reads it, so
+  // the unspecified contents of fresh arena storage are harmless.
+  Workspace::Frame frame;
+  const std::size_t width = max_units();
+  Tensor<double> scratch[2] = {
+      frame.workspace().tensor<double>(x.rows(), width),
+      frame.workspace().tensor<double>(x.rows(), width)};
+  Tensor<const double> source = x;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const std::size_t units = layers_[l].units;
     const std::size_t in_dim = fan_in(l);
-    Matrix& next = l + 1 == layers_.size() ? out : scratch[l % 2];
-    next.resize(source->rows(), units);
-    gemm_nt(source->rows(), units, in_dim, source->data().data(), in_dim,
+    Tensor<double> next =
+        l + 1 == layers_.size()
+            ? out
+            : Tensor<double>(scratch[l % 2].data(), x.rows(), units);
+    gemm_nt(source.rows(), units, in_dim, source.data(), source.stride(),
             params_.data() + weight_offset_[l], in_dim,
-            params_.data() + bias_offset_[l], next.data().data(), units);
+            params_.data() + bias_offset_[l], next.data(), next.stride());
     const Activation activation = layers_[l].activation;
-    for (double& value : next.data()) value = activate(activation, value);
-    source = &next;
+    for (std::size_t r = 0; r < next.rows(); ++r) {
+      double* values = next.row(r).data();
+      for (std::size_t c = 0; c < units; ++c) {
+        values[c] = activate(activation, values[c]);
+      }
+    }
+    source = next;
   }
 }
 
 std::vector<double> Mlp::backward(const Tape& tape, std::span<const double> grad_output) {
-  FORUMCAST_CHECK(tape.pre.size() == layers_.size());
+  FORUMCAST_CHECK(tape.units_.size() == layers_.size());
   FORUMCAST_CHECK(grad_output.size() == output_dim());
 
-  std::vector<double> grad_post(grad_output.begin(), grad_output.end());
+  // Three arena buffers: dL/dpost (ping-pong A/B as it propagates down) and
+  // dL/dpre for the current layer. Accumulator roots and operation order are
+  // exactly those of the per-layer-vector version this replaces.
+  Workspace::Frame frame;
+  const std::size_t width = std::max(max_units(), input_dim_);
+  double* grad_post = frame.workspace().alloc<double>(width);
+  double* grad_below = frame.workspace().alloc<double>(width);
+  double* grad_pre = frame.workspace().alloc<double>(max_units());
+  std::copy(grad_output.begin(), grad_output.end(), grad_post);
+
   for (std::size_t l = layers_.size(); l-- > 0;) {
     const std::size_t units = layers_[l].units;
     const std::size_t in_dim = fan_in(l);
-    const std::vector<double>& pre = tape.pre[l];
-    const std::vector<double>& below =
-        l == 0 ? tape.input : tape.post[l - 1];
+    std::span<const double> pre = tape.pre(l);
+    std::span<const double> below = l == 0 ? tape.input() : tape.post(l - 1);
 
     // dL/dpre = dL/dpost ⊙ σ'(pre)
-    std::vector<double> grad_pre(units);
     for (std::size_t u = 0; u < units; ++u) {
       grad_pre[u] = grad_post[u] * activate_derivative(layers_[l].activation, pre[u]);
     }
@@ -129,7 +226,7 @@ std::vector<double> Mlp::backward(const Tape& tape, std::span<const double> grad
     double* bias_grad = grads_.data() + bias_offset_[l];
     const double* weights = params_.data() + weight_offset_[l];
 
-    std::vector<double> grad_below(in_dim, 0.0);
+    std::fill(grad_below, grad_below + in_dim, 0.0);
     for (std::size_t u = 0; u < units; ++u) {
       const double g = grad_pre[u];
       if (g == 0.0) continue;
@@ -143,66 +240,113 @@ std::vector<double> Mlp::backward(const Tape& tape, std::span<const double> grad
       }
       bias_grad[u] += g;
     }
-    grad_post = std::move(grad_below);
+    std::swap(grad_post, grad_below);
   }
-  return grad_post;  // = dL/dinput
+  return std::vector<double>(grad_post, grad_post + input_dim_);  // = dL/dinput
 }
 
-const Matrix& Mlp::forward_batch(const Matrix& x, BatchTape& tape) const {
+// ---------------------------------------------------------------------------
+// BatchTape: flat per-layer activation tensors.
+
+Tensor<const double> Mlp::BatchTape::input() const {
+  return Tensor<const double>(input_.data(), rows_, input_dim_);
+}
+
+Tensor<const double> Mlp::BatchTape::pre(std::size_t layer) const {
+  FORUMCAST_CHECK(layer < units_.size());
+  return Tensor<const double>(storage_.data() + offset_[layer], rows_,
+                              units_[layer]);
+}
+
+Tensor<const double> Mlp::BatchTape::post(std::size_t layer) const {
+  FORUMCAST_CHECK(layer < units_.size());
+  return Tensor<const double>(
+      storage_.data() + offset_[layer] + rows_ * units_[layer], rows_,
+      units_[layer]);
+}
+
+Tensor<double> Mlp::BatchTape::pre_mut(std::size_t layer) {
+  return Tensor<double>(storage_.data() + offset_[layer], rows_, units_[layer]);
+}
+
+Tensor<double> Mlp::BatchTape::post_mut(std::size_t layer) {
+  return Tensor<double>(storage_.data() + offset_[layer] + rows_ * units_[layer],
+                        rows_, units_[layer]);
+}
+
+Tensor<const double> Mlp::forward_batch(const Matrix& x, BatchTape& tape) const {
   FORUMCAST_CHECK_MSG(x.cols() == input_dim_,
                       "input dim " << x.cols() << " != " << input_dim_);
-  tape.input = x;
-  tape.pre.resize(layers_.size());
-  tape.post.resize(layers_.size());
-  const Matrix* source = &x;
+  tape.rows_ = x.rows();
+  tape.input_dim_ = input_dim_;
+  tape.input_.assign(x.data().begin(), x.data().end());
+  if (tape.units_.size() != layers_.size()) {
+    tape.units_.resize(layers_.size());
+    tape.offset_.resize(layers_.size());
+  }
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    tape.offset_[l] = total;
+    tape.units_[l] = layers_[l].units;
+    total += 2 * x.rows() * layers_[l].units;
+  }
+  tape.storage_.resize(total);
+
+  Tensor<const double> source = tape.input();
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const std::size_t units = layers_[l].units;
     const std::size_t in_dim = fan_in(l);
-    Matrix& pre = tape.pre[l];
-    pre.resize(x.rows(), units);
-    gemm_nt(source->rows(), units, in_dim, source->data().data(), in_dim,
+    Tensor<double> pre = tape.pre_mut(l);
+    gemm_nt(source.rows(), units, in_dim, source.data(), source.stride(),
             params_.data() + weight_offset_[l], in_dim,
-            params_.data() + bias_offset_[l], pre.data().data(), units);
-    Matrix& post = tape.post[l];
-    post.resize(x.rows(), units);
+            params_.data() + bias_offset_[l], pre.data(), pre.stride());
+    Tensor<double> post = tape.post_mut(l);
     const Activation activation = layers_[l].activation;
-    const double* src = pre.data().data();
-    double* dst = post.data().data();
-    const std::size_t count = pre.data().size();
+    const double* src = pre.data();
+    double* dst = post.data();
+    const std::size_t count = pre.rows() * pre.cols();
     for (std::size_t i = 0; i < count; ++i) dst[i] = activate(activation, src[i]);
-    source = &post;
+    source = post;
   }
-  return tape.post.back();
+  return tape.post(layers_.size() - 1);
 }
 
-void Mlp::backward_batch(const BatchTape& tape, const Matrix& grad_output) {
-  FORUMCAST_CHECK(tape.pre.size() == layers_.size());
+void Mlp::backward_batch(const BatchTape& tape, Tensor<const double> grad_output) {
+  FORUMCAST_CHECK(tape.units_.size() == layers_.size());
   FORUMCAST_CHECK(grad_output.cols() == output_dim());
   const std::size_t rows = grad_output.rows();
-  FORUMCAST_CHECK(tape.input.rows() == rows);
+  FORUMCAST_CHECK(tape.rows_ == rows);
 
-  // Scratch reused across calls; every element is written before being read.
-  thread_local Matrix grad_pre, grad_below[2];
-  const Matrix* grad_post = &grad_output;
+  // Arena scratch; every element is written before being read.
+  Workspace::Frame frame;
+  const std::size_t width = max_units();
+  double* grad_pre_buf = frame.workspace().alloc<double>(rows * width);
+  double* grad_below_buf[2] = {frame.workspace().alloc<double>(rows * width),
+                               frame.workspace().alloc<double>(rows * width)};
+  Tensor<const double> grad_post = grad_output;
   for (std::size_t l = layers_.size(); l-- > 0;) {
     const std::size_t units = layers_[l].units;
     const std::size_t in_dim = fan_in(l);
-    const Matrix& pre = tape.pre[l];
-    const Matrix& below = l == 0 ? tape.input : tape.post[l - 1];
+    Tensor<const double> pre = tape.pre(l);
+    Tensor<const double> below = l == 0 ? tape.input() : tape.post(l - 1);
 
     // dL/dpre = dL/dpost ⊙ σ'(pre), elementwise per sample. The tape holds
     // the activations, so σ' comes from the cached value — bit-identical to
     // the scalar backward's recompute, without the second tanh per unit.
-    grad_pre.resize(rows, units);
+    Tensor<double> grad_pre(grad_pre_buf, rows, units);
     {
       const Activation activation = layers_[l].activation;
-      const double* gp = grad_post->data().data();
-      const double* pr = pre.data().data();
-      const double* po = tape.post[l].data().data();
-      double* out = grad_pre.data().data();
-      const std::size_t count = rows * units;
-      for (std::size_t i = 0; i < count; ++i) {
-        out[i] = gp[i] * activate_derivative_cached(activation, pr[i], po[i]);
+      const double* pr = pre.data();
+      const double* po = tape.post(l).data();
+      double* out = grad_pre.data();
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double* gp = grad_post.row(r).data();
+        double* orow = out + r * units;
+        const double* prow = pr + r * units;
+        const double* porow = po + r * units;
+        for (std::size_t u = 0; u < units; ++u) {
+          orow[u] = gp[u] * activate_derivative_cached(activation, prow[u], porow[u]);
+        }
       }
     }
 
@@ -210,40 +354,40 @@ void Mlp::backward_batch(const BatchTape& tape, const Matrix& grad_output) {
     // as batch-ascending rank-1 updates directly into grads_ — the exact
     // operation sequence (fmadd chains, g == 0 skips included) of per-sample
     // accumulation, so parity holds even with gradients already accumulated.
-    gemm_tn_accumulate(rows, units, in_dim, grad_pre.data().data(), units,
-                       below.data().data(), in_dim,
+    gemm_tn_accumulate(rows, units, in_dim, grad_pre.data(), units,
+                       below.data(), below.stride(),
                        grads_.data() + weight_offset_[l], in_dim);
 
     // Bias gradients: per-unit column sums of grad_pre, batch order, plain
     // += to match the scalar backward chain.
     double* bias_grad = grads_.data() + bias_offset_[l];
     for (std::size_t r = 0; r < rows; ++r) {
-      const double* gp = grad_pre.data().data() + r * units;
+      const double* gp = grad_pre.data() + r * units;
       for (std::size_t u = 0; u < units; ++u) bias_grad[u] += gp[u];
     }
 
     // dL/dbelow = grad_pre · W, ascending-unit chains via gemm_nn. The input
     // gradient is unused by every trainer, so layer 0 skips it.
     if (l > 0) {
-      Matrix& gb = grad_below[l % 2];
-      gb.resize(rows, in_dim);
-      gemm_nn(rows, in_dim, units, grad_pre.data().data(), units,
-              params_.data() + weight_offset_[l], in_dim, gb.data().data(),
-              in_dim);
-      grad_post = &gb;
+      Tensor<double> gb(grad_below_buf[l % 2], rows, in_dim);
+      gemm_nn(rows, in_dim, units, grad_pre.data(), units,
+              params_.data() + weight_offset_[l], in_dim, gb.data(),
+              gb.stride());
+      grad_post = gb;
     }
   }
 }
 
 void Mlp::train_batch(
     const Matrix& x,
-    const std::function<void(const Matrix& outputs, Matrix& grad_output)>&
-        loss_grad) {
+    const std::function<void(Tensor<const double> outputs,
+                             Tensor<double> grad_output)>& loss_grad) {
   FORUMCAST_CHECK(loss_grad != nullptr);
   thread_local BatchTape tape;
-  thread_local Matrix grad_output;
-  const Matrix& outputs = forward_batch(x, tape);
-  grad_output.resize(outputs.rows(), outputs.cols());
+  const Tensor<const double> outputs = forward_batch(x, tape);
+  Workspace::Frame frame;
+  Tensor<double> grad_output =
+      frame.workspace().tensor<double>(outputs.rows(), outputs.cols());
   loss_grad(outputs, grad_output);
   backward_batch(tape, grad_output);
 }

@@ -7,6 +7,13 @@
 // Adam instance can optimize any composition of networks, and so the
 // point-process likelihood (a custom loss over *two* networks) can inject
 // dL/dy gradients directly via `backward`.
+//
+// Scratch discipline: the persistent training tapes (Tape, BatchTape) back
+// their per-layer activations with ONE flat buffer each — layer views are
+// spans/Tensors into it, so reuse across minibatches costs zero allocations.
+// Everything ephemeral (inference hidden layers, backward gradients,
+// train_batch's dL/doutput) lives in the calling thread's ml::Workspace
+// arena and is released when the enclosing Frame closes.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,8 @@
 
 #include "ml/activations.hpp"
 #include "ml/matrix.hpp"
+#include "ml/tensor.hpp"
+#include "ml/workspace.hpp"
 
 namespace forumcast::ml {
 
@@ -35,14 +44,27 @@ class Mlp {
   std::size_t layer_count() const { return layers_.size(); }
   const std::vector<LayerSpec>& layers() const { return layers_; }
 
-  /// Records the intermediate values of one forward pass for backprop.
+  /// Records the intermediate values of one forward pass for backprop. All
+  /// per-layer pre/post activations live in one flat buffer (layer views are
+  /// spans into it), so reusing a Tape across samples allocates nothing once
+  /// the buffer reaches its final size.
   struct Tape {
-    std::vector<double> input;
-    std::vector<std::vector<double>> pre;   ///< pre-activations per layer
-    std::vector<std::vector<double>> post;  ///< post-activations per layer
+    std::span<const double> input() const { return input_; }
+    std::span<const double> pre(std::size_t layer) const;
+    std::span<const double> post(std::size_t layer) const;
+
+   private:
+    std::span<double> pre_mut(std::size_t layer);
+    std::span<double> post_mut(std::size_t layer);
+
+    std::vector<double> input_;
+    std::vector<double> storage_;           ///< [pre_0|post_0|pre_1|post_1|…]
+    std::vector<std::size_t> offset_;       ///< offset_[l] = start of pre_l
+    std::vector<std::size_t> units_;
+    friend class Mlp;
   };
 
-  /// Inference-only forward pass.
+  /// Inference-only forward pass (hidden activations in the thread's arena).
   std::vector<double> forward(std::span<const double> x) const;
 
   /// Inference-only forward pass over a batch: `x` holds one sample per row
@@ -53,12 +75,16 @@ class Mlp {
   Matrix forward_batch(const Matrix& x) const;
 
   /// forward_batch writing into `out` (reshaped to rows() × output_dim()),
-  /// with hidden-layer intermediates held in thread-local scratch that is
-  /// reused across calls. Serving hot paths call this per block; the scratch
-  /// reuse removes the per-call allocations without changing a single
-  /// computed value (gemm_nt seeds every output with the bias, so stale
-  /// buffer contents are never read). `out` must not alias `x`.
+  /// with hidden-layer intermediates carved from the calling thread's
+  /// Workspace arena — a steady-state serving loop allocates nothing, and no
+  /// computed value changes (gemm_nt seeds every output with the bias, so
+  /// unspecified scratch contents are never read). `out` must not alias `x`.
   void forward_batch_into(const Matrix& x, Matrix& out) const;
+
+  /// Tensor-view core of the above: writes x.rows() × output_dim() values
+  /// into `out` (which must already have that shape). Arena-friendly entry
+  /// point for callers whose batch already lives in the Workspace.
+  void forward_batch_into(Tensor<const double> x, Tensor<double> out) const;
 
   /// Forward pass that fills `tape` for a subsequent backward().
   std::vector<double> forward(std::span<const double> x, Tape& tape) const;
@@ -68,17 +94,31 @@ class Mlp {
   std::vector<double> backward(const Tape& tape, std::span<const double> grad_output);
 
   /// Records the intermediate values of one batched forward pass: one sample
-  /// per row, layer activations as B × units matrices.
+  /// per row. As with Tape, every per-layer activation matrix lives in one
+  /// flat buffer; pre()/post() hand out Tensor views into it.
   struct BatchTape {
-    Matrix input;               ///< B × input_dim copy of the batch
-    std::vector<Matrix> pre;    ///< per layer: pre-activations
-    std::vector<Matrix> post;   ///< per layer: post-activations
+    Tensor<const double> input() const;
+    Tensor<const double> pre(std::size_t layer) const;
+    Tensor<const double> post(std::size_t layer) const;
+
+   private:
+    Tensor<double> pre_mut(std::size_t layer);
+    Tensor<double> post_mut(std::size_t layer);
+
+    std::vector<double> input_;             ///< B × input_dim copy of the batch
+    std::vector<double> storage_;           ///< [pre_0|post_0|pre_1|post_1|…]
+    std::vector<std::size_t> offset_;       ///< offset_[l] = start of pre_l
+    std::vector<std::size_t> units_;
+    std::size_t rows_ = 0;
+    std::size_t input_dim_ = 0;
+    friend class Mlp;
   };
 
   /// Forward pass over a batch that fills `tape` for backward_batch(). Each
   /// layer is one blocked gemm_nt, so every value is bit-identical to the
-  /// per-row scalar forward(). Returns tape.post.back() (B × output_dim).
-  const Matrix& forward_batch(const Matrix& x, BatchTape& tape) const;
+  /// per-row scalar forward(). Returns a view of the final activations
+  /// (B × output_dim), valid while `tape` is.
+  Tensor<const double> forward_batch(const Matrix& x, BatchTape& tape) const;
 
   /// Batched backward: accumulates dL/dparams into grads() given one
   /// dL/doutput row per sample of `tape`. Weight gradients apply one
@@ -86,18 +126,19 @@ class Mlp {
   /// into grads(), the exact operation sequence of per-sample accumulation —
   /// and layer-to-layer gradient propagation is one gemm_nn. The accumulated
   /// gradient is bit-equal to calling the per-sample backward() on each row
-  /// in order, whatever grads() held on entry.
-  void backward_batch(const BatchTape& tape, const Matrix& grad_output);
+  /// in order, whatever grads() held on entry. Intermediate gradients live
+  /// in the thread's Workspace arena.
+  void backward_batch(const BatchTape& tape, Tensor<const double> grad_output);
 
   /// One gemm-backed training step over a minibatch: batched forward, then
   /// `loss_grad(outputs, grad_output)` fills dL/doutput (one row per sample;
-  /// `grad_output` arrives pre-sized B × output_dim and every element must be
-  /// written), then batched backward accumulates into grads(). The caller
+  /// `grad_output` arrives pre-shaped B × output_dim and every element must
+  /// be written), then batched backward accumulates into grads(). The caller
   /// zeroes grads and applies the optimizer step, exactly as with the
   /// per-sample forward()/backward() pair this replaces.
   void train_batch(const Matrix& x,
-                   const std::function<void(const Matrix& outputs,
-                                            Matrix& grad_output)>& loss_grad);
+                   const std::function<void(Tensor<const double> outputs,
+                                            Tensor<double> grad_output)>& loss_grad);
 
   /// Zeroes the gradient accumulator (call per minibatch).
   void zero_grad();
@@ -108,10 +149,16 @@ class Mlp {
   std::span<const double> grads() const { return grads_; }
   std::size_t param_count() const { return params_.size(); }
 
+  /// Weight matrix of layer l: units(l) rows × fan_in(l) cols, row-major.
+  Tensor<const double> weights(std::size_t layer) const;
+  /// Bias vector of layer l.
+  std::span<const double> bias(std::size_t layer) const;
+
  private:
   // Weight matrix of layer l is rows=units(l), cols=fan_in(l), stored row-major
   // at weight_offset_[l]; bias vector follows at bias_offset_[l].
   std::size_t fan_in(std::size_t layer) const;
+  std::size_t max_units() const;
 
   std::size_t input_dim_;
   std::vector<LayerSpec> layers_;

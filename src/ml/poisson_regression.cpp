@@ -6,6 +6,7 @@
 
 #include "ml/adam.hpp"
 #include "ml/matrix.hpp"
+#include "ml/workspace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -43,8 +44,11 @@ void PoissonRegression::fit(std::span<const std::vector<double>> rows,
 
   const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
   const std::size_t threads = config_.threads;
-  std::vector<double> errs;
-  std::vector<const double*> xrows;
+  // Per-batch residuals and row pointers live in the workspace arena for the
+  // whole fit; `filled` tracks how much of the capacity a batch used.
+  Workspace::Frame frame;
+  double* errs = frame.workspace().alloc<double>(batch);
+  const double** xrows = frame.workspace().alloc<const double*>(batch);
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.shuffle(order);
     for (std::size_t start = 0; start < order.size(); start += batch) {
@@ -66,8 +70,7 @@ void PoissonRegression::fit(std::span<const std::vector<double>> rows,
         // Rates depend only on the batch-start parameters: compute residuals
         // serially in sample order, then shard the gradient columns
         // (bit-equal to the serial loop above at any thread count).
-        errs.clear();
-        xrows.clear();
+        std::size_t filled = 0;
         for (std::size_t k = start; k < end; ++k) {
           const auto idx = order[k];
           const auto& x = rows[idx];
@@ -75,12 +78,15 @@ void PoissonRegression::fit(std::span<const std::vector<double>> rows,
           eta = std::clamp(eta, -config_.max_linear_predictor, eta_ceiling_);
           const double lambda = std::exp(eta);
           const double err = lambda - targets[idx];
-          errs.push_back(err);
-          xrows.push_back(x.data());
+          errs[filled] = err;
+          xrows[filled] = x.data();
+          ++filled;
         }
-        accumulate_weighted_rows(xrows, errs,
-                                 std::span<double>(grads).first(dim), threads);
-        for (const double err : errs) grads[dim] += err;
+        accumulate_weighted_rows(
+            std::span<const double* const>(xrows, filled),
+            std::span<const double>(errs, filled),
+            std::span<double>(grads).first(dim), threads);
+        for (std::size_t i = 0; i < filled; ++i) grads[dim] += errs[i];
       }
       const double inv = 1.0 / static_cast<double>(end - start);
       for (std::size_t c = 0; c < dim; ++c) {

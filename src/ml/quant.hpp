@@ -1,0 +1,119 @@
+// Int8 inference path for the vote MLP.
+//
+// Scheme (dynamic per-row symmetric quantization):
+//   - Weights: per-output-row symmetric int8. scale_u = max|W[u]| / 127,
+//     q[u][i] = round(W[u][i]/scale_u) clamped to ±127. The fp32 master
+//     weights stay canonical — a QuantizedMlp is always derived, never the
+//     source of truth.
+//   - Inputs: per-sample per-layer dynamic symmetric int8, same rule. Layer
+//     activations stay fp64 between layers; each layer re-quantizes its own
+//     input row.
+//   - Accumulation: int32, exact (127·127·fan_in is far below 2^31 for
+//     feature-vector-scale nets). Dequantize as
+//       y[r][u] = acc · (scale_x[r]·scale_w[u]) + bias[u] + bias_corr[u]
+//     in fp64, then the fp64 activation.
+//   - Bias correction: quantization error W − scale·q has a nonzero mean
+//     effect under the training input distribution. With calibration data,
+//     bias_corr[u] = Σ_i (W[u][i] − scale_u·q[u][i]) · μ_i where μ is the
+//     mean input of that layer over the calibration rows. Without
+//     calibration (e.g. a bundle quantized at load), the correction is zero.
+//
+// Batch invariance: row scales depend only on that row and integer
+// accumulation is exact, so a sample scored alone is bit-identical to the
+// same sample scored inside any batch — the scalar/batch digest parity the
+// serving path CHECKs survives quantization. For the same reason every
+// gemm_s8 variant (scalar, AVX2, AVX-512 VNNI) returns identical bits: they
+// differ only in how they schedule exact integer adds.
+//
+// Weight rows are stored padded with zeros to a multiple of kPad so the SIMD
+// kernels need no tail handling; zero products are exact no-ops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/activations.hpp"
+#include "ml/matrix.hpp"
+#include "ml/mlp.hpp"
+#include "ml/tensor.hpp"
+
+namespace forumcast::ml {
+
+/// c(n×m) = a(n×k) · b(m×k)^T in exact int32 arithmetic. Row strides
+/// lda/ldb/ldc are in elements; k must cover any zero padding shared by both
+/// operands. All variants are bit-identical; gemm_s8 dispatches to the
+/// widest instruction set the CPU supports.
+using GemmS8Fn = void (*)(std::size_t n, std::size_t m, std::size_t k,
+                          const std::int8_t* a, std::size_t lda,
+                          const std::int8_t* b, std::size_t ldb,
+                          std::int32_t* c, std::size_t ldc);
+
+void gemm_s8_scalar(std::size_t n, std::size_t m, std::size_t k,
+                    const std::int8_t* a, std::size_t lda, const std::int8_t* b,
+                    std::size_t ldb, std::int32_t* c, std::size_t ldc);
+
+/// The variant selected for this CPU at first use.
+GemmS8Fn gemm_s8();
+/// Name of the selected variant ("scalar", "avx2", "avx512vnni").
+const char* gemm_s8_variant();
+
+/// One quantized layer: padded int8 weights plus everything needed to
+/// dequantize. `weights` is units × padded_k row-major; `row_sums[u]` is the
+/// exact Σ_i q[u][i] (used by the VNNI unsigned-offset trick).
+struct QuantizedLayer {
+  std::size_t units = 0;
+  std::size_t fan_in = 0;
+  std::size_t padded_k = 0;
+  Activation activation = Activation::Identity;
+  std::vector<std::int8_t> weights;
+  std::vector<std::int32_t> row_sums;
+  std::vector<double> scales;
+  std::vector<double> bias;
+  std::vector<double> bias_correction;
+  // Runtime-only VNNI layout, rebuilt whenever weights are (never
+  // serialized): `packed` interleaves units in blocks of 16 so one dpbusd
+  // covers 16 output units × 4 k-steps — layout [unit_block][k/4][16][4],
+  // units zero-padded to a multiple of 16. `packed_row_sums` is row_sums
+  // zero-padded to the same unit count.
+  std::vector<std::int8_t> packed;
+  std::vector<std::int32_t> packed_row_sums;
+};
+
+class QuantizedMlp {
+ public:
+  /// Weight-row padding granularity: 64 int8 lanes (one zmm register) also
+  /// divides evenly into the AVX2 kernel's 32-lane steps.
+  static constexpr std::size_t kPad = 64;
+
+  /// Quantizes `net` with zero bias correction (no calibration data — the
+  /// load-time regeneration path).
+  static QuantizedMlp from(const Mlp& net);
+
+  /// Quantizes `net` with bias correction calibrated on `calibration` (rows
+  /// of fit-time network inputs, already scaled — one sample per row).
+  static QuantizedMlp from(const Mlp& net, const Matrix& calibration);
+
+  /// Rebuilds from decoded layers (bundle load); recomputes padding and
+  /// row_sums if the stored layers carry unpadded weights.
+  static QuantizedMlp from_layers(std::size_t input_dim,
+                                  std::vector<QuantizedLayer> layers);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return layers_.back().units; }
+  const std::vector<QuantizedLayer>& quantized_layers() const { return layers_; }
+
+  /// Batched forward: x is rows × input_dim, out must be rows × output_dim.
+  /// Scratch lives in the calling thread's Workspace arena.
+  void forward_batch_into(Tensor<const double> x, Tensor<double> out) const;
+
+  /// Scalar forward — a batch of one, bit-identical to the same row scored
+  /// inside any forward_batch_into call.
+  std::vector<double> forward(std::span<const double> x) const;
+
+ private:
+  std::size_t input_dim_ = 0;
+  std::vector<QuantizedLayer> layers_;
+};
+
+}  // namespace forumcast::ml

@@ -65,4 +65,12 @@ void StandardScaler::transform_in_place(std::vector<std::vector<double>>& rows) 
   for (auto& row : rows) row = transform(row);
 }
 
+void StandardScaler::transform_rows(Tensor<const double> in,
+                                    Tensor<double> out) const {
+  FORUMCAST_CHECK(in.rows() == out.rows());
+  for (std::size_t r = 0; r < in.rows(); ++r) {
+    transform_into(in.row(r), out.row(r));
+  }
+}
+
 }  // namespace forumcast::ml

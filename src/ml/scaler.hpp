@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "ml/tensor.hpp"
+
 namespace forumcast::ml {
 
 class StandardScaler {
@@ -24,6 +26,11 @@ class StandardScaler {
 
   /// Scales rows in place.
   void transform_in_place(std::vector<std::vector<double>>& rows) const;
+
+  /// Scales a batch row by row into `out` (same shape, dimension() wide).
+  /// Views may share storage row-for-row (transform_into allows aliasing);
+  /// per-element arithmetic is identical to the scalar transform.
+  void transform_rows(Tensor<const double> in, Tensor<double> out) const;
 
   /// Reconstructs a fitted scaler from stored moments (deserialization).
   static StandardScaler from_moments(std::vector<double> mean,

@@ -29,6 +29,7 @@
 #include "ml/matrix_factorization.hpp"
 #include "ml/mlp.hpp"
 #include "ml/poisson_regression.hpp"
+#include "ml/quant.hpp"
 #include "ml/scaler.hpp"
 #include "ml/sparfa.hpp"
 
@@ -57,6 +58,12 @@ LogisticRegression decode_logistic(artifact::Decoder& dec);
 
 void encode_mlp(const Mlp& model, artifact::Encoder& enc);
 Mlp decode_mlp(artifact::Decoder& dec);
+
+/// Stores layers with *unpadded* int8 weight rows (units × fan_in) so the
+/// on-disk format is independent of QuantizedMlp::kPad; decode re-pads and
+/// rebuilds row sums via QuantizedMlp::from_layers.
+void encode_quantized_mlp(const QuantizedMlp& model, artifact::Encoder& enc);
+QuantizedMlp decode_quantized_mlp(artifact::Decoder& dec);
 
 void encode_poisson(const PoissonRegression& model, artifact::Encoder& enc);
 PoissonRegression decode_poisson(artifact::Decoder& dec);

@@ -1,0 +1,70 @@
+// Tensor extents: a tiny fixed-capacity dimension list.
+//
+// Everything in ml/ is feature-vector scale — rank 1 (a bias or gradient
+// vector) or rank 2 (a batch of rows, a weight matrix) — so Shape holds up
+// to four extents inline, no heap. It exists to give ml::Tensor a typed
+// notion of "rows × cols" that survives being passed through the Workspace
+// arena, where the backing memory itself is shapeless bytes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "util/check.hpp"
+
+namespace forumcast::ml {
+
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) {
+    FORUMCAST_CHECK(dims.size() <= kMaxRank);
+    for (std::size_t d : dims) dims_[rank_++] = d;
+  }
+
+  static Shape vector(std::size_t n) { return Shape{n}; }
+  static Shape matrix(std::size_t rows, std::size_t cols) {
+    return Shape{rows, cols};
+  }
+
+  std::size_t rank() const { return rank_; }
+
+  std::size_t operator[](std::size_t axis) const {
+    FORUMCAST_CHECK(axis < rank_);
+    return dims_[axis];
+  }
+
+  /// Total element count (1 for the empty rank-0 shape, matching the
+  /// convention that a scalar has one element).
+  std::size_t elements() const {
+    std::size_t total = 1;
+    for (std::size_t axis = 0; axis < rank_; ++axis) total *= dims_[axis];
+    return total;
+  }
+
+  /// Rows/cols accessors for the rank-2 case the hot paths live in. A rank-1
+  /// shape reads as a single row.
+  std::size_t rows() const { return rank_ >= 2 ? dims_[0] : 1; }
+  std::size_t cols() const {
+    if (rank_ == 0) return 0;
+    return rank_ >= 2 ? dims_[1] : dims_[0];
+  }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    if (a.rank_ != b.rank_) return false;
+    for (std::size_t axis = 0; axis < a.rank_; ++axis) {
+      if (a.dims_[axis] != b.dims_[axis]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace forumcast::ml

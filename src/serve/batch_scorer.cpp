@@ -7,6 +7,7 @@
 #include <chrono>
 
 #include "ml/matrix.hpp"
+#include "ml/workspace.hpp"
 #include "obs/monitor/monitor.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
@@ -43,6 +44,7 @@ std::vector<core::Prediction> BatchScorer::score(
 
   std::size_t num_blocks = 0;
   std::uint64_t ledger_token = 0;
+  bool quantized_votes = false;
   obs::monitor::QualityMonitor* monitor = nullptr;
   for (;;) {
     // Fill phase (writer side): snapshot the served model, bind the cache to
@@ -87,19 +89,21 @@ std::vector<core::Prediction> BatchScorer::score(
           const std::size_t end = std::min(users.size(), begin + block_rows);
           const std::size_t rows = end - begin;
 
-          // Scratch is reused across blocks and score() calls: assemble
-          // writes every element of its row and the predictors fill every
-          // output slot, so resize() leftovers are never read.
-          thread_local ml::Matrix x;
-          thread_local std::vector<double> answer, votes, delay;
-          x.resize(rows, dim);
+          // Scratch lives in the worker thread's workspace arena — reused
+          // across blocks and score() calls once the arena hits its
+          // high-water mark. assemble writes every element of its row and
+          // the predictors fill every output slot, so the unspecified arena
+          // contents are never read.
+          ml::Workspace::Frame frame;
+          ml::Workspace& ws = frame.workspace();
+          ml::Tensor<double> x = ws.tensor<double>(rows, dim);
           for (std::size_t r = 0; r < rows; ++r) {
             cache_.assemble(users[begin + r], *block, x.row(r));
           }
 
-          answer.resize(rows);
-          votes.resize(rows);
-          delay.resize(rows);
+          std::span<double> answer{ws.alloc<double>(rows), rows};
+          std::span<double> votes{ws.alloc<double>(rows), rows};
+          std::span<double> delay{ws.alloc<double>(rows), rows};
           pipeline->answer_predictor().predict_probability_batch(x, answer);
           pipeline->vote_predictor().predict_batch(x, votes);
           pipeline->timing_predictor().predict_delay_batch(x, open_duration,
@@ -109,11 +113,15 @@ std::vector<core::Prediction> BatchScorer::score(
           }
         },
         config_.threads);
+    quantized_votes = pipeline->vote_predictor().quantized();
     break;
   }
 
   FORUMCAST_COUNTER_ADD("serve.pairs_scored", users.size());
   FORUMCAST_COUNTER_ADD("serve.batches", 1);
+  if (quantized_votes) {
+    FORUMCAST_COUNTER_ADD("serve.quantized_scores", users.size());
+  }
   if (monitor != nullptr) {
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - score_start)

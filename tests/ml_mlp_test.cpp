@@ -204,7 +204,8 @@ TEST(MlpBatch, TrainBatchMatchesPerSampleBitwise) {
   }
 
   batched.zero_grad();
-  batched.train_batch(x, [&](const Matrix& outputs, Matrix& grad_output) {
+  batched.train_batch(x, [&](Tensor<const double> outputs,
+                             Tensor<double> grad_output) {
     ASSERT_EQ(outputs.rows(), batch);
     ASSERT_EQ(grad_output.rows(), batch);
     for (std::size_t r = 0; r < batch; ++r) {
@@ -241,7 +242,7 @@ TEST(MlpBatch, TrainBatchHandlesMultiOutputAndAccumulates) {
     serial.backward(tape, std::vector<double>{1.0, -0.5});
   }
 
-  auto fill_grad = [](const Matrix&, Matrix& grad_output) {
+  auto fill_grad = [](Tensor<const double>, Tensor<double> grad_output) {
     for (std::size_t r = 0; r < grad_output.rows(); ++r) {
       grad_output(r, 0) = 1.0;
       grad_output(r, 1) = -0.5;

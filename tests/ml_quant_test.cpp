@@ -1,0 +1,309 @@
+// Int8 inference path: exact kernel equivalence across SIMD variants,
+// scalar/batch bit parity, fp32↔int8 quality (AUC delta bound), and the
+// kQuantizedMlp bundle section under corruption and truncation.
+#include "ml/quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.hpp"
+#include "core/vote_predictor.hpp"
+#include "eval/metrics.hpp"
+#include "ml/matrix.hpp"
+#include "ml/mlp.hpp"
+#include "ml/serialize.hpp"
+#include "ml/workspace.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace forumcast::ml {
+namespace {
+
+// ---------- gemm_s8 kernels ----------
+
+std::vector<std::int8_t> random_int8(util::Rng& rng, std::size_t count) {
+  std::vector<std::int8_t> values(count);
+  for (auto& v : values) {
+    v = static_cast<std::int8_t>(
+        static_cast<long>(rng.uniform(-127.0, 128.0)));
+  }
+  return values;
+}
+
+TEST(GemmS8, DispatchedKernelMatchesScalarBitForBit) {
+  // Shapes cover one-vector, narrow, and multi-block k (kPad-multiples, as
+  // QuantizedMlp always pads).
+  util::Rng rng(42);
+  for (const auto [n, m, k] :
+       {std::array<std::size_t, 3>{1, 1, 64},
+        std::array<std::size_t, 3>{3, 20, 64},
+        std::array<std::size_t, 3>{7, 21, 128},
+        std::array<std::size_t, 3>{16, 20, 192}}) {
+    const auto a = random_int8(rng, n * k);
+    const auto b = random_int8(rng, m * k);
+    std::vector<std::int32_t> expected(n * m, -1);
+    std::vector<std::int32_t> got(n * m, -2);
+    gemm_s8_scalar(n, m, k, a.data(), k, b.data(), k, expected.data(), m);
+    gemm_s8()(n, m, k, a.data(), k, b.data(), k, got.data(), m);
+    EXPECT_EQ(expected, got) << "n=" << n << " m=" << m << " k=" << k
+                             << " variant=" << gemm_s8_variant();
+  }
+}
+
+TEST(GemmS8, VariantNameIsKnown) {
+  const std::string variant = gemm_s8_variant();
+  EXPECT_TRUE(variant == "scalar" || variant == "avx2" ||
+              variant == "avx512vnni")
+      << variant;
+}
+
+// ---------- QuantizedMlp ----------
+
+Mlp small_net(std::uint64_t seed = 11) {
+  return Mlp(10,
+             {{20, Activation::ReLU}, {20, Activation::ReLU},
+              {1, Activation::Identity}},
+             seed);
+}
+
+Matrix random_rows(util::Rng& rng, std::size_t rows, std::size_t cols) {
+  Matrix x(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (double& v : x.row(r)) v = rng.normal();
+  }
+  return x;
+}
+
+TEST(QuantizedMlp, TracksTheFp32NetworkClosely) {
+  const Mlp net = small_net();
+  const QuantizedMlp quantized = QuantizedMlp::from(net);
+  util::Rng rng(7);
+  const Matrix x = random_rows(rng, 64, net.input_dim());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double exact = net.forward(x.row(r))[0];
+    const double approx = quantized.forward(x.row(r))[0];
+    // Freshly initialized weights live in ~[-0.5, 0.5]; two int8 layers keep
+    // the error well inside this envelope.
+    EXPECT_NEAR(approx, exact, 0.05) << "row " << r;
+  }
+}
+
+TEST(QuantizedMlp, ScalarEqualsBatchBitForBit) {
+  // The serving digest CHECKs scalar/batch parity; the quantized path must
+  // preserve it. Per-row dynamic scales + exact int32 accumulation make the
+  // batch layout irrelevant to the result.
+  const Mlp net = small_net();
+  const QuantizedMlp quantized = QuantizedMlp::from(net);
+  util::Rng rng(13);
+  const Matrix x = random_rows(rng, 33, net.input_dim());
+  Workspace::Frame frame;
+  Tensor<double> batch_out =
+      frame.workspace().tensor<double>(x.rows(), quantized.output_dim());
+  quantized.forward_batch_into(x.view(), batch_out);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double scalar = quantized.forward(x.row(r))[0];
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(scalar),
+              std::bit_cast<std::uint64_t>(batch_out(r, 0)))
+        << "row " << r;
+  }
+}
+
+TEST(QuantizedMlp, CalibrationOnlyChangesTheBiasTerm) {
+  const Mlp net = small_net();
+  util::Rng rng(19);
+  const Matrix calibration = random_rows(rng, 128, net.input_dim());
+  const QuantizedMlp plain = QuantizedMlp::from(net);
+  const QuantizedMlp calibrated = QuantizedMlp::from(net, calibration);
+  ASSERT_EQ(plain.quantized_layers().size(),
+            calibrated.quantized_layers().size());
+  for (std::size_t l = 0; l < plain.quantized_layers().size(); ++l) {
+    const QuantizedLayer& a = plain.quantized_layers()[l];
+    const QuantizedLayer& b = calibrated.quantized_layers()[l];
+    EXPECT_EQ(a.weights, b.weights) << "layer " << l;
+    EXPECT_EQ(a.scales, b.scales) << "layer " << l;
+    EXPECT_EQ(a.bias, b.bias) << "layer " << l;
+    bool all_zero = true;
+    for (double corr : a.bias_correction) all_zero &= corr == 0.0;
+    EXPECT_TRUE(all_zero) << "uncalibrated correction must be zero";
+  }
+}
+
+// ---------- quality: fp32 vs int8 AUC ----------
+
+TEST(QuantizedMlp, VotePredictorAucDeltaWithinBound) {
+  // Synthetic regression task with enough signal for a meaningful ranking:
+  // does switching inference to int8 move a downstream ranking metric?
+  util::Rng rng(101);
+  const std::size_t dim = 12;
+  const std::size_t train_n = 400;
+  const std::size_t test_n = 300;
+  std::vector<double> true_w(dim);
+  for (double& w : true_w) w = rng.normal();
+
+  const auto make_split = [&](std::size_t n, std::vector<std::vector<double>>& xs,
+                              std::vector<double>& ys) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> x(dim);
+      double y = 0.0;
+      for (std::size_t j = 0; j < dim; ++j) {
+        x[j] = rng.normal();
+        y += true_w[j] * x[j];
+      }
+      y += 0.3 * x[0] * x[1] + rng.normal(0.0, 0.25);
+      xs.push_back(std::move(x));
+      ys.push_back(y);
+    }
+  };
+  std::vector<std::vector<double>> train_x, test_x;
+  std::vector<double> train_y, test_y;
+  make_split(train_n, train_x, train_y);
+  make_split(test_n, test_x, test_y);
+
+  core::VotePredictorConfig config;
+  config.epochs = 30;
+  core::VotePredictor fp32(config);
+  fp32.fit(train_x, train_y);
+
+  // Same fitted master weights, int8 inference (the load-time regeneration
+  // path — no calibration, the weaker of the two quantization modes).
+  core::VotePredictorConfig qconfig = config;
+  core::VotePredictor int8(qconfig);
+  int8.fit(train_x, train_y);
+  int8.quantize_from_master();
+  ASSERT_TRUE(int8.quantized());
+  ASSERT_FALSE(fp32.quantized());
+
+  // Binarize at the median: AUC asks "do high-vote answers rank first?".
+  std::vector<double> sorted = test_y;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  std::vector<int> labels(test_n);
+  std::vector<double> fp32_scores(test_n), int8_scores(test_n);
+  for (std::size_t i = 0; i < test_n; ++i) {
+    labels[i] = test_y[i] > median ? 1 : 0;
+    fp32_scores[i] = fp32.predict(test_x[i]);
+    int8_scores[i] = int8.predict(test_x[i]);
+  }
+  const double fp32_auc = eval::auc(fp32_scores, labels);
+  const double int8_auc = eval::auc(int8_scores, labels);
+  EXPECT_GT(fp32_auc, 0.8) << "task must be learnable for the bound to mean "
+                              "anything";
+  EXPECT_LE(std::abs(fp32_auc - int8_auc), 0.005)
+      << "fp32 " << fp32_auc << " vs int8 " << int8_auc;
+}
+
+// ---------- serialization ----------
+
+std::string quantized_bundle_section(const QuantizedMlp& model) {
+  artifact::Encoder enc;
+  encode_quantized_mlp(model, enc);
+  return enc.bytes();
+}
+
+TEST(QuantizedMlpSerialize, RoundTripsBitIdentically) {
+  const Mlp net = small_net();
+  util::Rng rng(23);
+  const Matrix calibration = random_rows(rng, 64, net.input_dim());
+  const QuantizedMlp original = QuantizedMlp::from(net, calibration);
+
+  artifact::Decoder dec(quantized_bundle_section(original), "quantized_mlp");
+  const QuantizedMlp decoded = decode_quantized_mlp(dec);
+  dec.finish();
+
+  // Bundle stores unpadded weights; decode re-pads and rebuilds row sums.
+  ASSERT_EQ(decoded.quantized_layers().size(),
+            original.quantized_layers().size());
+  for (std::size_t l = 0; l < original.quantized_layers().size(); ++l) {
+    const QuantizedLayer& a = original.quantized_layers()[l];
+    const QuantizedLayer& b = decoded.quantized_layers()[l];
+    EXPECT_EQ(a.weights, b.weights);
+    EXPECT_EQ(a.row_sums, b.row_sums);
+    EXPECT_EQ(a.scales, b.scales);
+    EXPECT_EQ(a.bias, b.bias);
+    EXPECT_EQ(a.bias_correction, b.bias_correction);
+  }
+  const Matrix probe = random_rows(rng, 16, net.input_dim());
+  for (std::size_t r = 0; r < probe.rows(); ++r) {
+    EXPECT_EQ(
+        std::bit_cast<std::uint64_t>(original.forward(probe.row(r))[0]),
+        std::bit_cast<std::uint64_t>(decoded.forward(probe.row(r))[0]));
+  }
+}
+
+TEST(QuantizedMlpSerialize, TruncationSweepAlwaysThrowsNamedErrors) {
+  const QuantizedMlp model = QuantizedMlp::from(small_net());
+  const std::string payload = quantized_bundle_section(model);
+  // Every prefix must be rejected — partial state can never come back. Step
+  // coarsely through the bulk and finely near field boundaries at the start.
+  for (std::size_t cut = 0; cut < payload.size();
+       cut += (cut < 64 ? 1 : 37)) {
+    artifact::Decoder dec(payload.substr(0, cut), "quantized_mlp");
+    EXPECT_THROW(decode_quantized_mlp(dec), util::CheckError)
+        << "truncated at " << cut << " of " << payload.size();
+  }
+}
+
+TEST(QuantizedMlpSerialize, BundleFramingCatchesCorruption) {
+  // Through the real bundle framing: any flipped payload byte must be caught
+  // by the section CRC before decode_quantized_mlp sees it.
+  const QuantizedMlp model = QuantizedMlp::from(small_net());
+  std::ostringstream out;
+  {
+    artifact::BundleWriter writer(out);
+    artifact::Encoder enc;
+    encode_quantized_mlp(model, enc);
+    writer.section(artifact::SectionKind::kQuantizedMlp, enc);
+    writer.finish();
+  }
+  const std::string bundle = std::move(out).str();
+
+  const auto load = [&](const std::string& bytes) {
+    std::istringstream in(bytes);
+    artifact::BundleReader reader(in);
+    auto dec = reader.expect(artifact::SectionKind::kQuantizedMlp);
+    const QuantizedMlp decoded = decode_quantized_mlp(dec);
+    dec.finish();
+    reader.finish();
+    return decoded;
+  };
+  EXPECT_NO_THROW(load(bundle));  // the unmodified bundle is fine
+
+  for (std::size_t pos = 0; pos < bundle.size(); pos += 13) {
+    std::string corrupt = bundle;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x20);
+    EXPECT_THROW(load(corrupt), util::CheckError) << "flip at " << pos;
+  }
+  for (std::size_t cut = 0; cut < bundle.size(); cut += 17) {
+    EXPECT_THROW(load(bundle.substr(0, cut)), util::CheckError)
+        << "truncated at " << cut;
+  }
+}
+
+TEST(QuantizedMlpSerialize, DecodeRejectsShapeLies) {
+  const QuantizedMlp model = QuantizedMlp::from(small_net());
+  // Claim one more unit than the weight payload carries.
+  artifact::Encoder enc;
+  const QuantizedLayer& layer = model.quantized_layers().front();
+  enc.u64(model.input_dim());
+  enc.u64(1);
+  enc.u64(layer.units + 1);
+  enc.u64(layer.fan_in);
+  enc.str(activation_name(layer.activation));
+  std::vector<std::int8_t> unpadded(layer.units * layer.fan_in, 1);
+  enc.i8s(unpadded);
+  enc.f64s(layer.scales, "scales");
+  enc.f64s(layer.bias, "bias");
+  enc.f64s(layer.bias_correction, "corr");
+  artifact::Decoder dec(enc.bytes(), "quantized_mlp");
+  EXPECT_THROW(decode_quantized_mlp(dec), util::CheckError);
+}
+
+}  // namespace
+}  // namespace forumcast::ml

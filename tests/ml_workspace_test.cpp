@@ -1,0 +1,210 @@
+#include "ml/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ml/shape.hpp"
+#include "ml/tensor.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace forumcast::ml {
+namespace {
+
+// ---------- Shape ----------
+
+TEST(Shape, RankAndElements) {
+  const Shape v = Shape::vector(7);
+  EXPECT_EQ(v.rank(), 1u);
+  EXPECT_EQ(v.elements(), 7u);
+  EXPECT_EQ(v.rows(), 1u);
+  EXPECT_EQ(v.cols(), 7u);
+
+  const Shape m = Shape::matrix(3, 5);
+  EXPECT_EQ(m.rank(), 2u);
+  EXPECT_EQ(m.elements(), 15u);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+
+  EXPECT_EQ(m, Shape({3, 5}));
+  EXPECT_NE(m, Shape({5, 3}));
+  EXPECT_NE(m, v);
+}
+
+// ---------- Tensor ----------
+
+TEST(Tensor, ViewsAndStrides) {
+  std::vector<double> storage(12);
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    storage[i] = static_cast<double>(i);
+  }
+  Tensor<double> t(storage.data(), 3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.stride(), 4u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 9.0);
+  EXPECT_EQ(t.row(1).size(), 4u);
+  EXPECT_DOUBLE_EQ(t.row(1)[3], 7.0);
+  EXPECT_EQ(t.flat().size(), 12u);
+
+  // Sub-block of rows shares storage.
+  Tensor<double> mid = t.rows_slice(1, 2);
+  EXPECT_EQ(mid.rows(), 2u);
+  mid(0, 0) = -1.0;
+  EXPECT_DOUBLE_EQ(t(1, 0), -1.0);
+}
+
+TEST(Tensor, StridedViewSkipsPadding) {
+  std::vector<double> storage(3 * 8, 0.0);
+  Tensor<double> t(storage.data(), Shape::matrix(3, 5), /*stride=*/8);
+  EXPECT_EQ(t.stride(), 8u);
+  t(2, 4) = 1.5;
+  EXPECT_DOUBLE_EQ(storage[2 * 8 + 4], 1.5);
+  // flat() is only defined for dense tensors.
+  EXPECT_THROW(t.flat(), util::CheckError);
+}
+
+TEST(Tensor, ConstConversion) {
+  std::vector<double> storage(4, 2.0);
+  Tensor<double> t(storage.data(), 2, 2);
+  Tensor<const double> view = t;  // implicit, mirrors span's const widening
+  EXPECT_DOUBLE_EQ(view(1, 1), 2.0);
+}
+
+// ---------- Workspace ----------
+
+TEST(Workspace, AllocationsAre64ByteAligned) {
+  Workspace ws;
+  Workspace::Frame frame(ws);
+  // Odd sizes must not break the alignment of the next allocation.
+  for (const std::size_t count : {1u, 3u, 7u, 64u, 129u}) {
+    void* p = ws.allocate(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % Workspace::kAlignment, 0u)
+        << "allocation of " << count << " bytes";
+  }
+  Tensor<double> t = ws.tensor<double>(5, 3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % Workspace::kAlignment,
+            0u);
+}
+
+TEST(Workspace, AllocatingOutsideAFrameIsAContractViolation) {
+  Workspace ws;
+  EXPECT_THROW(ws.allocate(8), util::CheckError);
+}
+
+TEST(Workspace, FrameReleasesAndReusesStorage) {
+  Workspace ws;
+  double* first = nullptr;
+  {
+    Workspace::Frame frame(ws);
+    first = ws.alloc<double>(100);
+    first[0] = 42.0;
+  }
+  // Same bytes come back once the frame closed: steady state is zero heap
+  // traffic.
+  Workspace::Frame frame(ws);
+  double* second = ws.alloc<double>(100);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Workspace, NestedFramesRestoreTheOuterScope) {
+  Workspace ws;
+  Workspace::Frame outer(ws);
+  double* a = ws.alloc<double>(10);
+  a[0] = 1.0;
+  double* inner_ptr = nullptr;
+  {
+    Workspace::Frame inner(ws);
+    inner_ptr = ws.alloc<double>(10);
+    EXPECT_EQ(ws.frame_depth(), 2u);
+  }
+  EXPECT_EQ(ws.frame_depth(), 1u);
+  // The inner frame's bytes are free again; the outer allocation is intact.
+  double* b = ws.alloc<double>(10);
+  EXPECT_EQ(b, inner_ptr);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+}
+
+TEST(Workspace, GrowthNeverInvalidatesLivePointers) {
+  Workspace ws;
+  Workspace::Frame frame(ws);
+  // First allocation lands in the initial chunk; a huge second allocation
+  // forces a new chunk. The first pointer must stay valid (chunks append,
+  // they never reallocate).
+  double* small = ws.alloc<double>(8);
+  small[0] = 3.25;
+  const std::size_t chunks_before = ws.chunk_count();
+  double* big = ws.alloc<double>(1 << 20);
+  big[0] = 1.0;
+  EXPECT_GT(ws.chunk_count(), chunks_before);
+  EXPECT_DOUBLE_EQ(small[0], 3.25);
+}
+
+TEST(Workspace, CoalescesToHighWaterAfterOutermostFrame) {
+  Workspace ws;
+  {
+    Workspace::Frame frame(ws);
+    ws.alloc<double>(8);
+    ws.alloc<double>(1 << 20);  // forces multi-chunk
+    EXPECT_GT(ws.chunk_count(), 1u);
+  }
+  // Fragmentation is a one-time transient: after the outermost frame closes
+  // the arena is a single chunk covering the observed high-water mark.
+  EXPECT_EQ(ws.chunk_count(), 1u);
+  EXPECT_GE(ws.reserved_bytes(), ws.high_water_bytes());
+  {
+    Workspace::Frame frame(ws);
+    const std::size_t reserved = ws.reserved_bytes();
+    ws.alloc<double>(8);
+    ws.alloc<double>(1 << 20);
+    // The same demand now fits without growing.
+    EXPECT_EQ(ws.reserved_bytes(), reserved);
+    EXPECT_EQ(ws.chunk_count(), 1u);
+  }
+}
+
+TEST(Workspace, TlsArenasAreThreadLocal) {
+  Workspace* main_ws = &Workspace::tls();
+  std::mutex mu;
+  std::set<Workspace*> seen;
+  util::parallel_for(
+      8,
+      [&](std::size_t i) {
+        Workspace& ws = Workspace::tls();
+        Workspace::Frame frame(ws);
+        // Each thread bumps its own arena; write/read without synchronization
+        // is race-free exactly because arenas are never shared.
+        double* p = ws.alloc<double>(256);
+        for (std::size_t j = 0; j < 256; ++j) {
+          p[j] = static_cast<double>(i * 1000 + j);
+        }
+        for (std::size_t j = 0; j < 256; ++j) {
+          FORUMCAST_CHECK(p[j] == static_cast<double>(i * 1000 + j));
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(&ws);
+      },
+      /*threads=*/4);
+  // parallel_for ran on worker threads and/or the caller; every participating
+  // thread observed a distinct arena, and the caller's is unchanged.
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_EQ(&Workspace::tls(), main_ws);
+}
+
+TEST(Workspace, TensorFromShape) {
+  Workspace ws;
+  Workspace::Frame frame(ws);
+  Tensor<float> t = ws.tensor<float>(Shape::matrix(4, 6));
+  EXPECT_EQ(t.rows(), 4u);
+  EXPECT_EQ(t.cols(), 6u);
+  t(3, 5) = 2.5f;
+  EXPECT_FLOAT_EQ(t.flat()[23], 2.5f);
+}
+
+}  // namespace
+}  // namespace forumcast::ml

@@ -114,6 +114,16 @@ class Args {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::stod(it->second);
   }
+  /// On/off switch; absent means off. Every flag takes a value, so switches
+  /// are spelled `--quantize on`.
+  bool get_switch(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return false;
+    FORUMCAST_CHECK_MSG(it->second == "on" || it->second == "off",
+                        "--" << key << " must be 'on' or 'off', got '"
+                             << it->second << "'");
+    return it->second == "on";
+  }
 
  private:
   std::map<std::string, std::string> values_;
@@ -160,6 +170,10 @@ core::ForecastPipeline fit_pipeline(const forum::Dataset& dataset,
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
   config.fit_threads =
       static_cast<std::size_t>(args.get_int("fit-threads", 1));
+  // Fit-time quantization calibrates bias correction on the training rows —
+  // strictly better than the load-time regeneration obtain_pipeline falls
+  // back to for pre-quantization bundles.
+  config.vote.quantize = args.get_switch("quantize");
   apply_centrality_flags(config, args);
   core::ForecastPipeline pipeline(config);
   const auto history = dataset.questions_in_days(1, history_days);
@@ -199,6 +213,7 @@ core::ForecastPipeline obtain_pipeline(const forum::Dataset& dataset,
   core::ForecastPipeline pipeline = model_in.empty()
                                         ? fit_pipeline(dataset, args)
                                         : load_bundle(dataset, model_in);
+  if (args.get_switch("quantize")) pipeline.quantize_vote();
   const std::string model_out = args.get("model-out", "");
   if (!model_out.empty()) save_bundle(pipeline, model_out);
   return pipeline;
@@ -1016,6 +1031,7 @@ int cmd_serve(const Args& args) {
   // (the metrics snapshot carries no pipeline.fit.* histograms — the smoke
   // test asserts exactly that).
   auto pipeline = load_bundle(dataset, args.require("model-in"));
+  if (args.get_switch("quantize")) pipeline.quantize_vote();
   print_prediction_digest(pipeline);
   if (args.get("listen", "").size() > 0) {
     return run_daemon(dataset, std::move(pipeline), args);
@@ -1186,6 +1202,12 @@ void usage() {
                "serving (predict, route, serve):\n"
                "  --batch-size N       rows per batched-scoring block (default 256);\n"
                "                       cache hit/miss counters land in --metrics-out\n"
+               "  --quantize on        serve the vote network on the int8 path.\n"
+               "                       At fit time the quantized net is calibrated\n"
+               "                       on the training rows and saved into the\n"
+               "                       bundle (kQuantizedMlp section); on a bundle\n"
+               "                       without that section it is regenerated from\n"
+               "                       the fp32 master weights at load\n"
                "training (fit, predict, route, ingest):\n"
                "  --fit-threads N      training parallelism for every fit stage\n"
                "                       (0 = all cores). 1 (default) is bit-equal\n"

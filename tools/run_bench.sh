@@ -7,7 +7,8 @@
 # JSON mode, writes BENCH_serve.json / BENCH_micro.json / BENCH_stream.json /
 # BENCH_fit.json / BENCH_artifact.json / BENCH_monitor.json / BENCH_net.json
 # (wire-serving daemon throughput) / BENCH_replica.json /
-# BENCH_centrality.json (exact vs sampled vs incremental) into --out-dir, and
+# BENCH_centrality.json (exact vs sampled vs incremental) / BENCH_ml.json
+# (fp32 vs int8 vote-MLP forward + workspace arena) into --out-dir, and
 # fails if batched scoring at 256 candidates is not at least
 # BENCH_MIN_SPEEDUP times faster (pairs/sec) than the scalar path, or if
 # pipeline fitting at 8 fit-threads is not at least BENCH_FIT_MIN_SPEEDUP
@@ -58,6 +59,15 @@
 #                           guard is SKIPPED but BENCH_centrality.json is
 #                           still written; non-numeric -> exit 2. The
 #                           acceptance bar is 10.0 on quiet hardware.
+#        BENCH_ML_MIN_SPEEDUP  minimum int8/fp32 batch vote-forward ratio at
+#                           256 rows (BM_VoteForwardInt8/256 over
+#                           BM_VoteForwardFp32/256 items_per_second, from
+#                           BENCH_ml.json). The ratio depends on the gemm_s8
+#                           kernel the host CPU dispatches (AVX-512 VNNI vs
+#                           AVX2 vs scalar), so unset -> the guard is SKIPPED
+#                           but BENCH_ml.json is still written; non-numeric
+#                           -> exit 2. The acceptance bar is 1.5 on quiet
+#                           VNNI hardware.
 set -euo pipefail
 
 BUILD_DIR=build
@@ -144,6 +154,18 @@ if [[ -n "${BENCH_CENTRALITY_MIN_SPEEDUP+x}" ]]; then
   fi
 fi
 
+ML_MIN_SPEEDUP=""
+if [[ -n "${BENCH_ML_MIN_SPEEDUP+x}" ]]; then
+  if [[ "$BENCH_ML_MIN_SPEEDUP" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
+    ML_MIN_SPEEDUP="$BENCH_ML_MIN_SPEEDUP"
+  else
+    echo "error: BENCH_ML_MIN_SPEEDUP must be a non-negative decimal number" \
+         "(e.g. 1.5); got '${BENCH_ML_MIN_SPEEDUP}'" >&2
+    echo "hint: unset it to report the int8 speedup without gating" >&2
+    exit 2
+  fi
+fi
+
 # Refuse to emit BENCH files from an unoptimized build: a Debug or
 # non-native binary runs the same code an order of magnitude slower, and a
 # committed baseline measured that way would flag every healthy Release run
@@ -185,6 +207,7 @@ MONITOR_BIN="$BUILD_DIR/bench/monitor"
 NET_BIN="$BUILD_DIR/bench/net"
 REPLICA_BIN="$BUILD_DIR/bench/replica"
 CENTRALITY_BIN="$BUILD_DIR/bench/centrality"
+ML_BIN="$BUILD_DIR/bench/ml"
 SERVE_JSON="$OUT_DIR/BENCH_serve.json"
 MICRO_JSON="$OUT_DIR/BENCH_micro.json"
 STREAM_JSON="$OUT_DIR/BENCH_stream.json"
@@ -194,9 +217,11 @@ MONITOR_JSON="$OUT_DIR/BENCH_monitor.json"
 NET_JSON="$OUT_DIR/BENCH_net.json"
 REPLICA_JSON="$OUT_DIR/BENCH_replica.json"
 CENTRALITY_JSON="$OUT_DIR/BENCH_centrality.json"
+ML_JSON="$OUT_DIR/BENCH_ml.json"
 
 for bin in "$SERVE_BIN" "$MICRO_BIN" "$STREAM_BIN" "$FIT_BIN" "$ARTIFACT_BIN" \
-           "$MONITOR_BIN" "$NET_BIN" "$REPLICA_BIN" "$CENTRALITY_BIN"; do
+           "$MONITOR_BIN" "$NET_BIN" "$REPLICA_BIN" "$CENTRALITY_BIN" \
+           "$ML_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (configure with default options first)" >&2
     exit 2
@@ -240,6 +265,10 @@ echo "== bench/centrality -> $CENTRALITY_JSON"
 "$CENTRALITY_BIN" --benchmark_out="$CENTRALITY_JSON" --benchmark_out_format=json \
   "${BENCH_CONTEXT[@]}"
 
+echo "== bench/ml -> $ML_JSON"
+"$ML_BIN" --benchmark_out="$ML_JSON" --benchmark_out_format=json \
+  --benchmark_min_warmup_time=0.2 "${BENCH_CONTEXT[@]}"
+
 # Belt-and-braces against stale or hand-carried baselines: even though the
 # build-tree check above gates on the CMake cache, also reject any produced
 # JSON whose embedded context does not carry the Release stamp injected via
@@ -253,7 +282,7 @@ echo "== bench/centrality -> $CENTRALITY_JSON"
 echo "== baseline sanity: no debug-build contexts"
 python3 - "$SERVE_JSON" "$MICRO_JSON" "$STREAM_JSON" "$FIT_JSON" \
           "$ARTIFACT_JSON" "$MONITOR_JSON" "$NET_JSON" "$REPLICA_JSON" \
-          "$CENTRALITY_JSON" <<'PY'
+          "$CENTRALITY_JSON" "$ML_JSON" <<'PY'
 import json
 import sys
 
@@ -522,5 +551,47 @@ elif speedup < min_speedup:
              f"below required {min_speedup:.2f}x")
 else:
     print(f"centrality guard passed: {speedup:.2f}x >= {min_speedup:.2f}x")
+PY
+echo "== ml substrate: int8 vs fp32 batch vote forward at 256 rows"
+python3 - "$ML_JSON" "${ML_MIN_SPEEDUP:-}" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+min_speedup = float(sys.argv[2]) if len(sys.argv) > 2 and sys.argv[2] else None
+with open(path) as fh:
+    report = json.load(fh)
+
+rates = {}
+kernel = ""
+for bench in report["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    rates[bench["name"]] = bench.get("items_per_second", 0.0)
+    if bench["name"].startswith("BM_VoteForwardInt8"):
+        kernel = bench.get("label", "") or kernel
+
+for name in sorted(rates):
+    print(f"{name}: {rates[name]:,.0f} rows/sec")
+    if rates[name] <= 0.0:
+        sys.exit(f"bench regression: {name} reported no throughput")
+
+fp32 = rates.get("BM_VoteForwardFp32/256")
+int8 = rates.get("BM_VoteForwardInt8/256")
+if not fp32 or not int8:
+    sys.exit(f"missing BM_VoteForwardFp32/256 or BM_VoteForwardInt8/256 "
+             f"in {path}")
+
+speedup = int8 / fp32
+print(f"int8/fp32 speedup at 256 rows: {speedup:.2f}x "
+      f"(gemm_s8 kernel: {kernel or 'unknown'})")
+if min_speedup is None:
+    print(f"BENCH_ML_MIN_SPEEDUP unset: reporting only (the bar on quiet "
+          f"VNNI hardware is 1.5)")
+elif speedup < min_speedup:
+    sys.exit(f"bench regression: int8/fp32 speedup {speedup:.2f}x "
+             f"below required {min_speedup:.2f}x")
+else:
+    print(f"ml int8 guard passed: {speedup:.2f}x >= {min_speedup:.2f}x")
 PY
 echo "bench guard passed"
